@@ -1,0 +1,84 @@
+//! E4 — dynamic invocation (paper Figure 5): cost of expanding and
+//! executing a dynamic task at increasing run-time multiplicities, vs an
+//! equivalent statically-enumerated job.
+//!
+//! Expected shape: expansion itself is linear and negligible; end-to-end
+//! time grows with multiplicity (placement per instance); the dynamic and
+//! static paths cost the same once expanded — the notation is free.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cn_bench::bench_neighborhood;
+use cn_cnx::{Client, CnxDocument, Job, Param, Task};
+use cn_core::{exec::expand_dynamic, execute_descriptor, DynamicArgs, TaskArchive, TaskContext, UserData};
+
+fn dynamic_descriptor() -> CnxDocument {
+    let mut worker = Task::new("w", "id.jar", "Id");
+    worker.multiplicity = Some("*".to_string());
+    worker.req.memory_mb = 1;
+    let mut client = Client::new("Dyn");
+    client.jobs.push(Job { tasks: vec![worker] });
+    CnxDocument::new(client)
+}
+
+fn static_descriptor(n: usize) -> CnxDocument {
+    let mut job = Job::default();
+    for i in 1..=n {
+        let mut t = Task::new(format!("w_{i}"), "id.jar", "Id")
+            .with_param(Param::integer(i as i64));
+        t.req.memory_mb = 1;
+        job.tasks.push(t);
+    }
+    let mut client = Client::new("Static");
+    client.jobs.push(job);
+    CnxDocument::new(client)
+}
+
+fn args_for(n: usize) -> DynamicArgs {
+    DynamicArgs::new().set("w", (1..=n as i64).map(|i| vec![Param::integer(i)]).collect())
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_invocation");
+    group.sample_size(10);
+
+    // Pure expansion cost.
+    for &n in &[1usize, 16, 64] {
+        let doc = dynamic_descriptor();
+        let dynamic = args_for(n);
+        group.bench_with_input(BenchmarkId::new("expand", n), &n, |b, _| {
+            b.iter(|| expand_dynamic(&doc, &dynamic).expect("expand"))
+        });
+    }
+
+    // End-to-end: dynamic vs pre-enumerated static job.
+    let nb = bench_neighborhood(4, 100_000);
+    nb.registry().publish(TaskArchive::new("id.jar").class("Id", || {
+        Box::new(|ctx: &mut TaskContext| Ok(UserData::I64s(vec![ctx.param_i64(0).unwrap_or(0)])))
+    }));
+    for &n in &[1usize, 8, 32] {
+        let dyn_doc = dynamic_descriptor();
+        let dynamic = args_for(n);
+        group.bench_with_input(BenchmarkId::new("execute_dynamic", n), &n, |b, _| {
+            b.iter(|| {
+                execute_descriptor(&nb, &dyn_doc, &dynamic, Duration::from_secs(30))
+                    .expect("dynamic run")
+            })
+        });
+        let static_doc = static_descriptor(n);
+        let no_args = DynamicArgs::new();
+        group.bench_with_input(BenchmarkId::new("execute_static", n), &n, |b, _| {
+            b.iter(|| {
+                execute_descriptor(&nb, &static_doc, &no_args, Duration::from_secs(30))
+                    .expect("static run")
+            })
+        });
+    }
+    nb.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

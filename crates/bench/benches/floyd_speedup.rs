@@ -1,0 +1,54 @@
+//! E1 — Floyd APSP: sequential baseline vs shared-memory parallel vs the
+//! CN message-passing job, across graph sizes and worker counts.
+//!
+//! Expected shape: sequential wins at small n (CN messaging overhead);
+//! the parallel variants close the gap as n grows; CN workers scale with
+//! worker count once per-k broadcast cost amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cn_bench::bench_neighborhood;
+use cn_tasks::{floyd_parallel, floyd_sequential, random_digraph, run_transitive_closure, TcOptions};
+
+fn bench_floyd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floyd_speedup");
+    group.sample_size(10);
+
+    for &n in &[64usize, 128, 256] {
+        let graph = random_digraph(n, 0.1, 1..100, 42);
+
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| floyd_sequential(&graph))
+        });
+
+        for &threads in &[2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("shared_memory_{threads}t"), n),
+                &n,
+                |b, _| b.iter(|| floyd_parallel(&graph, threads)),
+            );
+        }
+
+        // The CN job: includes placement + messaging, i.e. the full
+        // distributed path of the paper's guiding example.
+        let nb = bench_neighborhood(4, 32);
+        cn_tasks::publish_tc_archives(nb.registry());
+        for &workers in &[1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("cn_{workers}w"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        run_transitive_closure(&nb, &graph, &TcOptions::new(workers))
+                            .expect("cn job")
+                    })
+                },
+            );
+        }
+        nb.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_floyd);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E2 — generative-chain throughput: XMI→CNX via the XSLT engine vs the
+//! native structural transform, and CNX→client codegen, as the job's task
+//! count grows.
+//!
+//! Expected shape: the interpreted XSLT path costs a constant factor over
+//! the native path (it re-walks the XMI tree per tagged-value lookup); both
+//! scale roughly with model size; codegen is linear and cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cn_transform::figures::{figure2_model, figure2_settings};
+use cn_transform::{xmi_to_cnx_native, xmi_to_cnx_xslt};
+
+fn xmi_text(workers: usize) -> String {
+    cn_xml::write_document(
+        &cn_model::export_xmi(&figure2_model(workers)),
+        &cn_xml::WriteOptions::xmi(),
+    )
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_throughput");
+    group.sample_size(10);
+
+    for &workers in &[5usize, 20, 60] {
+        let xmi = xmi_text(workers);
+        let settings = figure2_settings();
+
+        group.bench_with_input(BenchmarkId::new("xmi2cnx_xslt", workers), &workers, |b, _| {
+            b.iter(|| xmi_to_cnx_xslt(&xmi, &settings).expect("xslt"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("xmi2cnx_native", workers),
+            &workers,
+            |b, _| b.iter(|| xmi_to_cnx_native(&xmi, &settings).expect("native")),
+        );
+        // The keyless ablation is superlinear; bench it only at small sizes.
+        if workers <= 20 {
+            group.bench_with_input(
+                BenchmarkId::new("xmi2cnx_xslt_nokeys", workers),
+                &workers,
+                |b, _| {
+                    b.iter(|| {
+                        cn_transform::xmi2cnx::xmi_to_cnx_xslt_nokeys(&xmi, &settings)
+                            .expect("nokeys")
+                    })
+                },
+            );
+        }
+
+        let cnx_doc = cn_cnx::ast::figure2_descriptor(workers);
+        let cnx_text = cn_cnx::write_cnx(&cnx_doc);
+        group.bench_with_input(
+            BenchmarkId::new("cnx2java_xslt", workers),
+            &workers,
+            |b, _| b.iter(|| cn_transform::cnx2java::cnx_to_java_xslt(&cnx_text).expect("java")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cnx2rust_native", workers),
+            &workers,
+            |b, _| b.iter(|| cn_codegen::generate_rust_client(&cnx_doc)),
+        );
+
+        group.bench_with_input(BenchmarkId::new("xmi_export", workers), &workers, |b, _| {
+            let model = figure2_model(workers);
+            b.iter(|| {
+                cn_xml::write_document(&cn_model::export_xmi(&model), &cn_xml::WriteOptions::xmi())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E5 — coordination-medium ablation: the transitive-closure workers
+//! exchanging row k via CN user messages vs via the job's tuple space.
+//!
+//! Expected shape: the tuple space wins as workers grow (one `out` vs W-1
+//! sends per row), messages win at low worker counts (no shared-structure
+//! locking); plus raw primitive micro-benchmarks.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cn_bench::bench_neighborhood;
+use cn_core::{Field, TupleSpace};
+use cn_tasks::{random_digraph, run_transitive_closure, TcOptions};
+
+fn bench_coordination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuplespace_vs_messages");
+    group.sample_size(10);
+
+    let graph = random_digraph(96, 0.1, 1..50, 7);
+    let nb = bench_neighborhood(4, 64);
+    cn_tasks::publish_tc_archives(nb.registry());
+    for &workers in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("tc_messages", workers), &workers, |b, _| {
+            b.iter(|| {
+                run_transitive_closure(&nb, &graph, &TcOptions::new(workers)).expect("tc")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tc_tuplespace", workers), &workers, |b, _| {
+            let mut opts = TcOptions::new(workers);
+            opts.tuplespace_workers = true;
+            b.iter(|| run_transitive_closure(&nb, &graph, &opts).expect("tc-ts"))
+        });
+    }
+    nb.shutdown();
+
+    // Primitive costs: out/rd/in vs channel send/recv.
+    group.bench_function("tuplespace_out_in", |b| {
+        let ts = TupleSpace::new();
+        b.iter(|| {
+            ts.out(vec![Field::S("k".into()), Field::I(1), Field::B(vec![0u8; 256])]);
+            ts.take(
+                &vec![Some(Field::S("k".into())), Some(Field::I(1)), None],
+                Duration::from_secs(1),
+            )
+            .expect("tuple")
+        })
+    });
+    group.bench_function("tuplespace_rd_among_100", |b| {
+        let ts = TupleSpace::new();
+        for i in 0..100 {
+            ts.out(vec![Field::S("k".into()), Field::I(i), Field::B(vec![0u8; 64])]);
+        }
+        b.iter(|| {
+            ts.rd(
+                &vec![Some(Field::S("k".into())), Some(Field::I(73)), None],
+                Duration::from_secs(1),
+            )
+            .expect("tuple")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coordination);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E6 — substrate micro-benchmarks: XML parse/serialize, XPath evaluation,
+//! and full XSLT template dispatch on CNX/XMI-shaped documents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn cnx_text(tasks: usize) -> String {
+    cn_cnx::write_cnx(&cn_cnx::ast::figure2_descriptor(tasks))
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_substrate");
+    group.sample_size(20);
+
+    for &tasks in &[5usize, 50, 500] {
+        let text = cnx_text(tasks);
+        group.bench_with_input(BenchmarkId::new("parse_cnx_xml", tasks), &tasks, |b, _| {
+            b.iter(|| cn_xml::parse(&text).expect("parse"))
+        });
+        let doc = cn_xml::parse(&text).unwrap();
+        group.bench_with_input(BenchmarkId::new("serialize_pretty", tasks), &tasks, |b, _| {
+            b.iter(|| cn_xml::write_document(&doc, &cn_xml::WriteOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("xpath_count_tasks", tasks), &tasks, |b, _| {
+            let expr = cn_xpath::parse_expr("count(//task[@depends != ''])").unwrap();
+            let ctx = cn_xpath::Ctx::new(&doc, doc.document_node());
+            b.iter(|| ctx.eval(&expr).expect("eval"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("xpath_predicate_lookup", tasks),
+            &tasks,
+            |b, _| {
+                let expr =
+                    cn_xpath::parse_expr("string(//task[@name='tctask1']/param)").unwrap();
+                let ctx = cn_xpath::Ctx::new(&doc, doc.document_node());
+                b.iter(|| ctx.eval(&expr).expect("eval"))
+            },
+        );
+    }
+
+    // XPath parser throughput.
+    group.bench_function("xpath_parse_complex", |b| {
+        b.iter(|| {
+            cn_xpath::parse_expr(
+                "//UML:Transition[UML:Transition.target/UML:StateVertex/@xmi.idref = $vertex]\
+                 /UML:Transition.source/UML:StateVertex/@xmi.idref",
+            )
+            .expect("parse")
+        })
+    });
+
+    // Stylesheet compilation.
+    group.bench_function("xslt_compile_xmi2cnx", |b| {
+        b.iter(|| cn_xslt::Stylesheet::parse(cn_transform::XMI2CNX_XSLT).expect("compile"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark suite and the `experiments` binary.
+
+use std::time::Duration;
+
+use cn_cluster::NodeSpec;
+use cn_core::{Neighborhood, NeighborhoodConfig, ServerConfig};
+
+/// A neighborhood tuned for benchmarking: instant fabric, short discovery
+/// windows so placement overhead doesn't swamp compute measurements.
+pub fn bench_neighborhood(nodes: usize, slots: usize) -> Neighborhood {
+    let config = NeighborhoodConfig {
+        server: ServerConfig {
+            bid_window: Duration::from_micros(500),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Neighborhood::deploy_with(NodeSpec::fleet(nodes, 64 * 1024, slots), config)
+}
+
+/// Fast client config matching [`bench_neighborhood`].
+pub fn bench_client_config() -> cn_core::ClientConfig {
+    cn_core::ClientConfig {
+        bid_window: Duration::from_micros(500),
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_core::{CnApi, JobRequirements};
+
+    #[test]
+    fn bench_neighborhood_is_usable() {
+        let nb = bench_neighborhood(2, 8);
+        let api = CnApi::with_config(&nb, bench_client_config());
+        let job = api.create_job(&JobRequirements::default()).unwrap();
+        drop(job);
+        nb.shutdown();
+    }
+}

@@ -1,0 +1,109 @@
+//! Failure-injection plans for resilience tests.
+//!
+//! The substrate already exposes the primitive faults (node crash via
+//! [`crate::node::NodeHandle::crash`], message loss via
+//! [`crate::network::LatencyModel::drop_rate`], partitions via
+//! [`crate::network::Network::partition`]). This module adds a small
+//! scripting layer so tests and benches can describe *when* faults happen.
+
+use std::time::Duration;
+
+/// One scripted fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash the named node.
+    CrashNode(String),
+    /// Restart the named node.
+    RestartNode(String),
+    /// Partition the named node's endpoint off the network.
+    PartitionNode(String),
+    /// Heal the named node's partition.
+    HealNode(String),
+}
+
+/// A fault scheduled after a delay from plan start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    pub after: Duration,
+    pub fault: Fault,
+}
+
+/// An ordered fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    faults: Vec<ScheduledFault>,
+}
+
+impl FailurePlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault at `after` from plan start. Keeps the schedule sorted and
+    /// stable (equal-time faults fire in insertion order).
+    pub fn at(mut self, after: Duration, fault: Fault) -> Self {
+        let idx = self.faults.partition_point(|f| f.after <= after);
+        self.faults.insert(idx, ScheduledFault { after, fault });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ScheduledFault> {
+        self.faults.iter()
+    }
+
+    /// Faults due at or before `elapsed`, removing them from the plan.
+    pub fn due(&mut self, elapsed: Duration) -> Vec<Fault> {
+        let split = self.faults.partition_point(|f| f.after <= elapsed);
+        self.faults.drain(..split).map(|f| f.fault).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_stays_sorted() {
+        let plan = FailurePlan::new()
+            .at(Duration::from_millis(30), Fault::HealNode("n0".into()))
+            .at(Duration::from_millis(10), Fault::CrashNode("n1".into()))
+            .at(Duration::from_millis(20), Fault::PartitionNode("n0".into()));
+        let times: Vec<u64> = plan.iter().map(|f| f.after.as_millis() as u64).collect();
+        assert_eq!(times, [10, 20, 30]);
+    }
+
+    #[test]
+    fn due_drains_in_order() {
+        let mut plan = FailurePlan::new()
+            .at(Duration::from_millis(10), Fault::CrashNode("a".into()))
+            .at(Duration::from_millis(20), Fault::RestartNode("a".into()))
+            .at(Duration::from_millis(30), Fault::CrashNode("b".into()));
+        assert!(plan.due(Duration::from_millis(5)).is_empty());
+        let due = plan.due(Duration::from_millis(25));
+        assert_eq!(due, vec![Fault::CrashNode("a".into()), Fault::RestartNode("a".into())]);
+        assert_eq!(plan.len(), 1);
+        let rest = plan.due(Duration::from_secs(1));
+        assert_eq!(rest, vec![Fault::CrashNode("b".into())]);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut plan = FailurePlan::new()
+            .at(Duration::from_millis(10), Fault::CrashNode("first".into()))
+            .at(Duration::from_millis(10), Fault::CrashNode("second".into()));
+        let due = plan.due(Duration::from_millis(10));
+        assert_eq!(
+            due,
+            vec![Fault::CrashNode("first".into()), Fault::CrashNode("second".into())]
+        );
+    }
+}

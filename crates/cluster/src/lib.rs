@@ -1,0 +1,43 @@
+//! Deterministic simulated cluster substrate.
+//!
+//! The paper evaluates CN on "a cluster of commodity off-the-shelf personal
+//! computers, interconnected with a local area network technology like
+//! Ethernet". That hardware is not available here, so this crate provides
+//! the closest synthetic equivalent that exercises the same code paths
+//! (DESIGN.md §2 documents the substitution):
+//!
+//! * [`node`] — virtual nodes with memory/slot resources, matching the
+//!   `task-req` admission the JobManager performs,
+//! * [`network`] — a message fabric with unicast and **multicast groups**
+//!   (the paper's JobManager discovery is multicast-based), a configurable
+//!   latency/jitter/loss model, and per-message metrics,
+//! * [`failure`] — failure injection: node crash and network partition,
+//! * [`metrics`] — counters the benchmarks report.
+//!
+//! Everything stochastic (jitter, loss) is driven by a caller-provided seed,
+//! so simulations are reproducible.
+
+pub mod failure;
+pub mod metrics;
+pub mod network;
+pub mod node;
+
+pub use metrics::{MetricsSnapshot, NetworkMetrics};
+pub use network::{Addr, Envelope, GroupId, LatencyModel, Network, SendError};
+pub use node::{NodeHandle, NodeSpec, ReserveError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_unicast() {
+        let net: Network<String> = Network::new(LatencyModel::zero(), 1);
+        let (a, _rx_a) = net.register();
+        let (_b, rx_b) = net.register();
+        net.send(a, _b, "hello".to_string()).unwrap();
+        let env = rx_b.recv().unwrap();
+        assert_eq!(env.msg, "hello");
+        assert_eq!(env.from, a);
+    }
+}

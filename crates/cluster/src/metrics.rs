@@ -1,0 +1,127 @@
+//! Lightweight atomic counters for the network fabric and runtime benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared counters, updated lock-free on the hot send/deliver paths.
+#[derive(Debug, Default)]
+pub struct NetworkMetrics {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    multicasts: AtomicU64,
+}
+
+impl NetworkMetrics {
+    #[inline]
+    pub fn record_send(&self) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_delivery(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_multicast(&self) {
+        self.multicasts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sent: self.sent.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            multicasts: self.multicasts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub multicasts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of sent messages that were lost.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.sent as f64
+        }
+    }
+
+    /// Counter-wise difference (for measuring a window of activity).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sent: self.sent - earlier.sent,
+            delivered: self.delivered - earlier.delivered,
+            dropped: self.dropped - earlier.dropped,
+            multicasts: self.multicasts - earlier.multicasts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = NetworkMetrics::default();
+        m.record_send();
+        m.record_send();
+        m.record_delivery();
+        m.record_drop();
+        m.record_multicast();
+        let s = m.snapshot();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.multicasts, 1);
+    }
+
+    #[test]
+    fn loss_rate() {
+        let s = MetricsSnapshot { sent: 10, delivered: 7, dropped: 3, multicasts: 0 };
+        assert!((s.loss_rate() - 0.3).abs() < 1e-9);
+        assert_eq!(MetricsSnapshot::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta() {
+        let a = MetricsSnapshot { sent: 5, delivered: 4, dropped: 1, multicasts: 2 };
+        let b = MetricsSnapshot { sent: 9, delivered: 7, dropped: 2, multicasts: 2 };
+        let d = b.delta_since(&a);
+        assert_eq!(d, MetricsSnapshot { sent: 4, delivered: 3, dropped: 1, multicasts: 0 });
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let m = std::sync::Arc::new(NetworkMetrics::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_send();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().sent, 4000);
+    }
+}

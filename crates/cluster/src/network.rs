@@ -1,0 +1,596 @@
+//! The virtual network fabric: unicast, multicast groups, latency model.
+//!
+//! "Requests to JobManager are communicated using multicast. JobManagers
+//! respond to multicast requests ... if they have free resources and are
+//! willing" (paper Section 3). The fabric therefore supports multicast
+//! groups natively; CNServers join the discovery group, clients multicast
+//! into it.
+//!
+//! Delivery is via per-endpoint channels. With a zero latency model,
+//! messages are handed over synchronously; with a non-zero model, a fabric
+//! thread delays each message by `base ± jitter` and applies seeded random
+//! loss — deterministic for a fixed seed and send order.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::NetworkMetrics;
+
+/// An endpoint address on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addr:{}", self.0)
+    }
+}
+
+/// A multicast group id. Group 0 is conventionally the CN discovery group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId(pub u32);
+
+/// The CN discovery multicast group (JobManager solicitation).
+pub const DISCOVERY_GROUP: GroupId = GroupId(0);
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    pub from: Addr,
+    pub to: Addr,
+    pub msg: M,
+}
+
+/// Latency/loss configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Base one-way latency.
+    pub base: Duration,
+    /// Uniform jitter added on top: `[0, jitter]`.
+    pub jitter: Duration,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_rate: f64,
+}
+
+impl LatencyModel {
+    /// Instant, lossless delivery (the default for unit tests).
+    pub fn zero() -> Self {
+        LatencyModel { base: Duration::ZERO, jitter: Duration::ZERO, drop_rate: 0.0 }
+    }
+
+    /// A LAN-ish profile: ~200µs ± 100µs, lossless — the paper's Ethernet.
+    pub fn lan() -> Self {
+        LatencyModel {
+            base: Duration::from_micros(200),
+            jitter: Duration::from_micros(100),
+            drop_rate: 0.0,
+        }
+    }
+
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    fn is_instant(&self) -> bool {
+        self.base.is_zero() && self.jitter.is_zero()
+    }
+}
+
+/// Send failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    UnknownAddr(Addr),
+    /// The destination endpoint was dropped.
+    Closed(Addr),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::UnknownAddr(a) => write!(f, "unknown address {a}"),
+            SendError::Closed(a) => write!(f, "endpoint {a} is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+struct Pending<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-due first.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared<M> {
+    endpoints: Mutex<HashMap<Addr, Sender<Envelope<M>>>>,
+    groups: Mutex<HashMap<GroupId, HashSet<Addr>>>,
+    partitioned: Mutex<HashSet<Addr>>,
+    /// One-shot faults: drop the next N messages addressed to an endpoint.
+    drop_next: Mutex<HashMap<Addr, u32>>,
+    queue: Mutex<BinaryHeap<Pending<M>>>,
+    queue_cv: Condvar,
+    stop: AtomicBool,
+    /// Messages popped from the delay queue but not yet handed to their
+    /// endpoint (keeps `quiesce` honest).
+    in_flight: AtomicU64,
+    next_addr: AtomicU64,
+    next_seq: AtomicU64,
+    model: LatencyModel,
+    rng: Mutex<StdRng>,
+    metrics: NetworkMetrics,
+}
+
+/// The network fabric. Cheap to clone; the fabric thread (if any) stops when
+/// the last clone is dropped.
+pub struct Network<M: Send + Clone + 'static> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: Send + Clone + 'static> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<M: Send + Clone + 'static> Network<M> {
+    /// Create a fabric with the given latency model and RNG seed.
+    pub fn new(model: LatencyModel, seed: u64) -> Self {
+        let shared = Arc::new(Shared {
+            endpoints: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            partitioned: Mutex::new(HashSet::new()),
+            drop_next: Mutex::new(HashMap::new()),
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            next_addr: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            model,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            metrics: NetworkMetrics::default(),
+        });
+        if !model.is_instant() {
+            let weak = Arc::downgrade(&shared);
+            std::thread::Builder::new()
+                .name("cn-fabric".to_string())
+                .spawn(move || fabric_loop(weak))
+                .expect("spawn fabric thread");
+        }
+        Network { shared }
+    }
+
+    /// Register a new endpoint; returns its address and receive channel.
+    pub fn register(&self) -> (Addr, Receiver<Envelope<M>>) {
+        let addr = Addr(self.shared.next_addr.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.shared.endpoints.lock().insert(addr, tx);
+        (addr, rx)
+    }
+
+    /// Remove an endpoint (its receiver will see disconnection).
+    pub fn unregister(&self, addr: Addr) {
+        self.shared.endpoints.lock().remove(&addr);
+        for members in self.shared.groups.lock().values_mut() {
+            members.remove(&addr);
+        }
+    }
+
+    /// Join a multicast group.
+    pub fn join_group(&self, addr: Addr, group: GroupId) {
+        self.shared.groups.lock().entry(group).or_default().insert(addr);
+    }
+
+    /// Leave a multicast group.
+    pub fn leave_group(&self, addr: Addr, group: GroupId) {
+        if let Some(members) = self.shared.groups.lock().get_mut(&group) {
+            members.remove(&addr);
+        }
+    }
+
+    /// Members of a group (snapshot).
+    pub fn group_members(&self, group: GroupId) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self
+            .shared
+            .groups
+            .lock()
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Unicast send.
+    pub fn send(&self, from: Addr, to: Addr, msg: M) -> Result<(), SendError> {
+        self.shared.metrics.record_send();
+        if self.dropped_by_fault(from, to) {
+            return Ok(()); // silently lost, like the wire
+        }
+        self.deliver(Envelope { from, to, msg })
+    }
+
+    /// Multicast to every group member except the sender. Returns how many
+    /// endpoints the message was addressed to.
+    pub fn multicast(&self, from: Addr, group: GroupId, msg: M) -> usize {
+        let members = self.group_members(group);
+        self.shared.metrics.record_multicast();
+        let mut count = 0;
+        for to in members {
+            if to == from {
+                continue;
+            }
+            count += 1;
+            self.shared.metrics.record_send();
+            if self.dropped_by_fault(from, to) {
+                continue;
+            }
+            // Unknown/closed members are skipped silently (they left).
+            let _ = self.deliver(Envelope { from, to, msg: msg.clone() });
+        }
+        count
+    }
+
+    fn dropped_by_fault(&self, from: Addr, to: Addr) -> bool {
+        {
+            let parts = self.shared.partitioned.lock();
+            if parts.contains(&from) || parts.contains(&to) {
+                self.shared.metrics.record_drop();
+                return true;
+            }
+        }
+        {
+            let mut drops = self.shared.drop_next.lock();
+            if let Some(n) = drops.get_mut(&to) {
+                if *n > 0 {
+                    *n -= 1;
+                    if *n == 0 {
+                        drops.remove(&to);
+                    }
+                    self.shared.metrics.record_drop();
+                    return true;
+                }
+            }
+        }
+        if self.shared.model.drop_rate > 0.0 {
+            let roll: f64 = self.shared.rng.lock().gen();
+            if roll < self.shared.model.drop_rate {
+                self.shared.metrics.record_drop();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn deliver(&self, env: Envelope<M>) -> Result<(), SendError> {
+        if self.shared.model.is_instant() {
+            return self.deliver_now(env);
+        }
+        let extra = if self.shared.model.jitter.is_zero() {
+            Duration::ZERO
+        } else {
+            let nanos = self.shared.model.jitter.as_nanos() as u64;
+            Duration::from_nanos(self.shared.rng.lock().gen_range(0..=nanos))
+        };
+        let due = Instant::now() + self.shared.model.base + extra;
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue.lock().push(Pending { due, seq, env });
+        self.shared.queue_cv.notify_one();
+        Ok(())
+    }
+
+    fn deliver_now(&self, env: Envelope<M>) -> Result<(), SendError> {
+        let endpoints = self.shared.endpoints.lock();
+        match endpoints.get(&env.to) {
+            Some(tx) => {
+                let to = env.to;
+                if tx.send(env).is_err() {
+                    self.shared.metrics.record_drop();
+                    return Err(SendError::Closed(to));
+                }
+                self.shared.metrics.record_delivery();
+                Ok(())
+            }
+            None => {
+                self.shared.metrics.record_drop();
+                Err(SendError::UnknownAddr(env.to))
+            }
+        }
+    }
+
+    /// Partition an endpoint: all traffic to/from it is dropped until
+    /// [`Network::heal`].
+    pub fn partition(&self, addr: Addr) {
+        self.shared.partitioned.lock().insert(addr);
+    }
+
+    /// Heal a partition.
+    pub fn heal(&self, addr: Addr) {
+        self.shared.partitioned.lock().remove(&addr);
+    }
+
+    /// Heal every partition (used before orderly shutdown, so control
+    /// messages can reach partitioned endpoints again).
+    pub fn heal_all(&self) {
+        self.shared.partitioned.lock().clear();
+        self.shared.drop_next.lock().clear();
+    }
+
+    /// One-shot fault injection: silently drop the next `n` messages
+    /// addressed to `addr` (then deliver normally again).
+    pub fn drop_next(&self, addr: Addr, n: u32) {
+        if n > 0 {
+            self.shared.drop_next.lock().insert(addr, n);
+        }
+    }
+
+    /// Metrics snapshot.
+    pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Block until the delayed-delivery queue is empty (no-op for instant
+    /// fabrics). Useful in tests with latency.
+    pub fn quiesce(&self) {
+        if self.shared.model.is_instant() {
+            return;
+        }
+        loop {
+            if self.shared.queue.lock().is_empty()
+                && self.shared.in_flight.load(Ordering::Relaxed) == 0
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl<M: Send + Clone + 'static> Drop for Network<M> {
+    fn drop(&mut self) {
+        // Last clone going away: wake the fabric thread so it can exit.
+        if Arc::strong_count(&self.shared) == 1 {
+            self.shared.stop.store(true, Ordering::Relaxed);
+            self.shared.queue_cv.notify_all();
+        }
+    }
+}
+
+fn fabric_loop<M: Send + Clone + 'static>(weak: std::sync::Weak<Shared<M>>) {
+    loop {
+        let Some(shared) = weak.upgrade() else { return };
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut due_now = Vec::new();
+        {
+            let mut queue = shared.queue.lock();
+            let now = Instant::now();
+            while let Some(top) = queue.peek() {
+                if top.due <= now {
+                    // Counted while the queue lock is held so quiesce never
+                    // observes "empty queue" with deliveries still pending.
+                    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                    due_now.push(queue.pop().expect("peeked").env);
+                } else {
+                    break;
+                }
+            }
+            if due_now.is_empty() {
+                let wait = queue
+                    .peek()
+                    .map(|p| p.due.saturating_duration_since(now))
+                    .unwrap_or(Duration::from_millis(5));
+                shared.queue_cv.wait_for(&mut queue, wait.min(Duration::from_millis(5)));
+            }
+        }
+        for env in due_now {
+            {
+                let endpoints = shared.endpoints.lock();
+                if let Some(tx) = endpoints.get(&env.to) {
+                    if tx.send(env).is_ok() {
+                        shared.metrics.record_delivery();
+                    } else {
+                        shared.metrics.record_drop();
+                    }
+                } else {
+                    shared.metrics.record_drop();
+                }
+            }
+            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+        // Release the Arc before looping so drop-detection can progress.
+        drop(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_roundtrip() {
+        let net: Network<u32> = Network::new(LatencyModel::zero(), 7);
+        let (a, rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        net.send(a, b, 42).unwrap();
+        assert_eq!(rx_b.recv().unwrap(), Envelope { from: a, to: b, msg: 42 });
+        net.send(b, a, 43).unwrap();
+        assert_eq!(rx_a.recv().unwrap().msg, 43);
+    }
+
+    #[test]
+    fn send_to_unknown_addr_fails() {
+        let net: Network<u32> = Network::new(LatencyModel::zero(), 7);
+        let (a, _rx) = net.register();
+        assert_eq!(net.send(a, Addr(999), 1), Err(SendError::UnknownAddr(Addr(999))));
+    }
+
+    #[test]
+    fn multicast_reaches_all_but_sender() {
+        let net: Network<&'static str> = Network::new(LatencyModel::zero(), 7);
+        let (a, rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        let (c, rx_c) = net.register();
+        for addr in [a, b, c] {
+            net.join_group(addr, DISCOVERY_GROUP);
+        }
+        let n = net.multicast(a, DISCOVERY_GROUP, "who's willing?");
+        assert_eq!(n, 2);
+        assert_eq!(rx_b.recv().unwrap().msg, "who's willing?");
+        assert_eq!(rx_c.recv().unwrap().msg, "who's willing?");
+        assert!(rx_a.try_recv().is_err());
+    }
+
+    #[test]
+    fn leave_group_stops_delivery() {
+        let net: Network<u8> = Network::new(LatencyModel::zero(), 7);
+        let (a, _rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        net.join_group(b, DISCOVERY_GROUP);
+        net.join_group(a, DISCOVERY_GROUP);
+        net.leave_group(b, DISCOVERY_GROUP);
+        assert_eq!(net.multicast(a, DISCOVERY_GROUP, 1), 0);
+        assert!(rx_b.try_recv().is_err());
+    }
+
+    #[test]
+    fn partition_drops_traffic_then_heals() {
+        let net: Network<u8> = Network::new(LatencyModel::zero(), 7);
+        let (a, _rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        net.partition(b);
+        net.send(a, b, 1).unwrap();
+        assert!(rx_b.try_recv().is_err());
+        net.heal(b);
+        net.send(a, b, 2).unwrap();
+        assert_eq!(rx_b.recv().unwrap().msg, 2);
+        let m = net.metrics();
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.delivered, 1);
+    }
+
+    #[test]
+    fn latency_delays_but_delivers() {
+        let model = LatencyModel {
+            base: Duration::from_millis(5),
+            jitter: Duration::ZERO,
+            drop_rate: 0.0,
+        };
+        let net: Network<u8> = Network::new(model, 7);
+        let (a, _rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        let start = Instant::now();
+        net.send(a, b, 9).unwrap();
+        let env = rx_b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(env.msg, 9);
+        assert!(start.elapsed() >= Duration::from_millis(4), "delivered too early");
+    }
+
+    #[test]
+    fn latency_preserves_order_for_equal_delays() {
+        let model = LatencyModel {
+            base: Duration::from_millis(2),
+            jitter: Duration::ZERO,
+            drop_rate: 0.0,
+        };
+        let net: Network<u32> = Network::new(model, 7);
+        let (a, _rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        for i in 0..20 {
+            net.send(a, b, i).unwrap();
+        }
+        for i in 0..20 {
+            assert_eq!(rx_b.recv_timeout(Duration::from_secs(2)).unwrap().msg, i);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_deterministic_per_seed() {
+        let loses = |seed: u64| -> Vec<bool> {
+            let net: Network<u8> = Network::new(LatencyModel::zero().with_drop_rate(0.5), seed);
+            let (a, _rx_a) = net.register();
+            let (b, rx_b) = net.register();
+            (0..32)
+                .map(|_| {
+                    net.send(a, b, 0).unwrap();
+                    rx_b.try_recv().is_err()
+                })
+                .collect()
+        };
+        assert_eq!(loses(42), loses(42));
+        assert_ne!(loses(42), loses(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn metrics_count_sends_and_multicasts() {
+        let net: Network<u8> = Network::new(LatencyModel::zero(), 7);
+        let (a, _rx_a) = net.register();
+        let (b, _rx_b) = net.register();
+        net.join_group(a, DISCOVERY_GROUP);
+        net.join_group(b, DISCOVERY_GROUP);
+        net.send(a, b, 1).unwrap();
+        net.multicast(a, DISCOVERY_GROUP, 2);
+        let m = net.metrics();
+        assert_eq!(m.sent, 2);
+        assert_eq!(m.multicasts, 1);
+        assert_eq!(m.delivered, 2);
+    }
+
+    #[test]
+    fn drop_next_is_one_shot() {
+        let net: Network<u8> = Network::new(LatencyModel::zero(), 7);
+        let (a, _rx_a) = net.register();
+        let (b, rx_b) = net.register();
+        net.drop_next(b, 2);
+        net.send(a, b, 1).unwrap();
+        net.send(a, b, 2).unwrap();
+        net.send(a, b, 3).unwrap();
+        assert_eq!(rx_b.recv().unwrap().msg, 3);
+        assert!(rx_b.try_recv().is_err());
+        assert_eq!(net.metrics().dropped, 2);
+        // heal_all clears pending drop counters too.
+        net.drop_next(b, 5);
+        net.heal_all();
+        net.send(a, b, 4).unwrap();
+        assert_eq!(rx_b.recv().unwrap().msg, 4);
+    }
+
+    #[test]
+    fn unregister_removes_from_groups() {
+        let net: Network<u8> = Network::new(LatencyModel::zero(), 7);
+        let (a, _rx) = net.register();
+        net.join_group(a, GroupId(3));
+        net.unregister(a);
+        assert!(net.group_members(GroupId(3)).is_empty());
+        let (b, _rxb) = net.register();
+        assert_eq!(net.send(b, a, 1), Err(SendError::UnknownAddr(a)));
+    }
+}

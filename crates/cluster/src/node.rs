@@ -1,0 +1,258 @@
+//! Virtual cluster nodes with resource accounting.
+//!
+//! A node stands in for one machine running a CNServer. Its resources are
+//! what the paper's JobManager matches `task-req` blocks against: memory
+//! (MB) and task slots (threads the TaskManager is willing to run).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Static description of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    pub name: String,
+    pub memory_mb: u64,
+    pub task_slots: usize,
+}
+
+impl NodeSpec {
+    pub fn new(name: impl Into<String>, memory_mb: u64, task_slots: usize) -> Self {
+        NodeSpec { name: name.into(), memory_mb, task_slots }
+    }
+
+    /// A uniform fleet of `n` nodes (`node0`, `node1`, ...).
+    pub fn fleet(n: usize, memory_mb: u64, task_slots: usize) -> Vec<NodeSpec> {
+        (0..n).map(|i| NodeSpec::new(format!("node{i}"), memory_mb, task_slots)).collect()
+    }
+}
+
+/// Why a reservation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveError {
+    InsufficientMemory { requested_mb: u64, free_mb: u64 },
+    NoFreeSlots,
+    NodeDown,
+}
+
+impl fmt::Display for ReserveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReserveError::InsufficientMemory { requested_mb, free_mb } => {
+                write!(f, "insufficient memory: requested {requested_mb} MB, {free_mb} MB free")
+            }
+            ReserveError::NoFreeSlots => write!(f, "no free task slots"),
+            ReserveError::NodeDown => write!(f, "node is down"),
+        }
+    }
+}
+
+impl std::error::Error for ReserveError {}
+
+#[derive(Debug)]
+struct NodeState {
+    used_memory_mb: u64,
+    used_slots: usize,
+    alive: bool,
+}
+
+/// A shareable handle to a node's live resource state.
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    spec: Arc<NodeSpec>,
+    state: Arc<Mutex<NodeState>>,
+}
+
+/// RAII resource reservation: releasing happens on drop.
+#[derive(Debug)]
+pub struct Reservation {
+    node: NodeHandle,
+    memory_mb: u64,
+    released: bool,
+}
+
+impl NodeHandle {
+    pub fn new(spec: NodeSpec) -> Self {
+        NodeHandle {
+            spec: Arc::new(spec),
+            state: Arc::new(Mutex::new(NodeState { used_memory_mb: 0, used_slots: 0, alive: true })),
+        }
+    }
+
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.state.lock().alive
+    }
+
+    /// Take the node down (failure injection). Existing reservations stay
+    /// accounted; new reservations fail.
+    pub fn crash(&self) {
+        self.state.lock().alive = false;
+    }
+
+    /// Bring the node back.
+    pub fn restart(&self) {
+        let mut st = self.state.lock();
+        st.alive = true;
+        st.used_memory_mb = 0;
+        st.used_slots = 0;
+    }
+
+    pub fn free_memory_mb(&self) -> u64 {
+        let st = self.state.lock();
+        self.spec.memory_mb.saturating_sub(st.used_memory_mb)
+    }
+
+    pub fn free_slots(&self) -> usize {
+        let st = self.state.lock();
+        self.spec.task_slots.saturating_sub(st.used_slots)
+    }
+
+    /// Can this node host a task with the given memory requirement right
+    /// now? (The "willing TaskManager" check of the paper.)
+    pub fn can_host(&self, memory_mb: u64) -> bool {
+        let st = self.state.lock();
+        st.alive
+            && st.used_slots < self.spec.task_slots
+            && st.used_memory_mb + memory_mb <= self.spec.memory_mb
+    }
+
+    /// Atomically reserve one slot plus `memory_mb` of memory.
+    pub fn reserve(&self, memory_mb: u64) -> Result<Reservation, ReserveError> {
+        let mut st = self.state.lock();
+        if !st.alive {
+            return Err(ReserveError::NodeDown);
+        }
+        if st.used_slots >= self.spec.task_slots {
+            return Err(ReserveError::NoFreeSlots);
+        }
+        if st.used_memory_mb + memory_mb > self.spec.memory_mb {
+            return Err(ReserveError::InsufficientMemory {
+                requested_mb: memory_mb,
+                free_mb: self.spec.memory_mb - st.used_memory_mb,
+            });
+        }
+        st.used_memory_mb += memory_mb;
+        st.used_slots += 1;
+        Ok(Reservation { node: self.clone(), memory_mb, released: false })
+    }
+
+    /// Load factor in [0, 1]: the fraction of slots in use. JobManager
+    /// selection prefers lower load.
+    pub fn load(&self) -> f64 {
+        if self.spec.task_slots == 0 {
+            return 1.0;
+        }
+        self.state.lock().used_slots as f64 / self.spec.task_slots as f64
+    }
+}
+
+impl Reservation {
+    /// Release early (otherwise drop does it).
+    pub fn release(mut self) {
+        self.do_release();
+    }
+
+    fn do_release(&mut self) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        let mut st = self.node.state.lock();
+        st.used_memory_mb = st.used_memory_mb.saturating_sub(self.memory_mb);
+        st.used_slots = st.used_slots.saturating_sub(1);
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.do_release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let node = NodeHandle::new(NodeSpec::new("n0", 2000, 2));
+        assert_eq!(node.free_memory_mb(), 2000);
+        let r1 = node.reserve(1000).unwrap();
+        assert_eq!(node.free_memory_mb(), 1000);
+        assert_eq!(node.free_slots(), 1);
+        let r2 = node.reserve(500).unwrap();
+        assert_eq!(node.free_slots(), 0);
+        assert!(matches!(node.reserve(100), Err(ReserveError::NoFreeSlots)));
+        drop(r1);
+        assert_eq!(node.free_slots(), 1);
+        assert_eq!(node.free_memory_mb(), 1500);
+        r2.release();
+        assert_eq!(node.free_memory_mb(), 2000);
+    }
+
+    #[test]
+    fn memory_exhaustion() {
+        let node = NodeHandle::new(NodeSpec::new("n0", 1000, 8));
+        let _r = node.reserve(800).unwrap();
+        match node.reserve(500) {
+            Err(ReserveError::InsufficientMemory { requested_mb: 500, free_mb: 200 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_and_restart() {
+        let node = NodeHandle::new(NodeSpec::new("n0", 1000, 1));
+        let _r = node.reserve(100).unwrap();
+        node.crash();
+        assert!(!node.is_alive());
+        assert!(matches!(node.reserve(1), Err(ReserveError::NodeDown)));
+        node.restart();
+        assert!(node.is_alive());
+        assert_eq!(node.free_slots(), 1);
+        assert_eq!(node.free_memory_mb(), 1000);
+    }
+
+    #[test]
+    fn can_host_matches_reserve() {
+        let node = NodeHandle::new(NodeSpec::new("n0", 1000, 1));
+        assert!(node.can_host(1000));
+        assert!(!node.can_host(1001));
+        let _r = node.reserve(1000).unwrap();
+        assert!(!node.can_host(1));
+    }
+
+    #[test]
+    fn load_factor() {
+        let node = NodeHandle::new(NodeSpec::new("n0", 4000, 4));
+        assert_eq!(node.load(), 0.0);
+        let _r1 = node.reserve(100).unwrap();
+        let _r2 = node.reserve(100).unwrap();
+        assert_eq!(node.load(), 0.5);
+    }
+
+    #[test]
+    fn fleet_builder() {
+        let fleet = NodeSpec::fleet(3, 1024, 2);
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet[2].name, "node2");
+        assert_eq!(fleet[0].memory_mb, 1024);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let node = NodeHandle::new(NodeSpec::new("n0", 1000, 1));
+        let clone = node.clone();
+        let _r = node.reserve(500).unwrap();
+        assert_eq!(clone.free_memory_mb(), 500);
+    }
+}

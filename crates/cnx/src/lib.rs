@@ -1,0 +1,47 @@
+//! CNX — the XML compositional language of the CN framework.
+//!
+//! "CNX (XML) is a compositional language that captures the details of the
+//! client program" (paper, Figure 1). A CNX *client descriptor* (Figure 2)
+//! declares a client, its jobs, and for each task: `name`, `jar`, `class`,
+//! `depends`, a `task-req` block (`memory`, `runmodel`) and typed `param`s.
+//!
+//! This crate provides:
+//!
+//! * the descriptor AST ([`ast`]),
+//! * XML parsing ([`parse`]) and serialization ([`write`]) in the exact
+//!   Figure 2 shape,
+//! * semantic validation ([`validate`]): unique names, resolvable and
+//!   acyclic `depends`, well-formed requirements,
+//! * dependency-graph analytics ([`graph`]): topological order, execution
+//!   waves, critical path — the ordering information the CN runtime
+//!   schedules by.
+
+pub mod ast;
+pub mod graph;
+pub mod parse;
+pub mod validate;
+pub mod write;
+
+pub use ast::{Client, CnxDocument, Job, Param, ParamType, RunModel, Task, TaskReq};
+pub use graph::{DependencyGraph, GraphError};
+pub use parse::{parse_cnx, parse_cnx_doc, CnxParseError};
+pub use validate::{validate, CnxValidationError};
+pub use write::{write_cnx, write_cnx_doc};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_validate_write_roundtrip() {
+        let src = r#"<cn2><client class="C"><job>
+            <task name="a" jar="a.jar" class="A" depends=""/>
+            <task name="b" jar="b.jar" class="B" depends="a"/>
+        </job></client></cn2>"#;
+        let doc = parse_cnx(src).unwrap();
+        validate(&doc).unwrap();
+        let text = write_cnx(&doc);
+        let doc2 = parse_cnx(&text).unwrap();
+        assert_eq!(doc, doc2);
+    }
+}

@@ -1,0 +1,274 @@
+//! CNX parsing: XML text → [`CnxDocument`].
+
+use std::fmt;
+
+use cn_xml::{Document, NodeId};
+
+use crate::ast::{Client, CnxDocument, Job, Param, ParamType, RunModel, Task, TaskReq};
+
+/// Parse failure (either XML-level or CNX-structure-level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnxParseError {
+    pub msg: String,
+}
+
+impl CnxParseError {
+    fn new(msg: impl Into<String>) -> Self {
+        CnxParseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CnxParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CNX parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CnxParseError {}
+
+/// Parse a descriptor from XML text.
+pub fn parse_cnx(src: &str) -> Result<CnxDocument, CnxParseError> {
+    let doc = cn_xml::parse(src).map_err(|e| CnxParseError::new(e.to_string()))?;
+    parse_cnx_doc(&doc)
+}
+
+/// Parse a descriptor from an already-built DOM (e.g. the output of the
+/// XMI2CNX transform).
+pub fn parse_cnx_doc(doc: &Document) -> Result<CnxDocument, CnxParseError> {
+    let root = doc
+        .root_element()
+        .ok_or_else(|| CnxParseError::new("empty document"))?;
+    if !doc.name(root).is_some_and(|n| n.is("cn2")) {
+        return Err(CnxParseError::new(format!(
+            "root element is <{}>, expected <cn2>",
+            doc.name(root).map(|n| n.as_str()).unwrap_or("?")
+        )));
+    }
+    let client_el = doc
+        .first_child_named(root, "client")
+        .ok_or_else(|| CnxParseError::new("<cn2> has no <client>"))?;
+    let class = doc
+        .attr(client_el, "class")
+        .ok_or_else(|| CnxParseError::new("<client> missing class="))?
+        .to_string();
+    let mut client = Client::new(class);
+    client.log = doc.attr(client_el, "log").map(str::to_string);
+    client.port = match doc.attr(client_el, "port") {
+        Some(p) => Some(
+            p.parse::<u16>()
+                .map_err(|_| CnxParseError::new(format!("bad port {p:?}")))?,
+        ),
+        None => None,
+    };
+
+    for job_el in doc.children_named(client_el, "job") {
+        let mut job = Job::default();
+        for task_el in doc.children_named(job_el, "task") {
+            job.tasks.push(parse_task(doc, task_el)?);
+        }
+        client.jobs.push(job);
+    }
+    if client.jobs.is_empty() {
+        return Err(CnxParseError::new("<client> has no <job>"));
+    }
+    Ok(CnxDocument::new(client))
+}
+
+fn parse_task(doc: &Document, el: NodeId) -> Result<Task, CnxParseError> {
+    let name = doc
+        .attr(el, "name")
+        .ok_or_else(|| CnxParseError::new("<task> missing name="))?
+        .to_string();
+    let jar = doc
+        .attr(el, "jar")
+        .ok_or_else(|| CnxParseError::new(format!("task {name:?} missing jar=")))?
+        .to_string();
+    let class = doc
+        .attr(el, "class")
+        .ok_or_else(|| CnxParseError::new(format!("task {name:?} missing class=")))?
+        .to_string();
+    let mut task = Task::new(name.clone(), jar, class);
+    task.depends = doc
+        .attr(el, "depends")
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    task.multiplicity = doc.attr(el, "multiplicity").map(str::to_string);
+
+    if let Some(req_el) = doc.first_child_named(el, "task-req") {
+        let mut req = TaskReq::default();
+        for child in doc.child_elements(req_el) {
+            let cname = doc.name(child).unwrap().as_str().to_string();
+            let text = doc.text_content(child);
+            match cname.as_str() {
+                "memory" => {
+                    req.memory_mb = text.trim().parse::<u64>().map_err(|_| {
+                        CnxParseError::new(format!("task {name:?}: bad memory {text:?}"))
+                    })?;
+                }
+                "runmodel" => {
+                    req.runmodel = text
+                        .trim()
+                        .parse::<RunModel>()
+                        .map_err(|e| CnxParseError::new(format!("task {name:?}: {e}")))?;
+                }
+                other => req.extras.push((other.to_string(), text.trim().to_string())),
+            }
+        }
+        task.req = req;
+    }
+
+    for param_el in doc.children_named(el, "param") {
+        let ty = ParamType::parse(doc.attr(param_el, "type").unwrap_or("String"));
+        task.params.push(Param::new(ty, doc.text_content(param_el)));
+    }
+    Ok(task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 2 listing (elided middle workers restored, and the
+    /// apparent `tctask1 depends="tctask1"` typo corrected to `tctask0`).
+    pub const FIGURE2: &str = r#"<?xml version="1.0"?>
+<cn2>
+<client class="TransClosure" log="CN_Client1047909210005.log" port="5666">
+<job>
+<task name="tctask0" jar="tasksplit.jar"
+class="org.jhpc.cn2.transcloser.TaskSplit" depends="">
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+<param type="String">matrix.txt</param>
+</task>
+<task name="tctask1" jar="tctask.jar"
+class="org.jhpc.cn2.trnsclsrtask.TCTask" depends="tctask0">
+<param type="Integer">1</param>
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+</task>
+<task name="tctask5" jar="tctask.jar"
+class="org.jhpc.cn2.trnsclsrtask.TCTask" depends="tctask0">
+<param type="Integer">5</param>
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+</task>
+<task name="tctask999" jar="taskjoin.jar"
+class="org.jhpc.cn2.transcloser.TaskJoin"
+depends="tctask1,tctask2,tctask3,tctask4,tctask5">
+<task-req>
+<memory>1000</memory>
+<runmodel>RUN_AS_THREAD_IN_TM</runmodel>
+</task-req>
+<param type="String">matrix.txt</param>
+</task>
+</job>
+</client>
+</cn2>"#;
+
+    #[test]
+    fn parses_figure2_listing() {
+        let doc = parse_cnx(FIGURE2).unwrap();
+        assert_eq!(doc.client.class, "TransClosure");
+        assert_eq!(doc.client.log.as_deref(), Some("CN_Client1047909210005.log"));
+        assert_eq!(doc.client.port, Some(5666));
+        let job = &doc.client.jobs[0];
+        assert_eq!(job.tasks.len(), 4);
+        let t0 = job.task("tctask0").unwrap();
+        assert_eq!(t0.jar, "tasksplit.jar");
+        assert_eq!(t0.req.memory_mb, 1000);
+        assert_eq!(t0.req.runmodel, RunModel::RunAsThreadInTm);
+        assert_eq!(t0.params, vec![Param::string("matrix.txt")]);
+        assert!(t0.depends.is_empty());
+        let join = job.task("tctask999").unwrap();
+        assert_eq!(join.depends.len(), 5);
+        assert_eq!(join.depends[2], "tctask3");
+    }
+
+    #[test]
+    fn depends_parsing_handles_spacing_and_empty() {
+        let doc = parse_cnx(
+            r#"<cn2><client class="C"><job>
+                <task name="a" jar="j" class="K" depends=" x , y ,"/>
+                <task name="b" jar="j" class="K"/>
+            </job></client></cn2>"#,
+        )
+        .unwrap();
+        let job = &doc.client.jobs[0];
+        assert_eq!(job.task("a").unwrap().depends, vec!["x", "y"]);
+        assert!(job.task("b").unwrap().depends.is_empty());
+    }
+
+    #[test]
+    fn multiplicity_extension_parses() {
+        let doc = parse_cnx(
+            r#"<cn2><client class="C"><job>
+                <task name="w" jar="j" class="K" multiplicity="*"/>
+            </job></client></cn2>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.client.jobs[0].tasks[0].multiplicity.as_deref(), Some("*"));
+    }
+
+    #[test]
+    fn extra_requirements_preserved() {
+        let doc = parse_cnx(
+            r#"<cn2><client class="C"><job>
+                <task name="a" jar="j" class="K">
+                  <task-req><memory>2000</memory><cpus>4</cpus></task-req>
+                </task>
+            </job></client></cn2>"#,
+        )
+        .unwrap();
+        let t = &doc.client.jobs[0].tasks[0];
+        assert_eq!(t.req.memory_mb, 2000);
+        assert_eq!(t.req.extras, vec![("cpus".to_string(), "4".to_string())]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_cnx("<notcn2/>").is_err());
+        assert!(parse_cnx("<cn2/>").is_err());
+        assert!(parse_cnx(r#"<cn2><client class="C"/></cn2>"#).is_err());
+        assert!(parse_cnx(r#"<cn2><client><job/></client></cn2>"#).is_err());
+        assert!(
+            parse_cnx(r#"<cn2><client class="C" port="99999"><job/></client></cn2>"#).is_err()
+        );
+        assert!(parse_cnx(
+            r#"<cn2><client class="C"><job><task name="a" jar="j" class="K">
+               <task-req><memory>lots</memory></task-req></task></job></client></cn2>"#
+        )
+        .is_err());
+        assert!(parse_cnx(
+            r#"<cn2><client class="C"><job><task name="a" jar="j" class="K">
+               <task-req><runmodel>WEIRD</runmodel></task-req></task></job></client></cn2>"#
+        )
+        .is_err());
+        assert!(parse_cnx(
+            r#"<cn2><client class="C"><job><task jar="j" class="K"/></job></client></cn2>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multiple_jobs() {
+        let doc = parse_cnx(
+            r#"<cn2><client class="C">
+                <job><task name="a" jar="j" class="K"/></job>
+                <job><task name="b" jar="j" class="K"/></job>
+            </client></cn2>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.client.jobs.len(), 2);
+        assert_eq!(doc.task_count(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Semantic validation of CNX descriptors, run before deployment.
+
+use std::fmt;
+
+use crate::ast::CnxDocument;
+use crate::graph::{DependencyGraph, GraphError};
+
+/// Validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CnxValidationError {
+    NoJobs,
+    EmptyJob { job_index: usize },
+    EmptyField { task: String, field: &'static str },
+    ZeroMemory { task: String },
+    BadMultiplicity { task: String, multiplicity: String },
+    Graph { job_index: usize, error: GraphError },
+}
+
+impl fmt::Display for CnxValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CnxValidationError::NoJobs => write!(f, "client declares no jobs"),
+            CnxValidationError::EmptyJob { job_index } => {
+                write!(f, "job #{job_index} has no tasks")
+            }
+            CnxValidationError::EmptyField { task, field } => {
+                write!(f, "task {task:?} has an empty {field}")
+            }
+            CnxValidationError::ZeroMemory { task } => {
+                write!(f, "task {task:?} requests zero memory")
+            }
+            CnxValidationError::BadMultiplicity { task, multiplicity } => {
+                write!(f, "task {task:?} has invalid multiplicity {multiplicity:?} (expected '*' or a positive integer)")
+            }
+            CnxValidationError::Graph { job_index, error } => {
+                write!(f, "job #{job_index}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CnxValidationError {}
+
+/// Validate a descriptor; first error wins (use [`validate_all`] for the
+/// full list).
+pub fn validate(doc: &CnxDocument) -> Result<(), CnxValidationError> {
+    match validate_all(doc).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Collect every validation problem.
+pub fn validate_all(doc: &CnxDocument) -> Vec<CnxValidationError> {
+    let mut errors = Vec::new();
+    if doc.client.jobs.is_empty() {
+        errors.push(CnxValidationError::NoJobs);
+    }
+    for (job_index, job) in doc.client.jobs.iter().enumerate() {
+        if job.tasks.is_empty() {
+            errors.push(CnxValidationError::EmptyJob { job_index });
+            continue;
+        }
+        for t in &job.tasks {
+            if t.name.trim().is_empty() {
+                errors.push(CnxValidationError::EmptyField { task: t.name.clone(), field: "name" });
+            }
+            if t.jar.trim().is_empty() {
+                errors.push(CnxValidationError::EmptyField { task: t.name.clone(), field: "jar" });
+            }
+            if t.class.trim().is_empty() {
+                errors
+                    .push(CnxValidationError::EmptyField { task: t.name.clone(), field: "class" });
+            }
+            if t.req.memory_mb == 0 {
+                errors.push(CnxValidationError::ZeroMemory { task: t.name.clone() });
+            }
+            if let Some(m) = &t.multiplicity {
+                let ok = m == "*" || m.parse::<u64>().map(|n| n > 0).unwrap_or(false);
+                if !ok {
+                    errors.push(CnxValidationError::BadMultiplicity {
+                        task: t.name.clone(),
+                        multiplicity: m.clone(),
+                    });
+                }
+            }
+        }
+        if let Err(error) = DependencyGraph::build(job) {
+            errors.push(CnxValidationError::Graph { job_index, error });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{figure2_descriptor, Client, CnxDocument, Job, Task};
+
+    #[test]
+    fn figure2_is_valid() {
+        assert!(validate(&figure2_descriptor(5)).is_ok());
+    }
+
+    #[test]
+    fn no_jobs_rejected() {
+        let doc = CnxDocument::new(Client::new("C"));
+        assert_eq!(validate(&doc), Err(CnxValidationError::NoJobs));
+    }
+
+    #[test]
+    fn empty_job_rejected() {
+        let mut client = Client::new("C");
+        client.jobs.push(Job::default());
+        let errs = validate_all(&CnxDocument::new(client));
+        assert!(errs.contains(&CnxValidationError::EmptyJob { job_index: 0 }));
+    }
+
+    #[test]
+    fn empty_fields_rejected() {
+        let mut client = Client::new("C");
+        let mut job = Job::default();
+        job.tasks.push(Task::new("t", "", ""));
+        client.jobs.push(job);
+        let errs = validate_all(&CnxDocument::new(client));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CnxValidationError::EmptyField { field: "jar", .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CnxValidationError::EmptyField { field: "class", .. })));
+    }
+
+    #[test]
+    fn zero_memory_rejected() {
+        let mut doc = figure2_descriptor(1);
+        doc.client.jobs[0].tasks[0].req.memory_mb = 0;
+        let errs = validate_all(&doc);
+        assert!(errs.iter().any(|e| matches!(e, CnxValidationError::ZeroMemory { .. })));
+    }
+
+    #[test]
+    fn bad_multiplicity_rejected() {
+        let mut doc = figure2_descriptor(1);
+        doc.client.jobs[0].tasks[1].multiplicity = Some("-3".to_string());
+        let errs = validate_all(&doc);
+        assert!(errs.iter().any(|e| matches!(e, CnxValidationError::BadMultiplicity { .. })));
+        doc.client.jobs[0].tasks[1].multiplicity = Some("*".to_string());
+        assert!(validate(&doc).is_ok());
+        doc.client.jobs[0].tasks[1].multiplicity = Some("8".to_string());
+        assert!(validate(&doc).is_ok());
+        doc.client.jobs[0].tasks[1].multiplicity = Some("0".to_string());
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn graph_errors_surface_with_job_index() {
+        let mut doc = figure2_descriptor(1);
+        doc.client.jobs[0].tasks[1].depends = vec!["ghost".to_string()];
+        let errs = validate_all(&doc);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, CnxValidationError::Graph { job_index: 0, .. })));
+    }
+}

@@ -1,0 +1,108 @@
+//! CNX serialization in the paper's Figure 2 shape.
+
+use cn_xml::{Document, WriteOptions};
+
+use crate::ast::{CnxDocument, Task};
+
+/// Serialize to the canonical pretty-printed text form.
+pub fn write_cnx(doc: &CnxDocument) -> String {
+    cn_xml::write_document(&write_cnx_doc(doc), &WriteOptions::default())
+}
+
+/// Build the XML DOM for a descriptor.
+pub fn write_cnx_doc(cnx: &CnxDocument) -> Document {
+    let mut doc = Document::new();
+    let root = doc.add_element(doc.document_node(), "cn2");
+    let client = doc.add_element(root, "client");
+    doc.set_attr(client, "class", &cnx.client.class);
+    if let Some(log) = &cnx.client.log {
+        doc.set_attr(client, "log", log);
+    }
+    if let Some(port) = cnx.client.port {
+        doc.set_attr(client, "port", port.to_string());
+    }
+    for job in &cnx.client.jobs {
+        let job_el = doc.add_element(client, "job");
+        for task in &job.tasks {
+            write_task(&mut doc, job_el, task);
+        }
+    }
+    doc
+}
+
+fn write_task(doc: &mut Document, parent: cn_xml::NodeId, task: &Task) {
+    let el = doc.add_element(parent, "task");
+    doc.set_attr(el, "name", &task.name);
+    doc.set_attr(el, "jar", &task.jar);
+    doc.set_attr(el, "class", &task.class);
+    doc.set_attr(el, "depends", task.depends.join(","));
+    if let Some(m) = &task.multiplicity {
+        doc.set_attr(el, "multiplicity", m);
+    }
+    let req = doc.add_element(el, "task-req");
+    let memory = doc.add_element(req, "memory");
+    doc.add_text(memory, task.req.memory_mb.to_string());
+    let runmodel = doc.add_element(req, "runmodel");
+    doc.add_text(runmodel, task.req.runmodel.as_str());
+    for (name, value) in &task.req.extras {
+        let extra = doc.add_element(req, name.as_str());
+        doc.add_text(extra, value.as_str());
+    }
+    for param in &task.params {
+        let p = doc.add_element(el, "param");
+        doc.set_attr(p, "type", param.ty.as_str());
+        doc.add_text(p, param.value.as_str());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::figure2_descriptor;
+    use crate::parse::parse_cnx;
+
+    #[test]
+    fn figure2_roundtrip() {
+        let original = figure2_descriptor(5);
+        let text = write_cnx(&original);
+        let reparsed = parse_cnx(&text).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn output_has_figure2_vocabulary() {
+        let text = write_cnx(&figure2_descriptor(5));
+        assert!(text.contains("<cn2>"));
+        assert!(text.contains(r#"client class="TransClosure""#));
+        assert!(text.contains(r#"port="5666""#));
+        assert!(text.contains(r#"name="tctask0" jar="tasksplit.jar""#));
+        assert!(text.contains("<memory>1000</memory>"));
+        assert!(text.contains("<runmodel>RUN_AS_THREAD_IN_TM</runmodel>"));
+        assert!(text.contains(r#"<param type="String">matrix.txt</param>"#));
+        assert!(text.contains(r#"depends="tctask1,tctask2,tctask3,tctask4,tctask5""#));
+    }
+
+    #[test]
+    fn empty_depends_written_as_empty_attr() {
+        let text = write_cnx(&figure2_descriptor(1));
+        assert!(text.contains(r#"depends="""#));
+    }
+
+    #[test]
+    fn multiplicity_written() {
+        let mut doc = figure2_descriptor(1);
+        doc.client.jobs[0].tasks[1].multiplicity = Some("*".to_string());
+        let text = write_cnx(&doc);
+        assert!(text.contains(r#"multiplicity="*""#));
+        let back = parse_cnx(&text).unwrap();
+        assert_eq!(back.client.jobs[0].tasks[1].multiplicity.as_deref(), Some("*"));
+    }
+
+    #[test]
+    fn extras_roundtrip() {
+        let mut doc = figure2_descriptor(1);
+        doc.client.jobs[0].tasks[0].req.extras.push(("cpus".into(), "4".into()));
+        let back = parse_cnx(&write_cnx(&doc)).unwrap();
+        assert_eq!(back.client.jobs[0].tasks[0].req.extras, vec![("cpus".to_string(), "4".to_string())]);
+    }
+}

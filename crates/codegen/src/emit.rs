@@ -1,0 +1,133 @@
+//! Small source-emission helper: indentation-aware line writer.
+
+/// Accumulates source text with block indentation.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    out: String,
+    depth: usize,
+    /// Indent width in spaces.
+    pub width: usize,
+}
+
+impl Emitter {
+    pub fn new(width: usize) -> Emitter {
+        Emitter { out: String::new(), depth: 0, width }
+    }
+
+    /// Emit one line at the current indent.
+    pub fn line(&mut self, s: impl AsRef<str>) -> &mut Self {
+        let s = s.as_ref();
+        if !s.is_empty() {
+            for _ in 0..self.depth * self.width {
+                self.out.push(' ');
+            }
+            self.out.push_str(s);
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// Blank line.
+    pub fn blank(&mut self) -> &mut Self {
+        self.out.push('\n');
+        self
+    }
+
+    /// Emit a line and increase indent (e.g. `fn main() {`).
+    pub fn open(&mut self, s: impl AsRef<str>) -> &mut Self {
+        self.line(s);
+        self.depth += 1;
+        self
+    }
+
+    /// Decrease indent and emit a closing line (e.g. `}`).
+    pub fn close(&mut self, s: impl AsRef<str>) -> &mut Self {
+        self.depth = self.depth.saturating_sub(1);
+        self.line(s);
+        self
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escape a string for inclusion in a Rust/Java double-quoted literal.
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Turn a task/client name into a valid identifier.
+pub fn ident(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for (i, c) in s.chars().enumerate() {
+        if c.is_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_indents_blocks() {
+        let mut e = Emitter::new(4);
+        e.open("fn main() {");
+        e.line("let x = 1;");
+        e.open("if x > 0 {");
+        e.line("println!(\"hi\");");
+        e.close("}");
+        e.close("}");
+        assert_eq!(
+            e.finish(),
+            "fn main() {\n    let x = 1;\n    if x > 0 {\n        println!(\"hi\");\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    fn string_literals_escaped() {
+        assert_eq!(str_lit("plain"), "\"plain\"");
+        assert_eq!(str_lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(str_lit("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn identifiers_sanitized() {
+        assert_eq!(ident("tctask0"), "tctask0");
+        assert_eq!(ident("my-task.name"), "my_task_name");
+        assert_eq!(ident("9lives"), "_9lives");
+        assert_eq!(ident(""), "_");
+    }
+
+    #[test]
+    fn close_never_underflows() {
+        let mut e = Emitter::new(2);
+        e.close("}");
+        e.line("x");
+        assert_eq!(e.finish(), "}\nx\n");
+    }
+}

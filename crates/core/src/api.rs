@@ -1,0 +1,422 @@
+//! The CN API — the client-side factory surface of the paper (Section 3):
+//!
+//! * Initialize CN API (using the factory) → [`CnApi::initialize`]
+//! * Create Job in JobManager → [`CnApi::create_job`]
+//! * Create Tasks for the Job → [`JobHandle::add_task`]
+//! * Start the Tasks → [`JobHandle::start`]
+//! * Get Messages from Tasks → [`JobHandle::recv_message`]
+//! * Send Messages to Tasks → [`JobHandle::send_to_task`]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cn_cluster::{Addr, Envelope, Network};
+use crossbeam::channel::Receiver;
+
+use crate::message::{
+    Bid, CnMessage, JobId, JobRequirements, NetMsg, TaskSpec, UserData, CLIENT_TASK_NAME,
+};
+use crate::scheduler::{select, Policy};
+use crate::spaces::SpaceRegistry;
+use crate::tuplespace::TupleSpace;
+use crate::Neighborhood;
+
+/// Client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No JobManager bid within the window.
+    NoJobManagers,
+    /// The selected JobManager rejected the job.
+    JobRejected(String),
+    /// A task could not be placed.
+    PlacementFailed { task: String, reason: String },
+    /// A task (and therefore the job) failed.
+    JobFailed(String),
+    /// A protocol wait timed out.
+    Timeout(&'static str),
+    /// Transport-level failure.
+    Net(String),
+    /// API misuse (e.g. starting twice).
+    Usage(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::NoJobManagers => write!(f, "no willing JobManager responded"),
+            ClientError::JobRejected(r) => write!(f, "JobManager rejected the job: {r}"),
+            ClientError::PlacementFailed { task, reason } => {
+                write!(f, "could not place task {task:?}: {reason}")
+            }
+            ClientError::JobFailed(e) => write!(f, "job failed: {e}"),
+            ClientError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            ClientError::Net(e) => write!(f, "network error: {e}"),
+            ClientError::Usage(e) => write!(f, "API misuse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long to collect JobManager bids.
+    pub bid_window: Duration,
+    /// How many times to re-multicast the solicitation when a bid window
+    /// closes with no bids (willing managers can miss a window under
+    /// load; discovery is cheap to retry).
+    pub discovery_retries: u32,
+    /// JobManager selection policy.
+    pub policy: Policy,
+    /// Timeout for individual acks (job create, task create).
+    pub ack_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            bid_window: Duration::from_millis(5),
+            discovery_retries: 3,
+            policy: Policy::LeastLoaded,
+            ack_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Process-wide job id source: JobManagers key state by [`JobId`], and
+/// several clients may talk to the same neighborhood.
+static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The CN API factory instance.
+pub struct CnApi {
+    net: Network<NetMsg>,
+    spaces: Arc<SpaceRegistry>,
+    config: ClientConfig,
+}
+
+impl CnApi {
+    /// Acquire a reference to the CN API for a deployed neighborhood ("The
+    /// user is responsible, usually toward the beginning of the parallel
+    /// program, to acquire a reference to the CN API").
+    pub fn initialize(neighborhood: &Neighborhood) -> CnApi {
+        CnApi::with_config(neighborhood, ClientConfig::default())
+    }
+
+    pub fn with_config(neighborhood: &Neighborhood, config: ClientConfig) -> CnApi {
+        CnApi { net: neighborhood.network().clone(), spaces: neighborhood.spaces(), config }
+    }
+
+    /// Create a job: multicast a solicitation, collect bids from willing
+    /// JobManagers, select one per policy, and register the job with it.
+    pub fn create_job(&self, requirements: &JobRequirements) -> Result<JobHandle, ClientError> {
+        let job = JobId(NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed));
+        let (addr, rx) = self.net.register();
+        let mut bids: Vec<Bid> = Vec::new();
+        for _attempt in 0..=self.config.discovery_retries {
+            self.net.multicast(
+                addr,
+                cn_cluster::network::DISCOVERY_GROUP,
+                NetMsg::SolicitJobManager { job, requirements: *requirements, reply_to: addr },
+            );
+            let deadline = Instant::now() + self.config.bid_window;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                if let Ok(env) = rx.recv_timeout(remaining) {
+                    if let NetMsg::JobManagerBid { job: bjob, bid } = env.msg {
+                        if bjob == job && !bids.iter().any(|b| b.addr == bid.addr) {
+                            bids.push(bid);
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+            if !bids.is_empty() {
+                break;
+            }
+        }
+        let chosen = select(self.config.policy, &bids, 0).cloned().ok_or_else(|| {
+            self.net.unregister(addr);
+            ClientError::NoJobManagers
+        })?;
+
+        if let Err(e) =
+            self.net.send(addr, chosen.addr, NetMsg::CreateJob { job, client: addr, reply_to: addr })
+        {
+            self.net.unregister(addr);
+            return Err(ClientError::Net(e.to_string()));
+        }
+        let mut handle = JobHandle {
+            job,
+            jm: chosen.addr,
+            jm_server: chosen.server,
+            net: self.net.clone(),
+            addr,
+            rx,
+            directory: HashMap::new(),
+            task_names: Vec::new(),
+            started: false,
+            space: self.spaces.get_or_create(job),
+            spaces: Arc::clone(&self.spaces),
+            stash: Vec::new(),
+            ack_timeout: self.config.ack_timeout,
+        };
+        // On any failure path the handle is dropped here, which unregisters
+        // the endpoint (see `impl Drop for JobHandle`).
+        match handle.wait_net(handle.ack_timeout, |m| matches!(m, NetMsg::JobAck { job: j, .. } if *j == job))? {
+            NetMsg::JobAck { accepted: true, .. } => Ok(handle),
+            NetMsg::JobAck { reason, .. } => Err(ClientError::JobRejected(reason)),
+            _ => unreachable!("filtered on JobAck"),
+        }
+    }
+}
+
+/// A client-held job: the conduit to its JobManager.
+pub struct JobHandle {
+    pub job: JobId,
+    jm: Addr,
+    /// Name of the server whose JobManager owns this job.
+    pub jm_server: String,
+    net: Network<NetMsg>,
+    addr: Addr,
+    rx: Receiver<Envelope<NetMsg>>,
+    /// task name → task endpoint (learned from TaskAcks).
+    directory: HashMap<String, Addr>,
+    task_names: Vec<String>,
+    started: bool,
+    space: Arc<TupleSpace>,
+    spaces: Arc<SpaceRegistry>,
+    /// Messages received while waiting for protocol acks.
+    stash: Vec<CnMessage>,
+    ack_timeout: Duration,
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        // Idempotent: wait()/cancel() have usually unregistered already.
+        self.net.unregister(self.addr);
+        self.spaces.remove(self.job);
+    }
+}
+
+/// Outcome of a completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Task name → result, in task creation order.
+    pub results: Vec<(String, UserData)>,
+    /// Lifecycle + user messages observed while waiting.
+    pub events: Vec<CnMessage>,
+    pub elapsed: Duration,
+}
+
+impl JobReport {
+    pub fn result(&self, task: &str) -> Option<&UserData> {
+        self.results.iter().find(|(n, _)| n == task).map(|(_, d)| d)
+    }
+}
+
+impl JobHandle {
+    /// The job-wide tuple space (also reachable from every task context).
+    pub fn tuplespace(&self) -> &Arc<TupleSpace> {
+        &self.space
+    }
+
+    /// Names of the tasks created so far.
+    pub fn task_names(&self) -> &[String] {
+        &self.task_names
+    }
+
+    /// Which server's JobManager manages this job.
+    pub fn manager(&self) -> &str {
+        &self.jm_server
+    }
+
+    fn decode(env: Envelope<NetMsg>) -> Option<CnMessage> {
+        match env.msg {
+            NetMsg::User { from_task, tag, data, .. } => {
+                Some(CnMessage::User { from_task, tag, data })
+            }
+            NetMsg::TaskStarted { task, .. } => Some(CnMessage::TaskStarted { task }),
+            NetMsg::TaskCompleted { task, result, .. } => {
+                Some(CnMessage::TaskCompleted { task, result })
+            }
+            NetMsg::TaskFailed { task, error, .. } => Some(CnMessage::TaskFailed { task, error }),
+            NetMsg::JobCompleted { results, .. } => Some(CnMessage::JobCompleted { results }),
+            NetMsg::JobFailed { error, .. } => Some(CnMessage::JobFailed { error }),
+            _ => None,
+        }
+    }
+
+    /// Wait for a protocol message matching `want`; user-visible messages
+    /// that arrive meanwhile are stashed for [`JobHandle::recv_message`].
+    fn wait_net(
+        &mut self,
+        timeout: Duration,
+        mut want: impl FnMut(&NetMsg) -> bool,
+    ) -> Result<NetMsg, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::Timeout("protocol ack"));
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) if want(&env.msg) => return Ok(env.msg),
+                Ok(env) => {
+                    if let Some(m) = Self::decode(env) {
+                        self.stash.push(m);
+                    }
+                }
+                Err(_) => return Err(ClientError::Timeout("protocol ack")),
+            }
+        }
+    }
+
+    /// Create one task in the job. The JobManager places it on a willing
+    /// TaskManager immediately; on success the task's message queue exists
+    /// (but the task is not yet running).
+    pub fn add_task(&mut self, spec: TaskSpec) -> Result<(), ClientError> {
+        if self.started {
+            return Err(ClientError::Usage("add_task after start"));
+        }
+        let name = spec.name.clone();
+        self.net
+            .send(self.addr, self.jm, NetMsg::CreateTask { job: self.job, spec, reply_to: self.addr })
+            .map_err(|e| ClientError::Net(e.to_string()))?;
+        let job = self.job;
+        let want_name = name.clone();
+        let ack = self.wait_net(self.ack_timeout, |m| {
+            matches!(m, NetMsg::TaskAck { job: j, task, .. } if *j == job && *task == want_name)
+        })?;
+        match ack {
+            NetMsg::TaskAck { accepted: true, task_addr: Some(addr), .. } => {
+                self.directory.insert(name.clone(), addr);
+                self.task_names.push(name);
+                Ok(())
+            }
+            NetMsg::TaskAck { reason, .. } => {
+                Err(ClientError::PlacementFailed { task: name, reason })
+            }
+            _ => unreachable!("filtered on TaskAck"),
+        }
+    }
+
+    /// Start the job: the JobManager launches dependency-free tasks now and
+    /// each remaining task as its dependencies complete.
+    pub fn start(&mut self) -> Result<(), ClientError> {
+        if self.started {
+            return Err(ClientError::Usage("job already started"));
+        }
+        self.started = true;
+        self.net
+            .send(self.addr, self.jm, NetMsg::StartJob { job: self.job })
+            .map_err(|e| ClientError::Net(e.to_string()))
+    }
+
+    /// Send a user-defined message to a task.
+    pub fn send_to_task(&self, task: &str, tag: &str, data: UserData) -> Result<(), ClientError> {
+        let &to = self
+            .directory
+            .get(task)
+            .ok_or(ClientError::PlacementFailed {
+                task: task.to_string(),
+                reason: "unknown task".to_string(),
+            })?;
+        self.net
+            .send(
+                self.addr,
+                to,
+                NetMsg::User {
+                    job: self.job,
+                    from_task: CLIENT_TASK_NAME.to_string(),
+                    tag: tag.to_string(),
+                    data,
+                },
+            )
+            .map_err(|e| ClientError::Net(e.to_string()))
+    }
+
+    /// Receive the next message from CN (lifecycle or user-defined).
+    pub fn recv_message(&mut self, timeout: Duration) -> Result<CnMessage, ClientError> {
+        if !self.stash.is_empty() {
+            return Ok(self.stash.remove(0));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::Timeout("message"));
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if let Some(m) = Self::decode(env) {
+                        return Ok(m);
+                    }
+                }
+                Err(_) => return Err(ClientError::Timeout("message")),
+            }
+        }
+    }
+
+    /// Cancel the job: every running task is interrupted (it observes
+    /// [`crate::RecvError::Shutdown`] at its next receive) and the
+    /// JobManager reports the job as failed. Consumes the handle.
+    pub fn cancel(mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.net
+            .send(self.addr, self.jm, NetMsg::CancelJob { job: self.job })
+            .map_err(|e| ClientError::Net(e.to_string()))?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::Timeout("cancellation ack"));
+            }
+            match self.recv_message(remaining)? {
+                CnMessage::JobFailed { .. } => {
+                    self.spaces.remove(self.job);
+                    self.net.unregister(self.addr);
+                    return Ok(());
+                }
+                CnMessage::JobCompleted { .. } => {
+                    // The job finished before the cancel arrived.
+                    self.spaces.remove(self.job);
+                    self.net.unregister(self.addr);
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Drive the job to completion, collecting results.
+    pub fn wait(mut self, timeout: Duration) -> Result<JobReport, ClientError> {
+        let start = Instant::now();
+        let mut events = Vec::new();
+        loop {
+            let remaining = timeout.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                return Err(ClientError::Timeout("job completion"));
+            }
+            match self.recv_message(remaining)? {
+                CnMessage::JobCompleted { results } => {
+                    self.spaces.remove(self.job);
+                    self.net.unregister(self.addr);
+                    return Ok(JobReport { results, events, elapsed: start.elapsed() });
+                }
+                CnMessage::JobFailed { error } => {
+                    self.spaces.remove(self.job);
+                    self.net.unregister(self.addr);
+                    return Err(ClientError::JobFailed(error));
+                }
+                other => events.push(other),
+            }
+        }
+    }
+}

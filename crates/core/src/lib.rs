@@ -1,0 +1,446 @@
+//! The Computational Neighborhood (CN) runtime.
+//!
+//! "CN provides a modular framework comprising four main components: Job,
+//! Task, JobManager and TaskManager. ... The Job and Task creation, control
+//! and coordination is all done using CN API (a factory)." (paper Section 3)
+//!
+//! This crate is the runtime half of the reproduction:
+//!
+//! * [`api`] — the client-facing CN API factory ([`CnApi`], [`JobHandle`]),
+//! * [`server`] — the CNServer servant (JobManager + TaskManager),
+//! * [`task`] — the [`Task`] interface and [`TaskContext`] message surface,
+//! * [`message`] — well-defined protocol messages + opaque user messages,
+//! * [`archive`] — JAR-analogue task packaging,
+//! * [`scheduler`] — bid-selection policies (JobManager & TaskManager),
+//! * [`tuplespace`] / [`spaces`] — the alternative coordination medium,
+//! * [`exec`] — direct execution of CNX descriptors, including dynamic
+//!   invocation expansion (paper Figure 5).
+//!
+//! [`Neighborhood`] bootstraps a deployment: a set of simulated nodes (from
+//! [`cn_cluster`]), one CNServer per node, a shared archive registry, and
+//! the multicast fabric that clients discover JobManagers through.
+
+pub mod api;
+pub mod archive;
+pub mod exec;
+pub mod message;
+pub mod scheduler;
+pub mod server;
+pub mod spaces;
+pub mod task;
+pub mod tuplespace;
+
+pub use api::{ClientConfig, ClientError, CnApi, JobHandle, JobReport};
+pub use archive::{ArchiveRegistry, TaskArchive};
+pub use exec::{execute_descriptor, execute_descriptor_seeded, DynamicArgs, ExecError};
+pub use message::{CnMessage, JobId, JobRequirements, NetMsg, TaskSpec, UserData};
+pub use scheduler::Policy;
+pub use server::{CnServer, ServerConfig};
+pub use task::{RecvError, Task, TaskContext, TaskError};
+pub use tuplespace::{Field, Pattern, Tuple, TupleSpace};
+
+use std::sync::Arc;
+
+use cn_cluster::{LatencyModel, Network, NodeHandle, NodeSpec};
+use spaces::SpaceRegistry;
+
+/// Configuration for a neighborhood deployment.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodConfig {
+    pub latency: LatencyModel,
+    pub seed: u64,
+    pub server: ServerConfig,
+}
+
+impl Default for NeighborhoodConfig {
+    fn default() -> Self {
+        NeighborhoodConfig { latency: LatencyModel::zero(), seed: 7, server: ServerConfig::default() }
+    }
+}
+
+/// A deployed CN: CNServers on every node of a (simulated) cluster.
+///
+/// "One could install CN servers on all the machines of a subnet and a user
+/// could run their client programs from any machine on the subnet."
+pub struct Neighborhood {
+    net: Network<NetMsg>,
+    nodes: Vec<NodeHandle>,
+    servers: Vec<CnServer>,
+    registry: Arc<ArchiveRegistry>,
+    spaces: Arc<SpaceRegistry>,
+}
+
+impl Neighborhood {
+    /// Deploy CNServers on `specs` nodes with default config.
+    pub fn deploy(specs: Vec<NodeSpec>) -> Neighborhood {
+        Neighborhood::deploy_with(specs, NeighborhoodConfig::default())
+    }
+
+    /// Deploy with explicit configuration.
+    pub fn deploy_with(specs: Vec<NodeSpec>, config: NeighborhoodConfig) -> Neighborhood {
+        let net: Network<NetMsg> = Network::new(config.latency, config.seed);
+        let registry = Arc::new(ArchiveRegistry::new());
+        let spaces = Arc::new(SpaceRegistry::new());
+        let mut nodes = Vec::with_capacity(specs.len());
+        let mut servers = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let name = spec.name.clone();
+            let node = NodeHandle::new(spec);
+            servers.push(CnServer::spawn(
+                name,
+                node.clone(),
+                net.clone(),
+                Arc::clone(&registry),
+                Arc::clone(&spaces),
+                config.server.clone(),
+            ));
+            nodes.push(node);
+        }
+        Neighborhood { net, nodes, servers, registry, spaces }
+    }
+
+    /// The shared archive registry ("file store") clients publish jars to.
+    pub fn registry(&self) -> &Arc<ArchiveRegistry> {
+        &self.registry
+    }
+
+    pub fn network(&self) -> &Network<NetMsg> {
+        &self.net
+    }
+
+    pub(crate) fn spaces(&self) -> Arc<SpaceRegistry> {
+        Arc::clone(&self.spaces)
+    }
+
+    /// Node handle by name (failure injection).
+    pub fn node(&self, name: &str) -> Option<&NodeHandle> {
+        self.nodes.iter().find(|n| n.name() == name)
+    }
+
+    pub fn nodes(&self) -> &[NodeHandle] {
+        &self.nodes
+    }
+
+    /// Server endpoint address by name (for partitioning).
+    pub fn server_addr(&self, name: &str) -> Option<cn_cluster::Addr> {
+        self.servers.iter().find(|s| s.name == name).map(|s| s.addr)
+    }
+
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Network metrics snapshot.
+    pub fn metrics(&self) -> cn_cluster::MetricsSnapshot {
+        self.net.metrics()
+    }
+
+    /// Stop all servers and wait for their threads. Any active network
+    /// partitions are healed first so the shutdown control messages can
+    /// reach their servers.
+    pub fn shutdown(mut self) {
+        self.net.heal_all();
+        for server in self.servers.drain(..) {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn echo_archive() -> TaskArchive {
+        TaskArchive::new("echo.jar").class("Echo", || {
+            Box::new(|ctx: &mut TaskContext| {
+                Ok(UserData::Text(format!("echo:{}", ctx.param_str(0).unwrap_or(""))))
+            })
+        })
+    }
+
+    fn deploy(n: usize) -> Neighborhood {
+        let nb = Neighborhood::deploy(NodeSpec::fleet(n, 4000, 4));
+        nb.registry().publish(echo_archive());
+        nb
+    }
+
+    #[test]
+    fn single_task_job_runs_to_completion() {
+        let nb = deploy(2);
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        let mut spec = TaskSpec::new("t0", "echo.jar", "Echo");
+        spec.params.push(cn_cnx::Param::string("hello"));
+        job.add_task(spec).unwrap();
+        job.start().unwrap();
+        let report = job.wait(Duration::from_secs(10)).unwrap();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.result("t0"), Some(&UserData::Text("echo:hello".into())));
+        nb.shutdown();
+    }
+
+    #[test]
+    fn dependencies_run_in_order() {
+        let nb = deploy(3);
+        // An archive whose tasks deposit their start order in the tuple space.
+        nb.registry().publish(TaskArchive::new("order.jar").class("Order", || {
+            Box::new(|ctx: &mut TaskContext| {
+                let ts = ctx.tuplespace();
+                let seq = ts.len() as i64;
+                ts.out(vec![Field::S(ctx.name.clone()), Field::I(seq)]);
+                Ok(UserData::Empty)
+            })
+        }));
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        let mut a = TaskSpec::new("a", "order.jar", "Order");
+        let mut b = TaskSpec::new("b", "order.jar", "Order");
+        b.depends = vec!["a".into()];
+        let mut c = TaskSpec::new("c", "order.jar", "Order");
+        c.depends = vec!["b".into()];
+        a.memory_mb = 100;
+        b.memory_mb = 100;
+        c.memory_mb = 100;
+        let space = {
+            job.add_task(a).unwrap();
+            job.add_task(b).unwrap();
+            job.add_task(c).unwrap();
+            job.tuplespace().clone()
+        };
+        job.start().unwrap();
+        job.wait(Duration::from_secs(10)).unwrap();
+        let order = |name: &str| -> i64 {
+            let t = space
+                .try_rd(&vec![Some(Field::S(name.into())), None])
+                .unwrap_or_else(|| panic!("{name} not recorded"));
+            match t[1] {
+                Field::I(v) => v,
+                _ => unreachable!(),
+            }
+        };
+        assert!(order("a") < order("b"));
+        assert!(order("b") < order("c"));
+        nb.shutdown();
+    }
+
+    #[test]
+    fn no_jobmanager_when_requirements_unmeetable() {
+        let nb = deploy(2);
+        let api = CnApi::initialize(&nb);
+        let req = JobRequirements { min_free_memory_mb: 1_000_000, min_free_slots: 1 };
+        assert!(matches!(api.create_job(&req).err().unwrap(), ClientError::NoJobManagers));
+        nb.shutdown();
+    }
+
+    #[test]
+    fn placement_fails_when_memory_exhausted() {
+        let nb = Neighborhood::deploy(NodeSpec::fleet(1, 1000, 8));
+        nb.registry().publish(echo_archive());
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        let mut big = TaskSpec::new("big", "echo.jar", "Echo");
+        big.memory_mb = 900;
+        job.add_task(big).unwrap();
+        let mut too_big = TaskSpec::new("too_big", "echo.jar", "Echo");
+        too_big.memory_mb = 900;
+        let err = job.add_task(too_big).unwrap_err();
+        assert!(matches!(err, ClientError::PlacementFailed { .. }), "{err:?}");
+        nb.shutdown();
+    }
+
+    #[test]
+    fn missing_archive_is_rejected_at_assignment() {
+        let nb = deploy(1);
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        let err = job.add_task(TaskSpec::new("x", "ghost.jar", "Nope")).unwrap_err();
+        assert!(matches!(err, ClientError::PlacementFailed { .. }), "{err:?}");
+        nb.shutdown();
+    }
+
+    #[test]
+    fn failing_task_fails_the_job() {
+        let nb = deploy(2);
+        nb.registry().publish(TaskArchive::new("bad.jar").class("Boom", || {
+            Box::new(|_ctx: &mut TaskContext| Err(TaskError::new("kaboom")))
+        }));
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        job.add_task(TaskSpec::new("boom", "bad.jar", "Boom")).unwrap();
+        job.start().unwrap();
+        match job.wait(Duration::from_secs(10)) {
+            Err(ClientError::JobFailed(e)) => assert!(e.contains("kaboom"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        nb.shutdown();
+    }
+
+    #[test]
+    fn tasks_exchange_user_messages() {
+        let nb = deploy(2);
+        nb.registry().publish(
+            TaskArchive::new("pingpong.jar")
+                .class("Ping", || {
+                    Box::new(|ctx: &mut TaskContext| {
+                        ctx.send("pong", "ping", UserData::I64s(vec![1]))?;
+                        let (_, data) = ctx
+                            .recv_tagged("pong", Duration::from_secs(5))
+                            .map_err(|e| TaskError::new(e.to_string()))?;
+                        Ok(data)
+                    })
+                })
+                .class("Pong", || {
+                    Box::new(|ctx: &mut TaskContext| {
+                        let (from, data) = ctx
+                            .recv_tagged("ping", Duration::from_secs(5))
+                            .map_err(|e| TaskError::new(e.to_string()))?;
+                        let mut v = data.as_i64s().unwrap_or(&[]).to_vec();
+                        v.push(2);
+                        ctx.send(&from, "pong", UserData::I64s(v))?;
+                        Ok(UserData::Empty)
+                    })
+                }),
+        );
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        let mut ping = TaskSpec::new("ping", "pingpong.jar", "Ping");
+        let mut pong = TaskSpec::new("pong", "pingpong.jar", "Pong");
+        ping.memory_mb = 100;
+        pong.memory_mb = 100;
+        job.add_task(ping).unwrap();
+        job.add_task(pong).unwrap();
+        job.start().unwrap();
+        let report = job.wait(Duration::from_secs(10)).unwrap();
+        assert_eq!(report.result("ping"), Some(&UserData::I64s(vec![1, 2])));
+        nb.shutdown();
+    }
+
+    #[test]
+    fn client_messages_flow_both_ways() {
+        let nb = deploy(1);
+        nb.registry().publish(TaskArchive::new("chat.jar").class("Chat", || {
+            Box::new(|ctx: &mut TaskContext| {
+                ctx.send_to_client("hello", UserData::Text("hi client".into()))?;
+                let (_, data) = ctx
+                    .recv_tagged("reply", Duration::from_secs(5))
+                    .map_err(|e| TaskError::new(e.to_string()))?;
+                Ok(data)
+            })
+        }));
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        job.add_task(TaskSpec::new("chat", "chat.jar", "Chat")).unwrap();
+        job.start().unwrap();
+        // Get Messages from Tasks.
+        let mut greeted = false;
+        for _ in 0..10 {
+            match job.recv_message(Duration::from_secs(5)).unwrap() {
+                CnMessage::User { tag, data, .. } => {
+                    assert_eq!(tag, "hello");
+                    assert_eq!(data, UserData::Text("hi client".into()));
+                    greeted = true;
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        assert!(greeted);
+        // Send Messages to Tasks.
+        job.send_to_task("chat", "reply", UserData::Text("hi task".into())).unwrap();
+        let report = job.wait(Duration::from_secs(10)).unwrap();
+        assert_eq!(report.result("chat"), Some(&UserData::Text("hi task".into())));
+        nb.shutdown();
+    }
+
+    #[test]
+    fn jobs_distribute_across_servers_least_loaded() {
+        let nb = deploy(4);
+        nb.registry().publish(TaskArchive::new("where.jar").class("Where", || {
+            Box::new(|_ctx: &mut TaskContext| Ok(UserData::Empty))
+        }));
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        // 8 tasks across 4 nodes of 4 slots each: with LeastLoaded placement
+        // every node should get about two.
+        for i in 0..8 {
+            let mut s = TaskSpec::new(format!("t{i}"), "where.jar", "Where");
+            s.memory_mb = 100;
+            job.add_task(s).unwrap();
+        }
+        job.start().unwrap();
+        job.wait(Duration::from_secs(10)).unwrap();
+        nb.shutdown();
+    }
+
+    #[test]
+    fn crashed_node_is_avoided() {
+        let nb = deploy(2);
+        nb.node("node0").unwrap().crash();
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        // Everything must land on node1.
+        for i in 0..3 {
+            let mut s = TaskSpec::new(format!("t{i}"), "echo.jar", "Echo");
+            s.memory_mb = 100;
+            job.add_task(s).unwrap();
+        }
+        assert_eq!(job.manager(), "node1");
+        job.start().unwrap();
+        job.wait(Duration::from_secs(10)).unwrap();
+        nb.shutdown();
+    }
+
+    #[test]
+    fn client_can_cancel_a_running_job() {
+        let nb = deploy(2);
+        // A task that blocks waiting for a message that never arrives; it
+        // observes Shutdown when cancelled.
+        nb.registry().publish(TaskArchive::new("wait.jar").class("Waiter", || {
+            Box::new(|ctx: &mut TaskContext| {
+                match ctx.recv_timeout(Duration::from_secs(30)) {
+                    Err(crate::RecvError::Shutdown) => Err(TaskError::new("interrupted")),
+                    other => Err(TaskError::new(format!("unexpected: {other:?}"))),
+                }
+            })
+        }));
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        let mut spec = TaskSpec::new("w", "wait.jar", "Waiter");
+        spec.memory_mb = 64;
+        job.add_task(spec).unwrap();
+        job.start().unwrap();
+        let t0 = std::time::Instant::now();
+        job.cancel(Duration::from_secs(5)).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5), "cancel must not wait out the task");
+        nb.shutdown();
+    }
+
+    #[test]
+    fn cancel_after_completion_is_ok() {
+        let nb = deploy(1);
+        let api = CnApi::initialize(&nb);
+        let mut job = api.create_job(&JobRequirements::default()).unwrap();
+        let mut spec = TaskSpec::new("t", "echo.jar", "Echo");
+        spec.memory_mb = 64;
+        job.add_task(spec).unwrap();
+        job.start().unwrap();
+        // Give the (instant) job time to finish, then cancel.
+        std::thread::sleep(Duration::from_millis(50));
+        job.cancel(Duration::from_secs(5)).unwrap();
+        nb.shutdown();
+    }
+
+    #[test]
+    fn all_nodes_down_means_no_managers() {
+        let nb = deploy(2);
+        nb.node("node0").unwrap().crash();
+        nb.node("node1").unwrap().crash();
+        let api = CnApi::initialize(&nb);
+        assert!(matches!(
+            api.create_job(&JobRequirements::default()).err().unwrap(),
+            ClientError::NoJobManagers
+        ));
+        nb.shutdown();
+    }
+}

@@ -1,0 +1,279 @@
+//! The CN messaging model.
+//!
+//! "CN uses messages as the fundamental information between the CN and the
+//! client. CN has well-defined messages that define the Message Request,
+//! expected Message Action and expected Message Response. Besides the
+//! well-defined messages, CN also allows user-defined messages that only the
+//! application (client and its tasks) understands." (paper Section 3)
+//!
+//! [`NetMsg`] is the well-defined protocol vocabulary carried on the
+//! cluster fabric; [`UserData`] is the opaque payload of user-defined
+//! messages, for which "CN merely provides a message delivery mechanism".
+
+use std::collections::HashMap;
+
+use cn_cluster::Addr;
+use cn_cnx::{Param, RunModel};
+
+/// Job identifier, unique per client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job:{}", self.0)
+    }
+}
+
+/// Opaque user payload. CN does not interpret it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UserData {
+    Empty,
+    Text(String),
+    Bytes(Vec<u8>),
+    I64s(Vec<i64>),
+    F64s(Vec<f64>),
+}
+
+impl UserData {
+    /// Approximate wire size, used by the fabric metrics and benches.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            UserData::Empty => 0,
+            UserData::Text(s) => s.len(),
+            UserData::Bytes(b) => b.len(),
+            UserData::I64s(v) => v.len() * 8,
+            UserData::F64s(v) => v.len() * 8,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            UserData::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64s(&self) -> Option<&[i64]> {
+        match self {
+            UserData::I64s(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Requirements a client attaches to a job; JobManagers bid only if they can
+/// satisfy them ("A JobManager is selected based on User specified Job
+/// requirements from the list of willing JobManagers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRequirements {
+    pub min_free_memory_mb: u64,
+    pub min_free_slots: usize,
+}
+
+impl Default for JobRequirements {
+    fn default() -> Self {
+        JobRequirements { min_free_memory_mb: 0, min_free_slots: 1 }
+    }
+}
+
+/// Everything a TaskManager needs to instantiate a task. The runtime
+/// counterpart of a CNX `<task>` element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    pub name: String,
+    pub jar: String,
+    pub class: String,
+    pub depends: Vec<String>,
+    pub memory_mb: u64,
+    pub runmodel: RunModel,
+    pub params: Vec<Param>,
+}
+
+impl TaskSpec {
+    pub fn new(name: impl Into<String>, jar: impl Into<String>, class: impl Into<String>) -> Self {
+        TaskSpec {
+            name: name.into(),
+            jar: jar.into(),
+            class: class.into(),
+            depends: Vec::new(),
+            memory_mb: 1000,
+            runmodel: RunModel::RunAsThreadInTm,
+            params: Vec::new(),
+        }
+    }
+
+    /// Convert from a parsed CNX task element.
+    pub fn from_cnx(task: &cn_cnx::Task) -> Self {
+        TaskSpec {
+            name: task.name.clone(),
+            jar: task.jar.clone(),
+            class: task.class.clone(),
+            depends: task.depends.clone(),
+            memory_mb: task.req.memory_mb,
+            runmodel: task.req.runmodel,
+            params: task.params.clone(),
+        }
+    }
+}
+
+/// A bid from a willing JobManager or TaskManager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bid {
+    pub server: String,
+    pub addr: Addr,
+    pub load: f64,
+    pub free_memory_mb: u64,
+    pub free_slots: usize,
+}
+
+/// The well-defined CN protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMsg {
+    // -- JobManager discovery (multicast) ------------------------------
+    /// Client → discovery group: who is willing to manage this job?
+    SolicitJobManager { job: JobId, requirements: JobRequirements, reply_to: Addr },
+    /// Willing JobManager → client.
+    JobManagerBid { job: JobId, bid: Bid },
+
+    // -- Job lifecycle (client ↔ selected JobManager) ------------------
+    CreateJob { job: JobId, client: Addr, reply_to: Addr },
+    JobAck { job: JobId, accepted: bool, reason: String },
+    /// Client → JM: create (and place) one task.
+    CreateTask { job: JobId, spec: TaskSpec, reply_to: Addr },
+    /// JM → client: task placed on `server`, reachable at `task_addr`.
+    TaskAck {
+        job: JobId,
+        task: String,
+        accepted: bool,
+        reason: String,
+        server: String,
+        task_addr: Option<Addr>,
+    },
+    /// Client → JM: start executing (roots first, dependents as
+    /// dependencies complete).
+    StartJob { job: JobId },
+    /// Client → JM: cancel the whole job (running tasks are interrupted).
+    CancelJob { job: JobId },
+
+    // -- Task placement (JM ↔ TaskManagers) ----------------------------
+    SolicitTaskManager { job: JobId, task: String, memory_mb: u64, reply_to: Addr },
+    TaskManagerBid { job: JobId, task: String, bid: Bid },
+    /// JM → TM: ship the task archive ("the JobManager will upload the JAR
+    /// file to that TaskManager"). `size_bytes` models the transfer cost.
+    UploadArchive { jar: String, size_bytes: u64 },
+    /// JM → TM: instantiate the task (sets up its message queue).
+    AssignTask { job: JobId, spec: TaskSpec, jm: Addr, reply_to: Addr },
+    AssignAck { job: JobId, task: String, accepted: bool, reason: String, task_addr: Option<Addr> },
+    /// JM → TM: start a previously assigned task thread.
+    StartTask { job: JobId, task: String, directory: HashMap<String, Addr>, client: Addr },
+    /// JM → TM: cancel an assigned (possibly running) task.
+    CancelTask { job: JobId, task: String },
+    /// Task thread → its own TaskManager: the task thread has exited and
+    /// its bookkeeping entry can be dropped.
+    TaskExited { job: JobId, task: String },
+
+    // -- Task lifecycle (TM → JM, relayed to client) --------------------
+    TaskStarted { job: JobId, task: String },
+    TaskCompleted { job: JobId, task: String, result: UserData },
+    TaskFailed { job: JobId, task: String, error: String },
+
+    // -- Job completion (JM → client) ------------------------------------
+    JobCompleted { job: JobId, results: Vec<(String, UserData)> },
+    JobFailed { job: JobId, error: String },
+
+    // -- User-defined messages (task ↔ task, task ↔ client) -------------
+    User { job: JobId, from_task: String, tag: String, data: UserData },
+
+    // -- Control ----------------------------------------------------------
+    Shutdown,
+}
+
+impl NetMsg {
+    /// Short name for tracing/metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetMsg::SolicitJobManager { .. } => "SolicitJobManager",
+            NetMsg::JobManagerBid { .. } => "JobManagerBid",
+            NetMsg::CreateJob { .. } => "CreateJob",
+            NetMsg::JobAck { .. } => "JobAck",
+            NetMsg::CreateTask { .. } => "CreateTask",
+            NetMsg::TaskAck { .. } => "TaskAck",
+            NetMsg::StartJob { .. } => "StartJob",
+            NetMsg::CancelJob { .. } => "CancelJob",
+            NetMsg::SolicitTaskManager { .. } => "SolicitTaskManager",
+            NetMsg::TaskManagerBid { .. } => "TaskManagerBid",
+            NetMsg::UploadArchive { .. } => "UploadArchive",
+            NetMsg::AssignTask { .. } => "AssignTask",
+            NetMsg::AssignAck { .. } => "AssignAck",
+            NetMsg::StartTask { .. } => "StartTask",
+            NetMsg::CancelTask { .. } => "CancelTask",
+            NetMsg::TaskExited { .. } => "TaskExited",
+            NetMsg::TaskStarted { .. } => "TaskStarted",
+            NetMsg::TaskCompleted { .. } => "TaskCompleted",
+            NetMsg::TaskFailed { .. } => "TaskFailed",
+            NetMsg::JobCompleted { .. } => "JobCompleted",
+            NetMsg::JobFailed { .. } => "JobFailed",
+            NetMsg::User { .. } => "User",
+            NetMsg::Shutdown => "Shutdown",
+        }
+    }
+}
+
+/// A user-visible message delivered to a task or the client, decoded from
+/// [`NetMsg`] (the "Get Messages" surface of the CN API).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CnMessage {
+    /// User-defined message from another task (or the client, `from_task`
+    /// = `"<client>"`).
+    User { from_task: String, tag: String, data: UserData },
+    TaskStarted { task: String },
+    TaskCompleted { task: String, result: UserData },
+    TaskFailed { task: String, error: String },
+    JobCompleted { results: Vec<(String, UserData)> },
+    JobFailed { error: String },
+    Shutdown,
+}
+
+/// The pseudo-task name used when the *client* originates a user message.
+pub const CLIENT_TASK_NAME: &str = "<client>";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_data_sizes() {
+        assert_eq!(UserData::Empty.size_bytes(), 0);
+        assert_eq!(UserData::Text("abc".into()).size_bytes(), 3);
+        assert_eq!(UserData::I64s(vec![1, 2, 3]).size_bytes(), 24);
+        assert_eq!(UserData::F64s(vec![1.0]).size_bytes(), 8);
+        assert_eq!(UserData::Bytes(vec![0; 10]).size_bytes(), 10);
+    }
+
+    #[test]
+    fn user_data_accessors() {
+        assert_eq!(UserData::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(UserData::I64s(vec![5]).as_i64s(), Some(&[5][..]));
+        assert_eq!(UserData::Text("x".into()).as_i64s(), None);
+    }
+
+    #[test]
+    fn task_spec_from_cnx() {
+        let doc = cn_cnx::ast::figure2_descriptor(3);
+        let t = &doc.client.jobs[0].tasks[1];
+        let spec = TaskSpec::from_cnx(t);
+        assert_eq!(spec.name, "tctask1");
+        assert_eq!(spec.jar, "tctask.jar");
+        assert_eq!(spec.depends, vec!["tctask0"]);
+        assert_eq!(spec.memory_mb, 1000);
+        assert_eq!(spec.params.len(), 1);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        let m = NetMsg::StartJob { job: JobId(1) };
+        assert_eq!(m.kind(), "StartJob");
+        assert_eq!(NetMsg::Shutdown.kind(), "Shutdown");
+    }
+}

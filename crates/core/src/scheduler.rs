@@ -1,0 +1,114 @@
+//! Bid-selection policies.
+//!
+//! Two selections happen in CN: the client picks a **JobManager** "based on
+//! User specified Job requirements from the list of willing JobManagers",
+//! and a JobManager picks a **TaskManager** for each task from the willing
+//! bidders. Both run the same policy machinery; the policy choice is one of
+//! the ablation axes in DESIGN.md.
+
+use crate::message::Bid;
+
+/// How to choose among willing bidders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// First bid received — the latency-optimal but load-blind baseline.
+    FirstResponder,
+    /// Lowest load factor; ties broken by more free memory, then by name
+    /// (deterministic).
+    #[default]
+    LeastLoaded,
+    /// Rotate through bidders (stateful; see [`RoundRobin`]).
+    RoundRobin,
+}
+
+/// Select a bid per `policy`. `rr_counter` carries round-robin state (pass
+/// 0 for stateless policies).
+pub fn select(policy: Policy, bids: &[Bid], rr_counter: usize) -> Option<&Bid> {
+    if bids.is_empty() {
+        return None;
+    }
+    match policy {
+        Policy::FirstResponder => bids.first(),
+        Policy::LeastLoaded => bids.iter().min_by(|a, b| {
+            a.load
+                .partial_cmp(&b.load)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.free_memory_mb.cmp(&a.free_memory_mb))
+                .then(a.server.cmp(&b.server))
+        }),
+        Policy::RoundRobin => {
+            // Stable order by server name so rotation is deterministic
+            // regardless of bid arrival order.
+            let mut ordered: Vec<&Bid> = bids.iter().collect();
+            ordered.sort_by(|a, b| a.server.cmp(&b.server));
+            Some(ordered[rr_counter % ordered.len()])
+        }
+    }
+}
+
+/// Stateful round-robin selector.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    counter: usize,
+}
+
+impl RoundRobin {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn select<'a>(&mut self, bids: &'a [Bid]) -> Option<&'a Bid> {
+        let chosen = select(Policy::RoundRobin, bids, self.counter)?;
+        self.counter = self.counter.wrapping_add(1);
+        Some(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_cluster::Addr;
+
+    fn bid(server: &str, load: f64, mem: u64) -> Bid {
+        Bid {
+            server: server.to_string(),
+            addr: Addr(0),
+            load,
+            free_memory_mb: mem,
+            free_slots: 4,
+        }
+    }
+
+    #[test]
+    fn empty_bids_select_nothing() {
+        assert!(select(Policy::LeastLoaded, &[], 0).is_none());
+        assert!(RoundRobin::new().select(&[]).is_none());
+    }
+
+    #[test]
+    fn first_responder_takes_arrival_order() {
+        let bids = vec![bid("late-but-first", 0.9, 10), bid("better", 0.1, 1000)];
+        assert_eq!(select(Policy::FirstResponder, &bids, 0).unwrap().server, "late-but-first");
+    }
+
+    #[test]
+    fn least_loaded_prefers_low_load_then_memory() {
+        let bids = vec![bid("a", 0.5, 100), bid("b", 0.25, 100), bid("c", 0.25, 500)];
+        assert_eq!(select(Policy::LeastLoaded, &bids, 0).unwrap().server, "c");
+    }
+
+    #[test]
+    fn least_loaded_ties_break_by_name() {
+        let bids = vec![bid("zeta", 0.5, 100), bid("alpha", 0.5, 100)];
+        assert_eq!(select(Policy::LeastLoaded, &bids, 0).unwrap().server, "alpha");
+    }
+
+    #[test]
+    fn round_robin_rotates_deterministically() {
+        let bids = vec![bid("b", 0.0, 0), bid("a", 0.0, 0), bid("c", 0.0, 0)];
+        let mut rr = RoundRobin::new();
+        let picks: Vec<String> =
+            (0..6).map(|_| rr.select(&bids).unwrap().server.clone()).collect();
+        assert_eq!(picks, ["a", "b", "c", "a", "b", "c"]);
+    }
+}

@@ -1,0 +1,693 @@
+//! The CNServer servant: one process per node hosting both a JobManager and
+//! a TaskManager.
+//!
+//! "JobManager and the TaskManager are part of the same process, CNServer,
+//! which is a servant (since it acts as a client and a server). The
+//! JobManager can support multiple Jobs." (paper Section 3)
+//!
+//! Each server runs an event loop on its own thread, joined to the CN
+//! discovery multicast group. The JobManager half answers solicitations,
+//! manages job DAGs and relays task lifecycle messages to the client; the
+//! TaskManager half bids for tasks, receives archive uploads, sets up
+//! per-task message queues and runs each task in its own thread
+//! (`RUN_AS_THREAD_IN_TM`).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cn_cluster::{Addr, Envelope, Network, NodeHandle};
+use crossbeam::channel::Receiver;
+
+use crate::archive::ArchiveRegistry;
+use crate::message::{Bid, JobId, NetMsg, TaskSpec, UserData, CLIENT_TASK_NAME};
+use crate::scheduler::{select, Policy, RoundRobin};
+use crate::spaces::SpaceRegistry;
+use crate::task::TaskContext;
+
+/// Tunables for a server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// How long the JobManager collects TaskManager bids before selecting.
+    pub bid_window: Duration,
+    /// How long the JobManager waits for an AssignAck from a remote TM.
+    pub assign_timeout: Duration,
+    /// Bid selection policy for task placement.
+    pub policy: Policy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bid_window: Duration::from_millis(5),
+            assign_timeout: Duration::from_secs(2),
+            policy: Policy::LeastLoaded,
+        }
+    }
+}
+
+/// Handle to a running CNServer.
+pub struct CnServer {
+    pub name: String,
+    pub addr: Addr,
+    net: Network<NetMsg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CnServer {
+    /// Spawn a server for `node`, joined to the discovery group.
+    pub fn spawn(
+        name: impl Into<String>,
+        node: NodeHandle,
+        net: Network<NetMsg>,
+        registry: Arc<ArchiveRegistry>,
+        spaces: Arc<SpaceRegistry>,
+        config: ServerConfig,
+    ) -> CnServer {
+        let name = name.into();
+        let (addr, rx) = net.register();
+        net.join_group(addr, cn_cluster::network::DISCOVERY_GROUP);
+        let state = ServerState {
+            name: name.clone(),
+            addr,
+            net: net.clone(),
+            rx,
+            node,
+            registry,
+            spaces,
+            config,
+            pending: VecDeque::new(),
+            jm_jobs: HashMap::new(),
+            tm_tasks: HashMap::new(),
+            uploaded: HashSet::new(),
+            rr: RoundRobin::new(),
+            task_threads: Vec::new(),
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("cnserver-{name}"))
+            .spawn(move || state.run())
+            .expect("spawn server thread");
+        CnServer { name, addr, net, thread: Some(thread) }
+    }
+
+    /// Ask the server to stop and wait for its event loop to exit.
+    pub fn shutdown(mut self) {
+        let _ = self.net.send(self.addr, self.addr, NetMsg::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CnServer {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = self.net.send(self.addr, self.addr, NetMsg::Shutdown);
+            let _ = t.join();
+        }
+    }
+}
+
+/// JobManager-side record of a job.
+struct JmJob {
+    client: Addr,
+    specs: Vec<TaskSpec>,
+    /// task name → (tm server addr, task endpoint, server name).
+    assigned: HashMap<String, (Addr, Addr, String)>,
+    completed: HashMap<String, UserData>,
+    started: HashSet<String>,
+    job_started: bool,
+    failed: bool,
+}
+
+/// TaskManager-side record of an assigned task.
+struct TmTask {
+    spec: TaskSpec,
+    /// The JobManager this task reports lifecycle events to.
+    jm: Addr,
+    endpoint: Addr,
+    rx: Option<Receiver<Envelope<NetMsg>>>,
+    reservation: Option<cn_cluster::node::Reservation>,
+    started: bool,
+}
+
+struct ServerState {
+    name: String,
+    addr: Addr,
+    net: Network<NetMsg>,
+    rx: Receiver<Envelope<NetMsg>>,
+    node: NodeHandle,
+    registry: Arc<ArchiveRegistry>,
+    spaces: Arc<SpaceRegistry>,
+    config: ServerConfig,
+    /// Envelopes stashed during nested waits.
+    pending: VecDeque<Envelope<NetMsg>>,
+    jm_jobs: HashMap<JobId, JmJob>,
+    tm_tasks: HashMap<(JobId, String), TmTask>,
+    /// Jars this TaskManager has received.
+    uploaded: HashSet<String>,
+    rr: RoundRobin,
+    task_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerState {
+    fn run(mut self) {
+        loop {
+            let env = if let Some(env) = self.pending.pop_front() {
+                env
+            } else {
+                match self.rx.recv() {
+                    Ok(env) => env,
+                    Err(_) => break, // network gone
+                }
+            };
+            if matches!(env.msg, NetMsg::Shutdown) {
+                break;
+            }
+            self.handle(env);
+        }
+        // Task threads are detached on shutdown: they hold their own clones
+        // of the network/registry and exit once their (timeout-bounded)
+        // receives return. Joining here would block shutdown behind a task
+        // stuck waiting for input that will never arrive.
+        self.task_threads.clear();
+        self.net.unregister(self.addr);
+    }
+
+    fn send(&self, to: Addr, msg: NetMsg) {
+        let _ = self.net.send(self.addr, to, msg);
+    }
+
+    /// Nested receive: wait for an envelope matching `want`, stashing
+    /// everything else for the main loop.
+    fn wait_for(
+        &mut self,
+        deadline: Instant,
+        mut want: impl FnMut(&NetMsg) -> bool,
+    ) -> Option<Envelope<NetMsg>> {
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) if want(&env.msg) => return Some(env),
+                Ok(env) => self.pending.push_back(env),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn handle(&mut self, env: Envelope<NetMsg>) {
+        match env.msg {
+            // ---- JobManager: discovery --------------------------------
+            NetMsg::SolicitJobManager { job, requirements, reply_to } => {
+                let willing = self.node.is_alive()
+                    && self.node.free_memory_mb() >= requirements.min_free_memory_mb
+                    && self.node.free_slots() >= requirements.min_free_slots;
+                if willing {
+                    self.send(
+                        reply_to,
+                        NetMsg::JobManagerBid { job, bid: self.own_bid() },
+                    );
+                }
+            }
+
+            // ---- JobManager: job lifecycle ----------------------------
+            NetMsg::CreateJob { job, client, reply_to } => {
+                let accepted = !self.jm_jobs.contains_key(&job);
+                if accepted {
+                    self.jm_jobs.insert(
+                        job,
+                        JmJob {
+                            client,
+                            specs: Vec::new(),
+                            assigned: HashMap::new(),
+                            completed: HashMap::new(),
+                            started: HashSet::new(),
+                            job_started: false,
+                            failed: false,
+                        },
+                    );
+                }
+                self.send(
+                    reply_to,
+                    NetMsg::JobAck {
+                        job,
+                        accepted,
+                        reason: if accepted { String::new() } else { "job already exists".into() },
+                    },
+                );
+            }
+            NetMsg::CreateTask { job, spec, reply_to } => {
+                let result = self.place_task(job, spec.clone());
+                match result {
+                    Ok((tm_addr, task_addr, server)) => {
+                        if let Some(j) = self.jm_jobs.get_mut(&job) {
+                            j.specs.push(spec.clone());
+                            j.assigned.insert(spec.name.clone(), (tm_addr, task_addr, server.clone()));
+                        }
+                        self.send(
+                            reply_to,
+                            NetMsg::TaskAck {
+                                job,
+                                task: spec.name,
+                                accepted: true,
+                                reason: String::new(),
+                                server,
+                                task_addr: Some(task_addr),
+                            },
+                        );
+                    }
+                    Err(reason) => {
+                        self.send(
+                            reply_to,
+                            NetMsg::TaskAck {
+                                job,
+                                task: spec.name,
+                                accepted: false,
+                                reason,
+                                server: String::new(),
+                                task_addr: None,
+                            },
+                        );
+                    }
+                }
+            }
+            NetMsg::StartJob { job } => self.jm_start_ready(job),
+            NetMsg::CancelJob { job } => self.jm_cancel_job(job),
+
+            // ---- TaskManager: placement -------------------------------
+            NetMsg::SolicitTaskManager { job, task, memory_mb, reply_to }
+                if self.node.can_host(memory_mb) => {
+                    self.send(
+                        reply_to,
+                        NetMsg::TaskManagerBid { job, task, bid: self.own_bid() },
+                    );
+                }
+            NetMsg::UploadArchive { jar, .. } => self.tm_upload(&jar),
+            NetMsg::AssignTask { job, spec, jm, reply_to } => {
+                let task = spec.name.clone();
+                match self.tm_assign(job, spec, jm) {
+                    Ok(task_addr) => self.send(
+                        reply_to,
+                        NetMsg::AssignAck {
+                            job,
+                            task,
+                            accepted: true,
+                            reason: String::new(),
+                            task_addr: Some(task_addr),
+                        },
+                    ),
+                    Err(reason) => self.send(
+                        reply_to,
+                        NetMsg::AssignAck { job, task, accepted: false, reason, task_addr: None },
+                    ),
+                }
+            }
+            NetMsg::StartTask { job, task, directory, client } => {
+                self.tm_start(job, &task, directory, client)
+            }
+            NetMsg::CancelTask { job, task } => self.tm_cancel(job, &task),
+            NetMsg::TaskExited { job, task } => {
+                self.tm_tasks.remove(&(job, task));
+            }
+
+            // ---- JobManager: task lifecycle from TMs -------------------
+            NetMsg::TaskStarted { job, task } => {
+                if let Some(j) = self.jm_jobs.get(&job) {
+                    let client = j.client;
+                    self.send(client, NetMsg::TaskStarted { job, task });
+                }
+            }
+            NetMsg::TaskCompleted { job, task, result } => self.jm_task_completed(job, task, result),
+            NetMsg::TaskFailed { job, task, error } => self.jm_task_failed(job, task, error),
+
+            // Not for the server: ignore.
+            _ => {}
+        }
+    }
+
+    fn own_bid(&self) -> Bid {
+        Bid {
+            server: self.name.clone(),
+            addr: self.addr,
+            load: self.node.load(),
+            free_memory_mb: self.node.free_memory_mb(),
+            free_slots: self.node.free_slots(),
+        }
+    }
+
+    // ---- JobManager internals ------------------------------------------
+
+    /// Place one task: solicit TaskManagers (including our own, evaluated
+    /// locally — JM and TM share this process), select per policy, upload
+    /// the archive, assign.
+    fn place_task(&mut self, job: JobId, spec: TaskSpec) -> Result<(Addr, Addr, String), String> {
+        match self.jm_jobs.get(&job) {
+            None => return Err(format!("no such job {job}")),
+            Some(j) if j.assigned.contains_key(&spec.name) => {
+                return Err(format!("task name {:?} already exists in {job}", spec.name))
+            }
+            Some(_) => {}
+        }
+        // Multicast solicitation (the paper's "JobManager solicits
+        // TaskManager for the Tasks").
+        self.net.multicast(
+            self.addr,
+            cn_cluster::network::DISCOVERY_GROUP,
+            NetMsg::SolicitTaskManager {
+                job,
+                task: spec.name.clone(),
+                memory_mb: spec.memory_mb,
+                reply_to: self.addr,
+            },
+        );
+        let mut bids: Vec<Bid> = Vec::new();
+        // Our own TM is evaluated locally (multicast excludes the sender).
+        if self.node.can_host(spec.memory_mb) {
+            bids.push(self.own_bid());
+        }
+        let deadline = Instant::now() + self.config.bid_window;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => match env.msg {
+                    NetMsg::TaskManagerBid { job: bjob, task, bid }
+                        if bjob == job && task == spec.name =>
+                    {
+                        bids.push(bid)
+                    }
+                    _ => self.pending.push_back(env),
+                },
+                Err(_) => break,
+            }
+        }
+        // Try bidders in policy order: a TaskManager may still reject (its
+        // state can change between bid and assignment) or time out, in
+        // which case the JobManager falls back to the next-best bidder.
+        let mut failures: Vec<String> = Vec::new();
+        let mut remaining = bids;
+        while !remaining.is_empty() {
+            let chosen = match self.config.policy {
+                Policy::RoundRobin => self.rr.select(&remaining).cloned(),
+                p => select(p, &remaining, 0).cloned(),
+            }
+            .expect("remaining is non-empty");
+            remaining.retain(|b| b.addr != chosen.addr);
+            match self.try_assign(job, &spec, &chosen) {
+                Ok(task_addr) => return Ok((chosen.addr, task_addr, chosen.server)),
+                Err(reason) => failures.push(format!("{}: {reason}", chosen.server)),
+            }
+        }
+        if failures.is_empty() {
+            Err(format!("no willing TaskManager for task {:?}", spec.name))
+        } else {
+            Err(format!(
+                "every willing TaskManager failed for task {:?}: {}",
+                spec.name,
+                failures.join("; ")
+            ))
+        }
+    }
+
+    /// Attempt one assignment on a specific bidder.
+    fn try_assign(&mut self, job: JobId, spec: &TaskSpec, chosen: &Bid) -> Result<Addr, String> {
+        if chosen.addr == self.addr {
+            // Local fast path: same process.
+            self.tm_upload(&spec.jar);
+            return self.tm_assign(job, spec.clone(), self.addr);
+        }
+        let size = self.registry.get(&spec.jar).map(|a| a.size_bytes).unwrap_or(0);
+        self.send(chosen.addr, NetMsg::UploadArchive { jar: spec.jar.clone(), size_bytes: size });
+        self.send(
+            chosen.addr,
+            NetMsg::AssignTask { job, spec: spec.clone(), jm: self.addr, reply_to: self.addr },
+        );
+        let deadline = Instant::now() + self.config.assign_timeout;
+        let task_name = spec.name.clone();
+        let tm_addr = chosen.addr;
+        // Match on the sender too: a late ack from a previously timed-out
+        // bidder must not be attributed to this attempt.
+        let ack = self.wait_for(deadline, |m| {
+            matches!(m, NetMsg::AssignAck { job: j, task, .. } if *j == job && *task == task_name)
+        });
+        let Some(ack) = ack else {
+            // The TM may have accepted after we gave up; tell it to release
+            // the assignment (best effort — idempotent on the TM side).
+            self.send(tm_addr, NetMsg::CancelTask { job, task: task_name });
+            return Err("AssignAck timeout".to_string());
+        };
+        if ack.from != tm_addr {
+            // Stale ack from an earlier bidder: release whatever it set up
+            // and report this attempt as failed.
+            self.send(ack.from, NetMsg::CancelTask { job, task: task_name });
+            return Err(format!("stale AssignAck from {}", ack.from));
+        }
+        match ack.msg {
+            NetMsg::AssignAck { accepted: true, task_addr: Some(addr), .. } => Ok(addr),
+            NetMsg::AssignAck { reason, .. } => Err(format!("rejected: {reason}")),
+            _ => unreachable!("wait_for filtered on AssignAck"),
+        }
+    }
+
+    /// Start every not-yet-started task whose dependencies are complete.
+    fn jm_start_ready(&mut self, job: JobId) {
+        let Some(j) = self.jm_jobs.get_mut(&job) else { return };
+        j.job_started = true;
+        if j.failed {
+            return;
+        }
+        if j.specs.is_empty() {
+            // A job with no tasks is vacuously complete.
+            let client = j.client;
+            self.jm_jobs.remove(&job);
+            self.send(client, NetMsg::JobCompleted { job, results: Vec::new() });
+            return;
+        }
+        // Build the full directory once per call (client included).
+        let mut directory: HashMap<String, Addr> =
+            j.assigned.iter().map(|(name, (_, task_addr, _))| (name.clone(), *task_addr)).collect();
+        directory.insert(CLIENT_TASK_NAME.to_string(), j.client);
+        let client = j.client;
+        let ready: Vec<(String, Addr)> = j
+            .specs
+            .iter()
+            .filter(|s| {
+                !j.started.contains(&s.name)
+                    && !j.completed.contains_key(&s.name)
+                    && s.depends.iter().all(|d| j.completed.contains_key(d))
+            })
+            .filter_map(|s| j.assigned.get(&s.name).map(|(tm, _, _)| (s.name.clone(), *tm)))
+            .collect();
+        for (task, _) in &ready {
+            j.started.insert(task.clone());
+        }
+        for (task, tm_addr) in ready {
+            if tm_addr == self.addr {
+                self.tm_start(job, &task, directory.clone(), client);
+            } else {
+                self.send(
+                    tm_addr,
+                    NetMsg::StartTask { job, task, directory: directory.clone(), client },
+                );
+            }
+        }
+    }
+
+    fn jm_task_completed(&mut self, job: JobId, task: String, result: UserData) {
+        let Some(j) = self.jm_jobs.get_mut(&job) else { return };
+        j.completed.insert(task.clone(), result.clone());
+        let client = j.client;
+        let all_done = j.completed.len() == j.specs.len();
+        let results: Vec<(String, UserData)> = if all_done {
+            j.specs
+                .iter()
+                .map(|s| (s.name.clone(), j.completed.get(&s.name).cloned().unwrap_or(UserData::Empty)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let job_started = j.job_started;
+        self.send(client, NetMsg::TaskCompleted { job, task, result });
+        if all_done {
+            // The job is finished; drop its JobManager state.
+            self.jm_jobs.remove(&job);
+            self.send(client, NetMsg::JobCompleted { job, results });
+        } else if job_started {
+            self.jm_start_ready(job);
+        }
+    }
+
+    /// Client-requested cancellation: interrupt everything in flight and
+    /// report the job as failed.
+    fn jm_cancel_job(&mut self, job: JobId) {
+        let Some(j) = self.jm_jobs.get_mut(&job) else { return };
+        if j.failed {
+            return;
+        }
+        j.failed = true;
+        let client = j.client;
+        // Everything assigned and not yet complete is cancelled — including
+        // tasks that never started (their reservations must be released).
+        let to_cancel: Vec<(String, Addr)> = j
+            .assigned
+            .iter()
+            .filter(|(t, _)| !j.completed.contains_key(*t))
+            .map(|(t, (tm, _, _))| (t.clone(), *tm))
+            .collect();
+        for (t, tm_addr) in to_cancel {
+            if tm_addr == self.addr {
+                self.tm_cancel(job, &t);
+            } else {
+                self.send(tm_addr, NetMsg::CancelTask { job, task: t });
+            }
+        }
+        self.jm_jobs.remove(&job);
+        self.send(client, NetMsg::JobFailed { job, error: "cancelled by client".to_string() });
+    }
+
+    fn jm_task_failed(&mut self, job: JobId, task: String, error: String) {
+        let Some(j) = self.jm_jobs.get_mut(&job) else { return };
+        let first_failure = !j.failed;
+        j.failed = true;
+        let client = j.client;
+        // Cancel everything assigned and not complete — running tasks are
+        // interrupted, never-started ones release their reservations.
+        let to_cancel: Vec<(String, Addr)> = j
+            .assigned
+            .iter()
+            .filter(|(t, _)| !j.completed.contains_key(*t) && **t != task)
+            .map(|(t, (tm, _, _))| (t.clone(), *tm))
+            .collect();
+        for (t, tm_addr) in to_cancel {
+            if tm_addr == self.addr {
+                self.tm_cancel(job, &t);
+            } else {
+                self.send(tm_addr, NetMsg::CancelTask { job, task: t });
+            }
+        }
+        self.send(client, NetMsg::TaskFailed { job, task: task.clone(), error: error.clone() });
+        if first_failure {
+            self.jm_jobs.remove(&job);
+            self.send(
+                client,
+                NetMsg::JobFailed { job, error: format!("task {task:?} failed: {error}") },
+            );
+        }
+    }
+
+    // ---- TaskManager internals ------------------------------------------
+
+    fn tm_upload(&mut self, jar: &str) {
+        self.uploaded.insert(jar.to_string());
+    }
+
+    /// Reserve resources and set up the task's message queue.
+    fn tm_assign(&mut self, job: JobId, spec: TaskSpec, jm: Addr) -> Result<Addr, String> {
+        if !self.uploaded.contains(&spec.jar) {
+            return Err(format!("archive {:?} was not uploaded", spec.jar));
+        }
+        if !self.registry.contains(&spec.jar) {
+            return Err(format!("archive {:?} not present in the registry", spec.jar));
+        }
+        let reservation = self.node.reserve(spec.memory_mb).map_err(|e| e.to_string())?;
+        let (endpoint, rx) = self.net.register();
+        let key = (job, spec.name.clone());
+        self.tm_tasks.insert(
+            key,
+            TmTask { spec, jm, endpoint, rx: Some(rx), reservation: Some(reservation), started: false },
+        );
+        Ok(endpoint)
+    }
+
+    /// Run an assigned task on its own thread.
+    fn tm_start(
+        &mut self,
+        job: JobId,
+        task: &str,
+        directory: HashMap<String, Addr>,
+        _client: Addr,
+    ) {
+        let Some(t) = self.tm_tasks.get_mut(&(job, task.to_string())) else { return };
+        if t.started {
+            return;
+        }
+        t.started = true;
+        let Some(rx) = t.rx.take() else { return };
+        let reservation = t.reservation.take();
+        let spec = t.spec.clone();
+        let endpoint = t.endpoint;
+        let net = self.net.clone();
+        let jm = t.jm;
+        let local_tm = self.addr;
+        let registry = Arc::clone(&self.registry);
+        let space = self.spaces.get_or_create(job);
+        let server_name = self.name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("task-{}-{}", job.0, spec.name))
+            .spawn(move || {
+                let _reservation = reservation; // released when the task ends
+                let mut instance = match registry.instantiate(&spec.jar, &spec.class) {
+                    Ok(i) => i,
+                    Err(e) => {
+                        let _ = net.send(
+                            endpoint,
+                            jm,
+                            NetMsg::TaskFailed {
+                                job,
+                                task: spec.name.clone(),
+                                error: format!("[{server_name}] {e}"),
+                            },
+                        );
+                        let _ = net
+                            .send(endpoint, local_tm, NetMsg::TaskExited { job, task: spec.name.clone() });
+                        net.unregister(endpoint);
+                        return;
+                    }
+                };
+                let _ = net.send(endpoint, jm, NetMsg::TaskStarted { job, task: spec.name.clone() });
+                let mut ctx = TaskContext {
+                    job,
+                    name: spec.name.clone(),
+                    params: spec.params.clone(),
+                    net: net.clone(),
+                    addr: endpoint,
+                    rx,
+                    directory,
+                    space,
+                    stash: Vec::new(),
+                };
+                let outcome = instance.run(&mut ctx);
+                let msg = match outcome {
+                    Ok(result) => NetMsg::TaskCompleted { job, task: spec.name.clone(), result },
+                    Err(e) => NetMsg::TaskFailed { job, task: spec.name.clone(), error: e.msg },
+                };
+                let _ = net.send(endpoint, jm, msg);
+                let _ = net.send(endpoint, local_tm, NetMsg::TaskExited { job, task: spec.name.clone() });
+                net.unregister(endpoint);
+            })
+            .expect("spawn task thread");
+        self.task_threads.push(handle);
+    }
+
+    fn tm_cancel(&mut self, job: JobId, task: &str) {
+        let key = (job, task.to_string());
+        let Some(t) = self.tm_tasks.get(&key) else { return };
+        if t.started {
+            // Poke the task's queue; it sees Shutdown at its next recv. The
+            // bookkeeping entry is dropped when the thread reports
+            // TaskExited.
+            let _ = self.net.send(self.addr, t.endpoint, NetMsg::Shutdown);
+        } else {
+            // Never started: release the reservation and the queue.
+            let t = self.tm_tasks.remove(&key).expect("checked above");
+            self.net.unregister(t.endpoint);
+            drop(t); // reservation released here
+        }
+    }
+}

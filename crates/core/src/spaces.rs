@@ -1,0 +1,77 @@
+//! Per-job tuple-space registry, shared by every server and client in a
+//! neighborhood (the simulated analogue of a cluster-wide tuple-space
+//! service).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::message::JobId;
+use crate::tuplespace::TupleSpace;
+
+/// Lazily creates one [`TupleSpace`] per job.
+#[derive(Debug, Default)]
+pub struct SpaceRegistry {
+    spaces: Mutex<HashMap<JobId, Arc<TupleSpace>>>,
+}
+
+impl SpaceRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn get_or_create(&self, job: JobId) -> Arc<TupleSpace> {
+        Arc::clone(self.spaces.lock().entry(job).or_default())
+    }
+
+    /// Drop a job's space (when the job completes).
+    pub fn remove(&self, job: JobId) {
+        self.spaces.lock().remove(&job);
+    }
+
+    pub fn len(&self) -> usize {
+        self.spaces.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spaces.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuplespace::Field;
+
+    #[test]
+    fn same_job_same_space() {
+        let reg = SpaceRegistry::new();
+        let a = reg.get_or_create(JobId(1));
+        let b = reg.get_or_create(JobId(1));
+        a.out(vec![Field::I(1)]);
+        assert_eq!(b.len(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_jobs_isolated() {
+        let reg = SpaceRegistry::new();
+        let a = reg.get_or_create(JobId(1));
+        let b = reg.get_or_create(JobId(2));
+        a.out(vec![Field::I(1)]);
+        assert!(b.is_empty());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn remove_clears_entry() {
+        let reg = SpaceRegistry::new();
+        let a = reg.get_or_create(JobId(1));
+        a.out(vec![Field::I(1)]);
+        reg.remove(JobId(1));
+        // A fresh space is created on next access.
+        let b = reg.get_or_create(JobId(1));
+        assert!(b.is_empty());
+    }
+}

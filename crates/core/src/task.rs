@@ -1,0 +1,372 @@
+//! The Task interface and execution context.
+//!
+//! "A Task is defined to be a unit of work that the user wants to perform"
+//! (paper Section 3). User tasks implement [`Task`], "conforming to the Task
+//! interface defined by CN API", and communicate through their
+//! [`TaskContext`] — the per-task message queue the TaskManager sets up,
+//! plus helpers mirroring the CN API's messaging surface.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cn_cluster::{Addr, Envelope, Network};
+use cn_cnx::Param;
+use crossbeam::channel::Receiver;
+
+use crate::message::{CnMessage, JobId, NetMsg, UserData, CLIENT_TASK_NAME};
+use crate::tuplespace::TupleSpace;
+
+/// Task failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    pub msg: String,
+}
+
+impl TaskError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        TaskError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// The user task interface. `run` executes on a TaskManager thread
+/// (`RUN_AS_THREAD_IN_TM`); its return value is reported to the client as
+/// the task result.
+pub trait Task: Send {
+    fn run(&mut self, ctx: &mut TaskContext) -> Result<UserData, TaskError>;
+}
+
+/// Blanket impl so closures can be tasks in tests and examples.
+impl<F> Task for F
+where
+    F: FnMut(&mut TaskContext) -> Result<UserData, TaskError> + Send,
+{
+    fn run(&mut self, ctx: &mut TaskContext) -> Result<UserData, TaskError> {
+        self(ctx)
+    }
+}
+
+/// Receive failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    Timeout,
+    /// The job is shutting down (cancellation).
+    Shutdown,
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Shutdown => write!(f, "task was cancelled"),
+            RecvError::Disconnected => write!(f, "message queue disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Execution context handed to [`Task::run`].
+pub struct TaskContext {
+    pub job: JobId,
+    /// This task's name within the job.
+    pub name: String,
+    /// Declared parameters (from CNX `<param>` / tagged values).
+    pub params: Vec<Param>,
+    pub(crate) net: Network<NetMsg>,
+    pub(crate) addr: Addr,
+    pub(crate) rx: Receiver<Envelope<NetMsg>>,
+    /// task name → endpoint address, for the whole job (the client is
+    /// reachable as [`CLIENT_TASK_NAME`]).
+    pub(crate) directory: HashMap<String, Addr>,
+    /// Job-wide tuple space (the alternative coordination medium the paper
+    /// mentions: "CN also supports communication via tuple spaces").
+    pub(crate) space: Arc<TupleSpace>,
+    /// Messages that arrived while a selective receive was looking for
+    /// something else.
+    pub(crate) stash: Vec<CnMessage>,
+}
+
+impl TaskContext {
+    /// Parameter `i` as an i64, if present and numeric.
+    pub fn param_i64(&self, i: usize) -> Option<i64> {
+        self.params.get(i).and_then(|p| p.value.trim().parse().ok())
+    }
+
+    /// Parameter `i` as a string.
+    pub fn param_str(&self, i: usize) -> Option<&str> {
+        self.params.get(i).map(|p| p.value.as_str())
+    }
+
+    /// Names of all tasks in the job except this one (and the client).
+    pub fn peers(&self) -> Vec<String> {
+        let mut peers: Vec<String> = self
+            .directory
+            .keys()
+            .filter(|n| n.as_str() != self.name && n.as_str() != CLIENT_TASK_NAME)
+            .cloned()
+            .collect();
+        peers.sort();
+        peers
+    }
+
+    /// The job-wide tuple space.
+    pub fn tuplespace(&self) -> &TupleSpace {
+        &self.space
+    }
+
+    /// Send a user-defined message to another task by name.
+    pub fn send(&self, to_task: &str, tag: &str, data: UserData) -> Result<(), TaskError> {
+        let &to = self
+            .directory
+            .get(to_task)
+            .ok_or_else(|| TaskError::new(format!("unknown task {to_task:?}")))?;
+        self.net
+            .send(
+                self.addr,
+                to,
+                NetMsg::User {
+                    job: self.job,
+                    from_task: self.name.clone(),
+                    tag: tag.to_string(),
+                    data,
+                },
+            )
+            .map_err(|e| TaskError::new(e.to_string()))
+    }
+
+    /// Send a user-defined message to the client.
+    pub fn send_to_client(&self, tag: &str, data: UserData) -> Result<(), TaskError> {
+        self.send(CLIENT_TASK_NAME, tag, data)
+    }
+
+    /// Broadcast a user-defined message to every peer task.
+    pub fn broadcast(&self, tag: &str, data: UserData) -> Result<usize, TaskError> {
+        let peers = self.peers();
+        for p in &peers {
+            self.send(p, tag, data.clone())?;
+        }
+        Ok(peers.len())
+    }
+
+    fn decode(&self, env: Envelope<NetMsg>) -> Option<CnMessage> {
+        match env.msg {
+            NetMsg::User { from_task, tag, data, .. } => {
+                Some(CnMessage::User { from_task, tag, data })
+            }
+            NetMsg::Shutdown | NetMsg::CancelTask { .. } => Some(CnMessage::Shutdown),
+            // Anything else is protocol noise for a task endpoint.
+            _ => None,
+        }
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<CnMessage, RecvError> {
+        if !self.stash.is_empty() {
+            return Ok(self.stash.remove(0));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvError::Timeout);
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if let Some(m) = self.decode(env) {
+                        if matches!(m, CnMessage::Shutdown) {
+                            return Err(RecvError::Shutdown);
+                        }
+                        return Ok(m);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(RecvError::Timeout)
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(RecvError::Disconnected)
+                }
+            }
+        }
+    }
+
+    /// Blocking receive with the default (generous) timeout.
+    pub fn recv(&mut self) -> Result<CnMessage, RecvError> {
+        self.recv_timeout(Duration::from_secs(30))
+    }
+
+    /// Receive the next user message whose tag matches, stashing anything
+    /// else for later `recv` calls. This is the selective-receive idiom the
+    /// transitive-closure tasks use while waiting for "row k".
+    pub fn recv_tagged(&mut self, tag: &str, timeout: Duration) -> Result<(String, UserData), RecvError> {
+        // Check the stash first.
+        if let Some(pos) = self.stash.iter().position(
+            |m| matches!(m, CnMessage::User { tag: t, .. } if t == tag),
+        ) {
+            if let CnMessage::User { from_task, data, .. } = self.stash.remove(pos) {
+                return Ok((from_task, data));
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvError::Timeout);
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => match self.decode(env) {
+                    Some(CnMessage::Shutdown) => return Err(RecvError::Shutdown),
+                    Some(CnMessage::User { from_task, tag: t, data }) if t == tag => {
+                        return Ok((from_task, data))
+                    }
+                    Some(other) => self.stash.push(other),
+                    None => {}
+                },
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(RecvError::Timeout)
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(RecvError::Disconnected)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_cluster::LatencyModel;
+
+    fn make_ctx(net: &Network<NetMsg>) -> (TaskContext, TaskContext) {
+        let (a_addr, a_rx) = net.register();
+        let (b_addr, b_rx) = net.register();
+        let mut directory = HashMap::new();
+        directory.insert("a".to_string(), a_addr);
+        directory.insert("b".to_string(), b_addr);
+        let space = Arc::new(TupleSpace::new());
+        let a = TaskContext {
+            job: JobId(1),
+            name: "a".to_string(),
+            params: vec![Param::integer(7), Param::string("file.txt")],
+            net: net.clone(),
+            addr: a_addr,
+            rx: a_rx,
+            directory: directory.clone(),
+            space: space.clone(),
+            stash: Vec::new(),
+        };
+        let b = TaskContext {
+            job: JobId(1),
+            name: "b".to_string(),
+            params: vec![],
+            net: net.clone(),
+            addr: b_addr,
+            rx: b_rx,
+            directory,
+            space,
+            stash: Vec::new(),
+        };
+        (a, b)
+    }
+
+    #[test]
+    fn params_accessors() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (a, _b) = make_ctx(&net);
+        assert_eq!(a.param_i64(0), Some(7));
+        assert_eq!(a.param_str(1), Some("file.txt"));
+        assert_eq!(a.param_i64(1), None);
+        assert_eq!(a.param_i64(9), None);
+    }
+
+    #[test]
+    fn send_and_recv_between_tasks() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (a, mut b) = make_ctx(&net);
+        a.send("b", "ping", UserData::I64s(vec![1, 2])).unwrap();
+        match b.recv_timeout(Duration::from_secs(1)).unwrap() {
+            CnMessage::User { from_task, tag, data } => {
+                assert_eq!(from_task, "a");
+                assert_eq!(tag, "ping");
+                assert_eq!(data, UserData::I64s(vec![1, 2]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_to_unknown_task_fails() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (a, _b) = make_ctx(&net);
+        assert!(a.send("ghost", "x", UserData::Empty).is_err());
+    }
+
+    #[test]
+    fn peers_excludes_self_and_client() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (mut a, _b) = make_ctx(&net);
+        a.directory.insert(CLIENT_TASK_NAME.to_string(), Addr(999));
+        assert_eq!(a.peers(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn broadcast_reaches_peers() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (a, mut b) = make_ctx(&net);
+        let n = a.broadcast("k-row", UserData::I64s(vec![0, 5, 2])).unwrap();
+        assert_eq!(n, 1);
+        assert!(matches!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap(),
+            CnMessage::User { tag, .. } if tag == "k-row"
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (_a, mut b) = make_ctx(&net);
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)), Err(RecvError::Timeout));
+    }
+
+    #[test]
+    fn recv_tagged_stashes_other_messages() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (a, mut b) = make_ctx(&net);
+        a.send("b", "other", UserData::Text("first".into())).unwrap();
+        a.send("b", "wanted", UserData::Text("second".into())).unwrap();
+        let (_, data) = b.recv_tagged("wanted", Duration::from_secs(1)).unwrap();
+        assert_eq!(data, UserData::Text("second".into()));
+        // The stashed message is still deliverable.
+        match b.recv_timeout(Duration::from_secs(1)).unwrap() {
+            CnMessage::User { tag, .. } => assert_eq!(tag, "other"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_surfaces_as_recv_error() {
+        let net = Network::new(LatencyModel::zero(), 1);
+        let (a, mut b) = make_ctx(&net);
+        net.send(a.addr, b.addr, NetMsg::Shutdown).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)), Err(RecvError::Shutdown));
+    }
+
+    #[test]
+    fn closure_is_a_task() {
+        let mut f = |_ctx: &mut TaskContext| Ok(UserData::Text("done".into()));
+        // Just type-check the blanket impl.
+        fn takes_task<T: Task>(_t: &mut T) {}
+        takes_task(&mut f);
+    }
+}

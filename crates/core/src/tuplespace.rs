@@ -1,0 +1,237 @@
+//! Tuple-space coordination.
+//!
+//! "CN also supports communication via tuple spaces" (paper Section 2,
+//! parenthetical). This is the classic Linda model: `out` deposits a tuple,
+//! `rd` copies a matching tuple, `in` removes one; both blocking and
+//! non-blocking forms are provided. One space exists per job and is
+//! reachable from every task via [`crate::TaskContext::tuplespace`].
+
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// One field of a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    I(i64),
+    F(f64),
+    S(String),
+    B(Vec<u8>),
+}
+
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::S(v.to_string())
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F(v)
+    }
+}
+
+/// A tuple: a non-empty sequence of fields.
+pub type Tuple = Vec<Field>;
+
+/// A match pattern: `Some(field)` matches exactly, `None` is a wildcard.
+pub type Pattern = Vec<Option<Field>>;
+
+/// Build a pattern from exact fields (no wildcards).
+pub fn exact(fields: &[Field]) -> Pattern {
+    fields.iter().cloned().map(Some).collect()
+}
+
+fn matches(tuple: &Tuple, pattern: &Pattern) -> bool {
+    tuple.len() == pattern.len()
+        && tuple.iter().zip(pattern).all(|(f, p)| match p {
+            Some(want) => f == want,
+            None => true,
+        })
+}
+
+/// A Linda-style tuple space.
+#[derive(Debug, Default)]
+pub struct TupleSpace {
+    tuples: Mutex<Vec<Tuple>>,
+    cv: Condvar,
+}
+
+impl TupleSpace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a tuple (`out` in Linda terms).
+    pub fn out(&self, tuple: Tuple) {
+        assert!(!tuple.is_empty(), "tuples must be non-empty");
+        self.tuples.lock().push(tuple);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking read: copy a matching tuple if present.
+    pub fn try_rd(&self, pattern: &Pattern) -> Option<Tuple> {
+        let tuples = self.tuples.lock();
+        tuples.iter().find(|t| matches(t, pattern)).cloned()
+    }
+
+    /// Non-blocking take: remove and return a matching tuple if present.
+    pub fn try_in(&self, pattern: &Pattern) -> Option<Tuple> {
+        let mut tuples = self.tuples.lock();
+        let pos = tuples.iter().position(|t| matches(t, pattern))?;
+        Some(tuples.remove(pos))
+    }
+
+    /// Blocking read with timeout.
+    pub fn rd(&self, pattern: &Pattern, timeout: Duration) -> Option<Tuple> {
+        let deadline = Instant::now() + timeout;
+        let mut tuples = self.tuples.lock();
+        loop {
+            if let Some(t) = tuples.iter().find(|t| matches(t, pattern)) {
+                return Some(t.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.cv.wait_until(&mut tuples, deadline).timed_out() {
+                return tuples.iter().find(|t| matches(t, pattern)).cloned();
+            }
+        }
+    }
+
+    /// Blocking take with timeout.
+    pub fn take(&self, pattern: &Pattern, timeout: Duration) -> Option<Tuple> {
+        let deadline = Instant::now() + timeout;
+        let mut tuples = self.tuples.lock();
+        loop {
+            if let Some(pos) = tuples.iter().position(|t| matches(t, pattern)) {
+                return Some(tuples.remove(pos));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.cv.wait_until(&mut tuples, deadline).timed_out() {
+                let pos = tuples.iter().position(|t| matches(t, pattern))?;
+                return Some(tuples.remove(pos));
+            }
+        }
+    }
+
+    /// Number of tuples currently in the space.
+    pub fn len(&self) -> usize {
+        self.tuples.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn out_rd_in_basics() {
+        let ts = TupleSpace::new();
+        ts.out(vec![Field::S("row".into()), Field::I(3), Field::B(vec![1, 2])]);
+        let pat: Pattern = vec![Some(Field::S("row".into())), Some(Field::I(3)), None];
+        let copy = ts.try_rd(&pat).unwrap();
+        assert_eq!(copy[2], Field::B(vec![1, 2]));
+        assert_eq!(ts.len(), 1, "rd does not remove");
+        let taken = ts.try_in(&pat).unwrap();
+        assert_eq!(taken, copy);
+        assert!(ts.is_empty());
+        assert!(ts.try_in(&pat).is_none());
+    }
+
+    #[test]
+    fn wildcards_match_any_value() {
+        let ts = TupleSpace::new();
+        ts.out(vec![Field::S("k".into()), Field::I(1)]);
+        ts.out(vec![Field::S("k".into()), Field::I(2)]);
+        let pat: Pattern = vec![Some(Field::S("k".into())), None];
+        assert!(ts.try_rd(&pat).is_some());
+        // Arity must match exactly.
+        let wrong_arity: Pattern = vec![Some(Field::S("k".into()))];
+        assert!(ts.try_rd(&wrong_arity).is_none());
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_out() {
+        let ts = Arc::new(TupleSpace::new());
+        let producer = {
+            let ts = ts.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                ts.out(vec![Field::I(42)]);
+            })
+        };
+        let got = ts.take(&vec![None], Duration::from_secs(2)).unwrap();
+        assert_eq!(got, vec![Field::I(42)]);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn take_times_out() {
+        let ts = TupleSpace::new();
+        let start = Instant::now();
+        assert!(ts.take(&vec![None], Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn no_tuple_taken_twice() {
+        // N producers deposit one tuple each; N consumers each take exactly
+        // one; nothing is lost or duplicated.
+        let ts = Arc::new(TupleSpace::new());
+        let n = 16;
+        let producers: Vec<_> = (0..n)
+            .map(|i| {
+                let ts = ts.clone();
+                std::thread::spawn(move || ts.out(vec![Field::I(i as i64)]))
+            })
+            .collect();
+        let consumers: Vec<_> = (0..n)
+            .map(|_| {
+                let ts = ts.clone();
+                std::thread::spawn(move || {
+                    let t = ts.take(&vec![None], Duration::from_secs(5)).expect("a tuple");
+                    match t[0] {
+                        Field::I(v) => v,
+                        _ => unreachable!(),
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut seen: Vec<i64> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n as i64).collect::<Vec<_>>());
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn field_conversions() {
+        assert_eq!(Field::from(5i64), Field::I(5));
+        assert_eq!(Field::from("x"), Field::S("x".into()));
+        assert_eq!(Field::from(2.5), Field::F(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_tuple_rejected() {
+        TupleSpace::new().out(vec![]);
+    }
+}

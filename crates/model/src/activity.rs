@@ -1,0 +1,253 @@
+//! The activity-graph model: states, pseudostates and transitions.
+
+use crate::tags::TaggedValues;
+
+/// Index of a node within its [`ActivityGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// An action state — a CN task (paper Section 4: "each task is represented
+/// as an action state").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionState {
+    /// Task name, e.g. `TCTask2`.
+    pub name: String,
+    /// `isDynamic` — dynamic invocation (Figure 5): the number of concurrent
+    /// invocations is determined at run time.
+    pub dynamic: bool,
+    /// The multiplicity annotation for dynamic invocation (`*` = zero or
+    /// more; a concrete run-time argument expression is supplied
+    /// separately, per the paper).
+    pub multiplicity: Option<String>,
+    /// CN configuration tagged values (Figure 4).
+    pub tags: TaggedValues,
+}
+
+impl ActionState {
+    pub fn new(name: impl Into<String>) -> Self {
+        ActionState { name: name.into(), dynamic: false, multiplicity: None, tags: TaggedValues::new() }
+    }
+}
+
+/// Node payloads. Initial/final and fork/join are UML pseudostates /
+/// final states; decisions model guarded branching (supported by the model
+/// and validator, though the paper's examples don't use them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    Initial,
+    Final,
+    Action(ActionState),
+    Fork,
+    Join,
+    Decision,
+    Merge,
+}
+
+impl NodeKind {
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NodeKind::Initial => "initial",
+            NodeKind::Final => "final",
+            NodeKind::Action(_) => "action",
+            NodeKind::Fork => "fork",
+            NodeKind::Join => "join",
+            NodeKind::Decision => "decision",
+            NodeKind::Merge => "merge",
+        }
+    }
+}
+
+/// A node with identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityNode {
+    pub id: NodeId,
+    pub kind: NodeKind,
+}
+
+/// A transition: "transitions out of states are triggered by the completion
+/// of the corresponding actions" (paper Section 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    pub from: NodeId,
+    pub to: NodeId,
+    /// Optional guard expression (used with decision nodes).
+    pub guard: Option<String>,
+}
+
+/// A job modeled as an activity graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActivityGraph {
+    /// Activity (job) name, e.g. `TransClosure`.
+    pub name: String,
+    pub nodes: Vec<ActivityNode>,
+    pub transitions: Vec<Transition>,
+}
+
+impl ActivityGraph {
+    pub fn new(name: impl Into<String>) -> Self {
+        ActivityGraph { name: name.into(), nodes: Vec::new(), transitions: Vec::new() }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(ActivityNode { id, kind });
+        id
+    }
+
+    /// Add a transition.
+    pub fn add_transition(&mut self, from: NodeId, to: NodeId) {
+        self.transitions.push(Transition { from, to, guard: None });
+    }
+
+    /// Add a guarded transition.
+    pub fn add_guarded_transition(&mut self, from: NodeId, to: NodeId, guard: impl Into<String>) {
+        self.transitions.push(Transition { from, to, guard: Some(guard.into()) });
+    }
+
+    pub fn node(&self, id: NodeId) -> &ActivityNode {
+        &self.nodes[id.0]
+    }
+
+    /// All action states, in insertion order.
+    pub fn action_states(&self) -> impl Iterator<Item = (NodeId, &ActionState)> {
+        self.nodes.iter().filter_map(|n| match &n.kind {
+            NodeKind::Action(a) => Some((n.id, a)),
+            _ => None,
+        })
+    }
+
+    /// Find an action state by task name.
+    pub fn action_by_name(&self, name: &str) -> Option<(NodeId, &ActionState)> {
+        self.action_states().find(|(_, a)| a.name == name)
+    }
+
+    /// Mutable access to an action state by name.
+    pub fn action_by_name_mut(&mut self, name: &str) -> Option<&mut ActionState> {
+        self.nodes.iter_mut().find_map(|n| match &mut n.kind {
+            NodeKind::Action(a) if a.name == name => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Outgoing transition targets of `id`.
+    pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.transitions.iter().filter(move |t| t.from == id).map(|t| t.to)
+    }
+
+    /// Incoming transition sources of `id`.
+    pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.transitions.iter().filter(move |t| t.to == id).map(|t| t.from)
+    }
+
+    /// The unique initial node, if well-formed.
+    pub fn initial(&self) -> Option<NodeId> {
+        let mut it = self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Initial));
+        let first = it.next()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(first.id)
+    }
+
+    /// Task-level dependency edges: for every action state, the action
+    /// states it depends on, looking *through* pseudostates (fork, join,
+    /// decision, merge, initial). This is exactly the `depends=` relation of
+    /// the CNX descriptor.
+    pub fn task_dependencies(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        self.action_states()
+            .map(|(id, _)| {
+                let mut deps = Vec::new();
+                let mut stack: Vec<NodeId> = self.predecessors(id).collect();
+                let mut seen = vec![false; self.nodes.len()];
+                while let Some(p) = stack.pop() {
+                    if seen[p.0] {
+                        continue;
+                    }
+                    seen[p.0] = true;
+                    match &self.node(p).kind {
+                        NodeKind::Action(_) => deps.push(p),
+                        NodeKind::Initial => {}
+                        _ => stack.extend(self.predecessors(p)),
+                    }
+                }
+                deps.sort();
+                deps.dedup();
+                (id, deps)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> ActivityGraph {
+        // initial -> split -> fork -> (w1, w2) -> join -> joiner -> final
+        let mut g = ActivityGraph::new("test");
+        let initial = g.add_node(NodeKind::Initial);
+        let split = g.add_node(NodeKind::Action(ActionState::new("split")));
+        let fork = g.add_node(NodeKind::Fork);
+        let w1 = g.add_node(NodeKind::Action(ActionState::new("w1")));
+        let w2 = g.add_node(NodeKind::Action(ActionState::new("w2")));
+        let join = g.add_node(NodeKind::Join);
+        let joiner = g.add_node(NodeKind::Action(ActionState::new("joiner")));
+        let fin = g.add_node(NodeKind::Final);
+        g.add_transition(initial, split);
+        g.add_transition(split, fork);
+        g.add_transition(fork, w1);
+        g.add_transition(fork, w2);
+        g.add_transition(w1, join);
+        g.add_transition(w2, join);
+        g.add_transition(join, joiner);
+        g.add_transition(joiner, fin);
+        g
+    }
+
+    #[test]
+    fn navigation() {
+        let g = diamond();
+        let (split, _) = g.action_by_name("split").unwrap();
+        let fork = g.successors(split).next().unwrap();
+        assert_eq!(g.successors(fork).count(), 2);
+        assert_eq!(g.predecessors(split).count(), 1);
+        assert_eq!(g.initial(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn task_dependencies_see_through_pseudostates() {
+        let g = diamond();
+        let deps = g.task_dependencies();
+        let by_name = |name: &str| {
+            let (id, _) = g.action_by_name(name).unwrap();
+            deps.iter().find(|(n, _)| *n == id).map(|(_, d)| d.clone()).unwrap()
+        };
+        assert!(by_name("split").is_empty());
+        let (split_id, _) = g.action_by_name("split").unwrap();
+        assert_eq!(by_name("w1"), vec![split_id]);
+        assert_eq!(by_name("w2"), vec![split_id]);
+        let (w1, _) = g.action_by_name("w1").unwrap();
+        let (w2, _) = g.action_by_name("w2").unwrap();
+        let mut expected = vec![w1, w2];
+        expected.sort();
+        assert_eq!(by_name("joiner"), expected);
+    }
+
+    #[test]
+    fn multiple_initials_detected() {
+        let mut g = ActivityGraph::new("bad");
+        g.add_node(NodeKind::Initial);
+        g.add_node(NodeKind::Initial);
+        assert_eq!(g.initial(), None);
+    }
+
+    #[test]
+    fn action_lookup_and_mutation() {
+        let mut g = diamond();
+        g.action_by_name_mut("w1").unwrap().tags.set("memory", "1000");
+        let (_, a) = g.action_by_name("w1").unwrap();
+        assert_eq!(a.tags.memory(), Some(1000));
+        assert!(g.action_by_name("nope").is_none());
+    }
+}

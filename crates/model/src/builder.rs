@@ -1,0 +1,269 @@
+//! Fluent construction of activity graphs, plus the canned models for the
+//! paper's figures.
+
+use crate::activity::{ActionState, ActivityGraph, NodeId, NodeKind};
+use crate::tags::{TAG_CLASS, TAG_JAR, TAG_MEMORY, TAG_RUNMODEL};
+
+/// Fluent builder for activity graphs.
+///
+/// ```
+/// use cn_model::ActivityBuilder;
+/// let model = ActivityBuilder::new("MyJob")
+///     .action("split", |a| a.jar("split.jar").class("com.example.Split"))
+///     .fork_join(&["w1", "w2"], |name, a| a.jar("w.jar").class("com.example.W").param("Integer", name))
+///     .action("join", |a| a.jar("join.jar").class("com.example.Join"))
+///     .build();
+/// assert_eq!(model.action_states().count(), 4);
+/// ```
+pub struct ActivityBuilder {
+    graph: ActivityGraph,
+    /// The frontier node new states chain from.
+    cursor: NodeId,
+}
+
+/// Configures a single action state inside the builder.
+pub struct ActionConfig<'g> {
+    state: &'g mut ActionState,
+}
+
+impl ActionConfig<'_> {
+    pub fn jar(self, jar: &str) -> Self {
+        self.state.tags.set(TAG_JAR, jar);
+        self
+    }
+
+    pub fn class(self, class: &str) -> Self {
+        self.state.tags.set(TAG_CLASS, class);
+        self
+    }
+
+    pub fn memory(self, mb: u64) -> Self {
+        self.state.tags.set(TAG_MEMORY, mb.to_string());
+        self
+    }
+
+    pub fn runmodel(self, rm: &str) -> Self {
+        self.state.tags.set(TAG_RUNMODEL, rm);
+        self
+    }
+
+    pub fn param(self, ty: &str, value: &str) -> Self {
+        self.state.tags.push_param(ty, value);
+        self
+    }
+
+    pub fn tag(self, name: &str, value: &str) -> Self {
+        self.state.tags.set(name, value);
+        self
+    }
+
+    /// Mark as a dynamic invocation with the given multiplicity (`"*"` for
+    /// zero-or-more, as in Figure 5).
+    pub fn dynamic(self, multiplicity: &str) -> Self {
+        self.state.dynamic = true;
+        self.state.multiplicity = Some(multiplicity.to_string());
+        self
+    }
+}
+
+impl ActivityBuilder {
+    /// Start a new activity with an initial node.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut graph = ActivityGraph::new(name);
+        let initial = graph.add_node(NodeKind::Initial);
+        ActivityBuilder { graph, cursor: initial }
+    }
+
+    fn add_action(
+        &mut self,
+        name: &str,
+        configure: impl FnOnce(ActionConfig<'_>) -> ActionConfig<'_>,
+    ) -> NodeId {
+        let id = self.graph.add_node(NodeKind::Action(ActionState::new(name)));
+        if let NodeKind::Action(state) = &mut self.graph.nodes[id.0].kind {
+            configure(ActionConfig { state });
+        }
+        id
+    }
+
+    /// Chain a single action state after the current frontier.
+    pub fn action(
+        mut self,
+        name: &str,
+        configure: impl FnOnce(ActionConfig<'_>) -> ActionConfig<'_>,
+    ) -> Self {
+        let id = self.add_action(name, configure);
+        self.graph.add_transition(self.cursor, id);
+        self.cursor = id;
+        self
+    }
+
+    /// Chain `fork → [one action per name] → join` after the frontier — the
+    /// explicit-concurrency shape of Figure 3.
+    pub fn fork_join(
+        mut self,
+        names: &[&str],
+        mut configure: impl for<'g> FnMut(&str, ActionConfig<'g>) -> ActionConfig<'g>,
+    ) -> Self {
+        let fork = self.graph.add_node(NodeKind::Fork);
+        self.graph.add_transition(self.cursor, fork);
+        let join = self.graph.add_node(NodeKind::Join);
+        for name in names {
+            let id = self.add_action(name, |a| configure(name, a));
+            self.graph.add_transition(fork, id);
+            self.graph.add_transition(id, join);
+        }
+        self.cursor = join;
+        self
+    }
+
+    /// Chain a single *dynamic* action state (Figure 5): one action with
+    /// `isDynamic`, standing for N run-time invocations.
+    pub fn dynamic_action(
+        mut self,
+        name: &str,
+        multiplicity: &str,
+        configure: impl FnOnce(ActionConfig<'_>) -> ActionConfig<'_>,
+    ) -> Self {
+        let id = self.add_action(name, |a| configure(a.dynamic(multiplicity)));
+        self.graph.add_transition(self.cursor, id);
+        self.cursor = id;
+        self
+    }
+
+    /// Finish with a final state.
+    pub fn build(mut self) -> ActivityGraph {
+        let fin = self.graph.add_node(NodeKind::Final);
+        self.graph.add_transition(self.cursor, fin);
+        self.graph
+    }
+}
+
+/// Jar/class constants of the paper's transitive-closure example (Figure 2).
+pub mod tc {
+    pub const SPLIT_JAR: &str = "tasksplit.jar";
+    pub const SPLIT_CLASS: &str = "org.jhpc.cn2.transcloser.TaskSplit";
+    pub const WORKER_JAR: &str = "tctask.jar";
+    pub const WORKER_CLASS: &str = "org.jhpc.cn2.trnsclsrtask.TCTask";
+    pub const JOIN_JAR: &str = "taskjoin.jar";
+    pub const JOIN_CLASS: &str = "org.jhpc.cn2.transcloser.TaskJoin";
+    pub const RUNMODEL: &str = "RUN_AS_THREAD_IN_TM";
+    pub const MEMORY: u64 = 1000;
+    pub const INPUT: &str = "matrix.txt";
+}
+
+/// Figure 3: explicit concurrency with `workers` TCTask action states.
+pub fn transitive_closure(workers: usize) -> ActivityGraph {
+    let names: Vec<String> = (1..=workers).map(|i| format!("TCTask{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    ActivityBuilder::new("TransClosure")
+        .action("TaskSplit", |a| {
+            a.jar(tc::SPLIT_JAR)
+                .class(tc::SPLIT_CLASS)
+                .memory(tc::MEMORY)
+                .runmodel(tc::RUNMODEL)
+                .param("java.lang.String", tc::INPUT)
+        })
+        .fork_join(&name_refs, |name, a| {
+            let index = name.strip_prefix("TCTask").expect("worker names are TCTaskN");
+            a.jar(tc::WORKER_JAR)
+                .class(tc::WORKER_CLASS)
+                .memory(tc::MEMORY)
+                .runmodel(tc::RUNMODEL)
+                .param("java.lang.Integer", index)
+        })
+        .action("TCJoin", |a| {
+            a.jar(tc::JOIN_JAR)
+                .class(tc::JOIN_CLASS)
+                .memory(tc::MEMORY)
+                .runmodel(tc::RUNMODEL)
+                .param("java.lang.String", tc::INPUT)
+        })
+        .build()
+}
+
+/// Figure 5: the dynamic-invocation variant — one `TCTask` with
+/// multiplicity `*`, expanded at run time.
+pub fn transitive_closure_dynamic() -> ActivityGraph {
+    ActivityBuilder::new("TransClosure")
+        .action("TaskSplit", |a| {
+            a.jar(tc::SPLIT_JAR)
+                .class(tc::SPLIT_CLASS)
+                .memory(tc::MEMORY)
+                .runmodel(tc::RUNMODEL)
+                .param("java.lang.String", tc::INPUT)
+        })
+        .dynamic_action("TCTask", "*", |a| {
+            a.jar(tc::WORKER_JAR).class(tc::WORKER_CLASS).memory(tc::MEMORY).runmodel(tc::RUNMODEL)
+        })
+        .action("TCJoin", |a| {
+            a.jar(tc::JOIN_JAR)
+                .class(tc::JOIN_CLASS)
+                .memory(tc::MEMORY)
+                .runmodel(tc::RUNMODEL)
+                .param("java.lang.String", tc::INPUT)
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::NodeKind;
+
+    #[test]
+    fn figure3_shape() {
+        let g = transitive_closure(5);
+        // 1 initial + 7 actions + fork + join + final = 11 nodes.
+        assert_eq!(g.nodes.len(), 11);
+        assert_eq!(g.action_states().count(), 7);
+        assert_eq!(g.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Fork)).count(), 1);
+        assert_eq!(g.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Join)).count(), 1);
+        // Workers depend on TaskSplit, TCJoin depends on all workers.
+        let (split, _) = g.action_by_name("TaskSplit").unwrap();
+        let deps = g.task_dependencies();
+        let (join_id, _) = g.action_by_name("TCJoin").unwrap();
+        let join_deps = &deps.iter().find(|(n, _)| *n == join_id).unwrap().1;
+        assert_eq!(join_deps.len(), 5);
+        for i in 1..=5 {
+            let (w, a) = g.action_by_name(&format!("TCTask{i}")).unwrap();
+            assert_eq!(a.tags.params()[0].1, i.to_string());
+            let w_deps = &deps.iter().find(|(n, _)| *n == w).unwrap().1;
+            assert_eq!(w_deps, &vec![split]);
+        }
+    }
+
+    #[test]
+    fn figure4_tagged_values_present_on_tctask2() {
+        let g = transitive_closure(5);
+        let (_, a) = g.action_by_name("TCTask2").unwrap();
+        assert_eq!(a.tags.jar(), Some("tctask.jar"));
+        assert_eq!(a.tags.class(), Some("org.jhpc.cn2.trnsclsrtask.TCTask"));
+        assert_eq!(a.tags.memory(), Some(1000));
+        assert_eq!(a.tags.runmodel(), Some("RUN_AS_THREAD_IN_TM"));
+        assert_eq!(a.tags.params(), vec![("java.lang.Integer".to_string(), "2".to_string())]);
+    }
+
+    #[test]
+    fn figure5_dynamic_variant() {
+        let g = transitive_closure_dynamic();
+        let (_, a) = g.action_by_name("TCTask").unwrap();
+        assert!(a.dynamic);
+        assert_eq!(a.multiplicity.as_deref(), Some("*"));
+        assert_eq!(g.action_states().count(), 3);
+    }
+
+    #[test]
+    fn builder_chains_sequentially() {
+        let g = ActivityBuilder::new("seq")
+            .action("a", |c| c)
+            .action("b", |c| c)
+            .action("c", |c| c)
+            .build();
+        let deps = g.task_dependencies();
+        let (b, _) = g.action_by_name("b").unwrap();
+        let (a, _) = g.action_by_name("a").unwrap();
+        let b_deps = &deps.iter().find(|(n, _)| *n == b).unwrap().1;
+        assert_eq!(b_deps, &vec![a]);
+    }
+}

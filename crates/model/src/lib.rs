@@ -1,0 +1,62 @@
+//! UML activity-diagram models for CN job/task composition.
+//!
+//! Section 4 of the paper maps CN concepts onto UML activity graphs:
+//!
+//! * each **job** is an activity (an activity graph),
+//! * each **task** is an **action state**,
+//! * task **dependencies** are **transitions** between action states,
+//! * explicit concurrency uses **fork/join pseudostates** (Figure 3),
+//! * run-time worker multiplicity uses **dynamic invocation** (`isDynamic`,
+//!   Figure 5),
+//! * task configuration (jar, class, memory, runmodel, typed parameters)
+//!   travels as **tagged values** (Figure 4).
+//!
+//! The model API here plays the role of the external UML tool: you build an
+//! [`ActivityGraph`] (directly or via [`builder::ActivityBuilder`]), validate
+//! it, and export it as an **XMI 1.2 / UML 1.4** document shaped like the
+//! paper's Figure 7 — the input to the `XMI2CNX` transformation.
+
+pub mod activity;
+pub mod builder;
+pub mod render;
+pub mod tags;
+pub mod validate;
+pub mod xmi_export;
+pub mod xmi_import;
+
+pub use activity::{ActionState, ActivityGraph, ActivityNode, NodeId, NodeKind, Transition};
+pub use builder::ActivityBuilder;
+pub use tags::{TaggedValues, TAG_CLASS, TAG_JAR, TAG_MEMORY, TAG_RUNMODEL};
+pub use validate::{validate, ValidationError};
+pub use xmi_export::export_xmi;
+pub use xmi_import::{import_xmi, XmiImportError};
+
+/// Build the paper's guiding example: the transitive-closure job of
+/// Figure 3 — `TaskSplit` → fork → `TCTask1..N` (concurrent) → join →
+/// `TCJoin`, with the tagged values of Figures 2 and 4.
+pub fn transitive_closure_model(workers: usize) -> ActivityGraph {
+    builder::transitive_closure(workers)
+}
+
+/// The dynamic-invocation variant of Figure 5: a single `TCTask` action
+/// state with `isDynamic='true'` and multiplicity `*`, expanded at run time.
+pub fn transitive_closure_dynamic_model() -> ActivityGraph {
+    builder::transitive_closure_dynamic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guiding_example_roundtrips_through_xmi() {
+        let model = transitive_closure_model(5);
+        validate(&model).unwrap();
+        let xmi = export_xmi(&model);
+        let text = cn_xml::write_document(&xmi, &cn_xml::WriteOptions::xmi());
+        let reparsed = cn_xml::parse(&text).unwrap();
+        let back = import_xmi(&reparsed).unwrap();
+        assert_eq!(back.name, model.name);
+        assert_eq!(back.action_states().count(), model.action_states().count());
+    }
+}

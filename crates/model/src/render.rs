@@ -1,0 +1,128 @@
+//! Diagram rendering: DOT (Graphviz) and a plain-ASCII sketch.
+//!
+//! Used by the `experiments` harness to regenerate the *visual* figures of
+//! the paper (Figure 3: explicit concurrency; Figure 5: dynamic invocation)
+//! as reviewable artifacts.
+
+use std::fmt::Write as _;
+
+use crate::activity::{ActivityGraph, NodeKind};
+
+/// Render the model as a Graphviz `digraph`.
+pub fn to_dot(graph: &ActivityGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    for node in &graph.nodes {
+        let (label, shape) = match &node.kind {
+            NodeKind::Initial => ("".to_string(), "circle, style=filled, fillcolor=black, width=0.2"),
+            NodeKind::Final => ("".to_string(), "doublecircle, style=filled, fillcolor=black, width=0.15"),
+            NodeKind::Fork | NodeKind::Join => {
+                ("".to_string(), "box, style=filled, fillcolor=black, height=0.06, width=1.2")
+            }
+            NodeKind::Decision | NodeKind::Merge => ("".to_string(), "diamond"),
+            NodeKind::Action(a) => {
+                let label = if a.dynamic {
+                    format!("{} [{}]", a.name, a.multiplicity.as_deref().unwrap_or("*"))
+                } else {
+                    a.name.clone()
+                };
+                (label, "box, style=rounded")
+            }
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\", shape={}];", node.id.0, label, shape);
+    }
+    for t in &graph.transitions {
+        match &t.guard {
+            Some(g) => {
+                let _ = writeln!(out, "  n{} -> n{} [label=\"[{}]\"];", t.from.0, t.to.0, g);
+            }
+            None => {
+                let _ = writeln!(out, "  n{} -> n{};", t.from.0, t.to.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a compact ASCII sketch: one line per node in topological-ish
+/// order, with arrows listing successors.
+pub fn to_ascii(graph: &ActivityGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "activity {} {{", graph.name);
+    for node in &graph.nodes {
+        let label = match &node.kind {
+            NodeKind::Initial => "(*) initial".to_string(),
+            NodeKind::Final => "(@) final".to_string(),
+            NodeKind::Fork => "=== fork ===".to_string(),
+            NodeKind::Join => "=== join ===".to_string(),
+            NodeKind::Decision => "<> decision".to_string(),
+            NodeKind::Merge => "<> merge".to_string(),
+            NodeKind::Action(a) => {
+                if a.dynamic {
+                    format!("[{}] x{}", a.name, a.multiplicity.as_deref().unwrap_or("*"))
+                } else {
+                    format!("[{}]", a.name)
+                }
+            }
+        };
+        let succs: Vec<String> = graph
+            .successors(node.id)
+            .map(|s| match &graph.node(s).kind {
+                NodeKind::Action(a) => a.name.clone(),
+                other => other.kind_name().to_string(),
+            })
+            .collect();
+        if succs.is_empty() {
+            let _ = writeln!(out, "  {label}");
+        } else {
+            let _ = writeln!(out, "  {label} -> {}", succs.join(", "));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{transitive_closure, transitive_closure_dynamic};
+
+    #[test]
+    fn dot_contains_all_tasks_and_edges() {
+        let g = transitive_closure(5);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"TransClosure\""));
+        for i in 1..=5 {
+            assert!(dot.contains(&format!("TCTask{i}")));
+        }
+        assert!(dot.contains("TaskSplit"));
+        assert!(dot.contains("TCJoin"));
+        assert_eq!(dot.matches(" -> ").count(), g.transitions.len());
+    }
+
+    #[test]
+    fn dynamic_action_shows_multiplicity() {
+        let dot = to_dot(&transitive_closure_dynamic());
+        assert!(dot.contains("TCTask [*]"));
+        let ascii = to_ascii(&transitive_closure_dynamic());
+        assert!(ascii.contains("[TCTask] x*"));
+    }
+
+    #[test]
+    fn ascii_lists_successors() {
+        let ascii = to_ascii(&transitive_closure(2));
+        assert!(ascii.contains("[TaskSplit] -> fork"));
+        assert!(ascii.contains("=== fork === -> TCTask1, TCTask2"));
+    }
+
+    #[test]
+    fn guard_rendered_in_dot() {
+        let mut g = crate::activity::ActivityGraph::new("g");
+        let i = g.add_node(crate::activity::NodeKind::Initial);
+        let f = g.add_node(crate::activity::NodeKind::Final);
+        g.add_guarded_transition(i, f, "done");
+        assert!(to_dot(&g).contains("[label=\"[done]\"]"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Tagged values — the UML extension mechanism the paper uses to attach CN
+//! configuration to action states (Figure 4).
+//!
+//! Well-known tags mirror the CNX descriptor fields: `jar`, `class`,
+//! `memory`, `runmodel`, and the indexed parameter pairs `ptype0`/`pvalue0`,
+//! `ptype1`/`pvalue1`, ...
+
+use std::fmt;
+
+/// Tag name for the task archive (`jar tctask.jar`).
+pub const TAG_JAR: &str = "jar";
+/// Tag name for the implementation class.
+pub const TAG_CLASS: &str = "class";
+/// Tag name for the memory requirement (MB).
+pub const TAG_MEMORY: &str = "memory";
+/// Tag name for the run model (`RUN_AS_THREAD_IN_TM`).
+pub const TAG_RUNMODEL: &str = "runmodel";
+
+/// An ordered multiset of `name = value` tagged values.
+///
+/// Order is preserved because XMI serializes tagged values in model order
+/// and the paper's Figure 4 lists them in a canonical sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaggedValues {
+    entries: Vec<(String, String)>,
+}
+
+impl TaggedValues {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a tag, replacing an existing entry with the same name.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    // -- well-known tags ----------------------------------------------------
+
+    pub fn jar(&self) -> Option<&str> {
+        self.get(TAG_JAR)
+    }
+
+    pub fn class(&self) -> Option<&str> {
+        self.get(TAG_CLASS)
+    }
+
+    pub fn memory(&self) -> Option<u64> {
+        self.get(TAG_MEMORY).and_then(|m| m.parse().ok())
+    }
+
+    pub fn runmodel(&self) -> Option<&str> {
+        self.get(TAG_RUNMODEL)
+    }
+
+    /// Typed parameters `(ptypeN, pvalueN)`, in index order, stopping at the
+    /// first missing index (matching how the paper's descriptors enumerate
+    /// them).
+    pub fn params(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for i in 0.. {
+            let (Some(ty), Some(val)) = (self.get(&format!("ptype{i}")), self.get(&format!("pvalue{i}")))
+            else {
+                break;
+            };
+            out.push((ty.to_string(), val.to_string()));
+        }
+        out
+    }
+
+    /// Append a typed parameter at the next free index.
+    pub fn push_param(&mut self, ty: impl Into<String>, value: impl Into<String>) {
+        let idx = self.params().len();
+        self.set(format!("ptype{idx}"), ty);
+        self.set(format!("pvalue{idx}"), value);
+    }
+}
+
+impl fmt::Display for TaggedValues {
+    /// Renders in the paper's Figure 4 layout: one `name value` pair per
+    /// line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, v) in &self.entries {
+            writeln!(f, "{n} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, String)> for TaggedValues {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        let mut tv = TaggedValues::new();
+        for (n, v) in iter {
+            tv.set(n, v);
+        }
+        tv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tctask2_tags() -> TaggedValues {
+        // The exact tag set of paper Figure 4.
+        let mut t = TaggedValues::new();
+        t.set(TAG_JAR, "tctask.jar");
+        t.set(TAG_CLASS, "org.jhpc.cn2.trnsclsrtask.TCTask");
+        t.set(TAG_MEMORY, "1000");
+        t.set(TAG_RUNMODEL, "RUN_AS_THREAD_IN_TM");
+        t.push_param("java.lang.Integer", "2");
+        t
+    }
+
+    #[test]
+    fn well_known_accessors() {
+        let t = tctask2_tags();
+        assert_eq!(t.jar(), Some("tctask.jar"));
+        assert_eq!(t.class(), Some("org.jhpc.cn2.trnsclsrtask.TCTask"));
+        assert_eq!(t.memory(), Some(1000));
+        assert_eq!(t.runmodel(), Some("RUN_AS_THREAD_IN_TM"));
+    }
+
+    #[test]
+    fn params_enumerate_in_order() {
+        let mut t = tctask2_tags();
+        t.push_param("java.lang.String", "matrix.txt");
+        let ps = t.params();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0], ("java.lang.Integer".to_string(), "2".to_string()));
+        assert_eq!(ps[1], ("java.lang.String".to_string(), "matrix.txt".to_string()));
+    }
+
+    #[test]
+    fn params_stop_at_gap() {
+        let mut t = TaggedValues::new();
+        t.set("ptype0", "Integer");
+        t.set("pvalue0", "1");
+        t.set("ptype2", "Integer");
+        t.set("pvalue2", "3");
+        assert_eq!(t.params().len(), 1);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut t = TaggedValues::new();
+        t.set("memory", "500");
+        t.set("memory", "1000");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.memory(), Some(1000));
+    }
+
+    #[test]
+    fn display_matches_figure4_layout() {
+        let t = tctask2_tags();
+        let rendered = t.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(
+            lines,
+            [
+                "jar tctask.jar",
+                "class org.jhpc.cn2.trnsclsrtask.TCTask",
+                "memory 1000",
+                "runmodel RUN_AS_THREAD_IN_TM",
+                "ptype0 java.lang.Integer",
+                "pvalue0 2",
+            ]
+        );
+    }
+
+    #[test]
+    fn memory_parse_failure_is_none() {
+        let mut t = TaggedValues::new();
+        t.set("memory", "lots");
+        assert_eq!(t.memory(), None);
+    }
+}

@@ -1,0 +1,336 @@
+//! Model well-formedness checks, run before export/transformation.
+//!
+//! CN jobs are DAGs of tasks (paper Section 4: "dependencies form a directed
+//! acyclic graph"), so beyond UML structural rules we reject cycles.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::activity::{ActivityGraph, NodeId, NodeKind};
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    NoInitial,
+    MultipleInitials,
+    NoFinal,
+    /// A node unreachable from the initial node.
+    Unreachable(String),
+    /// Task dependency cycle through the named tasks.
+    Cycle(Vec<String>),
+    DuplicateTaskName(String),
+    /// An action state without the tags CN needs to run it.
+    MissingTag { task: String, tag: &'static str },
+    /// Dynamic action without a multiplicity annotation.
+    DynamicWithoutMultiplicity(String),
+    /// Transition references a node that doesn't exist.
+    DanglingTransition,
+    /// Fork without a matching downstream join (or vice versa) on some path.
+    EmptyGraph,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NoInitial => write!(f, "activity has no initial node"),
+            ValidationError::MultipleInitials => write!(f, "activity has multiple initial nodes"),
+            ValidationError::NoFinal => write!(f, "activity has no final state"),
+            ValidationError::Unreachable(n) => write!(f, "node {n:?} is unreachable from the initial node"),
+            ValidationError::Cycle(names) => write!(f, "task dependency cycle: {}", names.join(" -> ")),
+            ValidationError::DuplicateTaskName(n) => write!(f, "duplicate task name {n:?}"),
+            ValidationError::MissingTag { task, tag } => {
+                write!(f, "task {task:?} is missing required tagged value {tag:?}")
+            }
+            ValidationError::DynamicWithoutMultiplicity(n) => {
+                write!(f, "dynamic action {n:?} has no multiplicity annotation")
+            }
+            ValidationError::DanglingTransition => write!(f, "transition references a missing node"),
+            ValidationError::EmptyGraph => write!(f, "activity graph has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a model. Returns the first error found; use
+/// [`validate_all`] to collect every problem.
+pub fn validate(graph: &ActivityGraph) -> Result<(), ValidationError> {
+    match validate_all(graph).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Collect all validation problems.
+pub fn validate_all(graph: &ActivityGraph) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    if graph.nodes.is_empty() {
+        return vec![ValidationError::EmptyGraph];
+    }
+
+    // Transitions must reference existing nodes.
+    for t in &graph.transitions {
+        if t.from.0 >= graph.nodes.len() || t.to.0 >= graph.nodes.len() {
+            errors.push(ValidationError::DanglingTransition);
+        }
+    }
+    if errors.iter().any(|e| matches!(e, ValidationError::DanglingTransition)) {
+        return errors;
+    }
+
+    // Exactly one initial; at least one final.
+    let initials: Vec<NodeId> = graph
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.kind, NodeKind::Initial))
+        .map(|n| n.id)
+        .collect();
+    match initials.len() {
+        0 => errors.push(ValidationError::NoInitial),
+        1 => {}
+        _ => errors.push(ValidationError::MultipleInitials),
+    }
+    if !graph.nodes.iter().any(|n| matches!(n.kind, NodeKind::Final)) {
+        errors.push(ValidationError::NoFinal);
+    }
+
+    // Reachability from the initial node.
+    if let Some(&initial) = initials.first() {
+        let mut seen = vec![false; graph.nodes.len()];
+        let mut stack = vec![initial];
+        while let Some(n) = stack.pop() {
+            if seen[n.0] {
+                continue;
+            }
+            seen[n.0] = true;
+            stack.extend(graph.successors(n));
+        }
+        for node in &graph.nodes {
+            if !seen[node.id.0] {
+                let label = match &node.kind {
+                    NodeKind::Action(a) => a.name.clone(),
+                    other => format!("{} #{}", other.kind_name(), node.id.0),
+                };
+                errors.push(ValidationError::Unreachable(label));
+            }
+        }
+    }
+
+    // Unique task names.
+    let mut names = HashSet::new();
+    for (_, a) in graph.action_states() {
+        if !names.insert(a.name.clone()) {
+            errors.push(ValidationError::DuplicateTaskName(a.name.clone()));
+        }
+    }
+
+    // Required tags and dynamic multiplicity.
+    for (_, a) in graph.action_states() {
+        if a.tags.jar().is_none() {
+            errors.push(ValidationError::MissingTag { task: a.name.clone(), tag: "jar" });
+        }
+        if a.tags.class().is_none() {
+            errors.push(ValidationError::MissingTag { task: a.name.clone(), tag: "class" });
+        }
+        if a.dynamic && a.multiplicity.is_none() {
+            errors.push(ValidationError::DynamicWithoutMultiplicity(a.name.clone()));
+        }
+    }
+
+    // Acyclicity (over the raw node graph, which subsumes task-level
+    // acyclicity).
+    if let Some(cycle) = find_cycle(graph) {
+        errors.push(ValidationError::Cycle(cycle));
+    }
+
+    errors
+}
+
+/// DFS cycle detection; returns the names of nodes on a cycle if one exists.
+fn find_cycle(graph: &ActivityGraph) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; graph.nodes.len()];
+    let mut path: Vec<NodeId> = Vec::new();
+
+    fn visit(
+        graph: &ActivityGraph,
+        n: NodeId,
+        marks: &mut [Mark],
+        path: &mut Vec<NodeId>,
+    ) -> Option<Vec<NodeId>> {
+        marks[n.0] = Mark::Grey;
+        path.push(n);
+        for s in graph.successors(n) {
+            match marks[s.0] {
+                Mark::Grey => {
+                    let start = path.iter().position(|&p| p == s).unwrap_or(0);
+                    let mut cycle: Vec<NodeId> = path[start..].to_vec();
+                    cycle.push(s);
+                    return Some(cycle);
+                }
+                Mark::White => {
+                    if let Some(c) = visit(graph, s, marks, path) {
+                        return Some(c);
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        path.pop();
+        marks[n.0] = Mark::Black;
+        None
+    }
+
+    for node in &graph.nodes {
+        if marks[node.id.0] == Mark::White {
+            if let Some(cycle) = visit(graph, node.id, &mut marks, &mut path) {
+                return Some(
+                    cycle
+                        .iter()
+                        .map(|&id| match &graph.node(id).kind {
+                            NodeKind::Action(a) => a.name.clone(),
+                            other => other.kind_name().to_string(),
+                        })
+                        .collect(),
+                );
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{ActionState, ActivityGraph, NodeKind};
+    use crate::builder::transitive_closure;
+
+    #[test]
+    fn canned_model_is_valid() {
+        assert!(validate(&transitive_closure(5)).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = ActivityGraph::new("empty");
+        assert_eq!(validate(&g), Err(ValidationError::EmptyGraph));
+    }
+
+    #[test]
+    fn missing_initial_and_final() {
+        let mut g = ActivityGraph::new("x");
+        g.add_node(NodeKind::Action(ActionState::new("a")));
+        let errs = validate_all(&g);
+        assert!(errs.contains(&ValidationError::NoInitial));
+        assert!(errs.contains(&ValidationError::NoFinal));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let mut g = ActivityGraph::new("x");
+        let i = g.add_node(NodeKind::Initial);
+        let f = g.add_node(NodeKind::Final);
+        g.add_transition(i, f);
+        let mut orphan = ActionState::new("orphan");
+        orphan.tags.set("jar", "x.jar");
+        orphan.tags.set("class", "X");
+        g.add_node(NodeKind::Action(orphan));
+        let errs = validate_all(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::Unreachable(n) if n == "orphan")));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = ActivityGraph::new("x");
+        let i = g.add_node(NodeKind::Initial);
+        let mut mk = |name: &str| {
+            let mut a = ActionState::new(name);
+            a.tags.set("jar", "x.jar");
+            a.tags.set("class", "X");
+            g.add_node(NodeKind::Action(a))
+        };
+        let a = mk("a");
+        let b = mk("b");
+        let f = g.add_node(NodeKind::Final);
+        g.add_transition(i, a);
+        g.add_transition(a, b);
+        g.add_transition(b, a); // cycle
+        g.add_transition(b, f);
+        let errs = validate_all(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::Cycle(_))));
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let mut g = ActivityGraph::new("x");
+        let i = g.add_node(NodeKind::Initial);
+        let mut mk = |name: &str| {
+            let mut a = ActionState::new(name);
+            a.tags.set("jar", "x.jar");
+            a.tags.set("class", "X");
+            g.add_node(NodeKind::Action(a))
+        };
+        let a1 = mk("same");
+        let a2 = mk("same");
+        let f = g.add_node(NodeKind::Final);
+        g.add_transition(i, a1);
+        g.add_transition(a1, a2);
+        g.add_transition(a2, f);
+        let errs = validate_all(&g);
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::DuplicateTaskName(_))));
+    }
+
+    #[test]
+    fn missing_tags_detected() {
+        let mut g = ActivityGraph::new("x");
+        let i = g.add_node(NodeKind::Initial);
+        let a = g.add_node(NodeKind::Action(ActionState::new("untagged")));
+        let f = g.add_node(NodeKind::Final);
+        g.add_transition(i, a);
+        g.add_transition(a, f);
+        let errs = validate_all(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingTag { tag: "jar", .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingTag { tag: "class", .. })));
+    }
+
+    #[test]
+    fn dynamic_without_multiplicity_detected() {
+        let mut g = ActivityGraph::new("x");
+        let i = g.add_node(NodeKind::Initial);
+        let mut a = ActionState::new("dyn");
+        a.tags.set("jar", "x.jar");
+        a.tags.set("class", "X");
+        a.dynamic = true;
+        let an = g.add_node(NodeKind::Action(a));
+        let f = g.add_node(NodeKind::Final);
+        g.add_transition(i, an);
+        g.add_transition(an, f);
+        let errs = validate_all(&g);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DynamicWithoutMultiplicity(_))));
+    }
+
+    #[test]
+    fn dangling_transition_detected() {
+        let mut g = ActivityGraph::new("x");
+        let i = g.add_node(NodeKind::Initial);
+        g.add_transition(i, crate::activity::NodeId(99));
+        assert_eq!(validate(&g), Err(ValidationError::DanglingTransition));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ValidationError::Cycle(vec!["a".into(), "b".into(), "a".into()]);
+        assert_eq!(e.to_string(), "task dependency cycle: a -> b -> a");
+    }
+}

@@ -1,0 +1,290 @@
+//! XMI 1.2 / UML 1.4 export — the document shape of the paper's Figure 7.
+//!
+//! The exported tree mirrors what the authors' modeling tool produced:
+//! `UML:ActionState` elements carrying `UML:TaggedValue` children whose
+//! types are `xmi.idref` pointers to `UML:TagDefinition` elements declared
+//! once per tag name, plus `UML:StateVertex.outgoing`/`.incoming` transition
+//! references and a `UML:StateMachine.transitions` section with
+//! source/target idrefs.
+
+use std::collections::BTreeMap;
+
+use cn_xml::{Document, NodeId as XmlId};
+
+use crate::activity::{ActivityGraph, NodeKind};
+
+/// Sequential `a1`, `a2`, ... id allocator (the paper's ids are `a89`,
+/// `a91`, ...).
+struct Ids {
+    next: usize,
+}
+
+impl Ids {
+    fn new() -> Self {
+        Ids { next: 1 }
+    }
+
+    fn fresh(&mut self) -> String {
+        let id = format!("a{}", self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// Export a model as an XMI document.
+pub fn export_xmi(graph: &ActivityGraph) -> Document {
+    let mut doc = Document::new();
+    let mut ids = Ids::new();
+
+    let xmi = doc.add_element(doc.document_node(), "XMI");
+    doc.set_attr(xmi, "xmi.version", "1.2");
+    doc.set_attr(xmi, "xmlns:UML", "org.omg.xmi.namespace.UML");
+
+    let header = doc.add_element(xmi, "XMI.header");
+    let docu = doc.add_element(header, "XMI.documentation");
+    let exporter = doc.add_element(docu, "XMI.exporter");
+    doc.add_text(exporter, "cn-model");
+
+    let content = doc.add_element(xmi, "XMI.content");
+    let model = doc.add_element(content, "UML:Model");
+    doc.set_attr(model, "xmi.id", ids.fresh());
+    doc.set_attr(model, "name", format!("{}Model", graph.name));
+    doc.set_attr(model, "isSpecification", "false");
+    let owned = doc.add_element(model, "UML:Namespace.ownedElement");
+
+    // Tag definitions: one per distinct tag name, stable (sorted) order.
+    let mut tag_names: BTreeMap<String, String> = BTreeMap::new();
+    for (_, action) in graph.action_states() {
+        for (name, _) in action.tags.iter() {
+            tag_names.entry(name.to_string()).or_default();
+        }
+    }
+    for (name, id_slot) in tag_names.iter_mut() {
+        let td = doc.add_element(owned, "UML:TagDefinition");
+        let id = ids.fresh();
+        doc.set_attr(td, "xmi.id", &id);
+        doc.set_attr(td, "name", name);
+        doc.set_attr(td, "isSpecification", "false");
+        *id_slot = id;
+    }
+
+    let ag = doc.add_element(owned, "UML:ActivityGraph");
+    doc.set_attr(ag, "xmi.id", ids.fresh());
+    doc.set_attr(ag, "name", &graph.name);
+    doc.set_attr(ag, "isSpecification", "false");
+    let top = doc.add_element(ag, "UML:StateMachine.top");
+    let composite = doc.add_element(top, "UML:CompositeState");
+    doc.set_attr(composite, "xmi.id", ids.fresh());
+    doc.set_attr(composite, "isConcurrent", "false");
+    let subvertex = doc.add_element(composite, "UML:CompositeState.subvertex");
+
+    // Allocate node and transition ids up front so cross-references can be
+    // written in one pass.
+    let node_ids: Vec<String> = graph.nodes.iter().map(|_| ids.fresh()).collect();
+    let transition_ids: Vec<String> = graph.transitions.iter().map(|_| ids.fresh()).collect();
+
+    for node in &graph.nodes {
+        let el = match &node.kind {
+            NodeKind::Initial => pseudostate(&mut doc, subvertex, "initial"),
+            NodeKind::Fork => pseudostate(&mut doc, subvertex, "fork"),
+            NodeKind::Join => pseudostate(&mut doc, subvertex, "join"),
+            NodeKind::Decision => pseudostate(&mut doc, subvertex, "branch"),
+            NodeKind::Merge => pseudostate(&mut doc, subvertex, "merge"),
+            NodeKind::Final => {
+                let el = doc.add_element(subvertex, "UML:FinalState");
+                doc.set_attr(el, "isSpecification", "false");
+                el
+            }
+            NodeKind::Action(action) => {
+                let el = doc.add_element(subvertex, "UML:ActionState");
+                doc.set_attr(el, "name", &action.name);
+                doc.set_attr(el, "isSpecification", "false");
+                doc.set_attr(el, "isDynamic", if action.dynamic { "true" } else { "false" });
+                if let Some(m) = &action.multiplicity {
+                    doc.set_attr(el, "dynamicMultiplicity", m);
+                }
+                if !action.tags.is_empty() {
+                    let tv_holder = doc.add_element(el, "UML:ModelElement.taggedValue");
+                    for (name, value) in action.tags.iter() {
+                        let tv = doc.add_element(tv_holder, "UML:TaggedValue");
+                        doc.set_attr(tv, "xmi.id", ids.fresh());
+                        doc.set_attr(tv, "isSpecification", "false");
+                        doc.set_attr(tv, "dataValue", value);
+                        let ty = doc.add_element(tv, "UML:TaggedValue.type");
+                        let td = doc.add_element(ty, "UML:TagDefinition");
+                        doc.set_attr(td, "xmi.idref", &tag_names[name]);
+                    }
+                }
+                el
+            }
+        };
+        doc.set_attr(el, "xmi.id", &node_ids[node.id.0]);
+
+        // Outgoing / incoming transition references.
+        let outgoing: Vec<usize> = graph
+            .transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.from == node.id)
+            .map(|(i, _)| i)
+            .collect();
+        if !outgoing.is_empty() {
+            let holder = doc.add_element(el, "UML:StateVertex.outgoing");
+            for i in outgoing {
+                let tr = doc.add_element(holder, "UML:Transition");
+                doc.set_attr(tr, "xmi.idref", &transition_ids[i]);
+            }
+        }
+        let incoming: Vec<usize> = graph
+            .transitions
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.to == node.id)
+            .map(|(i, _)| i)
+            .collect();
+        if !incoming.is_empty() {
+            let holder = doc.add_element(el, "UML:StateVertex.incoming");
+            for i in incoming {
+                let tr = doc.add_element(holder, "UML:Transition");
+                doc.set_attr(tr, "xmi.idref", &transition_ids[i]);
+            }
+        }
+    }
+
+    let transitions = doc.add_element(ag, "UML:StateMachine.transitions");
+    for (i, t) in graph.transitions.iter().enumerate() {
+        let tr = doc.add_element(transitions, "UML:Transition");
+        doc.set_attr(tr, "xmi.id", &transition_ids[i]);
+        doc.set_attr(tr, "isSpecification", "false");
+        if let Some(guard) = &t.guard {
+            let gh = doc.add_element(tr, "UML:Transition.guard");
+            let g = doc.add_element(gh, "UML:Guard");
+            doc.set_attr(g, "xmi.id", ids.fresh());
+            doc.set_attr(g, "name", guard);
+        }
+        let src = doc.add_element(tr, "UML:Transition.source");
+        let sv = doc.add_element(src, "UML:StateVertex");
+        doc.set_attr(sv, "xmi.idref", &node_ids[t.from.0]);
+        let tgt = doc.add_element(tr, "UML:Transition.target");
+        let tv = doc.add_element(tgt, "UML:StateVertex");
+        doc.set_attr(tv, "xmi.idref", &node_ids[t.to.0]);
+    }
+
+    doc
+}
+
+fn pseudostate(doc: &mut Document, parent: XmlId, kind: &str) -> XmlId {
+    let el = doc.add_element(parent, "UML:Pseudostate");
+    doc.set_attr(el, "kind", kind);
+    doc.set_attr(el, "isSpecification", "false");
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::transitive_closure;
+
+    fn exported() -> Document {
+        export_xmi(&transitive_closure(5))
+    }
+
+    #[test]
+    fn has_figure7_shape_for_tctask2() {
+        let doc = exported();
+        let root = doc.document_node();
+        // Find the ActionState named TCTask2.
+        let tctask2 = doc
+            .find_all(root, "UML:ActionState")
+            .into_iter()
+            .find(|&n| doc.attr(n, "name") == Some("TCTask2"))
+            .expect("TCTask2 present");
+        assert_eq!(doc.attr(tctask2, "isSpecification"), Some("false"));
+        assert_eq!(doc.attr(tctask2, "isDynamic"), Some("false"));
+        // Tagged values present with dataValue + TagDefinition idref.
+        let tvs = doc.find_all(tctask2, "UML:TaggedValue");
+        assert_eq!(tvs.len(), 6); // jar, class, memory, runmodel, ptype0, pvalue0
+        for tv in &tvs {
+            assert!(doc.attr(*tv, "dataValue").is_some());
+            let td = doc.find(*tv, "UML:TagDefinition").unwrap();
+            assert!(doc.attr(td, "xmi.idref").is_some());
+        }
+        // One incoming (from fork), one outgoing (to join).
+        let out = doc.find(tctask2, "UML:StateVertex.outgoing").unwrap();
+        assert_eq!(doc.children_named(out, "UML:Transition").count(), 1);
+        let inc = doc.find(tctask2, "UML:StateVertex.incoming").unwrap();
+        assert_eq!(doc.children_named(inc, "UML:Transition").count(), 1);
+    }
+
+    #[test]
+    fn tag_definitions_declared_once_per_name() {
+        let doc = exported();
+        let root = doc.document_node();
+        let owned = doc.find(root, "UML:Namespace.ownedElement").unwrap();
+        let defs: Vec<_> = doc
+            .children_named(owned, "UML:TagDefinition")
+            .map(|n| doc.attr(n, "name").unwrap().to_string())
+            .collect();
+        assert!(defs.contains(&"jar".to_string()));
+        assert!(defs.contains(&"class".to_string()));
+        assert!(defs.contains(&"memory".to_string()));
+        assert!(defs.contains(&"runmodel".to_string()));
+        // No duplicates.
+        let mut sorted = defs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), defs.len());
+    }
+
+    #[test]
+    fn transitions_reference_valid_ids() {
+        let doc = exported();
+        let root = doc.document_node();
+        // Collect all xmi.id values.
+        let mut ids = std::collections::HashSet::new();
+        for n in doc.descendants(root) {
+            if let Some(id) = doc.attr(n, "xmi.id") {
+                assert!(ids.insert(id.to_string()), "duplicate xmi.id {id}");
+            }
+        }
+        // Every idref points to a declared id.
+        for n in doc.descendants(root) {
+            if let Some(idref) = doc.attr(n, "xmi.idref") {
+                assert!(ids.contains(idref), "dangling xmi.idref {idref}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_count_matches_model() {
+        let model = transitive_closure(5);
+        let doc = export_xmi(&model);
+        let holder = doc.find(doc.document_node(), "UML:StateMachine.transitions").unwrap();
+        assert_eq!(
+            doc.children_named(holder, "UML:Transition").count(),
+            model.transitions.len()
+        );
+    }
+
+    #[test]
+    fn dynamic_action_exports_multiplicity() {
+        let model = crate::builder::transitive_closure_dynamic();
+        let doc = export_xmi(&model);
+        let action = doc
+            .find_all(doc.document_node(), "UML:ActionState")
+            .into_iter()
+            .find(|&n| doc.attr(n, "name") == Some("TCTask"))
+            .unwrap();
+        assert_eq!(doc.attr(action, "isDynamic"), Some("true"));
+        assert_eq!(doc.attr(action, "dynamicMultiplicity"), Some("*"));
+    }
+
+    #[test]
+    fn serializes_with_single_quotes_like_the_paper() {
+        let doc = exported();
+        let text = cn_xml::write_document(&doc, &cn_xml::WriteOptions::xmi());
+        assert!(text.contains("<UML:ActionState"));
+        assert!(text.contains("name='TCTask2'"));
+        assert!(text.contains("xmi.idref"));
+    }
+}

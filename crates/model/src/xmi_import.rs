@@ -1,0 +1,272 @@
+//! XMI import: parse a Figure-7-shaped XMI document back into an
+//! [`ActivityGraph`].
+//!
+//! This is what a modeling tool's *consumer* does, and it's also the basis
+//! of the native (non-XSLT) XMI→CNX transform that the XSLT path is
+//! differential-tested against.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cn_xml::{Document, NodeId as XmlId};
+
+use crate::activity::{ActionState, ActivityGraph, NodeId, NodeKind};
+
+/// Import failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmiImportError {
+    pub msg: String,
+}
+
+impl XmiImportError {
+    fn new(msg: impl Into<String>) -> Self {
+        XmiImportError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for XmiImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XMI import error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for XmiImportError {}
+
+/// Import the first activity graph found in an XMI document.
+pub fn import_xmi(doc: &Document) -> Result<ActivityGraph, XmiImportError> {
+    let root = doc.document_node();
+
+    // Resolve tag definitions: xmi.id -> tag name.
+    let mut tag_defs: HashMap<String, String> = HashMap::new();
+    for td in doc.find_all(root, "UML:TagDefinition") {
+        if let (Some(id), Some(name)) = (doc.attr(td, "xmi.id"), doc.attr(td, "name")) {
+            tag_defs.insert(id.to_string(), name.to_string());
+        }
+    }
+
+    let ag = doc
+        .find(root, "UML:ActivityGraph")
+        .ok_or_else(|| XmiImportError::new("no UML:ActivityGraph element"))?;
+    let name = doc.attr(ag, "name").unwrap_or("unnamed").to_string();
+    let mut graph = ActivityGraph::new(name);
+
+    let subvertex = doc
+        .find(ag, "UML:CompositeState.subvertex")
+        .ok_or_else(|| XmiImportError::new("no UML:CompositeState.subvertex"))?;
+
+    // xmi.id -> model NodeId.
+    let mut id_map: HashMap<String, NodeId> = HashMap::new();
+
+    for el in doc.child_elements(subvertex) {
+        let el_name = doc.name(el).unwrap().as_str().to_string();
+        let kind = match el_name.as_str() {
+            "UML:Pseudostate" => match doc.attr(el, "kind") {
+                Some("initial") => NodeKind::Initial,
+                Some("fork") => NodeKind::Fork,
+                Some("join") => NodeKind::Join,
+                Some("branch") | Some("junction") => NodeKind::Decision,
+                Some("merge") => NodeKind::Merge,
+                other => {
+                    return Err(XmiImportError::new(format!(
+                        "unsupported pseudostate kind {other:?}"
+                    )))
+                }
+            },
+            "UML:FinalState" => NodeKind::Final,
+            "UML:ActionState" => {
+                let mut action =
+                    ActionState::new(doc.attr(el, "name").unwrap_or("unnamed"));
+                action.dynamic = doc.attr(el, "isDynamic") == Some("true");
+                action.multiplicity = doc.attr(el, "dynamicMultiplicity").map(str::to_string);
+                for tv in doc.find_all(el, "UML:TaggedValue") {
+                    let value = doc.attr(tv, "dataValue").unwrap_or("");
+                    let tag_name = resolve_tag_name(doc, tv, &tag_defs)?;
+                    action.tags.set(tag_name, value);
+                }
+                NodeKind::Action(action)
+            }
+            other => {
+                return Err(XmiImportError::new(format!("unsupported subvertex <{other}>")))
+            }
+        };
+        let node = graph.add_node(kind);
+        if let Some(id) = doc.attr(el, "xmi.id") {
+            id_map.insert(id.to_string(), node);
+        }
+    }
+
+    // Transitions.
+    if let Some(holder) = doc.find(ag, "UML:StateMachine.transitions") {
+        for tr in doc.children_named(holder, "UML:Transition") {
+            let source = idref_of(doc, tr, "UML:Transition.source")?;
+            let target = idref_of(doc, tr, "UML:Transition.target")?;
+            let from = *id_map
+                .get(&source)
+                .ok_or_else(|| XmiImportError::new(format!("unknown source id {source:?}")))?;
+            let to = *id_map
+                .get(&target)
+                .ok_or_else(|| XmiImportError::new(format!("unknown target id {target:?}")))?;
+            let guard = doc
+                .find(tr, "UML:Guard")
+                .and_then(|g| doc.attr(g, "name"))
+                .map(str::to_string);
+            match guard {
+                Some(g) => graph.add_guarded_transition(from, to, g),
+                None => graph.add_transition(from, to),
+            }
+        }
+    }
+
+    Ok(graph)
+}
+
+fn resolve_tag_name(
+    doc: &Document,
+    tv: XmlId,
+    tag_defs: &HashMap<String, String>,
+) -> Result<String, XmiImportError> {
+    // Preferred: <UML:TaggedValue.type><UML:TagDefinition xmi.idref=.../>.
+    if let Some(ty) = doc.first_child_named(tv, "UML:TaggedValue.type") {
+        if let Some(td) = doc.first_child_named(ty, "UML:TagDefinition") {
+            if let Some(idref) = doc.attr(td, "xmi.idref") {
+                return tag_defs
+                    .get(idref)
+                    .cloned()
+                    .ok_or_else(|| {
+                        XmiImportError::new(format!("tagged value references unknown TagDefinition {idref:?}"))
+                    });
+            }
+            // Inline definition with a name.
+            if let Some(name) = doc.attr(td, "name") {
+                return Ok(name.to_string());
+            }
+        }
+    }
+    // Legacy XMI 1.0 fallback: tag= attribute directly on the TaggedValue.
+    if let Some(tag) = doc.attr(tv, "tag") {
+        return Ok(tag.to_string());
+    }
+    Err(XmiImportError::new("tagged value has no resolvable tag name"))
+}
+
+fn idref_of(doc: &Document, tr: XmlId, holder_name: &str) -> Result<String, XmiImportError> {
+    let holder = doc
+        .first_child_named(tr, holder_name)
+        .ok_or_else(|| XmiImportError::new(format!("transition missing {holder_name}")))?;
+    let vertex = doc
+        .child_elements(holder)
+        .next()
+        .ok_or_else(|| XmiImportError::new(format!("{holder_name} is empty")))?;
+    doc.attr(vertex, "xmi.idref")
+        .map(str::to_string)
+        .ok_or_else(|| XmiImportError::new(format!("{holder_name} child has no xmi.idref")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{transitive_closure, transitive_closure_dynamic};
+    use crate::validate::validate;
+    use crate::xmi_export::export_xmi;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let model = transitive_closure(5);
+        let doc = export_xmi(&model);
+        let back = import_xmi(&doc).unwrap();
+        assert_eq!(back.name, "TransClosure");
+        assert_eq!(back.nodes.len(), model.nodes.len());
+        assert_eq!(back.transitions.len(), model.transitions.len());
+        validate(&back).unwrap();
+        // Tagged values survive.
+        let (_, a) = back.action_by_name("TCTask2").unwrap();
+        assert_eq!(a.tags.jar(), Some("tctask.jar"));
+        assert_eq!(a.tags.memory(), Some(1000));
+        assert_eq!(a.tags.params(), vec![("java.lang.Integer".into(), "2".into())]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_dependencies() {
+        let model = transitive_closure(3);
+        let back = import_xmi(&export_xmi(&model)).unwrap();
+        let deps = back.task_dependencies();
+        let (join, _) = back.action_by_name("TCJoin").unwrap();
+        let join_deps = &deps.iter().find(|(n, _)| *n == join).unwrap().1;
+        assert_eq!(join_deps.len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_dynamic_flags() {
+        let back = import_xmi(&export_xmi(&transitive_closure_dynamic())).unwrap();
+        let (_, a) = back.action_by_name("TCTask").unwrap();
+        assert!(a.dynamic);
+        assert_eq!(a.multiplicity.as_deref(), Some("*"));
+    }
+
+    #[test]
+    fn import_from_serialized_text() {
+        // Full fidelity loop: model -> XMI DOM -> text -> DOM -> model.
+        let model = transitive_closure(2);
+        let text = cn_xml::write_document(&export_xmi(&model), &cn_xml::WriteOptions::xmi());
+        let doc = cn_xml::parse(&text).unwrap();
+        let back = import_xmi(&doc).unwrap();
+        assert_eq!(back.action_states().count(), 4);
+    }
+
+    #[test]
+    fn rejects_document_without_activity_graph() {
+        let doc = cn_xml::parse("<XMI><XMI.content/></XMI>").unwrap();
+        assert!(import_xmi(&doc).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_tag_reference() {
+        let doc = cn_xml::parse(
+            r#"<XMI><UML:ActivityGraph name='x'>
+                 <UML:CompositeState.subvertex>
+                   <UML:ActionState xmi.id='a1' name='t'>
+                     <UML:ModelElement.taggedValue>
+                       <UML:TaggedValue dataValue='v'>
+                         <UML:TaggedValue.type><UML:TagDefinition xmi.idref='missing'/></UML:TaggedValue.type>
+                       </UML:TaggedValue>
+                     </UML:ModelElement.taggedValue>
+                   </UML:ActionState>
+                 </UML:CompositeState.subvertex>
+               </UML:ActivityGraph></XMI>"#,
+        )
+        .unwrap();
+        let err = import_xmi(&doc).unwrap_err();
+        assert!(err.msg.contains("unknown TagDefinition"));
+    }
+
+    #[test]
+    fn accepts_legacy_tag_attribute() {
+        let doc = cn_xml::parse(
+            r#"<XMI><UML:ActivityGraph name='x'>
+                 <UML:CompositeState.subvertex>
+                   <UML:ActionState xmi.id='a1' name='t'>
+                     <UML:ModelElement.taggedValue>
+                       <UML:TaggedValue tag='jar' dataValue='x.jar'/>
+                     </UML:ModelElement.taggedValue>
+                   </UML:ActionState>
+                 </UML:CompositeState.subvertex>
+               </UML:ActivityGraph></XMI>"#,
+        )
+        .unwrap();
+        let g = import_xmi(&doc).unwrap();
+        let (_, a) = g.action_by_name("t").unwrap();
+        assert_eq!(a.tags.jar(), Some("x.jar"));
+    }
+
+    #[test]
+    fn guards_roundtrip() {
+        let mut model = crate::activity::ActivityGraph::new("guarded");
+        let i = model.add_node(NodeKind::Initial);
+        let d = model.add_node(NodeKind::Decision);
+        let f = model.add_node(NodeKind::Final);
+        model.add_transition(i, d);
+        model.add_guarded_transition(d, f, "x > 0");
+        let back = import_xmi(&export_xmi(&model)).unwrap();
+        assert_eq!(back.transitions[1].guard.as_deref(), Some("x > 0"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Floyd's all-pairs shortest-path algorithm (the paper's guiding example,
+//! citing Floyd's Algorithm 97): a sequential baseline and a shared-memory
+//! parallel baseline, both used to validate and benchmark the CN
+//! message-passing implementation.
+
+use std::sync::Barrier;
+
+use crate::matrix::{Matrix, INF};
+
+/// Sequential Floyd–Warshall. `O(n^3)`.
+pub fn floyd_sequential(input: &Matrix) -> Matrix {
+    let n = input.n();
+    let mut m = input.clone();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = m.get(i, k);
+            if dik >= INF {
+                continue;
+            }
+            for j in 0..n {
+                let through_k = dik + m.get(k, j);
+                if through_k < m.get(i, j) {
+                    m.set(i, j, through_k);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Shared-memory parallel Floyd–Warshall with row-wise decomposition:
+/// `threads` workers each own a contiguous row block; a barrier per `k`
+/// stands in for the k-th-row broadcast of the message-passing version.
+pub fn floyd_parallel(input: &Matrix, threads: usize) -> Matrix {
+    assert!(threads > 0);
+    let n = input.n();
+    if n == 0 || threads == 1 {
+        return floyd_sequential(input);
+    }
+    let threads = threads.min(n);
+    let blocks = crate::matrix::row_blocks(n, threads);
+    let mut m = input.clone();
+    let barrier = Barrier::new(threads);
+
+    // SAFETY-free approach: split the matrix into disjoint row blocks and
+    // share a read-only snapshot of row k per iteration. We implement this
+    // with scoped threads over raw chunks: each worker owns its block;
+    // row k is copied out by its owner before the barrier releases readers.
+    let row_len = n;
+    let chunks = split_blocks(m.data_mut(), &blocks, row_len);
+    let k_row = parking_lot::RwLock::new(vec![0i64; n]);
+
+    std::thread::scope(|scope| {
+        for (range, chunk) in blocks.iter().cloned().zip(chunks) {
+            let barrier = &barrier;
+            let k_row = &k_row;
+            scope.spawn(move || {
+                for k in 0..n {
+                    // The owner of row k publishes it.
+                    if range.contains(&k) {
+                        let local_k = k - range.start;
+                        let row = &chunk[local_k * row_len..(local_k + 1) * row_len];
+                        k_row.write().copy_from_slice(row);
+                    }
+                    barrier.wait();
+                    {
+                        let krow = k_row.read();
+                        for (local_i, _) in range.clone().enumerate() {
+                            let row =
+                                &mut chunk[local_i * row_len..(local_i + 1) * row_len];
+                            let dik = row[k];
+                            if dik < INF {
+                                for j in 0..row_len {
+                                    let through_k = dik + krow[j];
+                                    if through_k < row[j] {
+                                        row[j] = through_k;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Nobody may overwrite k_row until all readers finish.
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    m
+}
+
+/// Split a flat matrix buffer into disjoint mutable row-block chunks.
+fn split_blocks<'a>(
+    mut data: &'a mut [i64],
+    blocks: &[std::ops::Range<usize>],
+    row_len: usize,
+) -> Vec<&'a mut [i64]> {
+    let mut out = Vec::with_capacity(blocks.len());
+    for range in blocks {
+        let take = range.len() * row_len;
+        let (head, tail) = data.split_at_mut(take);
+        out.push(head);
+        data = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphgen::{random_digraph, ring_graph};
+
+    #[test]
+    fn tiny_known_answer() {
+        // 0 -> 1 (3), 1 -> 2 (4), 0 -> 2 (10): shortest 0->2 is 7.
+        let mut m = Matrix::disconnected(3);
+        m.set(0, 1, 3);
+        m.set(1, 2, 4);
+        m.set(0, 2, 10);
+        let s = floyd_sequential(&m);
+        assert_eq!(s.get(0, 2), 7);
+        assert_eq!(s.get(0, 1), 3);
+        assert_eq!(s.get(2, 0), INF);
+    }
+
+    #[test]
+    fn ring_distances() {
+        // Directed ring of 5 nodes, weight 1: dist(i, j) = (j - i) mod 5.
+        let m = ring_graph(5, 1);
+        let s = floyd_sequential(&m);
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = ((j + 5 - i) % 5) as i64;
+                assert_eq!(s.get(i, j), expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_graphs() {
+        for seed in [1u64, 2, 3] {
+            let g = random_digraph(48, 0.15, 1..20, seed);
+            let seq = floyd_sequential(&g);
+            for threads in [2, 3, 4, 7] {
+                let par = floyd_parallel(&g, threads);
+                assert_eq!(par, seq, "threads={threads} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let g = random_digraph(5, 0.5, 1..5, 9);
+        assert_eq!(floyd_parallel(&g, 16), floyd_sequential(&g));
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let g = random_digraph(10, 0.3, 1..5, 4);
+        assert_eq!(floyd_parallel(&g, 1), floyd_sequential(&g));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix::disconnected(0);
+        assert_eq!(floyd_sequential(&m).n(), 0);
+        assert_eq!(floyd_parallel(&m, 4).n(), 0);
+    }
+
+    #[test]
+    fn negative_free_of_overflow_near_inf() {
+        // Two INF entries must not wrap on addition.
+        let mut m = Matrix::disconnected(2);
+        m.set(0, 1, INF - 1);
+        let s = floyd_sequential(&m);
+        assert!(s.get(0, 1) >= INF - 1);
+    }
+}

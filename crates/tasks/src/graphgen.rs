@@ -1,0 +1,111 @@
+//! Seeded graph generators for workloads and property tests.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Erdős–Rényi style weighted digraph: each ordered pair `(i, j)`, `i != j`,
+/// gets an edge with probability `p` and a weight drawn uniformly from
+/// `weights`. Deterministic for a given seed.
+pub fn random_digraph(n: usize, p: f64, weights: Range<i64>, seed: u64) -> Matrix {
+    assert!(weights.start < weights.end, "empty weight range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::disconnected(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                m.set(i, j, rng.gen_range(weights.clone()));
+            }
+        }
+    }
+    m
+}
+
+/// A directed ring `0 -> 1 -> ... -> n-1 -> 0` with uniform weight.
+pub fn ring_graph(n: usize, weight: i64) -> Matrix {
+    let mut m = Matrix::disconnected(n);
+    for i in 0..n {
+        m.set(i, (i + 1) % n, weight);
+    }
+    m
+}
+
+/// A layered DAG: `layers` layers of `width` nodes; every node has edges to
+/// every node in the next layer with weight 1. Good for reachability tests.
+pub fn layered_dag(layers: usize, width: usize) -> Matrix {
+    let n = layers * width;
+    let mut m = Matrix::disconnected(n);
+    for l in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                m.set(l * width + a, (l + 1) * width + b, 1);
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::INF;
+
+    #[test]
+    fn random_digraph_is_deterministic() {
+        let a = random_digraph(20, 0.3, 1..10, 42);
+        let b = random_digraph(20, 0.3, 1..10, 42);
+        assert_eq!(a, b);
+        let c = random_digraph(20, 0.3, 1..10, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_digraph_respects_weight_range() {
+        let m = random_digraph(30, 0.5, 5..8, 1);
+        for i in 0..30 {
+            for j in 0..30 {
+                let v = m.get(i, j);
+                if i == j {
+                    assert_eq!(v, 0);
+                } else {
+                    assert!(v == INF || (5..8).contains(&v), "weight {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn density_extremes() {
+        let empty = random_digraph(10, 0.0, 1..2, 7);
+        assert_eq!(empty, Matrix::disconnected(10));
+        let full = random_digraph(10, 1.0, 1..2, 7);
+        for i in 0..10 {
+            for j in 0..10 {
+                if i != j {
+                    assert_eq!(full.get(i, j), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_shape() {
+        let m = ring_graph(4, 3);
+        assert_eq!(m.get(0, 1), 3);
+        assert_eq!(m.get(3, 0), 3);
+        assert_eq!(m.get(0, 2), INF);
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let m = layered_dag(3, 2); // nodes 0..6
+        assert_eq!(m.get(0, 2), 1);
+        assert_eq!(m.get(0, 3), 1);
+        assert_eq!(m.get(2, 4), 1);
+        assert_eq!(m.get(0, 4), INF); // not direct
+        assert_eq!(m.get(4, 0), INF); // no back edges
+    }
+}

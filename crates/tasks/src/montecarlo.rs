@@ -1,0 +1,156 @@
+//! Monte-Carlo π estimation — a second domain workload: embarrassingly
+//! parallel sampling with a trivial reduction, the shape the paper's intro
+//! motivates ("scientific and other applications that lend themselves to
+//! parallel computing").
+
+use std::time::Duration;
+
+use cn_core::{TaskContext, TaskError, UserData};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub const PI_JAR: &str = "montecarlo.jar";
+pub const SAMPLER_CLASS: &str = "org.jhpc.cn2.montecarlo.Sampler";
+pub const REDUCER_CLASS: &str = "org.jhpc.cn2.montecarlo.Reducer";
+
+/// A sampler: params are `[samples, seed]`; counts points inside the unit
+/// quarter-circle and reports `(hits, samples)` to the reducer (named by
+/// convention `reduce`).
+pub struct Sampler;
+
+impl cn_core::Task for Sampler {
+    fn run(&mut self, ctx: &mut TaskContext) -> Result<UserData, TaskError> {
+        let samples = ctx
+            .param_i64(0)
+            .ok_or_else(|| TaskError::new("Sampler needs sample count as param 0"))?
+            as u64;
+        let seed = ctx
+            .param_i64(1)
+            .ok_or_else(|| TaskError::new("Sampler needs a seed as param 1"))? as u64;
+        let hits = count_hits(samples, seed);
+        ctx.send("reduce", "partial", UserData::I64s(vec![hits as i64, samples as i64]))?;
+        Ok(UserData::I64s(vec![hits as i64]))
+    }
+}
+
+/// Pure sampling kernel (used directly by the sequential baseline).
+pub fn count_hits(samples: u64, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let x: f64 = rng.gen();
+        let y: f64 = rng.gen();
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// The reducer: param 0 is the number of partials to expect; returns the π
+/// estimate as an `F64s` payload `[pi, hits, samples]`.
+pub struct Reducer;
+
+impl cn_core::Task for Reducer {
+    fn run(&mut self, ctx: &mut TaskContext) -> Result<UserData, TaskError> {
+        let expect = ctx
+            .param_i64(0)
+            .ok_or_else(|| TaskError::new("Reducer needs the partial count as param 0"))?
+            as usize;
+        let mut hits = 0i64;
+        let mut samples = 0i64;
+        for _ in 0..expect {
+            let (_, data) = ctx
+                .recv_tagged("partial", Duration::from_secs(30))
+                .map_err(|e| TaskError::new(e.to_string()))?;
+            let v = data.as_i64s().ok_or_else(|| TaskError::new("partial must be I64s"))?;
+            hits += v[0];
+            samples += v[1];
+        }
+        let pi = if samples == 0 { 0.0 } else { 4.0 * hits as f64 / samples as f64 };
+        Ok(UserData::F64s(vec![pi, hits as f64, samples as f64]))
+    }
+}
+
+/// Publish the Monte-Carlo archive.
+pub fn publish_pi_archive(registry: &cn_core::ArchiveRegistry) {
+    registry.publish(
+        cn_core::TaskArchive::new(PI_JAR)
+            .class(SAMPLER_CLASS, || Box::new(Sampler))
+            .class(REDUCER_CLASS, || Box::new(Reducer)),
+    );
+}
+
+/// Run a π estimation job: `workers` samplers of `samples_each`, one
+/// reducer. Returns the estimate.
+pub fn run_pi(
+    neighborhood: &cn_core::Neighborhood,
+    workers: usize,
+    samples_each: u64,
+    seed: u64,
+) -> Result<f64, TaskError> {
+    publish_pi_archive(neighborhood.registry());
+    let api = cn_core::CnApi::initialize(neighborhood);
+    let mut job = api
+        .create_job(&cn_core::JobRequirements::default())
+        .map_err(|e| TaskError::new(e.to_string()))?;
+    let mut reduce = cn_core::TaskSpec::new("reduce", PI_JAR, REDUCER_CLASS);
+    reduce.params.push(cn_cnx::Param::integer(workers as i64));
+    reduce.memory_mb = 50;
+    job.add_task(reduce).map_err(|e| TaskError::new(e.to_string()))?;
+    for i in 0..workers {
+        let mut s = cn_core::TaskSpec::new(format!("sample{i}"), PI_JAR, SAMPLER_CLASS);
+        s.params.push(cn_cnx::Param::integer(samples_each as i64));
+        s.params.push(cn_cnx::Param::integer((seed + i as u64) as i64));
+        s.memory_mb = 50;
+        job.add_task(s).map_err(|e| TaskError::new(e.to_string()))?;
+    }
+    job.start().map_err(|e| TaskError::new(e.to_string()))?;
+    let report =
+        job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
+    match report.result("reduce") {
+        Some(UserData::F64s(v)) if !v.is_empty() => Ok(v[0]),
+        other => Err(TaskError::new(format!("unexpected reducer result {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_cluster::NodeSpec;
+    use cn_core::Neighborhood;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(count_hits(10_000, 42), count_hits(10_000, 42));
+        assert_ne!(count_hits(10_000, 42), count_hits(10_000, 43));
+    }
+
+    #[test]
+    fn hit_rate_is_plausible() {
+        let hits = count_hits(100_000, 7);
+        let ratio = hits as f64 / 100_000.0;
+        assert!((0.76..0.81).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn distributed_pi_is_close() {
+        let nb = Neighborhood::deploy(NodeSpec::fleet(3, 4000, 8));
+        let pi = run_pi(&nb, 4, 50_000, 99).unwrap();
+        assert!((pi - std::f64::consts::PI).abs() < 0.05, "pi estimate {pi}");
+        nb.shutdown();
+    }
+
+    #[test]
+    fn distributed_matches_local_reduction() {
+        let nb = Neighborhood::deploy(NodeSpec::fleet(2, 4000, 8));
+        let workers = 3;
+        let samples = 20_000u64;
+        let seed = 5u64;
+        let pi = run_pi(&nb, workers, samples, seed).unwrap();
+        let hits: u64 = (0..workers as u64).map(|i| count_hits(samples, seed + i)).sum();
+        let expect = 4.0 * hits as f64 / (samples * workers as u64) as f64;
+        assert!((pi - expect).abs() < 1e-12);
+        nb.shutdown();
+    }
+}

@@ -1,0 +1,183 @@
+//! Distributed word count — a map/reduce-shaped workload exercising text
+//! payloads and client-seeded tuple-space input shards.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cn_core::{Field, TaskContext, TaskError, UserData};
+
+pub const WC_JAR: &str = "wordcount.jar";
+pub const MAPPER_CLASS: &str = "org.jhpc.cn2.wordcount.Mapper";
+pub const REDUCER_CLASS: &str = "org.jhpc.cn2.wordcount.Reducer";
+
+/// Count words in a text (lowercased, split on non-alphanumerics).
+pub fn count_words(text: &str) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for word in text.split(|c: char| !c.is_alphanumeric()) {
+        if word.is_empty() {
+            continue;
+        }
+        *counts.entry(word.to_lowercase()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Serialize counts as `word=count` lines (wire format between tasks).
+pub fn encode_counts(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (w, c) in counts {
+        out.push_str(w);
+        out.push('=');
+        out.push_str(&c.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the `word=count` wire format.
+pub fn decode_counts(text: &str) -> Result<BTreeMap<String, u64>, TaskError> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let (w, c) =
+            line.split_once('=').ok_or_else(|| TaskError::new(format!("bad line {line:?}")))?;
+        let c: u64 = c.parse().map_err(|_| TaskError::new(format!("bad count in {line:?}")))?;
+        *out.entry(w.to_string()).or_insert(0) += c;
+    }
+    Ok(out)
+}
+
+/// Mapper: param 0 is its shard id; reads `("shard", id, text)` from the
+/// tuple space, counts, sends partial counts to `reduce`.
+pub struct Mapper;
+
+impl cn_core::Task for Mapper {
+    fn run(&mut self, ctx: &mut TaskContext) -> Result<UserData, TaskError> {
+        let shard = ctx
+            .param_i64(0)
+            .ok_or_else(|| TaskError::new("Mapper needs a shard id as param 0"))?;
+        let tuple = ctx
+            .tuplespace()
+            .take(
+                &vec![Some(Field::S("shard".into())), Some(Field::I(shard)), None],
+                Duration::from_secs(30),
+            )
+            .ok_or_else(|| TaskError::new(format!("shard {shard} not found")))?;
+        let Field::S(text) = &tuple[2] else {
+            return Err(TaskError::new("malformed shard tuple"));
+        };
+        let counts = count_words(text);
+        ctx.send("reduce", "partial", UserData::Text(encode_counts(&counts)))?;
+        Ok(UserData::I64s(vec![counts.values().sum::<u64>() as i64]))
+    }
+}
+
+/// Reducer: param 0 is the number of partials; merges and returns the
+/// `word=count` text.
+pub struct Reducer;
+
+impl cn_core::Task for Reducer {
+    fn run(&mut self, ctx: &mut TaskContext) -> Result<UserData, TaskError> {
+        let expect = ctx
+            .param_i64(0)
+            .ok_or_else(|| TaskError::new("Reducer needs the partial count as param 0"))?
+            as usize;
+        let mut total: BTreeMap<String, u64> = BTreeMap::new();
+        for _ in 0..expect {
+            let (_, data) = ctx
+                .recv_tagged("partial", Duration::from_secs(30))
+                .map_err(|e| TaskError::new(e.to_string()))?;
+            let text =
+                data.as_text().ok_or_else(|| TaskError::new("partial must be text"))?;
+            for (w, c) in decode_counts(text)? {
+                *total.entry(w).or_insert(0) += c;
+            }
+        }
+        Ok(UserData::Text(encode_counts(&total)))
+    }
+}
+
+/// Publish the word-count archive.
+pub fn publish_wc_archive(registry: &cn_core::ArchiveRegistry) {
+    registry.publish(
+        cn_core::TaskArchive::new(WC_JAR)
+            .class(MAPPER_CLASS, || Box::new(Mapper))
+            .class(REDUCER_CLASS, || Box::new(Reducer)),
+    );
+}
+
+/// Run a word count over `shards` text shards.
+pub fn run_wordcount(
+    neighborhood: &cn_core::Neighborhood,
+    shards: &[&str],
+) -> Result<BTreeMap<String, u64>, TaskError> {
+    publish_wc_archive(neighborhood.registry());
+    let api = cn_core::CnApi::initialize(neighborhood);
+    let mut job = api
+        .create_job(&cn_core::JobRequirements::default())
+        .map_err(|e| TaskError::new(e.to_string()))?;
+    let mut reduce = cn_core::TaskSpec::new("reduce", WC_JAR, REDUCER_CLASS);
+    reduce.params.push(cn_cnx::Param::integer(shards.len() as i64));
+    reduce.memory_mb = 50;
+    job.add_task(reduce).map_err(|e| TaskError::new(e.to_string()))?;
+    for i in 0..shards.len() {
+        let mut m = cn_core::TaskSpec::new(format!("map{i}"), WC_JAR, MAPPER_CLASS);
+        m.params.push(cn_cnx::Param::integer(i as i64));
+        m.memory_mb = 50;
+        job.add_task(m).map_err(|e| TaskError::new(e.to_string()))?;
+    }
+    for (i, text) in shards.iter().enumerate() {
+        job.tuplespace().out(vec![
+            Field::S("shard".into()),
+            Field::I(i as i64),
+            Field::S(text.to_string()),
+        ]);
+    }
+    job.start().map_err(|e| TaskError::new(e.to_string()))?;
+    let report =
+        job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
+    let result = report
+        .result("reduce")
+        .and_then(|d| d.as_text())
+        .ok_or_else(|| TaskError::new("no reducer output"))?;
+    decode_counts(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_cluster::NodeSpec;
+    use cn_core::Neighborhood;
+
+    #[test]
+    fn counting_normalizes_case_and_punctuation() {
+        let counts = count_words("The task, the Task -- THE task!");
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["task"], 3);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn wire_format_roundtrip() {
+        let counts = count_words("alpha beta alpha");
+        let decoded = decode_counts(&encode_counts(&counts)).unwrap();
+        assert_eq!(counts, decoded);
+        assert!(decode_counts("garbage line").is_err());
+        assert!(decode_counts("w=notanumber").is_err());
+    }
+
+    #[test]
+    fn distributed_matches_local() {
+        let nb = Neighborhood::deploy(NodeSpec::fleet(2, 4000, 8));
+        let shards = [
+            "cluster computing with the computational neighborhood",
+            "the neighborhood runs tasks; tasks form jobs",
+            "jobs are composed from activity diagrams",
+        ];
+        let distributed = run_wordcount(&nb, &shards).unwrap();
+        let local = count_words(&shards.join(" "));
+        assert_eq!(distributed, local);
+        assert_eq!(distributed["tasks"], 2);
+        assert_eq!(distributed["the"], 2);
+        nb.shutdown();
+    }
+}

@@ -1,0 +1,197 @@
+//! CNX → model: reconstruct a UML activity graph from a client descriptor.
+//!
+//! The paper's tool chain is one-directional (model → CNX); this reverse
+//! transform is an extension that makes the chain a round trip, which is
+//! useful for visualizing existing descriptors (render a CNX file as an
+//! activity diagram) and is exercised as a consistency check: model → CNX →
+//! model preserves the task-dependency relation.
+//!
+//! Reconstruction uses *direct* transitions between action states rather
+//! than re-synthesizing fork/join pseudostates: the CNX `depends` relation
+//! is exactly the transition relation of the diagram with pseudostates
+//! looked through, so a faithful DAG (initial → roots, one transition per
+//! dependency, leaves → final) round-trips the semantics. The validator
+//! accepts multiple outgoing transitions from an action state as implicit
+//! concurrency.
+
+use cn_cnx::{CnxDocument, Job, ParamType};
+use cn_model::{ActionState, ActivityGraph, NodeId, NodeKind};
+
+use crate::xmi2cnx::ClientSettings;
+
+/// Reconstruct one activity graph per job. The graph name comes from the
+/// client class (jobs beyond the first get a `#k` suffix).
+pub fn cnx_to_models(doc: &CnxDocument) -> Vec<ActivityGraph> {
+    doc.client
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let name = if i == 0 {
+                doc.client.class.clone()
+            } else {
+                format!("{}#{i}", doc.client.class)
+            };
+            job_to_model(name, job)
+        })
+        .collect()
+}
+
+fn job_to_model(name: String, job: &Job) -> ActivityGraph {
+    let mut graph = ActivityGraph::new(name);
+    let initial = graph.add_node(NodeKind::Initial);
+    let mut ids: Vec<(String, NodeId)> = Vec::with_capacity(job.tasks.len());
+    for task in &job.tasks {
+        let mut action = ActionState::new(task.name.clone());
+        action.tags.set("jar", task.jar.clone());
+        action.tags.set("class", task.class.clone());
+        action.tags.set("memory", task.req.memory_mb.to_string());
+        action.tags.set("runmodel", task.req.runmodel.as_str());
+        for p in &task.params {
+            // Tagged values use the Java spellings (Figure 4).
+            let ty = match &p.ty {
+                ParamType::Other(t) => t.clone(),
+                short => format!("java.lang.{}", short.as_str()),
+            };
+            action.tags.push_param(ty, p.value.clone());
+        }
+        if let Some(m) = &task.multiplicity {
+            action.dynamic = true;
+            action.multiplicity = Some(m.clone());
+        }
+        let id = graph.add_node(NodeKind::Action(action));
+        ids.push((task.name.clone(), id));
+    }
+    let id_of = |name: &str| ids.iter().find(|(n, _)| n == name).map(|(_, id)| *id);
+    // Dependency transitions; roots hang off the initial node.
+    for task in &job.tasks {
+        let Some(to) = id_of(&task.name) else { continue };
+        if task.depends.is_empty() {
+            graph.add_transition(initial, to);
+        } else {
+            for dep in &task.depends {
+                if let Some(from) = id_of(dep) {
+                    graph.add_transition(from, to);
+                }
+            }
+        }
+    }
+    // Leaves (tasks nothing depends on) flow into the final state.
+    let fin = graph.add_node(NodeKind::Final);
+    for (task_name, id) in &ids {
+        let is_leaf = !job.tasks.iter().any(|t| t.depends.iter().any(|d| d == task_name));
+        if is_leaf {
+            graph.add_transition(*id, fin);
+        }
+    }
+    graph
+}
+
+/// Round-trip settings derived from a descriptor (so model → CNX can
+/// reproduce the client attributes).
+pub fn settings_of(doc: &CnxDocument) -> ClientSettings {
+    ClientSettings {
+        class: Some(doc.client.class.clone()),
+        port: doc.client.port,
+        log: doc.client.log.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmi2cnx::{model_to_cnx, normalized};
+    use cn_cnx::ast::figure2_descriptor;
+
+    #[test]
+    fn figure2_reconstructs_and_validates() {
+        let doc = figure2_descriptor(5);
+        let models = cnx_to_models(&doc);
+        assert_eq!(models.len(), 1);
+        let model = &models[0];
+        cn_model::validate(model).unwrap();
+        assert_eq!(model.action_states().count(), 7);
+        // Dependency structure matches: TCJoin depends on all five workers.
+        let deps = model.task_dependencies();
+        let (join, _) = model.action_by_name("tctask999").unwrap();
+        assert_eq!(deps.iter().find(|(n, _)| *n == join).unwrap().1.len(), 5);
+    }
+
+    #[test]
+    fn cnx_model_cnx_round_trip_is_identity() {
+        for workers in [1, 3, 5] {
+            let original = figure2_descriptor(workers);
+            let models = cnx_to_models(&original);
+            let back = model_to_cnx(&models[0], &settings_of(&original));
+            assert_eq!(
+                normalized(back),
+                normalized(original.clone()),
+                "round trip diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn model_cnx_model_preserves_dependencies() {
+        let model = cn_model::transitive_closure_model(4);
+        let cnx = model_to_cnx(&model, &ClientSettings::default());
+        let back = &cnx_to_models(&cnx)[0];
+        let name_deps = |g: &ActivityGraph| -> Vec<(String, Vec<String>)> {
+            let mut out: Vec<(String, Vec<String>)> = g
+                .task_dependencies()
+                .into_iter()
+                .map(|(id, deps)| {
+                    let name = match &g.node(id).kind {
+                        NodeKind::Action(a) => a.name.clone(),
+                        _ => unreachable!(),
+                    };
+                    let mut dep_names: Vec<String> = deps
+                        .iter()
+                        .map(|d| match &g.node(*d).kind {
+                            NodeKind::Action(a) => a.name.clone(),
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    dep_names.sort();
+                    (name, dep_names)
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(name_deps(&model), name_deps(back));
+    }
+
+    #[test]
+    fn dynamic_multiplicity_round_trips() {
+        let mut doc = figure2_descriptor(1);
+        doc.client.jobs[0].tasks[1].multiplicity = Some("*".to_string());
+        let model = &cnx_to_models(&doc)[0];
+        let (_, a) = model.action_by_name("tctask1").unwrap();
+        assert!(a.dynamic);
+        assert_eq!(a.multiplicity.as_deref(), Some("*"));
+    }
+
+    #[test]
+    fn multiple_jobs_become_multiple_graphs() {
+        let mut doc = figure2_descriptor(1);
+        doc.client.jobs.push(doc.client.jobs[0].clone());
+        let models = cnx_to_models(&doc);
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].name, "TransClosure");
+        assert_eq!(models[1].name, "TransClosure#1");
+    }
+
+    #[test]
+    fn full_circle_through_xmi_and_xslt() {
+        // CNX -> model -> XMI -> XSLT -> CNX must be the identity (mod
+        // depends order).
+        let original = figure2_descriptor(3);
+        let model = &cnx_to_models(&original)[0];
+        let xmi = cn_xml::write_document(&cn_model::export_xmi(model), &cn_xml::WriteOptions::xmi());
+        let cnx_text =
+            crate::xmi2cnx::xmi_to_cnx_xslt(&xmi, &settings_of(&original)).unwrap();
+        let back = cn_cnx::parse_cnx(&cnx_text).unwrap();
+        assert_eq!(normalized(back), normalized(original));
+    }
+}

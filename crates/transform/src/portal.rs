@@ -1,0 +1,120 @@
+//! The web-portal prototype (paper Figure 1): "accepts UML model in XMI
+//! format, translates the model to an executable, executes model and
+//! displays or makes the results available for download."
+//!
+//! HTTP plumbing is out of scope; [`Portal::submit`] has the same black-box
+//! contract — XMI text in, artifacts + results out — over an owned
+//! neighborhood deployment.
+
+use std::time::Duration;
+
+use cn_cluster::NodeSpec;
+use cn_core::{DynamicArgs, JobReport, Neighborhood};
+
+use crate::cnx2java::cnx_to_java_xslt;
+use crate::xmi2cnx::{xmi_to_cnx_xslt, ClientSettings};
+
+/// The portal's response: every downloadable artifact plus the results.
+#[derive(Debug)]
+pub struct PortalResponse {
+    pub cnx_text: String,
+    pub rust_source: String,
+    pub java_source: String,
+    pub reports: Vec<JobReport>,
+}
+
+/// A portal fronting its own CN deployment.
+pub struct Portal {
+    neighborhood: Neighborhood,
+    timeout: Duration,
+}
+
+impl Portal {
+    /// Stand up a portal over `nodes` uniform nodes.
+    pub fn new(nodes: usize) -> Portal {
+        Portal {
+            neighborhood: Neighborhood::deploy(NodeSpec::fleet(nodes, 8192, 16)),
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// The underlying deployment (to publish archives, inject failures...).
+    pub fn neighborhood(&self) -> &Neighborhood {
+        &self.neighborhood
+    }
+
+    /// Accept an XMI document, translate, execute, and return results.
+    ///
+    /// `seed` is the client-setup hook (input deposition); pass a no-op for
+    /// jobs that read nothing.
+    pub fn submit(
+        &self,
+        xmi_text: &str,
+        settings: &ClientSettings,
+        dynamic: &DynamicArgs,
+        mut seed: impl FnMut(&mut cn_core::JobHandle),
+    ) -> Result<PortalResponse, String> {
+        let cnx_text = xmi_to_cnx_xslt(xmi_text, settings).map_err(|e| format!("XMI2CNX: {e}"))?;
+        let descriptor = cn_cnx::parse_cnx(&cnx_text).map_err(|e| format!("CNX parse: {e}"))?;
+        cn_cnx::validate(&descriptor).map_err(|e| format!("CNX validation: {e}"))?;
+        let rust_source = cn_codegen::generate_rust_client(&descriptor);
+        let java_source = cnx_to_java_xslt(&cnx_text).map_err(|e| format!("CNX2Java: {e}"))?;
+        let reports = cn_core::execute_descriptor_seeded(
+            &self.neighborhood,
+            &descriptor,
+            dynamic,
+            self.timeout,
+            |job| seed(job),
+        )
+        .map_err(|e| format!("execution: {e}"))?;
+        Ok(PortalResponse { cnx_text, rust_source, java_source, reports })
+    }
+
+    /// Tear down the deployment.
+    pub fn shutdown(self) {
+        self.neighborhood.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{figure2_model, figure2_settings};
+    use cn_tasks::{floyd_sequential, random_digraph, seed_input, Matrix};
+    use cn_xml::WriteOptions;
+
+    #[test]
+    fn portal_accepts_xmi_and_returns_results() {
+        let portal = Portal::new(2);
+        cn_tasks::publish_all_archives(portal.neighborhood().registry());
+        let xmi = cn_xml::write_document(
+            &cn_model::export_xmi(&figure2_model(3)),
+            &WriteOptions::xmi(),
+        );
+        let input = random_digraph(12, 0.3, 1..6, 8);
+        let workers: Vec<String> = (1..=3).map(|i| format!("tctask{i}")).collect();
+        let input2 = input.clone();
+        let response = portal
+            .submit(&xmi, &figure2_settings(), &DynamicArgs::new(), move |job| {
+                seed_input(job.tuplespace(), "matrix.txt", &input2, &workers, "tctask999");
+            })
+            .unwrap();
+        assert!(response.cnx_text.contains("tctask999"));
+        assert!(response.java_source.contains("TransClosure"));
+        assert!(response.rust_source.contains("run_transclosure"));
+        let result =
+            Matrix::from_userdata(response.reports[0].result("tctask999").unwrap()).unwrap();
+        assert_eq!(result, floyd_sequential(&input));
+        portal.shutdown();
+    }
+
+    #[test]
+    fn portal_rejects_garbage() {
+        let portal = Portal::new(1);
+        let err = portal
+            .submit("<notxmi/>", &ClientSettings::default(), &DynamicArgs::new(), |_| {})
+            .unwrap_err();
+        assert!(err.contains("CNX"), "{err}");
+        portal.shutdown();
+    }
+}

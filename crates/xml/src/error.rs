@@ -1,0 +1,120 @@
+//! Error and source-position types shared by the reader and DOM builder.
+
+use std::fmt;
+
+/// A position in the XML source text.
+///
+/// Line and column are 1-based (editor convention); `offset` is the 0-based
+/// byte offset into the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+    pub offset: usize,
+}
+
+impl Pos {
+    /// The start of a document.
+    pub fn start() -> Self {
+        Pos { line: 1, col: 1, offset: 0 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start/continue the current construct.
+    UnexpectedChar(char),
+    /// An end tag that does not match the open element.
+    MismatchedTag { expected: String, found: String },
+    /// `</...>` with no corresponding start tag.
+    UnbalancedEndTag(String),
+    /// Start tags left open at end of input.
+    UnclosedElement(String),
+    /// A malformed or unknown entity reference.
+    BadEntity(String),
+    /// Attribute appears twice on the same element.
+    DuplicateAttribute(String),
+    /// A name token was expected (element/attribute name, PI target...).
+    ExpectedName,
+    /// A specific literal was expected (e.g. `=` after an attribute name).
+    Expected(&'static str),
+    /// Document-level structural problems (no root, trailing content...).
+    Structure(String),
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::UnbalancedEndTag(name) => {
+                write!(f, "end tag </{name}> without matching start tag")
+            }
+            XmlErrorKind::UnclosedElement(name) => write!(f, "unclosed element <{name}>"),
+            XmlErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            XmlErrorKind::ExpectedName => write!(f, "expected a name"),
+            XmlErrorKind::Expected(what) => write!(f, "expected {what}"),
+            XmlErrorKind::Structure(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// A parse error with the position it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub kind: XmlErrorKind,
+    pub pos: Pos,
+}
+
+impl XmlError {
+    pub fn new(kind: XmlErrorKind, pos: Pos) -> Self {
+        XmlError { kind, pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}: {}", self.pos, self.kind)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = XmlError::new(XmlErrorKind::UnexpectedEof, Pos { line: 3, col: 7, offset: 42 });
+        assert_eq!(err.to_string(), "XML error at 3:7: unexpected end of input");
+    }
+
+    #[test]
+    fn display_mismatched_tag() {
+        let err = XmlError::new(
+            XmlErrorKind::MismatchedTag { expected: "job".into(), found: "task".into() },
+            Pos::start(),
+        );
+        assert!(err.to_string().contains("</job>"));
+        assert!(err.to_string().contains("</task>"));
+    }
+
+    #[test]
+    fn pos_start_is_line_one() {
+        assert_eq!(Pos::start(), Pos { line: 1, col: 1, offset: 0 });
+    }
+}

@@ -1,0 +1,143 @@
+//! Entity escaping and unescaping.
+//!
+//! Supports the five predefined XML entities plus decimal (`&#65;`) and
+//! hexadecimal (`&#x41;`) character references, which appear in XMI exports
+//! from real modeling tools.
+
+use std::borrow::Cow;
+
+use crate::error::{Pos, XmlError, XmlErrorKind};
+
+/// Escape character data (text node content): `& < >`.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, |c| matches!(c, '&' | '<' | '>'))
+}
+
+/// Escape an attribute value for inclusion in double quotes: `& < > "`.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, |c| matches!(c, '&' | '<' | '>' | '"'))
+}
+
+fn escape_with(s: &str, needs: impl Fn(char) -> bool) -> Cow<'_, str> {
+    if !s.chars().any(&needs) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        if needs(c) {
+            match c {
+                '&' => out.push_str("&amp;"),
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '"' => out.push_str("&quot;"),
+                '\'' => out.push_str("&apos;"),
+                _ => unreachable!("escape predicate only selects markup chars"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Replace entity and character references in `s` with the characters they
+/// denote. `pos` is used for error reporting only.
+pub fn unescape(s: &str, pos: Pos) -> Result<Cow<'_, str>, XmlError> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| {
+            XmlError::new(XmlErrorKind::BadEntity(clip(after).to_string()), pos)
+        })?;
+        let name = &after[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let c = parse_char_ref(name)
+                    .ok_or_else(|| XmlError::new(XmlErrorKind::BadEntity(name.to_string()), pos))?;
+                out.push(c);
+            }
+        }
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn parse_char_ref(name: &str) -> Option<char> {
+    let digits = name.strip_prefix('#')?;
+    let code = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16).ok()?
+    } else {
+        digits.parse::<u32>().ok()?
+    };
+    char::from_u32(code)
+}
+
+fn clip(s: &str) -> &str {
+    let end = s.char_indices().nth(12).map(|(i, _)| i).unwrap_or(s.len());
+    &s[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello", Pos::start()).unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_markup_characters() {
+        assert_eq!(escape_text("a < b && c > d"), "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(escape_attr("say \"hi\" & <go>"), "say &quot;hi&quot; &amp; &lt;go&gt;");
+    }
+
+    #[test]
+    fn unescapes_predefined_entities() {
+        assert_eq!(
+            unescape("&lt;task&gt; &amp; &quot;x&quot; &apos;y&apos;", Pos::start()).unwrap(),
+            "<task> & \"x\" 'y'"
+        );
+    }
+
+    #[test]
+    fn unescapes_character_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", Pos::start()).unwrap(), "ABc");
+        assert_eq!(unescape("&#x20AC;", Pos::start()).unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = unescape("&nbsp;", Pos::start()).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::BadEntity(ref n) if n == "nbsp"));
+    }
+
+    #[test]
+    fn rejects_unterminated_entity() {
+        assert!(unescape("&amp", Pos::start()).is_err());
+    }
+
+    #[test]
+    fn rejects_surrogate_char_ref() {
+        assert!(unescape("&#xD800;", Pos::start()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_escape_unescape() {
+        let original = "a<b>&c\"d'e &#38; literal";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped, Pos::start()).unwrap(), original);
+    }
+}

@@ -1,0 +1,134 @@
+//! Qualified names.
+//!
+//! XMI documents use colon-prefixed names extensively (`UML:ActionState`,
+//! `xmi.id` — note the *dot*, not a colon, in XMI attribute names). We treat
+//! names lexically: a single optional `prefix:` plus a local part, with no
+//! namespace-URI resolution, which is exactly the granularity the paper's
+//! stylesheets operate at.
+
+use std::fmt;
+
+/// A lexically qualified XML name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    full: String,
+    /// Byte offset of the colon in `full`, if any.
+    colon: Option<usize>,
+}
+
+impl QName {
+    /// Build from a raw name as it appeared in the source.
+    pub fn new(full: impl Into<String>) -> Self {
+        let full = full.into();
+        let colon = full.find(':');
+        QName { full, colon }
+    }
+
+    /// Build from explicit prefix and local parts.
+    pub fn with_prefix(prefix: &str, local: &str) -> Self {
+        if prefix.is_empty() {
+            QName::new(local)
+        } else {
+            QName::new(format!("{prefix}:{local}"))
+        }
+    }
+
+    /// The full name as written, e.g. `UML:ActionState`.
+    pub fn as_str(&self) -> &str {
+        &self.full
+    }
+
+    /// The prefix, if any (`UML` in `UML:ActionState`).
+    pub fn prefix(&self) -> Option<&str> {
+        self.colon.map(|i| &self.full[..i])
+    }
+
+    /// The local part (`ActionState` in `UML:ActionState`).
+    pub fn local(&self) -> &str {
+        match self.colon {
+            Some(i) => &self.full[i + 1..],
+            None => &self.full,
+        }
+    }
+
+    /// True if the full lexical name equals `other`.
+    pub fn is(&self, other: &str) -> bool {
+        self.full == other
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+impl From<&str> for QName {
+    fn from(s: &str) -> Self {
+        QName::new(s)
+    }
+}
+
+impl From<String> for QName {
+    fn from(s: String) -> Self {
+        QName::new(s)
+    }
+}
+
+/// Is `c` valid as the first character of an XML name?
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// Is `c` valid inside an XML name?
+///
+/// Includes `.` and `-`, which XMI attribute names (`xmi.id`, `xmi.idref`)
+/// rely on.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '.' || c == '-' || c == '\u{B7}'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_prefix() {
+        let q = QName::new("UML:ActionState");
+        assert_eq!(q.prefix(), Some("UML"));
+        assert_eq!(q.local(), "ActionState");
+        assert_eq!(q.as_str(), "UML:ActionState");
+    }
+
+    #[test]
+    fn unprefixed_name() {
+        let q = QName::new("task");
+        assert_eq!(q.prefix(), None);
+        assert_eq!(q.local(), "task");
+    }
+
+    #[test]
+    fn xmi_dot_names_are_single_local_part() {
+        let q = QName::new("xmi.id");
+        assert_eq!(q.prefix(), None);
+        assert_eq!(q.local(), "xmi.id");
+    }
+
+    #[test]
+    fn with_prefix_builds_full_name() {
+        assert_eq!(QName::with_prefix("xsl", "template").as_str(), "xsl:template");
+        assert_eq!(QName::with_prefix("", "job").as_str(), "job");
+    }
+
+    #[test]
+    fn name_char_classes() {
+        assert!(is_name_start('U'));
+        assert!(is_name_start('_'));
+        assert!(!is_name_start('1'));
+        assert!(is_name_char('.'));
+        assert!(is_name_char('-'));
+        assert!(is_name_char('9'));
+        assert!(!is_name_char(' '));
+        assert!(!is_name_char('='));
+    }
+}

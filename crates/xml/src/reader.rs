@@ -1,0 +1,512 @@
+//! Streaming pull parser.
+//!
+//! [`Reader`] walks the input string once, emitting [`Event`]s. It checks
+//! well-formedness of tag nesting but performs no validation. Text events
+//! are unescaped eagerly (returning `Cow::Borrowed` when no entities occur),
+//! so downstream consumers never see raw entity references.
+
+use std::borrow::Cow;
+
+use crate::error::{Pos, XmlError, XmlErrorKind};
+use crate::escape::unescape;
+use crate::name::{is_name_char, is_name_start, QName};
+
+/// One parsed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr<'a> {
+    pub name: QName,
+    pub value: Cow<'a, str>,
+}
+
+/// A parsing event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// `<?xml version="1.0" ...?>`
+    XmlDecl { version: String, encoding: Option<String> },
+    /// `<name attr="v" ...>` — `self_closing` is true for `<name/>`.
+    StartTag { name: QName, attrs: Vec<Attr<'a>>, self_closing: bool },
+    /// `</name>`
+    EndTag { name: QName },
+    /// Character data between tags, entities resolved.
+    Text(Cow<'a, str>),
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData(&'a str),
+    /// `<!-- ... -->` content.
+    Comment(&'a str),
+    /// `<?target data?>`
+    ProcessingInstruction { target: String, data: &'a str },
+    /// `<!DOCTYPE ...>` — content skipped, kept for fidelity.
+    Doctype(&'a str),
+    /// End of input.
+    Eof,
+}
+
+/// Pull parser over a borrowed input string.
+pub struct Reader<'a> {
+    input: &'a str,
+    /// Byte cursor into `input`.
+    at: usize,
+    line: u32,
+    col: u32,
+    /// Stack of open element names for nesting checks.
+    open: Vec<QName>,
+    /// Set once `Eof` has been returned.
+    done: bool,
+    /// True until the first non-decl event is produced.
+    at_start: bool,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Reader { input, at: 0, line: 1, col: 1, open: Vec::new(), done: false, at_start: true }
+    }
+
+    /// Current source position.
+    pub fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col, offset: self.at }
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.at..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.at += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn advance(&mut self, bytes: usize) {
+        let target = self.at + bytes;
+        while self.at < target {
+            self.bump();
+        }
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos())
+    }
+
+    fn eat_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, lit: &'static str) -> Result<(), XmlError> {
+        if self.rest().starts_with(lit) {
+            self.advance(lit.len());
+            Ok(())
+        } else if self.rest().is_empty() {
+            Err(self.err(XmlErrorKind::UnexpectedEof))
+        } else {
+            Err(self.err(XmlErrorKind::Expected(lit)))
+        }
+    }
+
+    fn read_name(&mut self) -> Result<QName, XmlError> {
+        let start = self.at;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.err(XmlErrorKind::ExpectedName)),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(QName::new(&self.input[start..self.at]))
+    }
+
+    fn read_until(&mut self, terminator: &str, construct: &'static str) -> Result<&'a str, XmlError> {
+        match self.rest().find(terminator) {
+            Some(i) => {
+                let content = &self.rest()[..i];
+                self.advance(i + terminator.len());
+                Ok(content)
+            }
+            None => {
+                let _ = construct;
+                Err(self.err(XmlErrorKind::UnexpectedEof))
+            }
+        }
+    }
+
+    /// Consume a DOCTYPE body, honouring an internal subset: the
+    /// declaration ends at the first `>` that is not inside `[...]`.
+    fn read_doctype(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.at;
+        let mut in_subset = false;
+        loop {
+            match self.peek() {
+                Some('[') => {
+                    in_subset = true;
+                    self.bump();
+                }
+                Some(']') => {
+                    in_subset = false;
+                    self.bump();
+                }
+                Some('>') if !in_subset => {
+                    let content = &self.input[start..self.at];
+                    self.bump();
+                    return Ok(content);
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn read_attr_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(self.err(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        };
+        self.bump();
+        let pos = self.pos();
+        let start = self.at;
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    let raw = &self.input[start..self.at];
+                    self.bump();
+                    return unescape(raw, pos);
+                }
+                Some('<') => return Err(self.err(XmlErrorKind::UnexpectedChar('<'))),
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<Event<'a>, XmlError> {
+        let name = self.read_name()?;
+        let mut attrs: Vec<Attr<'a>> = Vec::new();
+        loop {
+            let before = self.at;
+            self.eat_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    self.open.push(name.clone());
+                    return Ok(Event::StartTag { name, attrs, self_closing: false });
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect(">")?;
+                    return Ok(Event::StartTag { name, attrs, self_closing: true });
+                }
+                Some(c) if is_name_start(c) => {
+                    // Attribute requires preceding whitespace.
+                    if before == self.at {
+                        return Err(self.err(XmlErrorKind::Expected("whitespace before attribute")));
+                    }
+                    let attr_name = self.read_name()?;
+                    self.eat_ws();
+                    self.expect("=")?;
+                    self.eat_ws();
+                    let value = self.read_attr_value()?;
+                    if attrs.iter().any(|a| a.name == attr_name) {
+                        return Err(self
+                            .err(XmlErrorKind::DuplicateAttribute(attr_name.as_str().to_string())));
+                    }
+                    attrs.push(Attr { name: attr_name, value });
+                }
+                Some(c) => return Err(self.err(XmlErrorKind::UnexpectedChar(c))),
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn read_end_tag(&mut self) -> Result<Event<'a>, XmlError> {
+        let name = self.read_name()?;
+        self.eat_ws();
+        self.expect(">")?;
+        match self.open.pop() {
+            Some(expected) if expected == name => Ok(Event::EndTag { name }),
+            Some(expected) => Err(self.err(XmlErrorKind::MismatchedTag {
+                expected: expected.as_str().to_string(),
+                found: name.as_str().to_string(),
+            })),
+            None => Err(self.err(XmlErrorKind::UnbalancedEndTag(name.as_str().to_string()))),
+        }
+    }
+
+    fn read_xml_decl_or_pi(&mut self) -> Result<Event<'a>, XmlError> {
+        let target = self.read_name()?;
+        if target.is("xml") {
+            let body = self.read_until("?>", "xml declaration")?;
+            let version = pseudo_attr(body, "version").unwrap_or("1.0").to_string();
+            let encoding = pseudo_attr(body, "encoding").map(str::to_string);
+            Ok(Event::XmlDecl { version, encoding })
+        } else {
+            let data = self.read_until("?>", "processing instruction")?;
+            Ok(Event::ProcessingInstruction {
+                target: target.as_str().to_string(),
+                data: data.trim_start(),
+            })
+        }
+    }
+
+    /// Produce the next event.
+    pub fn next_event(&mut self) -> Result<Event<'a>, XmlError> {
+        if self.done {
+            return Ok(Event::Eof);
+        }
+        if self.rest().is_empty() {
+            if let Some(open) = self.open.last() {
+                return Err(self.err(XmlErrorKind::UnclosedElement(open.as_str().to_string())));
+            }
+            self.done = true;
+            return Ok(Event::Eof);
+        }
+        if self.peek() == Some('<') {
+            self.bump();
+            let ev = match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    self.read_end_tag()
+                }
+                Some('?') => {
+                    self.bump();
+                    self.read_xml_decl_or_pi()
+                }
+                Some('!') => {
+                    self.bump();
+                    if self.rest().starts_with("--") {
+                        self.advance(2);
+                        Ok(Event::Comment(self.read_until("-->", "comment")?))
+                    } else if self.rest().starts_with("[CDATA[") {
+                        self.advance(7);
+                        Ok(Event::CData(self.read_until("]]>", "CDATA section")?))
+                    } else if self.rest().starts_with("DOCTYPE") {
+                        self.advance(7);
+                        Ok(Event::Doctype(self.read_doctype()?.trim()))
+                    } else {
+                        Err(self.err(XmlErrorKind::Expected("comment, CDATA, or DOCTYPE")))
+                    }
+                }
+                Some(_) => self.read_start_tag(),
+                None => Err(self.err(XmlErrorKind::UnexpectedEof)),
+            }?;
+            self.at_start = false;
+            Ok(ev)
+        } else {
+            // Character data up to the next '<' or EOF.
+            let pos = self.pos();
+            let start = self.at;
+            while let Some(c) = self.peek() {
+                if c == '<' {
+                    break;
+                }
+                self.bump();
+            }
+            let raw = &self.input[start..self.at];
+            if self.open.is_empty() && !raw.trim().is_empty() {
+                return Err(XmlError::new(
+                    XmlErrorKind::Structure("character data outside the root element".into()),
+                    pos,
+                ));
+            }
+            Ok(Event::Text(unescape(raw, pos)?))
+        }
+    }
+}
+
+/// Extract a pseudo-attribute (`version="1.0"`) from an XML-declaration body.
+fn pseudo_attr<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let idx = body.find(key)?;
+    let rest = body[idx + key.len()..].trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let quote = rest.chars().next()?;
+    if quote != '"' && quote != '\'' {
+        return None;
+    }
+    let rest = &rest[1..];
+    let end = rest.find(quote)?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(input: &str) -> Result<Vec<Event<'_>>, XmlError> {
+        let mut r = Reader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let ev = r.next_event()?;
+            let end = ev == Event::Eof;
+            out.push(ev);
+            if end {
+                return Ok(out);
+            }
+        }
+    }
+
+    #[test]
+    fn simple_element() {
+        let evs = drain("<job></job>").unwrap();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(&evs[0], Event::StartTag { name, .. } if name.is("job")));
+        assert!(matches!(&evs[1], Event::EndTag { name } if name.is("job")));
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let evs = drain(r#"<task name="tctask0" jar='tasksplit.jar'/>"#).unwrap();
+        match &evs[0] {
+            Event::StartTag { name, attrs, self_closing } => {
+                assert!(name.is("task"));
+                assert!(*self_closing);
+                assert_eq!(attrs.len(), 2);
+                assert_eq!(attrs[0].name.as_str(), "name");
+                assert_eq!(attrs[0].value, "tctask0");
+                assert_eq!(attrs[1].value, "tasksplit.jar");
+            }
+            other => panic!("expected start tag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_is_unescaped() {
+        let evs = drain("<m>a &lt; b &amp; c</m>").unwrap();
+        assert!(matches!(&evs[1], Event::Text(t) if t == "a < b & c"));
+    }
+
+    #[test]
+    fn attr_value_is_unescaped() {
+        let evs = drain(r#"<t v="&quot;x&quot;"/>"#).unwrap();
+        match &evs[0] {
+            Event::StartTag { attrs, .. } => assert_eq!(attrs[0].value, "\"x\""),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn xml_declaration() {
+        let evs = drain("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>").unwrap();
+        match &evs[0] {
+            Event::XmlDecl { version, encoding } => {
+                assert_eq!(version, "1.0");
+                assert_eq!(encoding.as_deref(), Some("UTF-8"));
+            }
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_cdata() {
+        let evs = drain("<a><!-- note --><![CDATA[raw < & data]]></a>").unwrap();
+        assert!(matches!(&evs[1], Event::Comment(c) if *c == " note "));
+        assert!(matches!(&evs[2], Event::CData(c) if *c == "raw < & data"));
+    }
+
+    #[test]
+    fn processing_instruction() {
+        let evs = drain("<?php echo?><a/>").unwrap();
+        assert!(matches!(&evs[0], Event::ProcessingInstruction { target, .. } if target == "php"));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let err = drain("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unbalanced_end_tag_rejected() {
+        let err = drain("</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnbalancedEndTag(_)));
+    }
+
+    #[test]
+    fn unclosed_element_rejected() {
+        let err = drain("<a><b></b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnclosedElement(ref n) if n == "a"));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = drain(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn raw_less_than_in_attr_rejected() {
+        assert!(drain(r#"<a x="a<b"/>"#).is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(drain("<a/>stray").is_err());
+        // Whitespace outside the root is fine.
+        assert!(drain("  <a/>  ").is_ok());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let mut r = Reader::new("<a>\n<b></c></b></a>");
+        r.next_event().unwrap(); // <a>
+        r.next_event().unwrap(); // text "\n"
+        r.next_event().unwrap(); // <b>
+        let err = r.next_event().unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let evs = drain("<UML:ActionState xmi.id='a89'></UML:ActionState>").unwrap();
+        match &evs[0] {
+            Event::StartTag { name, attrs, .. } => {
+                assert_eq!(name.prefix(), Some("UML"));
+                assert_eq!(name.local(), "ActionState");
+                assert_eq!(attrs[0].name.as_str(), "xmi.id");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let evs = drain("<!DOCTYPE html><a/>").unwrap();
+        assert!(matches!(&evs[0], Event::Doctype(d) if *d == "html"));
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let evs = drain("<!DOCTYPE r [<!ENTITY a \"b\">]><r/>").unwrap();
+        assert!(matches!(&evs[0], Event::Doctype(d) if d.contains("ENTITY")));
+        assert!(matches!(&evs[1], Event::StartTag { name, .. } if name.is("r")));
+        assert!(drain("<!DOCTYPE r [unterminated").is_err());
+    }
+
+    #[test]
+    fn eof_is_sticky() {
+        let mut r = Reader::new("<a/>");
+        r.next_event().unwrap();
+        assert_eq!(r.next_event().unwrap(), Event::Eof);
+        assert_eq!(r.next_event().unwrap(), Event::Eof);
+    }
+}

@@ -1,0 +1,282 @@
+//! Document serialization.
+//!
+//! Two styles are needed by the tool chain: the compact, 2-space-indented
+//! style of CNX descriptors (paper Figure 2) and a flat style for embedding
+//! fragments into reports. [`WriteOptions`] selects declaration, indentation
+//! and attribute-quoting behaviour.
+
+use std::fmt::Write as _;
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Emit `<?xml version="1.0"?>` first.
+    pub declaration: bool,
+    /// Indent width; `None` writes everything on one line with no
+    /// inter-element whitespace.
+    pub indent: Option<usize>,
+    /// Use `'` instead of `"` for attribute values (XMI exports from the
+    /// paper's tooling use single quotes, see Figure 7).
+    pub single_quotes: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { declaration: true, indent: Some(2), single_quotes: false }
+    }
+}
+
+impl WriteOptions {
+    /// Compact single-line output without a declaration.
+    pub fn compact() -> Self {
+        WriteOptions { declaration: false, indent: None, single_quotes: false }
+    }
+
+    /// XMI-flavoured output (single-quoted attributes), as produced by the
+    /// UML tooling in the paper.
+    pub fn xmi() -> Self {
+        WriteOptions { declaration: true, indent: Some(2), single_quotes: true }
+    }
+}
+
+/// Serialize a whole document.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    for &child in doc.children(doc.document_node()) {
+        write_node(doc, child, opts, 0, &mut out);
+    }
+    if opts.indent.is_some() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a single subtree (no declaration).
+pub fn write_fragment(doc: &Document, node: NodeId, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_node(doc, node, opts, 0, &mut out);
+    if opts.indent.is_some() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, opts: &WriteOptions, depth: usize, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Document => {
+            for &c in doc.children(id) {
+                write_node(doc, c, opts, depth, out);
+            }
+        }
+        NodeKind::Element { name, attrs } => {
+            indent(opts, depth, out);
+            let q = if opts.single_quotes { '\'' } else { '"' };
+            let _ = write!(out, "<{name}");
+            for (an, av) in attrs {
+                let escaped = escape_attr(av);
+                // escape_attr leaves single quotes alone; swap them for the
+                // numeric reference when quoting with single quotes.
+                let value: String = if opts.single_quotes && escaped.contains('\'') {
+                    escaped.replace('\'', "&#39;")
+                } else {
+                    escaped.into_owned()
+                };
+                let _ = write!(out, " {an}={q}{value}{q}");
+            }
+            let children = doc.children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+                newline(opts, out);
+                return;
+            }
+            out.push('>');
+            // Content with any significant text (pure text or mixed) is
+            // written inline so pretty-printing never changes the element's
+            // string-value; only pure element content is indented.
+            let has_significant_text = children
+                .iter()
+                .any(|&c| matches!(doc.kind(c), NodeKind::Text(t) if !t.trim().is_empty()));
+            if has_significant_text || opts.indent.is_none() {
+                for &c in children {
+                    write_inline(doc, c, out);
+                }
+            } else {
+                newline(opts, out);
+                for &c in children {
+                    write_node(doc, c, opts, depth + 1, out);
+                }
+                indent(opts, depth, out);
+            }
+            let _ = write!(out, "</{name}>");
+            newline(opts, out);
+        }
+        NodeKind::Text(t) => {
+            // In element-content position, skip whitespace-only text when
+            // pretty-printing (it was indentation in the source).
+            if opts.indent.is_some() && t.trim().is_empty() {
+                return;
+            }
+            indent(opts, depth, out);
+            out.push_str(&escape_text(t));
+            newline(opts, out);
+        }
+        NodeKind::Comment(c) => {
+            indent(opts, depth, out);
+            let _ = write!(out, "<!--{c}-->");
+            newline(opts, out);
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            indent(opts, depth, out);
+            if data.is_empty() {
+                let _ = write!(out, "<?{target}?>");
+            } else {
+                let _ = write!(out, "<?{target} {data}?>");
+            }
+            newline(opts, out);
+        }
+    }
+}
+
+/// Write a subtree with no added whitespace (mixed-content mode).
+fn write_inline(doc: &Document, id: NodeId, out: &mut String) {
+    match doc.kind(id) {
+        NodeKind::Document => {
+            for &c in doc.children(id) {
+                write_inline(doc, c, out);
+            }
+        }
+        NodeKind::Element { name, attrs } => {
+            let _ = write!(out, "<{name}");
+            for (an, av) in attrs {
+                let _ = write!(out, " {an}=\"{}\"", escape_attr(av));
+            }
+            let children = doc.children(id);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for &c in children {
+                write_inline(doc, c, out);
+            }
+            let _ = write!(out, "</{name}>");
+        }
+        NodeKind::Text(t) => out.push_str(&escape_text(t)),
+        NodeKind::Comment(c) => {
+            let _ = write!(out, "<!--{c}-->");
+        }
+        NodeKind::ProcessingInstruction { target, data } => {
+            if data.is_empty() {
+                let _ = write!(out, "<?{target}?>");
+            } else {
+                let _ = write!(out, "<?{target} {data}?>");
+            }
+        }
+    }
+}
+
+fn indent(opts: &WriteOptions, depth: usize, out: &mut String) {
+    if let Some(w) = opts.indent {
+        for _ in 0..depth * w {
+            out.push(' ');
+        }
+    }
+}
+
+fn newline(opts: &WriteOptions, out: &mut String) {
+    if opts.indent.is_some() {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"<cn2><client class="TransClosure"><job><task name="t0"/></job></client></cn2>"#;
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(write_document(&doc, &WriteOptions::compact()), src);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let doc = Document::parse("<a><b><c/></b></a>").unwrap();
+        let out = write_document(&doc, &WriteOptions::default());
+        assert_eq!(out, "<?xml version=\"1.0\"?>\n<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn text_content_stays_inline() {
+        let doc = Document::parse("<t><memory>1000</memory></t>").unwrap();
+        let out = write_document(&doc, &WriteOptions { declaration: false, ..Default::default() });
+        assert_eq!(out, "<t>\n  <memory>1000</memory>\n</t>\n");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let mut doc = Document::new();
+        let root = doc.add_element(doc.document_node(), "a");
+        doc.set_attr(root, "v", "x\"<&>");
+        let out = write_document(&doc, &WriteOptions::compact());
+        assert_eq!(out, r#"<a v="x&quot;&lt;&amp;&gt;"/>"#);
+    }
+
+    #[test]
+    fn single_quote_mode_escapes_single_quotes() {
+        let mut doc = Document::new();
+        let root = doc.add_element(doc.document_node(), "a");
+        doc.set_attr(root, "v", "it's");
+        let out =
+            write_document(&doc, &WriteOptions { indent: None, declaration: false, single_quotes: true });
+        assert_eq!(out, "<a v='it&#39;s'/>");
+    }
+
+    #[test]
+    fn reparse_of_pretty_output_is_equivalent() {
+        let src = r#"<cn2><client class="C"><job><task name="t0" depends=""><param type="String">matrix.txt</param></task></job></client></cn2>"#;
+        let doc = Document::parse(src).unwrap();
+        let pretty = write_document(&doc, &WriteOptions::default());
+        let doc2 = Document::parse(&pretty).unwrap();
+        // Pretty serialization of both must agree (pretty-printing drops
+        // whitespace-only text, giving whitespace-insensitive equality).
+        assert_eq!(pretty, write_document(&doc2, &WriteOptions::default()));
+    }
+
+    #[test]
+    fn mixed_content_string_value_preserved_by_pretty_printing() {
+        let doc = Document::parse("<p>hello <b>w</b>!</p>").unwrap();
+        let root = doc.root_element().unwrap();
+        let before = doc.text_content(root);
+        let pretty = write_document(&doc, &WriteOptions::default());
+        let back = Document::parse(&pretty).unwrap();
+        assert_eq!(back.text_content(back.root_element().unwrap()), before);
+        assert_eq!(before, "hello w!");
+    }
+
+    #[test]
+    fn fragment_serialization() {
+        let doc = Document::parse("<a><b x='1'><c/></b></a>").unwrap();
+        let b = doc.find(doc.document_node(), "b").unwrap();
+        let out = write_fragment(&doc, b, &WriteOptions::compact());
+        assert_eq!(out, r#"<b x="1"><c/></b>"#);
+    }
+
+    #[test]
+    fn comments_and_pis_written() {
+        let doc = Document::parse("<a><!--note--><?go now?></a>").unwrap();
+        let out = write_document(&doc, &WriteOptions::compact());
+        assert_eq!(out, "<a><!--note--><?go now?></a>");
+    }
+}

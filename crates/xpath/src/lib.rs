@@ -1,0 +1,59 @@
+//! XPath 1.0 subset evaluator over the [`cn_xml`] DOM.
+//!
+//! The paper's generative step is driven by XSLT stylesheets (`XMI2CNX`,
+//! `CNX2Java`), and XSLT is in turn driven by XPath: template `match`
+//! patterns, `select` expressions, and attribute value templates. This crate
+//! implements the slice of XPath 1.0 those stylesheets need:
+//!
+//! * location paths with the `child`, `attribute`, `descendant(-or-self)`,
+//!   `self`, `parent`, `ancestor(-or-self)`, `following-sibling` and
+//!   `preceding-sibling` axes (plus the `//`, `@`, `.` and `..`
+//!   abbreviations),
+//! * predicates with full expression syntax, `position()` and `last()`,
+//! * the four value types (node-set, string, number, boolean) with the
+//!   spec's conversion and comparison rules,
+//! * the core function library (`count`, `name`, `concat`, `contains`,
+//!   `substring-*`, `normalize-space`, `translate`, `sum`, ...),
+//! * variables (`$var`) supplied through the evaluation context.
+//!
+//! Node-sets are kept in document order and deduplicated, matching the
+//! behaviour XSLT relies on (e.g. `apply-templates` processing order).
+
+pub mod ast;
+pub mod eval;
+pub mod functions;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Axis, Expr, NodeTest, PathExpr, Step};
+pub use eval::{Ctx, EvalError, ScanCache};
+pub use parser::{parse as parse_expr, ParseError};
+pub use value::{Value, XNode};
+
+use cn_xml::Document;
+
+/// Parse and evaluate an expression against `node` with an empty variable
+/// environment. Convenience entry point for tests and simple callers.
+pub fn eval_str(
+    doc: &Document,
+    node: cn_xml::NodeId,
+    expr: &str,
+) -> Result<Value, Box<dyn std::error::Error>> {
+    let parsed = parse_expr(expr)?;
+    let ctx = Ctx::new(doc, node);
+    Ok(ctx.eval(&parsed)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_eval() {
+        let doc = cn_xml::parse("<a><b x='1'/><b x='2'/></a>").unwrap();
+        let v = eval_str(&doc, doc.document_node(), "count(/a/b)").unwrap();
+        assert_eq!(v.as_number(), 2.0);
+        let v = eval_str(&doc, doc.document_node(), "string(/a/b[2]/@x)").unwrap();
+        assert_eq!(v.as_string(), "2");
+    }
+}

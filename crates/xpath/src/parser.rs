@@ -1,0 +1,851 @@
+//! XPath expression parser: tokenizer with the spec's `*`/operator-name
+//! disambiguation rules, plus a recursive-descent grammar.
+
+use std::fmt;
+
+use crate::ast::{Axis, BinOp, Expr, NodeTest, PathExpr, Step};
+
+/// Parse failure with a byte offset into the expression text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub msg: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at offset {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Number(f64),
+    Literal(String),
+    /// NCName or QName (possibly `prefix:*`).
+    Name(String),
+    Var(String),
+    Slash,
+    DoubleSlash,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    At,
+    Dot,
+    DotDot,
+    Comma,
+    Pipe,
+    Star,
+    Plus,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    ColonColon,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    at: usize,
+    toks: Vec<(Tok, usize)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(src: &'a str) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut lx = Lexer { src, at: 0, toks: Vec::new() };
+        lx.tokenize()?;
+        Ok(lx.toks)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.at..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { msg: msg.into(), offset: self.at }
+    }
+
+    /// Per XPath 1.0 §3.7: `*` is the multiply operator (and names like
+    /// `and`/`or`/`div`/`mod` are operators) iff the preceding token exists
+    /// and is not itself an operator, `@`, `::`, `(`, `[` or `,`.
+    fn prev_allows_operator(&self) -> bool {
+        match self.toks.last() {
+            None => false,
+            Some((t, _)) => match t {
+                Tok::At
+                | Tok::ColonColon
+                | Tok::LParen
+                | Tok::LBracket
+                | Tok::Comma
+                | Tok::Slash
+                | Tok::DoubleSlash
+                | Tok::Pipe
+                | Tok::Plus
+                | Tok::Minus
+                | Tok::Eq
+                | Tok::Ne
+                | Tok::Lt
+                | Tok::Le
+                | Tok::Gt
+                | Tok::Ge
+                | Tok::Star => false,
+                // Operator-tagged names (`and`/`or`/`div`/`mod`) are
+                // operators themselves; plain names allow a following
+                // operator.
+                Tok::Name(n) => !n.starts_with("\0op:"),
+                _ => true,
+            },
+        }
+    }
+
+    fn tokenize(&mut self) -> Result<(), ParseError> {
+        loop {
+            while let Some(c) = self.peek() {
+                if !c.is_whitespace() {
+                    break;
+                }
+                self.at += c.len_utf8();
+            }
+            let start = self.at;
+            let Some(c) = self.peek() else { return Ok(()) };
+            let tok = match c {
+                '(' => {
+                    self.at += 1;
+                    Tok::LParen
+                }
+                ')' => {
+                    self.at += 1;
+                    Tok::RParen
+                }
+                '[' => {
+                    self.at += 1;
+                    Tok::LBracket
+                }
+                ']' => {
+                    self.at += 1;
+                    Tok::RBracket
+                }
+                ',' => {
+                    self.at += 1;
+                    Tok::Comma
+                }
+                '@' => {
+                    self.at += 1;
+                    Tok::At
+                }
+                '|' => {
+                    self.at += 1;
+                    Tok::Pipe
+                }
+                '+' => {
+                    self.at += 1;
+                    Tok::Plus
+                }
+                '-' => {
+                    self.at += 1;
+                    Tok::Minus
+                }
+                '=' => {
+                    self.at += 1;
+                    Tok::Eq
+                }
+                '!' => {
+                    if self.rest().starts_with("!=") {
+                        self.at += 2;
+                        Tok::Ne
+                    } else {
+                        return Err(self.err("'!' must be followed by '='"));
+                    }
+                }
+                '<' => {
+                    if self.rest().starts_with("<=") {
+                        self.at += 2;
+                        Tok::Le
+                    } else {
+                        self.at += 1;
+                        Tok::Lt
+                    }
+                }
+                '>' => {
+                    if self.rest().starts_with(">=") {
+                        self.at += 2;
+                        Tok::Ge
+                    } else {
+                        self.at += 1;
+                        Tok::Gt
+                    }
+                }
+                '/' => {
+                    if self.rest().starts_with("//") {
+                        self.at += 2;
+                        Tok::DoubleSlash
+                    } else {
+                        self.at += 1;
+                        Tok::Slash
+                    }
+                }
+                '.' => {
+                    if self.rest().starts_with("..") {
+                        self.at += 2;
+                        Tok::DotDot
+                    } else if self.rest().len() > 1
+                        && self.rest()[1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+                    {
+                        self.number()?
+                    } else {
+                        self.at += 1;
+                        Tok::Dot
+                    }
+                }
+                ':' => {
+                    if self.rest().starts_with("::") {
+                        self.at += 2;
+                        Tok::ColonColon
+                    } else {
+                        return Err(self.err("stray ':'"));
+                    }
+                }
+                '*' => {
+                    self.at += 1;
+                    if self.prev_allows_operator() {
+                        Tok::Star
+                    } else {
+                        Tok::Name("*".to_string())
+                    }
+                }
+                '"' | '\'' => {
+                    self.at += 1;
+                    let end = self
+                        .rest()
+                        .find(c)
+                        .ok_or_else(|| self.err("unterminated string literal"))?;
+                    let lit = self.rest()[..end].to_string();
+                    self.at += end + 1;
+                    Tok::Literal(lit)
+                }
+                '$' => {
+                    self.at += 1;
+                    let name = self.name_token()?;
+                    Tok::Var(name)
+                }
+                '0'..='9' => self.number()?,
+                c if is_name_start(c) => {
+                    let name = self.name_token()?;
+                    // Operator-name disambiguation.
+                    if self.prev_allows_operator() {
+                        match name.as_str() {
+                            "and" | "or" | "div" | "mod" => Tok::Name(format!("\0op:{name}")),
+                            _ => Tok::Name(name),
+                        }
+                    } else {
+                        Tok::Name(name)
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character {other:?}"))),
+            };
+            self.toks.push((tok, start));
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, ParseError> {
+        let start = self.at;
+        let mut seen_dot = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || (c == '.' && !seen_dot) {
+                seen_dot |= c == '.';
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.at];
+        text.parse::<f64>().map(Tok::Number).map_err(|_| self.err("malformed number"))
+    }
+
+    /// Read a QName (or `prefix:*`). A single ':' joins parts; '::' does not.
+    fn name_token(&mut self) -> Result<String, ParseError> {
+        let start = self.at;
+        match self.peek() {
+            Some(c) if is_name_start(c) => self.at += c.len_utf8(),
+            _ => return Err(self.err("expected a name")),
+        }
+        while let Some(c) = self.peek() {
+            if is_name_char(c) {
+                self.at += c.len_utf8();
+            } else if c == ':' && !self.rest().starts_with("::") {
+                self.at += 1;
+                match self.peek() {
+                    Some('*') => {
+                        self.at += 1;
+                        break;
+                    }
+                    // The colon must introduce a local part.
+                    Some(c) if is_name_start(c) => {}
+                    _ => return Err(self.err("':' must be followed by a name or '*'")),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(self.src[start..self.at].to_string())
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '.' || c == '-'
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.at + 1).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.at).map(|(_, o)| *o).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(ParseError { msg: format!("expected {what}"), offset: self.offset() })
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { msg: msg.into(), offset: self.offset() }
+    }
+
+    // Grammar, lowest precedence first.
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_op("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat_op("and") {
+            let rhs = self.equality_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn eat_op(&mut self, name: &str) -> bool {
+        let tag = format!("\0op:{name}");
+        if matches!(self.peek(), Some(Tok::Name(n)) if *n == tag) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Eq) => BinOp::Eq,
+                Some(Tok::Ne) => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            self.at += 1;
+            let rhs = self.relational_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Gt) => BinOp::Gt,
+                Some(Tok::Ge) => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.at += 1;
+            let rhs = self.additive_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.at += 1;
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.peek() == Some(&Tok::Star) {
+                BinOp::Mul
+            } else if self.eat_op("div") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinOp::Div, Box::new(lhs), Box::new(rhs));
+                continue;
+            } else if self.eat_op("mod") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinOp::Mod, Box::new(lhs), Box::new(rhs));
+                continue;
+            } else {
+                return Ok(lhs);
+            };
+            self.at += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            Ok(Expr::Negate(Box::new(self.unary_expr()?)))
+        } else {
+            self.union_expr()
+        }
+    }
+
+    fn union_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.path_expr()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.path_expr()?;
+            lhs = Expr::Union(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// PathExpr: LocationPath | FilterExpr (('/' | '//') RelativeLocationPath)?
+    fn path_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.starts_filter_expr() {
+            let primary = self.primary_expr()?;
+            let mut predicates = Vec::new();
+            while self.peek() == Some(&Tok::LBracket) {
+                self.at += 1;
+                predicates.push(self.or_expr()?);
+                self.expect(Tok::RBracket, "']'")?;
+            }
+            let mut steps = Vec::new();
+            if self.eat(&Tok::Slash) {
+                self.relative_path(&mut steps)?;
+            } else if self.eat(&Tok::DoubleSlash) {
+                steps.push(descendant_or_self_node());
+                self.relative_path(&mut steps)?;
+            }
+            if predicates.is_empty() && steps.is_empty() {
+                Ok(primary)
+            } else {
+                Ok(Expr::Filter { primary: Box::new(primary), predicates, steps })
+            }
+        } else {
+            self.location_path()
+        }
+    }
+
+    /// Does the upcoming token start a FilterExpr (primary expression) as
+    /// opposed to a location path?
+    fn starts_filter_expr(&self) -> bool {
+        match self.peek() {
+            Some(Tok::Number(_) | Tok::Literal(_) | Tok::Var(_) | Tok::LParen) => true,
+            // A Name followed by '(' is a function call — unless it's a node
+            // test like text()/node()/comment().
+            Some(Tok::Name(n)) => {
+                !matches!(n.as_str(), "text" | "node" | "comment" | "processing-instruction")
+                    && self.peek2() == Some(&Tok::LParen)
+            }
+            _ => false,
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Tok::Number(n)) => Ok(Expr::Number(n)),
+            Some(Tok::Literal(s)) => Ok(Expr::Literal(s)),
+            Some(Tok::Var(v)) => Ok(Expr::VarRef(v)),
+            Some(Tok::LParen) => {
+                let e = self.or_expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Name(name)) => {
+                self.expect(Tok::LParen, "'(' after function name")?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    loop {
+                        args.push(self.or_expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen, "')'")?;
+                Ok(Expr::FnCall(name, args))
+            }
+            _ => Err(self.err("expected a primary expression")),
+        }
+    }
+
+    fn location_path(&mut self) -> Result<Expr, ParseError> {
+        let mut steps = Vec::new();
+        let absolute = if self.eat(&Tok::DoubleSlash) {
+            steps.push(descendant_or_self_node());
+            true
+        } else if self.eat(&Tok::Slash) {
+            // Bare '/' is the document node itself.
+            if !self.starts_step() {
+                return Ok(Expr::Path(PathExpr { absolute: true, steps }));
+            }
+            true
+        } else {
+            false
+        };
+        self.relative_path(&mut steps)?;
+        Ok(Expr::Path(PathExpr { absolute, steps }))
+    }
+
+    fn starts_step(&self) -> bool {
+        matches!(self.peek(), Some(Tok::Name(_) | Tok::At | Tok::Dot | Tok::DotDot))
+    }
+
+    fn relative_path(&mut self, steps: &mut Vec<Step>) -> Result<(), ParseError> {
+        loop {
+            steps.push(self.step()?);
+            if self.eat(&Tok::Slash) {
+                continue;
+            }
+            if self.eat(&Tok::DoubleSlash) {
+                steps.push(descendant_or_self_node());
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    fn step(&mut self) -> Result<Step, ParseError> {
+        if self.eat(&Tok::Dot) {
+            return Ok(Step { axis: Axis::SelfAxis, test: NodeTest::Node, predicates: Vec::new() });
+        }
+        if self.eat(&Tok::DotDot) {
+            return Ok(Step { axis: Axis::Parent, test: NodeTest::Node, predicates: Vec::new() });
+        }
+        let mut axis = Axis::Child;
+        if self.eat(&Tok::At) {
+            axis = Axis::Attribute;
+        } else if let Some(Tok::Name(n)) = self.peek() {
+            if self.peek2() == Some(&Tok::ColonColon) {
+                axis = axis_by_name(n).ok_or_else(|| self.err(format!("unknown axis {n:?}")))?;
+                self.at += 2;
+            }
+        }
+        let test = self.node_test()?;
+        let mut predicates = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            predicates.push(self.or_expr()?);
+            self.expect(Tok::RBracket, "']'")?;
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, ParseError> {
+        match self.bump() {
+            Some(Tok::Name(n)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    let test = match n.as_str() {
+                        "text" => NodeTest::Text,
+                        "node" => NodeTest::Node,
+                        "comment" => NodeTest::Comment,
+                        other => return Err(self.err(format!("unknown node test {other}()"))),
+                    };
+                    self.at += 1;
+                    self.expect(Tok::RParen, "')'")?;
+                    Ok(test)
+                } else if n == "*" {
+                    Ok(NodeTest::Any)
+                } else if let Some(prefix) = n.strip_suffix(":*") {
+                    Ok(NodeTest::PrefixAny(prefix.to_string()))
+                } else {
+                    Ok(NodeTest::Name(n))
+                }
+            }
+            _ => Err(self.err("expected a node test")),
+        }
+    }
+}
+
+fn descendant_or_self_node() -> Step {
+    Step { axis: Axis::DescendantOrSelf, test: NodeTest::Node, predicates: Vec::new() }
+}
+
+fn axis_by_name(n: &str) -> Option<Axis> {
+    Some(match n {
+        "child" => Axis::Child,
+        "descendant" => Axis::Descendant,
+        "descendant-or-self" => Axis::DescendantOrSelf,
+        "attribute" => Axis::Attribute,
+        "self" => Axis::SelfAxis,
+        "parent" => Axis::Parent,
+        "ancestor" => Axis::Ancestor,
+        "ancestor-or-self" => Axis::AncestorOrSelf,
+        "following-sibling" => Axis::FollowingSibling,
+        "preceding-sibling" => Axis::PrecedingSibling,
+        _ => return None,
+    })
+}
+
+/// Parse a complete XPath expression.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let toks = Lexer::run(src)?;
+    if toks.is_empty() {
+        return Err(ParseError { msg: "empty expression".into(), offset: 0 });
+    }
+    let mut p = Parser { toks, at: 0 };
+    let e = p.or_expr()?;
+    if p.at != p.toks.len() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(src: &str) -> PathExpr {
+        match parse(src).unwrap() {
+            Expr::Path(p) => p,
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_child_path() {
+        let p = path("client/job/task");
+        assert!(!p.absolute);
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[2].test, NodeTest::Name("task".into()));
+    }
+
+    #[test]
+    fn absolute_and_descendant_paths() {
+        let p = path("/cn2/client");
+        assert!(p.absolute);
+        let p = path("//task");
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[0].test, NodeTest::Node);
+    }
+
+    #[test]
+    fn attribute_abbreviation() {
+        let p = path("@name");
+        assert_eq!(p.steps[0].axis, Axis::Attribute);
+        assert_eq!(p.steps[0].test, NodeTest::Name("name".into()));
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let p = path(".");
+        assert_eq!(p.steps[0].axis, Axis::SelfAxis);
+        let p = path("../task");
+        assert_eq!(p.steps[0].axis, Axis::Parent);
+        assert_eq!(p.steps[1].test, NodeTest::Name("task".into()));
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let p = path("ancestor::job/descendant::task");
+        assert_eq!(p.steps[0].axis, Axis::Ancestor);
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn predicates_parse() {
+        let p = path("task[@name='tctask0'][2]");
+        assert_eq!(p.steps[0].predicates.len(), 2);
+        assert!(matches!(p.steps[0].predicates[1], Expr::Number(n) if n == 2.0));
+    }
+
+    #[test]
+    fn prefixed_names_and_wildcards() {
+        let p = path("UML:ActionState/UML:*");
+        assert_eq!(p.steps[0].test, NodeTest::Name("UML:ActionState".into()));
+        assert_eq!(p.steps[1].test, NodeTest::PrefixAny("UML".into()));
+        let p = path("*");
+        assert_eq!(p.steps[0].test, NodeTest::Any);
+    }
+
+    #[test]
+    fn node_tests() {
+        let p = path("text()");
+        assert_eq!(p.steps[0].test, NodeTest::Text);
+        let p = path("node()");
+        assert_eq!(p.steps[0].test, NodeTest::Node);
+        let p = path("comment()");
+        assert_eq!(p.steps[0].test, NodeTest::Comment);
+    }
+
+    #[test]
+    fn function_calls() {
+        match parse("concat('a', 'b', 'c')").unwrap() {
+            Expr::FnCall(name, args) => {
+                assert_eq!(name, "concat");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operators_and_precedence() {
+        // 1 + 2 * 3 = 7, not 9.
+        match parse("1 + 2 * 3").unwrap() {
+            Expr::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Comparison binds tighter than and/or.
+        match parse("@a = 1 and @b = 2").unwrap() {
+            Expr::Binary(BinOp::And, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Binary(BinOp::Eq, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // After a name, '*' is multiplication.
+        assert!(matches!(parse("2 * 3").unwrap(), Expr::Binary(BinOp::Mul, _, _)));
+        // At expression start, '*' is a wildcard step.
+        assert!(matches!(parse("*").unwrap(), Expr::Path(_)));
+        // After '(', wildcard.
+        assert!(matches!(parse("count(*)").unwrap(), Expr::FnCall(_, _)));
+    }
+
+    #[test]
+    fn div_mod_disambiguation() {
+        assert!(matches!(parse("4 div 2").unwrap(), Expr::Binary(BinOp::Div, _, _)));
+        assert!(matches!(parse("5 mod 2").unwrap(), Expr::Binary(BinOp::Mod, _, _)));
+        // 'div' as element name at path start.
+        let p = path("div/span");
+        assert_eq!(p.steps[0].test, NodeTest::Name("div".into()));
+    }
+
+    #[test]
+    fn union_expressions() {
+        assert!(matches!(parse("a | b | c").unwrap(), Expr::Union(_, _)));
+    }
+
+    #[test]
+    fn variables() {
+        assert_eq!(parse("$workers").unwrap(), Expr::VarRef("workers".into()));
+        assert!(matches!(parse("$n + 1").unwrap(), Expr::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn filter_with_trailing_path() {
+        match parse("(//task)[1]/@name").unwrap() {
+            Expr::Filter { predicates, steps, .. } => {
+                assert_eq!(predicates.len(), 1);
+                assert_eq!(steps.len(), 1);
+                assert_eq!(steps[0].axis, Axis::Attribute);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_both_quotes() {
+        assert_eq!(parse("'single'").unwrap(), Expr::Literal("single".into()));
+        assert_eq!(parse("\"double\"").unwrap(), Expr::Literal("double".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse("42").unwrap(), Expr::Number(42.0));
+        assert_eq!(parse("3.5").unwrap(), Expr::Number(3.5));
+        assert_eq!(parse(".5").unwrap(), Expr::Number(0.5));
+        assert!(matches!(parse("-1").unwrap(), Expr::Negate(_)));
+    }
+
+    #[test]
+    fn root_path() {
+        let p = path("/");
+        assert!(p.absolute);
+        assert!(p.steps.is_empty());
+    }
+
+    #[test]
+    fn xmi_dot_attribute_names() {
+        let p = path("UML:TagDefinition/@xmi.idref");
+        assert_eq!(p.steps[1].test, NodeTest::Name("xmi.idref".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("task[").is_err());
+        assert!(parse("'unterminated").is_err());
+        assert!(parse("a ! b").is_err());
+        assert!(parse("foo::x").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("foo:/bar").is_err(), "trailing colon in a QName");
+        assert!(parse("foo: x").is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Result-tree construction and serialization.
+
+use cn_xml::{Document, NodeId, WriteOptions};
+
+/// Serialization method declared by `xsl:output`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMethod {
+    Xml { indent: bool, declaration: bool },
+    Text,
+}
+
+impl OutputMethod {
+    pub fn xml() -> OutputMethod {
+        OutputMethod::Xml { indent: false, declaration: true }
+    }
+}
+
+/// Incremental builder for the result tree.
+///
+/// XSLT output is a sequence of events (start element, attribute, text...)
+/// produced by instruction execution; this builder folds them into a
+/// [`Document`]. Top-level text (outside any element) is stored directly
+/// under the document node, preserving event order — legal for
+/// `method="text"` output and for result-tree fragments.
+pub struct Builder {
+    doc: Document,
+    /// Open element stack; empty means "at top level".
+    stack: Vec<NodeId>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder { doc: Document::new(), stack: Vec::new() }
+    }
+
+    fn parent(&self) -> NodeId {
+        self.stack.last().copied().unwrap_or_else(|| self.doc.document_node())
+    }
+
+    /// Open a new element.
+    pub fn start_element(&mut self, name: &str) {
+        let id = self.doc.add_element(self.parent(), name);
+        self.stack.push(id);
+    }
+
+    /// Close the innermost element.
+    pub fn end_element(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Add an attribute to the innermost open element. Returns false (and
+    /// does nothing) at top level — matching XSLT's rule that
+    /// `xsl:attribute` outside an element is an error we report upstream.
+    pub fn attribute(&mut self, name: &str, value: &str) -> bool {
+        match self.stack.last() {
+            Some(&el) => {
+                self.doc.set_attr(el, name, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Append text.
+    pub fn text(&mut self, s: &str) {
+        if !s.is_empty() {
+            self.doc.add_text(self.parent(), s);
+        }
+    }
+
+    /// Append a comment.
+    pub fn comment(&mut self, s: &str) {
+        self.doc.add_comment(self.parent(), s);
+    }
+
+    /// Deep-copy a subtree from another document into the output.
+    pub fn copy_subtree(&mut self, src: &Document, node: NodeId) {
+        match src.kind(node) {
+            cn_xml::NodeKind::Document => {
+                for &c in src.children(node) {
+                    self.copy_subtree(src, c);
+                }
+            }
+            cn_xml::NodeKind::Element { name, attrs } => {
+                self.start_element(name.as_str());
+                for (an, av) in attrs {
+                    self.attribute(an.as_str(), av);
+                }
+                for &c in src.children(node) {
+                    self.copy_subtree(src, c);
+                }
+                self.end_element();
+            }
+            cn_xml::NodeKind::Text(t) => self.text(t),
+            cn_xml::NodeKind::Comment(c) => self.comment(c),
+            cn_xml::NodeKind::ProcessingInstruction { .. } => {}
+        }
+    }
+
+    /// Finish building.
+    pub fn finish(self) -> Document {
+        self.doc
+    }
+
+    /// Collected text content of everything built so far (for
+    /// `method="text"` and result-tree-fragment→string coercion).
+    pub fn text_value(&self) -> String {
+        self.doc.text_content(self.doc.document_node())
+    }
+}
+
+/// Serialize a result document per the output method.
+pub fn serialize(doc: &Document, method: OutputMethod) -> String {
+    match method {
+        OutputMethod::Text => doc.text_content(doc.document_node()),
+        OutputMethod::Xml { indent, declaration } => {
+            let opts = WriteOptions {
+                declaration,
+                indent: if indent { Some(2) } else { None },
+                single_quotes: false,
+            };
+            cn_xml::write_document(doc, &opts)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_elements() {
+        let mut b = Builder::new();
+        b.start_element("cn2");
+        b.start_element("client");
+        b.attribute("class", "TC");
+        b.text("x");
+        b.end_element();
+        b.end_element();
+        let doc = b.finish();
+        let out = serialize(&doc, OutputMethod::Xml { indent: false, declaration: false });
+        assert_eq!(out, r#"<cn2><client class="TC">x</client></cn2>"#);
+    }
+
+    #[test]
+    fn attribute_at_top_level_rejected() {
+        let mut b = Builder::new();
+        assert!(!b.attribute("x", "1"));
+        b.start_element("a");
+        assert!(b.attribute("x", "1"));
+    }
+
+    #[test]
+    fn text_method_preserves_order() {
+        let mut b = Builder::new();
+        b.text("head ");
+        b.start_element("a");
+        b.text("inner");
+        b.end_element();
+        b.text(" tail");
+        let doc = b.finish();
+        assert_eq!(serialize(&doc, OutputMethod::Text), "head inner tail");
+    }
+
+    #[test]
+    fn copy_subtree_deep_copies() {
+        let src = cn_xml::parse("<a x='1'><b>t</b><!--c--></a>").unwrap();
+        let mut b = Builder::new();
+        b.copy_subtree(&src, src.root_element().unwrap());
+        let doc = b.finish();
+        let out = serialize(&doc, OutputMethod::Xml { indent: false, declaration: false });
+        assert_eq!(out, r#"<a x="1"><b>t</b><!--c--></a>"#);
+    }
+
+    #[test]
+    fn text_value_snapshot() {
+        let mut b = Builder::new();
+        b.start_element("a");
+        b.text("x");
+        b.end_element();
+        b.text("y");
+        assert_eq!(b.text_value(), "xy");
+    }
+}

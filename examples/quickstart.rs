@@ -1,0 +1,69 @@
+//! Quickstart: deploy a simulated neighborhood, publish a task archive,
+//! run a two-task job through the CN API, and read the results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use computational_neighborhood::cluster::NodeSpec;
+use computational_neighborhood::core::{
+    CnApi, JobRequirements, Neighborhood, TaskArchive, TaskContext, TaskSpec, UserData,
+};
+
+fn main() {
+    // 1. Deploy CN servers on four simulated nodes (the paper's "install CN
+    //    servers on all the machines of a subnet").
+    let neighborhood = Neighborhood::deploy(NodeSpec::fleet(4, 4096, 8));
+
+    // 2. Package tasks as archives — the JAR analogue. A task is anything
+    //    implementing the Task interface; closures work for simple cases.
+    neighborhood.registry().publish(
+        TaskArchive::new("greet.jar")
+            .class("demo.Greeter", || {
+                Box::new(|ctx: &mut TaskContext| {
+                    let who = ctx.param_str(0).unwrap_or("world").to_string();
+                    ctx.send("shout", "greeting", UserData::Text(format!("hello, {who}")))?;
+                    Ok(UserData::Empty)
+                })
+            })
+            .class("demo.Shouter", || {
+                Box::new(|ctx: &mut TaskContext| {
+                    let (from, data) = ctx
+                        .recv_tagged("greeting", Duration::from_secs(10))
+                        .map_err(|e| computational_neighborhood::core::TaskError::new(e.to_string()))?;
+                    let text = data.as_text().unwrap_or("").to_uppercase();
+                    Ok(UserData::Text(format!("{text}! (via {from})")))
+                })
+            }),
+    );
+
+    // 3. The CN API factory sequence (paper Section 3).
+    let api = CnApi::initialize(&neighborhood);
+    let mut job = api.create_job(&JobRequirements::default()).expect("create job");
+    println!("job created on JobManager {:?}", job.manager());
+
+    let mut greeter = TaskSpec::new("greet", "greet.jar", "demo.Greeter");
+    greeter.params.push(computational_neighborhood::cnx::Param::string("cluster"));
+    greeter.memory_mb = 256;
+    job.add_task(greeter).expect("place greeter");
+
+    let mut shouter = TaskSpec::new("shout", "greet.jar", "demo.Shouter");
+    shouter.memory_mb = 256;
+    job.add_task(shouter).expect("place shouter");
+
+    job.start().expect("start tasks");
+    let report = job.wait(Duration::from_secs(30)).expect("job completion");
+
+    // 4. Results.
+    for (task, result) in &report.results {
+        println!("{task}: {result:?}");
+    }
+    assert_eq!(
+        report.result("shout"),
+        Some(&UserData::Text("HELLO, CLUSTER! (via greet)".to_string()))
+    );
+    println!("quickstart OK in {:?}", report.elapsed);
+    neighborhood.shutdown();
+}

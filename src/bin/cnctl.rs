@@ -1,0 +1,317 @@
+//! `cnctl` — command-line front end to the CN tool chain.
+//!
+//! ```text
+//! cnctl validate  <file.cnx>                      check + DAG analytics
+//! cnctl transform <file.xmi> [--class C] [--port P] [--log L] [--no-keys]
+//! cnctl codegen   <file.cnx> [--lang rust|java]
+//! cnctl render    <file.cnx|file.xmi> [--format dot|ascii]
+//! cnctl demo      [workers]                        full pipeline on the TC example
+//! cnctl example-xmi [workers]                      emit the Figure-3 model as XMI
+//! ```
+//!
+//! Everything reads/writes plain files or stdout, so the tool composes with
+//! shell pipelines the way the paper's XSLT-based tooling did.
+
+use std::fmt::Write as _;
+
+use computational_neighborhood::cnx;
+use computational_neighborhood::codegen;
+use computational_neighborhood::model;
+use computational_neighborhood::transform::{self, xmi2cnx::ClientSettings};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("cnctl: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Dispatch a command line; returns the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    let command = it.next().map(String::as_str).unwrap_or("help");
+    let rest: Vec<&str> = it.map(String::as_str).collect();
+    match command {
+        "validate" => {
+            let path = positional(&rest, 0).ok_or("usage: cnctl validate <file.cnx>")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            validate_cnx(&text)
+        }
+        "transform" => {
+            let path = positional(&rest, 0).ok_or("usage: cnctl transform <file.xmi> [...]")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            transform_xmi(&text, &rest)
+        }
+        "codegen" => {
+            let path = positional(&rest, 0).ok_or("usage: cnctl codegen <file.cnx> [...]")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            codegen_cnx(&text, flag_value(&rest, "--lang").unwrap_or("rust"))
+        }
+        "render" => {
+            let path = positional(&rest, 0).ok_or("usage: cnctl render <file> [...]")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            render(&text, flag_value(&rest, "--format").unwrap_or("ascii"))
+        }
+        "example-xmi" => {
+            let workers: usize = positional(&rest, 0)
+                .map(|w| w.parse().map_err(|_| format!("bad worker count {w:?}")))
+                .transpose()?
+                .unwrap_or(5);
+            if workers == 0 {
+                return Err("need at least one worker".to_string());
+            }
+            Ok(computational_neighborhood::xml::write_document(
+                &model::export_xmi(&transform::figure2_model(workers)),
+                &computational_neighborhood::xml::WriteOptions::xmi(),
+            ))
+        }
+        "demo" => {
+            let workers: usize = positional(&rest, 0)
+                .map(|w| w.parse().map_err(|_| format!("bad worker count {w:?}")))
+                .transpose()?
+                .unwrap_or(3);
+            demo(workers)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage: cnctl <validate|transform|codegen|render|demo|example-xmi|help> [args]\n";
+
+fn positional<'a>(args: &[&'a str], index: usize) -> Option<&'a str> {
+    args.iter().filter(|a| !a.starts_with("--")).nth(index).copied()
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| *a == flag).and_then(|i| args.get(i + 1)).copied()
+}
+
+fn has_flag(args: &[&str], flag: &str) -> bool {
+    args.contains(&flag)
+}
+
+/// `validate`: parse, validate, and summarize the dependency structure.
+fn validate_cnx(text: &str) -> Result<String, String> {
+    let doc = cnx::parse_cnx(text).map_err(|e| e.to_string())?;
+    cnx::validate(&doc).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "client {:?}: OK", doc.client.class);
+    for (i, job) in doc.client.jobs.iter().enumerate() {
+        let graph = cnx::DependencyGraph::build(job).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "  job {i}: {} tasks, {} wave(s), critical path {}, max parallelism {}",
+            graph.len(),
+            graph.waves().len(),
+            graph.critical_path_len(),
+            graph.max_parallelism()
+        );
+        for (w, wave) in graph.waves().iter().enumerate() {
+            let names: Vec<&str> = wave.iter().map(|&t| graph.name(t)).collect();
+            let _ = writeln!(out, "    wave {w}: {}", names.join(", "));
+        }
+    }
+    Ok(out)
+}
+
+/// `transform`: XMI text → CNX text via the XSLT path.
+fn transform_xmi(text: &str, args: &[&str]) -> Result<String, String> {
+    let settings = ClientSettings {
+        class: flag_value(args, "--class").map(str::to_string),
+        port: flag_value(args, "--port")
+            .map(|p| p.parse().map_err(|_| format!("bad port {p:?}")))
+            .transpose()?,
+        log: flag_value(args, "--log").map(str::to_string),
+    };
+    let result = if has_flag(args, "--no-keys") {
+        transform::xmi2cnx::xmi_to_cnx_xslt_nokeys(text, &settings)
+    } else {
+        transform::xmi_to_cnx_xslt(text, &settings)
+    };
+    result.map_err(|e| e.to_string())
+}
+
+/// `codegen`: CNX text → client program source.
+fn codegen_cnx(text: &str, lang: &str) -> Result<String, String> {
+    let doc = cnx::parse_cnx(text).map_err(|e| e.to_string())?;
+    cnx::validate(&doc).map_err(|e| e.to_string())?;
+    match lang {
+        "rust" => Ok(codegen::generate_rust_client(&doc)),
+        "java" => Ok(codegen::generate_java_client(&doc)),
+        other => Err(format!("unknown language {other:?} (rust|java)")),
+    }
+}
+
+/// `render`: CNX or XMI → activity diagram (DOT or ASCII).
+fn render(text: &str, format: &str) -> Result<String, String> {
+    // Sniff the input: XMI documents have an <XMI> root.
+    let doc = computational_neighborhood::xml::parse(text).map_err(|e| e.to_string())?;
+    let root_name = doc
+        .root_element()
+        .and_then(|r| doc.name(r))
+        .map(|n| n.local().to_string())
+        .unwrap_or_default();
+    let graphs = if root_name == "XMI" {
+        vec![model::import_xmi(&doc).map_err(|e| e.to_string())?]
+    } else {
+        let cnx_doc = cnx::parse_cnx_doc(&doc).map_err(|e| e.to_string())?;
+        transform::cnx_to_models(&cnx_doc)
+    };
+    let mut out = String::new();
+    for graph in &graphs {
+        match format {
+            "dot" => out.push_str(&model::render::to_dot(graph)),
+            "ascii" => out.push_str(&model::render::to_ascii(graph)),
+            other => return Err(format!("unknown format {other:?} (dot|ascii)")),
+        }
+    }
+    Ok(out)
+}
+
+/// `demo`: build the Figure 2/3 model, run the whole pipeline on a small
+/// random graph, and show every artifact.
+fn demo(workers: usize) -> Result<String, String> {
+    use computational_neighborhood::cluster::NodeSpec;
+    use computational_neighborhood::core::{DynamicArgs, Neighborhood};
+    use computational_neighborhood::tasks::{
+        self, floyd_sequential, random_digraph, seed_input, Matrix,
+    };
+
+    if workers == 0 {
+        return Err("need at least one worker".to_string());
+    }
+    let nb = Neighborhood::deploy(NodeSpec::fleet(3, 8192, 16));
+    tasks::publish_all_archives(nb.registry());
+    let input = random_digraph(16, 0.25, 1..9, 1);
+    let worker_names: Vec<String> = (1..=workers).map(|i| format!("tctask{i}")).collect();
+    let input2 = input.clone();
+    let options = transform::PipelineOptions {
+        settings: transform::figure2_settings(),
+        dynamic: DynamicArgs::new(),
+        timeout: std::time::Duration::from_secs(60),
+        seed: Some(Box::new(move |job| {
+            seed_input(job.tuplespace(), "matrix.txt", &input2, &worker_names, "tctask999");
+        })),
+    };
+    let run = transform::Pipeline::new(&nb)
+        .run(&transform::figure2_model(workers), options)?;
+    let result = Matrix::from_userdata(
+        run.reports[0].result("tctask999").ok_or("no joiner result")?,
+    )
+    .map_err(|e| e.to_string())?;
+    let verified = result == floyd_sequential(&input);
+    nb.shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== CNX descriptor ==\n{}", run.cnx_text);
+    let _ = writeln!(out, "== stage timings ==");
+    for t in &run.timings {
+        let _ = writeln!(out, "  {:<16} {:?}", t.stage, t.elapsed);
+    }
+    let _ = writeln!(out, "== execution: {} task results, verified={verified} ==", run.reports[0].results.len());
+    if !verified {
+        return Err("demo result did not match sequential Floyd".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use computational_neighborhood::cnx::{ast::figure2_descriptor, write_cnx};
+    use computational_neighborhood::transform::figure2_model;
+
+    fn figure2_cnx_text() -> String {
+        write_cnx(&figure2_descriptor(3))
+    }
+
+    fn figure2_xmi_text() -> String {
+        computational_neighborhood::xml::write_document(
+            &computational_neighborhood::model::export_xmi(&figure2_model(3)),
+            &computational_neighborhood::xml::WriteOptions::xmi(),
+        )
+    }
+
+    #[test]
+    fn validate_reports_waves() {
+        let out = validate_cnx(&figure2_cnx_text()).unwrap();
+        assert!(out.contains("client \"TransClosure\": OK"));
+        assert!(out.contains("5 tasks") || out.contains("critical path 3"), "{out}");
+        assert!(out.contains("wave 1: tctask1, tctask2, tctask3"));
+    }
+
+    #[test]
+    fn validate_rejects_cycles() {
+        let bad = r#"<cn2><client class="C"><job>
+            <task name="a" jar="j" class="K" depends="a"/>
+        </job></client></cn2>"#;
+        let err = validate_cnx(bad).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn transform_produces_cnx() {
+        let args = vec!["x.xmi", "--class", "TransClosure", "--port", "5666"];
+        let out = transform_xmi(&figure2_xmi_text(), &args).unwrap();
+        assert!(out.contains("<cn2>"));
+        assert!(out.contains(r#"port="5666""#));
+        // The keyless path gives the same answer.
+        let mut nk = args.clone();
+        nk.push("--no-keys");
+        assert_eq!(out, transform_xmi(&figure2_xmi_text(), &nk).unwrap());
+    }
+
+    #[test]
+    fn codegen_both_languages() {
+        let rust = codegen_cnx(&figure2_cnx_text(), "rust").unwrap();
+        assert!(rust.contains("fn main"));
+        let java = codegen_cnx(&figure2_cnx_text(), "java").unwrap();
+        assert!(java.contains("public static void main"));
+        assert!(codegen_cnx(&figure2_cnx_text(), "cobol").is_err());
+    }
+
+    #[test]
+    fn render_handles_both_inputs_and_formats() {
+        let from_cnx = render(&figure2_cnx_text(), "ascii").unwrap();
+        assert!(from_cnx.contains("[tctask0]"));
+        let from_xmi = render(&figure2_xmi_text(), "dot").unwrap();
+        assert!(from_xmi.starts_with("digraph"));
+        assert!(render(&figure2_cnx_text(), "png").is_err());
+    }
+
+    #[test]
+    fn demo_runs_end_to_end() {
+        let out = demo(2).unwrap();
+        assert!(out.contains("verified=true"), "{out}");
+    }
+
+    #[test]
+    fn example_xmi_feeds_transform() {
+        let xmi = run(&["example-xmi".to_string(), "2".to_string()]).unwrap();
+        assert!(xmi.contains("UML:ActionState"));
+        let cnx = transform_xmi(&xmi, &["x", "--class", "TC"]).unwrap();
+        assert!(cnx.contains("tctask999"));
+        assert!(run(&["example-xmi".to_string(), "0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn arg_helpers() {
+        let args = vec!["file.cnx", "--lang", "java", "--no-keys"];
+        assert_eq!(positional(&args, 0), Some("file.cnx"));
+        assert_eq!(flag_value(&args, "--lang"), Some("java"));
+        assert!(has_flag(&args, "--no-keys"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("usage:"));
+        assert!(run(&[]).unwrap().contains("usage:"));
+    }
+}

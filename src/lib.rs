@@ -1,0 +1,39 @@
+//! # Computational Neighborhood (CN)
+//!
+//! A full Rust reproduction of *“A Model-Driven Approach to Job/Task
+//! Composition in Cluster Computing”* (Mehta, Kanitkar, Läufer,
+//! Thiruvathukal; IPDPS 2007).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`xml`] / [`xpath`] / [`xslt`] — the XML substrate the generative tool
+//!   chain runs on (built from scratch; no offline XML crates exist).
+//! * [`model`] — UML activity-diagram models with tagged values and XMI 1.2
+//!   import/export (paper Figures 3, 4, 5, 7).
+//! * [`cnx`] — the CNX compositional language (paper Figure 2).
+//! * [`cluster`] — the deterministic simulated cluster substrate standing in
+//!   for the paper's Ethernet cluster of PCs.
+//! * [`core`] — the CN runtime: CN API factory, Job/Task, JobManager,
+//!   TaskManager, CNServer, messaging, tuple spaces.
+//! * [`tasks`] — the task library, including the paper's guiding example
+//!   (parallel Floyd transitive closure: `TaskSplit`, `TCTask`, `TCJoin`).
+//! * [`codegen`] — native client-program generation from CNX.
+//! * [`transform`] — XMI2CNX / CNX2Rust / CNX2Java stylesheets, the six-step
+//!   pipeline of Figure 6, and the web-portal prototype.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the complete model → XMI → CNX → execute
+//! flow on a 5-worker transitive-closure job.
+
+pub use cn_cluster as cluster;
+pub use cn_cnx as cnx;
+pub use cn_codegen as codegen;
+pub use cn_core as core;
+pub use cn_model as model;
+pub use cn_tasks as tasks;
+pub use cn_transform as transform;
+pub use cn_xml as xml;
+pub use cn_xpath as xpath;
+pub use cn_xslt as xslt;

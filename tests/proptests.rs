@@ -1,0 +1,378 @@
+//! Property-based tests over the tool chain's core invariants.
+
+use proptest::prelude::*;
+
+use computational_neighborhood::cnx::{self, Job as CnxJob, Param, ParamType, Task as CnxTask};
+use computational_neighborhood::tasks::{floyd_parallel, floyd_sequential, Matrix, INF};
+use computational_neighborhood::xml;
+use computational_neighborhood::xpath;
+
+// ---------- generators -----------------------------------------------------
+
+/// Text without XML-hostile control characters (which we never claim to
+/// support) but *with* markup characters that must be escaped.
+fn xml_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('0'),
+            Just(' '),
+            Just('&'),
+            Just('<'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+            Just('ü'),
+            Just('→'),
+        ],
+        0..24,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn name_str() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+prop_compose! {
+    fn arb_task(existing: Vec<String>)(
+        name in name_str(),
+        jar in name_str(),
+        class in name_str(),
+        memory in 1u64..10_000,
+        deps in proptest::sample::subsequence(existing.clone(), 0..=existing.len().min(4)),
+        param_vals in proptest::collection::vec(0i64..100, 0..3),
+    ) -> CnxTask {
+        let mut t = CnxTask::new(name, format!("{jar}.jar"), class);
+        t.req.memory_mb = memory;
+        t.depends = deps;
+        for v in param_vals {
+            t.params.push(Param::integer(v));
+        }
+        t
+    }
+}
+
+/// A random DAG-shaped job: each task may only depend on earlier tasks, so
+/// the result is acyclic by construction (names made unique by suffixing).
+fn arb_job() -> impl Strategy<Value = CnxJob> {
+    proptest::collection::vec(0u8..0, 0..1).prop_flat_map(|_| {
+        (1usize..8).prop_flat_map(|n| {
+            let mut strat = Just(Vec::<CnxTask>::new()).boxed();
+            for i in 0..n {
+                strat = (strat, any::<u64>(), 1u64..5000, 0usize..4)
+                    .prop_map(move |(mut tasks, seed, memory, dep_count)| {
+                        let name = format!("task{i}");
+                        let mut t = CnxTask::new(
+                            name,
+                            format!("jar{}.jar", seed % 3),
+                            format!("Class{}", seed % 5),
+                        );
+                        t.req.memory_mb = memory;
+                        let mut deps: Vec<String> = Vec::new();
+                        let avail = tasks.len();
+                        for d in 0..dep_count.min(avail) {
+                            let pick = (seed as usize + d * 7) % avail;
+                            let dep = format!("task{pick}");
+                            if !deps.contains(&dep) {
+                                deps.push(dep);
+                            }
+                        }
+                        t.depends = deps;
+                        tasks.push(t);
+                        tasks
+                    })
+                    .boxed();
+            }
+            strat.prop_map(|tasks| CnxJob { tasks })
+        })
+    })
+}
+
+// ---------- XML ------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn escape_unescape_roundtrip(s in xml_text()) {
+        let escaped = xml::escape::escape_attr(&s);
+        let back = xml::escape::unescape(&escaped, xml::Pos::start()).unwrap();
+        prop_assert_eq!(back.as_ref(), s.as_str());
+    }
+
+    #[test]
+    fn attribute_roundtrip_through_serialization(value in xml_text(), name in name_str()) {
+        let mut doc = xml::Document::new();
+        let root = doc.add_element(doc.document_node(), "root");
+        doc.set_attr(root, name.as_str(), value.as_str());
+        let text = xml::write_document(&doc, &xml::WriteOptions::default());
+        let back = xml::parse(&text).unwrap();
+        let root2 = back.root_element().unwrap();
+        prop_assert_eq!(back.attr(root2, &name), Some(value.as_str()));
+    }
+
+    #[test]
+    fn text_content_roundtrip(content in xml_text()) {
+        let mut doc = xml::Document::new();
+        let root = doc.add_element(doc.document_node(), "root");
+        doc.add_text(root, content.as_str());
+        let text = xml::write_document(&doc, &xml::WriteOptions::compact());
+        let back = xml::parse(&text).unwrap();
+        prop_assert_eq!(back.text_content(back.root_element().unwrap()), content);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,64}") {
+        let _ = xml::parse(&input); // must return Ok or Err, not panic
+    }
+}
+
+// ---------- XPath ----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn xpath_parser_never_panics(input in "\\PC{0,48}") {
+        let _ = xpath::parse_expr(&input);
+    }
+
+    #[test]
+    fn xpath_numeric_arithmetic_matches_rust(a in -1000i64..1000, b in 1i64..1000) {
+        let doc = xml::parse("<r/>").unwrap();
+        let ctx = xpath::Ctx::new(&doc, doc.document_node());
+        let expr = xpath::parse_expr(&format!("{a} + {b} * 2 - {a} mod {b}")).unwrap();
+        let expect = (a + b * 2 - a % b) as f64;
+        prop_assert_eq!(ctx.eval(&expr).unwrap(), xpath::Value::Number(expect));
+    }
+
+    #[test]
+    fn count_matches_manual_enumeration(n in 0usize..12) {
+        let body: String = (0..n).map(|i| format!("<t id='{i}'/>")).collect();
+        let doc = xml::parse(&format!("<r>{body}</r>")).unwrap();
+        let v = xpath::eval_str(&doc, doc.document_node(), "count(/r/t)").unwrap();
+        prop_assert_eq!(v.as_number(), n as f64);
+        if n > 0 {
+            let v = xpath::eval_str(&doc, doc.document_node(), "string(/r/t[last()]/@id)").unwrap();
+            prop_assert_eq!(v.as_string(), (n - 1).to_string());
+        }
+    }
+}
+
+// ---------- CNX ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cnx_roundtrip(job in arb_job()) {
+        let mut client = cnx::Client::new("PropClient");
+        client.jobs.push(job);
+        let doc = cnx::CnxDocument::new(client);
+        let text = cnx::write_cnx(&doc);
+        let back = cnx::parse_cnx(&text).unwrap();
+        prop_assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn topological_order_is_valid(job in arb_job()) {
+        let graph = cnx::DependencyGraph::build(&job).unwrap();
+        let order = graph.topological_order();
+        prop_assert_eq!(order.len(), job.tasks.len());
+        // Every task appears after all of its dependencies.
+        let pos: std::collections::HashMap<usize, usize> =
+            order.iter().enumerate().map(|(p, &t)| (t, p)).collect();
+        for i in 0..graph.len() {
+            for &d in graph.dependencies(i) {
+                prop_assert!(pos[&d] < pos[&i], "dep {d} not before {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn waves_partition_tasks_and_respect_deps(job in arb_job()) {
+        let graph = cnx::DependencyGraph::build(&job).unwrap();
+        let waves = graph.waves();
+        let total: usize = waves.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, job.tasks.len());
+        // A task's wave index is strictly greater than each dependency's.
+        let wave_of = |t: usize| waves.iter().position(|w| w.contains(&t)).unwrap();
+        for i in 0..graph.len() {
+            for &d in graph.dependencies(i) {
+                prop_assert!(wave_of(d) < wave_of(i));
+            }
+        }
+        prop_assert_eq!(waves.len(), graph.critical_path_len());
+    }
+}
+
+// ---------- Floyd ----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_floyd_equals_sequential(
+        n in 1usize..24,
+        p in 0.0f64..0.6,
+        seed in any::<u64>(),
+        threads in 1usize..6,
+    ) {
+        let g = computational_neighborhood::tasks::random_digraph(n, p, 1..20, seed);
+        prop_assert_eq!(floyd_parallel(&g, threads), floyd_sequential(&g));
+    }
+
+    #[test]
+    fn floyd_triangle_inequality(n in 2usize..16, seed in any::<u64>()) {
+        let g = computational_neighborhood::tasks::random_digraph(n, 0.3, 1..10, seed);
+        let s = floyd_sequential(&g);
+        for i in 0..n {
+            prop_assert_eq!(s.get(i, i), 0);
+            for j in 0..n {
+                for k in 0..n {
+                    if s.get(i, k) < INF && s.get(k, j) < INF {
+                        prop_assert!(s.get(i, j) <= s.get(i, k) + s.get(k, j));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_never_increases_distances(n in 1usize..16, seed in any::<u64>()) {
+        let g = computational_neighborhood::tasks::random_digraph(n, 0.3, 1..10, seed);
+        let s = floyd_sequential(&g);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!(s.get(i, j) <= g.get(i, j));
+            }
+        }
+    }
+}
+
+// ---------- Matrix wire format ----------------------------------------------
+
+proptest! {
+    #[test]
+    fn matrix_userdata_roundtrip(n in 0usize..12, seed in any::<u64>()) {
+        let m = computational_neighborhood::tasks::random_digraph(n, 0.4, 1..50, seed);
+        let back = Matrix::from_userdata(&m.to_userdata()).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn row_blocks_partition_exactly(n in 0usize..200, parts in 1usize..17) {
+        let blocks = computational_neighborhood::tasks::row_blocks(n, parts);
+        prop_assert_eq!(blocks.len(), parts);
+        let mut next = 0;
+        for b in &blocks {
+            prop_assert_eq!(b.start, next);
+            next = b.end;
+        }
+        prop_assert_eq!(next, n);
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = blocks.iter().map(|b| b.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}
+
+// ---------- Model / XMI ------------------------------------------------------
+
+use computational_neighborhood::model::{ActionState, ActivityGraph, NodeKind};
+
+/// A random valid layered activity graph: initial -> layers of actions
+/// (each depending on >=1 action of the previous layer) -> final.
+fn arb_activity_graph() -> impl Strategy<Value = ActivityGraph> {
+    (1usize..4, 1usize..4, any::<u64>()).prop_map(|(layers, width, seed)| {
+        let mut g = ActivityGraph::new("Prop");
+        let initial = g.add_node(NodeKind::Initial);
+        let mut prev: Vec<computational_neighborhood::model::NodeId> = vec![];
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        for l in 0..layers {
+            let mut layer = vec![];
+            for w in 0..width {
+                let mut a = ActionState::new(format!("t{l}_{w}"));
+                a.tags.set("jar", format!("jar{}.jar", next() % 3));
+                a.tags.set("class", format!("Class{}", next() % 4));
+                a.tags.set("memory", ((next() % 4000) + 1).to_string());
+                if next() % 5 == 0 {
+                    a.dynamic = true;
+                    a.multiplicity = Some("*".to_string());
+                }
+                let id = g.add_node(NodeKind::Action(a));
+                if l == 0 {
+                    g.add_transition(initial, id);
+                } else {
+                    // At least one dependency into the previous layer.
+                    let first = prev[(next() as usize) % prev.len()];
+                    g.add_transition(first, id);
+                    for &p in &prev {
+                        if p != first && next() % 3 == 0 {
+                            g.add_transition(p, id);
+                        }
+                    }
+                }
+                layer.push(id);
+            }
+            prev = layer;
+        }
+        let fin = g.add_node(NodeKind::Final);
+        for &p in &prev {
+            g.add_transition(p, fin);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn xmi_roundtrip_preserves_structure(g in arb_activity_graph()) {
+        computational_neighborhood::model::validate(&g).unwrap();
+        let text = xml::write_document(
+            &computational_neighborhood::model::export_xmi(&g),
+            &xml::WriteOptions::xmi(),
+        );
+        let doc = xml::parse(&text).unwrap();
+        let back = computational_neighborhood::model::import_xmi(&doc).unwrap();
+        prop_assert_eq!(back.nodes.len(), g.nodes.len());
+        prop_assert_eq!(back.transitions.len(), g.transitions.len());
+        // Tagged values and dynamic flags survive per action.
+        for (_, a) in g.action_states() {
+            let (_, b) = back.action_by_name(&a.name).expect("action survives");
+            prop_assert_eq!(&a.tags, &b.tags);
+            prop_assert_eq!(a.dynamic, b.dynamic);
+        }
+    }
+
+    #[test]
+    fn xslt_and_native_transform_agree_on_random_models(g in arb_activity_graph()) {
+        use computational_neighborhood::transform::xmi2cnx::{
+            normalized, xmi_to_cnx_native, xmi_to_cnx_xslt, ClientSettings,
+        };
+        let text = xml::write_document(
+            &computational_neighborhood::model::export_xmi(&g),
+            &xml::WriteOptions::xmi(),
+        );
+        let settings = ClientSettings::default();
+        let via_xslt = cnx::parse_cnx(&xmi_to_cnx_xslt(&text, &settings).unwrap()).unwrap();
+        let via_native = xmi_to_cnx_native(&text, &settings).unwrap();
+        prop_assert_eq!(normalized(via_xslt), normalized(via_native));
+    }
+}
+
+// ---------- ParamType normalization ------------------------------------------
+
+proptest! {
+    #[test]
+    fn param_type_accepts_java_prefix(base in "[A-Z][a-z]{2,8}") {
+        let short = ParamType::parse(&base);
+        let long = ParamType::parse(&format!("java.lang.{base}"));
+        prop_assert_eq!(short, long);
+    }
+}
