@@ -1,0 +1,258 @@
+//! The pass registry and lint entry points.
+//!
+//! A lint run is: build a context, run every registered pass over it,
+//! collect diagnostics into a [`LintReport`]. Passes are trait objects so
+//! downstream code can register extra project-specific passes next to the
+//! built-in set.
+
+use cn_cluster::ClusterCapacity;
+use cn_cnx::CnxDocument;
+use cn_model::ActivityGraph;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::passes;
+use crate::report::LintReport;
+
+/// Tuning knobs for a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Cluster capacity to check resource requirements against. Without it
+    /// the capacity passes (CN011/CN015/CN016) stay quiet or degrade to
+    /// their capacity-free variants.
+    pub capacity: Option<ClusterCapacity>,
+}
+
+/// Everything a CNX pass can look at.
+pub struct CnxContext<'a> {
+    pub doc: &'a CnxDocument,
+    pub capacity: Option<&'a ClusterCapacity>,
+}
+
+/// Everything a model pass can look at.
+pub struct ModelContext<'a> {
+    pub graph: &'a ActivityGraph,
+    pub capacity: Option<&'a ClusterCapacity>,
+}
+
+/// A lint pass over a CNX descriptor.
+pub trait CnxPass {
+    /// Stable pass name (shows up in docs and pass listings).
+    fn name(&self) -> &'static str;
+    fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// A lint pass over a UML activity model.
+pub trait ModelPass {
+    fn name(&self) -> &'static str;
+    fn run(&self, ctx: &ModelContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The engine: an ordered set of passes. Report order does not depend on
+/// registration order (the report sorts), but listings print in it.
+#[derive(Default)]
+pub struct Engine {
+    cnx_passes: Vec<Box<dyn CnxPass>>,
+    model_passes: Vec<Box<dyn ModelPass>>,
+}
+
+impl Engine {
+    /// An engine with no passes registered.
+    pub fn empty() -> Engine {
+        Engine::default()
+    }
+
+    /// The built-in pass set — what `cnctl lint` runs.
+    pub fn with_default_passes() -> Engine {
+        let mut e = Engine::empty();
+        for p in passes::cnx::default_passes() {
+            e.cnx_passes.push(p);
+        }
+        for p in passes::model::default_passes() {
+            e.model_passes.push(p);
+        }
+        e
+    }
+
+    pub fn register_cnx(&mut self, pass: Box<dyn CnxPass>) -> &mut Self {
+        self.cnx_passes.push(pass);
+        self
+    }
+
+    pub fn register_model(&mut self, pass: Box<dyn ModelPass>) -> &mut Self {
+        self.model_passes.push(pass);
+        self
+    }
+
+    /// Registered pass names, CNX passes first.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.cnx_passes
+            .iter()
+            .map(|p| p.name())
+            .chain(self.model_passes.iter().map(|p| p.name()))
+            .collect()
+    }
+
+    /// Lint a parsed CNX descriptor.
+    pub fn lint_cnx(&self, doc: &CnxDocument, opts: &LintOptions) -> LintReport {
+        let ctx = CnxContext { doc, capacity: opts.capacity.as_ref() };
+        let mut out = Vec::new();
+        for pass in &self.cnx_passes {
+            pass.run(&ctx, &mut out);
+        }
+        LintReport::new(out)
+    }
+
+    /// Lint an activity model.
+    pub fn lint_model(&self, graph: &ActivityGraph, opts: &LintOptions) -> LintReport {
+        let ctx = ModelContext { graph, capacity: opts.capacity.as_ref() };
+        let mut out = Vec::new();
+        for pass in &self.model_passes {
+            pass.run(&ctx, &mut out);
+        }
+        LintReport::new(out)
+    }
+}
+
+/// Lint CNX source text with the default engine. Unparseable input yields a
+/// single CN000 error (with the parser's span when it has one).
+pub fn lint_cnx_source(src: &str, opts: &LintOptions) -> LintReport {
+    match cn_cnx::parse_cnx(src) {
+        Ok(doc) => Engine::with_default_passes().lint_cnx(&doc, opts),
+        Err(e) => {
+            let mut d = Diagnostic::new(codes::PARSE, Severity::Error, e.msg);
+            if let Some(span) = e.span {
+                d = d.with_span(span);
+            }
+            LintReport::new(vec![d])
+        }
+    }
+}
+
+/// Lint XMI source text with the default engine: import the model, run the
+/// model passes. Parse/import failure yields CN000.
+pub fn lint_xmi_source(src: &str, opts: &LintOptions) -> LintReport {
+    let doc = match cn_xml::parse(src) {
+        Ok(doc) => doc,
+        Err(e) => {
+            let d = Diagnostic::new(codes::PARSE, Severity::Error, e.kind.to_string())
+                .with_span(cn_cnx::Span::from(e.pos));
+            return LintReport::new(vec![d]);
+        }
+    };
+    match cn_model::import_xmi(&doc) {
+        Ok(graph) => Engine::with_default_passes().lint_model(&graph, opts),
+        Err(e) => {
+            LintReport::new(vec![Diagnostic::new(codes::PARSE, Severity::Error, e.to_string())])
+        }
+    }
+}
+
+/// Stable diagnostic codes. The table in DESIGN.md documents each one; a
+/// test there keeps the two in sync.
+pub mod codes {
+    /// Input could not be parsed/imported at all.
+    pub const PARSE: &str = "CN000";
+
+    // CNX semantic validity (mapped from `cn_cnx::validate_all`).
+    pub const NO_JOBS: &str = "CN001";
+    pub const EMPTY_JOB: &str = "CN002";
+    pub const EMPTY_FIELD: &str = "CN003";
+    pub const ZERO_MEMORY: &str = "CN004";
+    pub const BAD_MULTIPLICITY: &str = "CN005";
+    pub const UNKNOWN_DEPENDENCY: &str = "CN006";
+    pub const DEPENDENCY_CYCLE: &str = "CN007";
+    pub const DUPLICATE_TASK: &str = "CN008";
+
+    // CNX style/consistency passes.
+    pub const DUPLICATE_DEPENDS: &str = "CN010";
+    pub const TASK_EXCEEDS_NODE_MEMORY: &str = "CN011";
+    pub const PARAM_TYPE_MISMATCH: &str = "CN012";
+    pub const ORPHAN_TASK: &str = "CN013";
+    pub const REDUNDANT_DEPENDS: &str = "CN014";
+    pub const UNBOUNDED_MULTIPLICITY: &str = "CN015";
+    pub const MEMORY_OVERSUBSCRIBED: &str = "CN016";
+    pub const SERIAL_JOB: &str = "CN017";
+
+    // Model validity (mapped from `cn_model::validate_all`).
+    pub const MODEL_NO_INITIAL: &str = "CN020";
+    pub const MODEL_MULTIPLE_INITIALS: &str = "CN021";
+    pub const MODEL_NO_FINAL: &str = "CN022";
+    pub const MODEL_UNREACHABLE: &str = "CN023";
+    pub const MODEL_CYCLE: &str = "CN024";
+    pub const MODEL_DUPLICATE_TASK: &str = "CN025";
+    pub const MODEL_MISSING_TAG: &str = "CN026";
+    pub const MODEL_DYNAMIC_NO_MULTIPLICITY: &str = "CN027";
+    pub const MODEL_DANGLING_TRANSITION: &str = "CN028";
+    pub const MODEL_EMPTY: &str = "CN029";
+
+    // Model structure passes.
+    pub const FORK_JOIN_IMBALANCE: &str = "CN030";
+
+    // Cross-artifact consistency.
+    pub const ROUNDTRIP_DRIFT: &str = "CN040";
+}
+
+/// Every code constant, for exhaustiveness checks (tests, docs sync).
+pub const ALL_CODES: &[&str] = &[
+    codes::PARSE,
+    codes::NO_JOBS,
+    codes::EMPTY_JOB,
+    codes::EMPTY_FIELD,
+    codes::ZERO_MEMORY,
+    codes::BAD_MULTIPLICITY,
+    codes::UNKNOWN_DEPENDENCY,
+    codes::DEPENDENCY_CYCLE,
+    codes::DUPLICATE_TASK,
+    codes::DUPLICATE_DEPENDS,
+    codes::TASK_EXCEEDS_NODE_MEMORY,
+    codes::PARAM_TYPE_MISMATCH,
+    codes::ORPHAN_TASK,
+    codes::REDUNDANT_DEPENDS,
+    codes::UNBOUNDED_MULTIPLICITY,
+    codes::MEMORY_OVERSUBSCRIBED,
+    codes::SERIAL_JOB,
+    codes::MODEL_NO_INITIAL,
+    codes::MODEL_MULTIPLE_INITIALS,
+    codes::MODEL_NO_FINAL,
+    codes::MODEL_UNREACHABLE,
+    codes::MODEL_CYCLE,
+    codes::MODEL_DUPLICATE_TASK,
+    codes::MODEL_MISSING_TAG,
+    codes::MODEL_DYNAMIC_NO_MULTIPLICITY,
+    codes::MODEL_DANGLING_TRANSITION,
+    codes::MODEL_EMPTY,
+    codes::FORK_JOIN_IMBALANCE,
+    codes::ROUNDTRIP_DRIFT,
+];
+
+#[cfg(test)]
+mod docs_sync {
+    use super::ALL_CODES;
+
+    /// DESIGN.md's code table and `codes` must not drift apart: every
+    /// constant has exactly one table row (`| CNxxx | ... |`).
+    #[test]
+    fn every_code_is_documented_in_design_md() {
+        let design =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"))
+                .expect("read DESIGN.md");
+        for code in ALL_CODES {
+            let row = format!("| {code} |");
+            assert_eq!(
+                design.matches(&row).count(),
+                1,
+                "expected exactly one DESIGN.md table row for {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for code in ALL_CODES {
+            assert!(code.len() == 5 && code.starts_with("CN"), "malformed code {code}");
+            assert!(code[2..].bytes().all(|b| b.is_ascii_digit()), "malformed code {code}");
+            assert!(seen.insert(code), "duplicate code {code}");
+        }
+    }
+}

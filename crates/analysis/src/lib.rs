@@ -1,0 +1,140 @@
+//! # cn-analysis — the cross-layer lint engine
+//!
+//! Static analysis over both artifact layers the CN toolchain handles:
+//! CNX job descriptors (the paper's XML job/task composition language) and
+//! the UML activity models they are generated from. Every finding is a
+//! [`Diagnostic`] with a stable `CN0xx` code, a severity, and — for parsed
+//! CNX input — a source span, collected into a deterministic [`LintReport`]
+//! with text and JSON renderings. `cnctl lint` is the CLI front end.
+//!
+//! ## Relationship to the existing validators
+//!
+//! `cn_cnx::validate` and `cn_model::validate` predate this crate and stay
+//! exactly as they were — first-error `Result` APIs that scheduler and
+//! transform code call directly. The engine re-routes their `validate_all`
+//! collectors through [`passes::cnx::ValidityPass`] and
+//! [`passes::model::ValidityPass`], attaching codes (CN001–CN008 for CNX,
+//! CN020–CN029 for models), severities, and spans. The dependency points
+//! this way (analysis → cnx/model) so the validators themselves remain the
+//! thin compat layer and nothing below this crate changes behaviour.
+//!
+//! ## The pass registry
+//!
+//! Passes implement [`CnxPass`] or [`ModelPass`] and are registered on an
+//! [`Engine`]. [`Engine::with_default_passes`] gives the built-in set;
+//! [`Engine::register_cnx`]/[`Engine::register_model`] add custom ones.
+//! Report order is independent of registration order — diagnostics sort by
+//! span, then code, then message.
+//!
+//! ```
+//! use cn_analysis::{lint_cnx_source, LintOptions};
+//!
+//! let report = lint_cnx_source(
+//!     "<cn2><client class=\"C\"><job>\
+//!      <task name=\"a\" jar=\"a.jar\" class=\"A\" depends=\"ghost\"/>\
+//!      </job></client></cn2>",
+//!     &LintOptions::default(),
+//! );
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics()[0].code, "CN006"); // unknown dependency
+//! ```
+
+pub mod diag;
+pub mod engine;
+pub mod passes;
+pub mod report;
+
+pub use diag::{Diagnostic, Severity};
+pub use engine::{
+    codes, lint_cnx_source, lint_xmi_source, CnxContext, CnxPass, Engine, LintOptions,
+    ModelContext, ModelPass,
+};
+pub use report::LintReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_engine_registers_all_passes() {
+        let names = Engine::with_default_passes().pass_names();
+        assert!(names.len() >= 12, "{names:?}");
+        for expected in [
+            "cnx-validity",
+            "duplicate-depends",
+            "param-types",
+            "orphan-task",
+            "redundant-depends",
+            "multiplicity-bounds",
+            "memory-capacity",
+            "parallelism",
+            "cnx-roundtrip",
+            "model-validity",
+            "fork-join",
+            "model-roundtrip",
+        ] {
+            assert!(names.contains(&expected), "missing pass {expected:?} in {names:?}");
+        }
+    }
+
+    #[test]
+    fn custom_passes_can_be_registered() {
+        struct NamePolicy;
+        impl CnxPass for NamePolicy {
+            fn name(&self) -> &'static str {
+                "name-policy"
+            }
+            fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>) {
+                for job in &ctx.doc.client.jobs {
+                    for t in &job.tasks {
+                        if !t.name.starts_with("tc") {
+                            out.push(Diagnostic::new(
+                                "CN999",
+                                Severity::Info,
+                                format!("task {:?} violates the local naming policy", t.name),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let mut engine = Engine::empty();
+        engine.register_cnx(Box::new(NamePolicy));
+        let mut doc = cn_cnx::ast::figure2_descriptor(1);
+        doc.client.jobs[0].tasks[0].name = "splitter".into();
+        let report = engine.lint_cnx(&doc, &LintOptions::default());
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.diagnostics()[0].code, "CN999");
+    }
+
+    #[test]
+    fn lint_cnx_source_reports_parse_errors_as_cn000() {
+        let report = lint_cnx_source("<cn2><client", &LintOptions::default());
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.diagnostics()[0].code, codes::PARSE);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn lint_cnx_source_end_to_end() {
+        let src = "<cn2><client class=\"C\"><job>\n\
+                   <task name=\"a\" jar=\"a.jar\" class=\"A\"/>\n\
+                   <task name=\"b\" jar=\"b.jar\" class=\"B\" depends=\"a,a\"/>\n\
+                   </job></client></cn2>";
+        let report = lint_cnx_source(src, &LintOptions::default());
+        assert_eq!(report.diagnostics()[0].code, codes::DUPLICATE_DEPENDS);
+        assert_eq!(report.diagnostics()[0].span.map(|s| s.line), Some(3));
+    }
+
+    #[test]
+    fn lint_xmi_source_end_to_end() {
+        let xmi = cn_xml::write_document(
+            &cn_model::export_xmi(&cn_model::transitive_closure_model(3)),
+            &cn_xml::WriteOptions::default(),
+        );
+        let report = lint_xmi_source(&xmi, &LintOptions::default());
+        assert!(report.is_empty(), "{}", report.to_text());
+        let report = lint_xmi_source("not xml <", &LintOptions::default());
+        assert_eq!(report.diagnostics()[0].code, codes::PARSE);
+    }
+}

@@ -1,0 +1,4 @@
+//! Built-in lint passes, grouped by the artifact they inspect.
+
+pub mod cnx;
+pub mod model;

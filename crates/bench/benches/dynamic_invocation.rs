@@ -12,7 +12,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cn_bench::bench_neighborhood;
 use cn_cnx::{Client, CnxDocument, Job, Param, Task};
-use cn_core::{exec::expand_dynamic, execute_descriptor, DynamicArgs, TaskArchive, TaskContext, UserData};
+use cn_core::{
+    exec::expand_dynamic, execute_descriptor, DynamicArgs, TaskArchive, TaskContext, UserData,
+};
 
 fn dynamic_descriptor() -> CnxDocument {
     let mut worker = Task::new("w", "id.jar", "Id");
@@ -26,8 +28,8 @@ fn dynamic_descriptor() -> CnxDocument {
 fn static_descriptor(n: usize) -> CnxDocument {
     let mut job = Job::default();
     for i in 1..=n {
-        let mut t = Task::new(format!("w_{i}"), "id.jar", "Id")
-            .with_param(Param::integer(i as i64));
+        let mut t =
+            Task::new(format!("w_{i}"), "id.jar", "Id").with_param(Param::integer(i as i64));
         t.req.memory_mb = 1;
         job.tasks.push(t);
     }

@@ -8,7 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cn_bench::bench_neighborhood;
-use cn_tasks::{floyd_parallel, floyd_sequential, random_digraph, run_transitive_closure, TcOptions};
+use cn_tasks::{
+    floyd_parallel, floyd_sequential, random_digraph, run_transitive_closure, TcOptions,
+};
 
 fn bench_floyd(c: &mut Criterion) {
     let mut group = c.benchmark_group("floyd_speedup");
@@ -34,16 +36,11 @@ fn bench_floyd(c: &mut Criterion) {
         let nb = bench_neighborhood(4, 32);
         cn_tasks::publish_tc_archives(nb.registry());
         for &workers in &[1usize, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("cn_{workers}w"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        run_transitive_closure(&nb, &graph, &TcOptions::new(workers))
-                            .expect("cn job")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("cn_{workers}w"), n), &n, |b, _| {
+                b.iter(|| {
+                    run_transitive_closure(&nb, &graph, &TcOptions::new(workers)).expect("cn job")
+                })
+            });
         }
         nb.shutdown();
     }

@@ -11,9 +11,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cn_bench::{bench_client_config, bench_neighborhood};
-use cn_core::{
-    CnApi, JobRequirements, Policy, TaskArchive, TaskContext, TaskSpec, UserData,
-};
+use cn_core::{CnApi, JobRequirements, Policy, TaskArchive, TaskContext, TaskSpec, UserData};
 
 fn bench_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_overhead");
@@ -32,9 +30,10 @@ fn bench_runtime(c: &mut Criterion) {
     // Task placement: solicit TaskManagers, select, upload, assign.
     for &nodes in &[1usize, 4, 16] {
         let nb = bench_neighborhood(nodes, 10_000);
-        nb.registry().publish(TaskArchive::new("noop.jar").class("Noop", || {
-            Box::new(|_ctx: &mut TaskContext| Ok(UserData::Empty))
-        }));
+        nb.registry().publish(
+            TaskArchive::new("noop.jar")
+                .class("Noop", || Box::new(|_ctx: &mut TaskContext| Ok(UserData::Empty))),
+        );
         let api = CnApi::with_config(&nb, bench_client_config());
         let mut job = api.create_job(&JobRequirements::default()).expect("job");
         let mut i = 0u64;
@@ -51,19 +50,17 @@ fn bench_runtime(c: &mut Criterion) {
 
     // Client → task → client message round-trip over the fabric.
     let nb = bench_neighborhood(2, 64);
-    nb.registry().publish(
-        TaskArchive::new("echo.jar").class("EchoLoop", || {
-            Box::new(|ctx: &mut TaskContext| {
-                // Echo until shutdown.
-                loop {
-                    match ctx.recv_tagged("ping", Duration::from_secs(10)) {
-                        Ok((_, data)) => ctx.send_to_client("pong", data)?,
-                        Err(_) => return Ok(UserData::Empty),
-                    }
+    nb.registry().publish(TaskArchive::new("echo.jar").class("EchoLoop", || {
+        Box::new(|ctx: &mut TaskContext| {
+            // Echo until shutdown.
+            loop {
+                match ctx.recv_tagged("ping", Duration::from_secs(10)) {
+                    Ok((_, data)) => ctx.send_to_client("pong", data)?,
+                    Err(_) => return Ok(UserData::Empty),
                 }
-            })
-        }),
-    );
+            }
+        })
+    }));
     let api = CnApi::with_config(&nb, bench_client_config());
     let mut job = api.create_job(&JobRequirements::default()).expect("job");
     let mut spec = TaskSpec::new("echo", "echo.jar", "EchoLoop");
@@ -100,9 +97,10 @@ fn bench_runtime(c: &mut Criterion) {
                 config,
             )
         };
-        nb.registry().publish(TaskArchive::new("noop.jar").class("Noop", || {
-            Box::new(|_ctx: &mut TaskContext| Ok(UserData::Empty))
-        }));
+        nb.registry().publish(
+            TaskArchive::new("noop.jar")
+                .class("Noop", || Box::new(|_ctx: &mut TaskContext| Ok(UserData::Empty))),
+        );
         let api = CnApi::with_config(&nb, bench_client_config());
         let mut job = api.create_job(&JobRequirements::default()).expect("job");
         let mut i = 0u64;

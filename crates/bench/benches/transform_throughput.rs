@@ -29,11 +29,9 @@ fn bench_transforms(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("xmi2cnx_xslt", workers), &workers, |b, _| {
             b.iter(|| xmi_to_cnx_xslt(&xmi, &settings).expect("xslt"))
         });
-        group.bench_with_input(
-            BenchmarkId::new("xmi2cnx_native", workers),
-            &workers,
-            |b, _| b.iter(|| xmi_to_cnx_native(&xmi, &settings).expect("native")),
-        );
+        group.bench_with_input(BenchmarkId::new("xmi2cnx_native", workers), &workers, |b, _| {
+            b.iter(|| xmi_to_cnx_native(&xmi, &settings).expect("native"))
+        });
         // The keyless ablation is superlinear; bench it only at small sizes.
         if workers <= 20 {
             group.bench_with_input(
@@ -50,16 +48,12 @@ fn bench_transforms(c: &mut Criterion) {
 
         let cnx_doc = cn_cnx::ast::figure2_descriptor(workers);
         let cnx_text = cn_cnx::write_cnx(&cnx_doc);
-        group.bench_with_input(
-            BenchmarkId::new("cnx2java_xslt", workers),
-            &workers,
-            |b, _| b.iter(|| cn_transform::cnx2java::cnx_to_java_xslt(&cnx_text).expect("java")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("cnx2rust_native", workers),
-            &workers,
-            |b, _| b.iter(|| cn_codegen::generate_rust_client(&cnx_doc)),
-        );
+        group.bench_with_input(BenchmarkId::new("cnx2java_xslt", workers), &workers, |b, _| {
+            b.iter(|| cn_transform::cnx2java::cnx_to_java_xslt(&cnx_text).expect("java"))
+        });
+        group.bench_with_input(BenchmarkId::new("cnx2rust_native", workers), &workers, |b, _| {
+            b.iter(|| cn_codegen::generate_rust_client(&cnx_doc))
+        });
 
         group.bench_with_input(BenchmarkId::new("xmi_export", workers), &workers, |b, _| {
             let model = figure2_model(workers);

@@ -22,9 +22,7 @@ fn bench_coordination(c: &mut Criterion) {
     cn_tasks::publish_tc_archives(nb.registry());
     for &workers in &[2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("tc_messages", workers), &workers, |b, _| {
-            b.iter(|| {
-                run_transitive_closure(&nb, &graph, &TcOptions::new(workers)).expect("tc")
-            })
+            b.iter(|| run_transitive_closure(&nb, &graph, &TcOptions::new(workers)).expect("tc"))
         });
         group.bench_with_input(BenchmarkId::new("tc_tuplespace", workers), &workers, |b, _| {
             let mut opts = TcOptions::new(workers);

@@ -29,8 +29,7 @@ fn bench_substrate(c: &mut Criterion) {
             BenchmarkId::new("xpath_predicate_lookup", tasks),
             &tasks,
             |b, _| {
-                let expr =
-                    cn_xpath::parse_expr("string(//task[@name='tctask1']/param)").unwrap();
+                let expr = cn_xpath::parse_expr("string(//task[@name='tctask1']/param)").unwrap();
                 let ctx = cn_xpath::Ctx::new(&doc, doc.document_node());
                 b.iter(|| ctx.eval(&expr).expect("eval"))
             },

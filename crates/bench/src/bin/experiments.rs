@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 use cn_bench::bench_neighborhood;
 use cn_core::DynamicArgs;
 use cn_tasks::{
-    floyd_parallel, floyd_sequential, random_digraph, run_transitive_closure, seed_input,
-    Matrix, TcOptions,
+    floyd_parallel, floyd_sequential, random_digraph, run_transitive_closure, seed_input, Matrix,
+    TcOptions,
 };
 use cn_transform::figures::{figure2_model, figure2_settings};
 use cn_transform::xmi_to_cnx_xslt;
@@ -72,9 +72,17 @@ fn fig1_components() {
     banner("F1", "CN framework components (live inventory)");
     let nb = bench_neighborhood(2, 8);
     cn_tasks::publish_all_archives(nb.registry());
-    println!("CN Server      {} CNServer instances (JobManager + TaskManager each), nodes:", nb.server_count());
+    println!(
+        "CN Server      {} CNServer instances (JobManager + TaskManager each), nodes:",
+        nb.server_count()
+    );
     for node in nb.nodes() {
-        println!("                 {} ({} MB, {} slots)", node.name(), node.spec().memory_mb, node.spec().task_slots);
+        println!(
+            "                 {} ({} MB, {} slots)",
+            node.name(),
+            node.spec().memory_mb,
+            node.spec().task_slots
+        );
     }
     println!("CN API         cn_core::CnApi — initialize / create_job / add_task / start / recv_message / send_to_task");
     println!("CNX            cn_cnx — compositional language; published archives:");
@@ -82,8 +90,14 @@ fn fig1_components() {
         let archive = nb.registry().get(&jar).unwrap();
         println!("                 {jar}: {}", archive.manifest().join(", "));
     }
-    println!("CNX2Java       cn_transform::cnx2java (XSLT, {} bytes of stylesheet)", cn_transform::cnx2java::CNX2JAVA_XSLT.len());
-    println!("XMI2CNX        cn_transform::xmi2cnx (XSLT, {} bytes of stylesheet)", cn_transform::XMI2CNX_XSLT.len());
+    println!(
+        "CNX2Java       cn_transform::cnx2java (XSLT, {} bytes of stylesheet)",
+        cn_transform::cnx2java::CNX2JAVA_XSLT.len()
+    );
+    println!(
+        "XMI2CNX        cn_transform::xmi2cnx (XSLT, {} bytes of stylesheet)",
+        cn_transform::XMI2CNX_XSLT.len()
+    );
     println!("Prototype      cn_transform::Portal — XMI in, artifacts + results out");
     nb.shutdown();
 }
@@ -137,15 +151,15 @@ fn fig5_dynamic_invocation() {
     let reference = floyd_sequential(&input);
     for multiplicity in [2usize, 3, 6] {
         // Expand TCTask into `multiplicity` workers with run-time args.
-        let xmi = cn_xml::write_document(&cn_model::export_xmi(&model), &cn_xml::WriteOptions::xmi());
+        let xmi =
+            cn_xml::write_document(&cn_model::export_xmi(&model), &cn_xml::WriteOptions::xmi());
         let cnx = xmi_to_cnx_xslt(&xmi, &figure2_settings()).expect("XMI2CNX");
         let descriptor = cn_cnx::parse_cnx(&cnx).expect("parse");
         let dynamic = DynamicArgs::new().set(
             "TCTask",
             (1..=multiplicity as i64).map(|i| vec![cn_cnx::Param::integer(i)]).collect(),
         );
-        let worker_names: Vec<String> =
-            (1..=multiplicity).map(|i| format!("TCTask_{i}")).collect();
+        let worker_names: Vec<String> = (1..=multiplicity).map(|i| format!("TCTask_{i}")).collect();
         let input2 = input.clone();
         let names2 = worker_names.clone();
         let reports = cn_core::execute_descriptor_seeded(
@@ -158,8 +172,11 @@ fn fig5_dynamic_invocation() {
         .expect("dynamic run");
         let result = Matrix::from_userdata(reports[0].result("TCJoin").unwrap()).unwrap();
         assert_eq!(result, reference);
-        println!("multiplicity {multiplicity}: {} tasks executed, result verified ({:?})",
-            reports[0].results.len(), reports[0].elapsed);
+        println!(
+            "multiplicity {multiplicity}: {} tasks executed, result verified ({:?})",
+            reports[0].results.len(),
+            reports[0].elapsed
+        );
     }
     nb.shutdown();
 }
@@ -181,7 +198,8 @@ fn fig6_pipeline() {
             seed_input(job.tuplespace(), "matrix.txt", &input2, &worker_names, "tctask999");
         })),
     };
-    let run = cn_transform::Pipeline::new(&nb).run(&figure2_model(workers), options).expect("pipeline");
+    let run =
+        cn_transform::Pipeline::new(&nb).run(&figure2_model(workers), options).expect("pipeline");
     println!("{:<18} {:>12}   artifact", "stage", "time");
     for t in &run.timings {
         let artifact = match t.stage {
@@ -189,11 +207,9 @@ fn fig6_pipeline() {
             "export-xmi" => format!("{} bytes of XMI", run.xmi_text.len()),
             "xmi2cnx-xslt" => format!("{} bytes of CNX", run.cnx_text.len()),
             "validate-cnx" => format!("{} tasks, DAG valid", run.descriptor.task_count()),
-            "codegen" => format!(
-                "{} B Rust + {} B Java",
-                run.rust_source.len(),
-                run.java_source.len()
-            ),
+            "codegen" => {
+                format!("{} B Rust + {} B Java", run.rust_source.len(), run.java_source.len())
+            }
             "execute" => format!("{} task results", run.reports[0].results.len()),
             other => other.to_string(),
         };
@@ -223,7 +239,10 @@ fn e1_floyd_speedup() {
     banner("E1", "Floyd APSP: sequential vs shared-memory vs CN job");
     let nb = bench_neighborhood(4, 64);
     cn_tasks::publish_tc_archives(nb.registry());
-    println!("{:>6} {:>14} {:>14} {:>14} {:>14} {:>14}", "n", "seq", "shm(4t)", "cn(1w)", "cn(2w)", "cn(4w)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "n", "seq", "shm(4t)", "cn(1w)", "cn(2w)", "cn(4w)"
+    );
     for &n in &[64usize, 128, 256, 512] {
         let g = random_digraph(n, 0.1, 1..100, 42);
         let t = Instant::now();
@@ -243,7 +262,9 @@ fn e1_floyd_speedup() {
         }
         println!("{row}");
     }
-    println!("[expected shape: CN pays messaging overhead at small n; CN(4w) approaches shm as n grows]");
+    println!(
+        "[expected shape: CN pays messaging overhead at small n; CN(4w) approaches shm as n grows]"
+    );
     nb.shutdown();
 }
 
@@ -320,7 +341,9 @@ fn e3_runtime_overhead() {
         println!("{nodes:>7} {create_t:>16.2?} {place_t:>16.2?}");
         nb.shutdown();
     }
-    println!("[expected shape: both dominated by the fixed bid window; mild growth with node count]");
+    println!(
+        "[expected shape: both dominated by the fixed bid window; mild growth with node count]"
+    );
 }
 
 /// E4: dynamic multiplicity sweep.
@@ -349,7 +372,9 @@ fn e4_dynamic_multiplicity() {
         assert_eq!(reports[0].results.len(), m);
         println!("{m:>13} {total:>14.2?} {:>16.2?}", total / m as u32);
     }
-    println!("[expected shape: total grows ~linearly (placement per instance); per-instance cost flat]");
+    println!(
+        "[expected shape: total grows ~linearly (placement per instance); per-instance cost flat]"
+    );
     nb.shutdown();
 }
 

@@ -9,10 +9,7 @@ use cn_core::{Neighborhood, NeighborhoodConfig, ServerConfig};
 /// windows so placement overhead doesn't swamp compute measurements.
 pub fn bench_neighborhood(nodes: usize, slots: usize) -> Neighborhood {
     let config = NeighborhoodConfig {
-        server: ServerConfig {
-            bid_window: Duration::from_micros(500),
-            ..Default::default()
-        },
+        server: ServerConfig { bid_window: Duration::from_micros(500), ..Default::default() },
         ..Default::default()
     };
     Neighborhood::deploy_with(NodeSpec::fleet(nodes, 64 * 1024, slots), config)
@@ -20,10 +17,7 @@ pub fn bench_neighborhood(nodes: usize, slots: usize) -> Neighborhood {
 
 /// Fast client config matching [`bench_neighborhood`].
 pub fn bench_client_config() -> cn_core::ClientConfig {
-    cn_core::ClientConfig {
-        bid_window: Duration::from_micros(500),
-        ..Default::default()
-    }
+    cn_core::ClientConfig { bid_window: Duration::from_micros(500), ..Default::default() }
 }
 
 #[cfg(test)]

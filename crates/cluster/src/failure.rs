@@ -101,9 +101,6 @@ mod tests {
             .at(Duration::from_millis(10), Fault::CrashNode("first".into()))
             .at(Duration::from_millis(10), Fault::CrashNode("second".into()));
         let due = plan.due(Duration::from_millis(10));
-        assert_eq!(
-            due,
-            vec![Fault::CrashNode("first".into()), Fault::CrashNode("second".into())]
-        );
+        assert_eq!(due, vec![Fault::CrashNode("first".into()), Fault::CrashNode("second".into())]);
     }
 }

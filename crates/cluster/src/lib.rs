@@ -24,7 +24,7 @@ pub mod node;
 
 pub use metrics::{MetricsSnapshot, NetworkMetrics};
 pub use network::{Addr, Envelope, GroupId, LatencyModel, Network, SendError};
-pub use node::{NodeHandle, NodeSpec, ReserveError};
+pub use node::{ClusterCapacity, NodeHandle, NodeSpec, ReserveError};
 
 #[cfg(test)]
 mod tests {

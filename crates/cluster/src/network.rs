@@ -499,11 +499,8 @@ mod tests {
 
     #[test]
     fn latency_delays_but_delivers() {
-        let model = LatencyModel {
-            base: Duration::from_millis(5),
-            jitter: Duration::ZERO,
-            drop_rate: 0.0,
-        };
+        let model =
+            LatencyModel { base: Duration::from_millis(5), jitter: Duration::ZERO, drop_rate: 0.0 };
         let net: Network<u8> = Network::new(model, 7);
         let (a, _rx_a) = net.register();
         let (b, rx_b) = net.register();
@@ -516,11 +513,8 @@ mod tests {
 
     #[test]
     fn latency_preserves_order_for_equal_delays() {
-        let model = LatencyModel {
-            base: Duration::from_millis(2),
-            jitter: Duration::ZERO,
-            drop_rate: 0.0,
-        };
+        let model =
+            LatencyModel { base: Duration::from_millis(2), jitter: Duration::ZERO, drop_rate: 0.0 };
         let net: Network<u32> = Network::new(model, 7);
         let (a, _rx_a) = net.register();
         let (b, rx_b) = net.register();

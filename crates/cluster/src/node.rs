@@ -28,6 +28,43 @@ impl NodeSpec {
     }
 }
 
+/// Aggregate capacity of a cluster, used by static analysis (the
+/// `cn-analysis` lint passes) to check a descriptor's declared requirements
+/// against what the fleet can actually provide — before anything deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterCapacity {
+    /// Number of nodes in the fleet.
+    pub nodes: usize,
+    /// Largest single-node memory — no task can ever need more than this.
+    pub max_node_memory_mb: u64,
+    /// Sum of node memories — an upper bound on concurrently resident tasks.
+    pub total_memory_mb: u64,
+    /// Sum of task slots — an upper bound on concurrently running tasks.
+    pub total_slots: usize,
+}
+
+impl ClusterCapacity {
+    /// Capacity of a uniform fleet (every node identical).
+    pub fn uniform(nodes: usize, memory_mb: u64, task_slots: usize) -> Self {
+        ClusterCapacity {
+            nodes,
+            max_node_memory_mb: if nodes == 0 { 0 } else { memory_mb },
+            total_memory_mb: memory_mb * nodes as u64,
+            total_slots: task_slots * nodes,
+        }
+    }
+
+    /// Capacity of an arbitrary fleet.
+    pub fn of(specs: &[NodeSpec]) -> Self {
+        ClusterCapacity {
+            nodes: specs.len(),
+            max_node_memory_mb: specs.iter().map(|s| s.memory_mb).max().unwrap_or(0),
+            total_memory_mb: specs.iter().map(|s| s.memory_mb).sum(),
+            total_slots: specs.iter().map(|s| s.task_slots).sum(),
+        }
+    }
+}
+
 /// Why a reservation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReserveError {
@@ -76,7 +113,11 @@ impl NodeHandle {
     pub fn new(spec: NodeSpec) -> Self {
         NodeHandle {
             spec: Arc::new(spec),
-            state: Arc::new(Mutex::new(NodeState { used_memory_mb: 0, used_slots: 0, alive: true })),
+            state: Arc::new(Mutex::new(NodeState {
+                used_memory_mb: 0,
+                used_slots: 0,
+                alive: true,
+            })),
         }
     }
 
@@ -246,6 +287,31 @@ mod tests {
         assert_eq!(fleet.len(), 3);
         assert_eq!(fleet[2].name, "node2");
         assert_eq!(fleet[0].memory_mb, 1024);
+    }
+
+    #[test]
+    fn capacity_of_uniform_fleet() {
+        let cap = ClusterCapacity::uniform(4, 2048, 2);
+        assert_eq!(cap.nodes, 4);
+        assert_eq!(cap.max_node_memory_mb, 2048);
+        assert_eq!(cap.total_memory_mb, 8192);
+        assert_eq!(cap.total_slots, 8);
+        assert_eq!(ClusterCapacity::uniform(0, 2048, 2).max_node_memory_mb, 0);
+    }
+
+    #[test]
+    fn capacity_of_mixed_fleet() {
+        let specs = vec![NodeSpec::new("big", 8000, 4), NodeSpec::new("small", 1000, 1)];
+        let cap = ClusterCapacity::of(&specs);
+        assert_eq!(cap.nodes, 2);
+        assert_eq!(cap.max_node_memory_mb, 8000);
+        assert_eq!(cap.total_memory_mb, 9000);
+        assert_eq!(cap.total_slots, 5);
+        assert_eq!(
+            ClusterCapacity::of(&NodeSpec::fleet(3, 1024, 2)),
+            ClusterCapacity::uniform(3, 1024, 2)
+        );
+        assert_eq!(ClusterCapacity::of(&[]).nodes, 0);
     }
 
     #[test]

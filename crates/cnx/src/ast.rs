@@ -1,7 +1,13 @@
 //! The CNX descriptor AST, mirroring Figure 2 of the paper.
+//!
+//! Parsed nodes carry a [`Span`] pointing back at the source text; spans are
+//! deliberately excluded from equality so descriptors compare structurally
+//! (parse → write → parse round-trips stay `==`).
 
 use std::fmt;
 use std::str::FromStr;
+
+use crate::span::Span;
 
 /// How a task is executed by its TaskManager.
 ///
@@ -90,15 +96,23 @@ impl fmt::Display for ParamType {
 }
 
 /// A typed task parameter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Param {
     pub ty: ParamType,
     pub value: String,
+    /// Where the `<param>` element starts in the source (excluded from `==`).
+    pub span: Span,
+}
+
+impl PartialEq for Param {
+    fn eq(&self, other: &Self) -> bool {
+        self.ty == other.ty && self.value == other.value
+    }
 }
 
 impl Param {
     pub fn new(ty: ParamType, value: impl Into<String>) -> Self {
-        Param { ty, value: value.into() }
+        Param { ty, value: value.into(), span: Span::synthetic() }
     }
 
     pub fn string(value: impl Into<String>) -> Self {
@@ -135,7 +149,7 @@ impl Default for TaskReq {
 }
 
 /// One `<task>` element.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Task {
     pub name: String,
     pub jar: String,
@@ -147,6 +161,20 @@ pub struct Task {
     /// Dynamic-invocation multiplicity (Figure 5 extension): when set, the
     /// runtime expands this task into N instances at execution time.
     pub multiplicity: Option<String>,
+    /// Where the `<task>` element starts in the source (excluded from `==`).
+    pub span: Span,
+}
+
+impl PartialEq for Task {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.jar == other.jar
+            && self.class == other.class
+            && self.depends == other.depends
+            && self.req == other.req
+            && self.params == other.params
+            && self.multiplicity == other.multiplicity
+    }
 }
 
 impl Task {
@@ -159,6 +187,7 @@ impl Task {
             req: TaskReq::default(),
             params: Vec::new(),
             multiplicity: None,
+            span: Span::synthetic(),
         }
     }
 
@@ -191,7 +220,7 @@ impl Job {
 }
 
 /// The `<client>` element.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Client {
     /// Generated client class name (`class="TransClosure"`).
     pub class: String,
@@ -200,11 +229,28 @@ pub struct Client {
     /// Client port.
     pub port: Option<u16>,
     pub jobs: Vec<Job>,
+    /// Where the `<client>` element starts in the source (excluded from `==`).
+    pub span: Span,
+}
+
+impl PartialEq for Client {
+    fn eq(&self, other: &Self) -> bool {
+        self.class == other.class
+            && self.log == other.log
+            && self.port == other.port
+            && self.jobs == other.jobs
+    }
 }
 
 impl Client {
     pub fn new(class: impl Into<String>) -> Self {
-        Client { class: class.into(), log: None, port: None, jobs: Vec::new() }
+        Client {
+            class: class.into(),
+            log: None,
+            port: None,
+            jobs: Vec::new(),
+            span: Span::synthetic(),
+        }
     }
 }
 
@@ -247,9 +293,8 @@ pub fn figure2_descriptor(workers: usize) -> CnxDocument {
         );
     }
     let worker_names: Vec<String> = (1..=workers).map(|i| format!("tctask{i}")).collect();
-    let mut join =
-        Task::new("tctask999", "taskjoin.jar", "org.jhpc.cn2.transcloser.TaskJoin")
-            .with_param(Param::string("matrix.txt"));
+    let mut join = Task::new("tctask999", "taskjoin.jar", "org.jhpc.cn2.transcloser.TaskJoin")
+        .with_param(Param::string("matrix.txt"));
     join.depends = worker_names;
     job.tasks.push(join);
 
@@ -277,7 +322,10 @@ mod tests {
         assert_eq!(ParamType::parse("java.lang.Integer"), ParamType::Integer);
         assert_eq!(ParamType::parse("Integer"), ParamType::Integer);
         assert_eq!(ParamType::parse("java.lang.String"), ParamType::Str);
-        assert_eq!(ParamType::parse("com.example.Custom"), ParamType::Other("com.example.Custom".into()));
+        assert_eq!(
+            ParamType::parse("com.example.Custom"),
+            ParamType::Other("com.example.Custom".into())
+        );
     }
 
     #[test]

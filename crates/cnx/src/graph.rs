@@ -162,33 +162,11 @@ impl DependencyGraph {
     }
 
     fn find_cycle(&self) -> Option<Vec<String>> {
-        // If Kahn's algorithm can't order everything, the remainder holds a
-        // cycle; extract one by walking unordered nodes.
-        let order = self.topological_order();
-        if order.len() == self.len() {
-            return None;
-        }
-        let in_order: Vec<bool> = {
-            let mut v = vec![false; self.len()];
-            for &i in &order {
-                v[i] = true;
-            }
-            v
-        };
-        let start = (0..self.len()).find(|&i| !in_order[i])?;
-        let mut path = vec![start];
-        let mut cur = start;
-        loop {
-            let next = *self.deps[cur].iter().find(|&&d| !in_order[d])?;
-            if let Some(pos) = path.iter().position(|&p| p == next) {
-                let mut cycle: Vec<String> =
-                    path[pos..].iter().map(|&i| self.names[i].clone()).collect();
-                cycle.push(self.names[next].clone());
-                return Some(cycle);
-            }
-            path.push(next);
-            cur = next;
-        }
+        // Shared deterministic cycle search: the smallest cycle (in the
+        // `depends` direction) is reported first, so cnx and model
+        // diagnostics agree on the same culprit.
+        let cycle = cn_graph::shortest_cycle(&self.deps)?;
+        Some(cycle.into_iter().map(|i| self.names[i].clone()).collect())
     }
 }
 
@@ -231,8 +209,7 @@ mod tests {
         ]))
         .unwrap();
         let order = g.topological_order();
-        let pos =
-            |name: &str| order.iter().position(|&i| g.name(i) == name).unwrap();
+        let pos = |name: &str| order.iter().position(|&i| g.name(i) == name).unwrap();
         assert!(pos("a") < pos("b"));
         assert!(pos("a") < pos("c"));
         assert!(pos("b") < pos("d"));
@@ -256,18 +233,33 @@ mod tests {
 
     #[test]
     fn longer_cycle_detected_with_path() {
-        let err = DependencyGraph::build(&job(&[
-            ("a", &["c"]),
-            ("b", &["a"]),
-            ("c", &["b"]),
-        ]))
-        .unwrap_err();
+        let err = DependencyGraph::build(&job(&[("a", &["c"]), ("b", &["a"]), ("c", &["b"])]))
+            .unwrap_err();
         match err {
             GraphError::Cycle(names) => {
                 assert!(names.len() >= 3);
                 assert_eq!(names.first(), names.last());
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn smallest_cycle_reported_first() {
+        // A 3-cycle (a,b,c) plus a 2-cycle (x,y): diagnostics must name the
+        // 2-cycle, and deterministically so.
+        let spec: &[(&str, &[&str])] =
+            &[("a", &["c"]), ("b", &["a"]), ("c", &["b"]), ("x", &["y"]), ("y", &["x"])];
+        let err = DependencyGraph::build(&job(spec)).unwrap_err();
+        match err {
+            GraphError::Cycle(names) => {
+                assert_eq!(names, vec!["x", "y", "x"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        let first = DependencyGraph::build(&job(spec)).unwrap_err();
+        for _ in 0..5 {
+            assert_eq!(DependencyGraph::build(&job(spec)).unwrap_err(), first);
         }
     }
 

@@ -19,13 +19,15 @@
 pub mod ast;
 pub mod graph;
 pub mod parse;
+pub mod span;
 pub mod validate;
 pub mod write;
 
 pub use ast::{Client, CnxDocument, Job, Param, ParamType, RunModel, Task, TaskReq};
 pub use graph::{DependencyGraph, GraphError};
 pub use parse::{parse_cnx, parse_cnx_doc, CnxParseError};
-pub use validate::{validate, CnxValidationError};
+pub use span::Span;
+pub use validate::{multiplicity_is_valid, validate, validate_all, CnxValidationError};
 pub use write::{write_cnx, write_cnx_doc};
 
 #[cfg(test)]

@@ -5,22 +5,32 @@ use std::fmt;
 use cn_xml::{Document, NodeId};
 
 use crate::ast::{Client, CnxDocument, Job, Param, ParamType, RunModel, Task, TaskReq};
+use crate::span::Span;
 
 /// Parse failure (either XML-level or CNX-structure-level).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CnxParseError {
     pub msg: String,
+    /// Where the problem was detected, when known.
+    pub span: Option<Span>,
 }
 
 impl CnxParseError {
     fn new(msg: impl Into<String>) -> Self {
-        CnxParseError { msg: msg.into() }
+        CnxParseError { msg: msg.into(), span: None }
+    }
+
+    fn at(msg: impl Into<String>, span: Span) -> Self {
+        CnxParseError { msg: msg.into(), span: Some(span) }
     }
 }
 
 impl fmt::Display for CnxParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CNX parse error: {}", self.msg)
+        match self.span {
+            Some(span) => write!(f, "CNX parse error at {span}: {}", self.msg),
+            None => write!(f, "CNX parse error: {}", self.msg),
+        }
     }
 }
 
@@ -28,16 +38,15 @@ impl std::error::Error for CnxParseError {}
 
 /// Parse a descriptor from XML text.
 pub fn parse_cnx(src: &str) -> Result<CnxDocument, CnxParseError> {
-    let doc = cn_xml::parse(src).map_err(|e| CnxParseError::new(e.to_string()))?;
+    let doc =
+        cn_xml::parse(src).map_err(|e| CnxParseError::at(e.kind.to_string(), e.pos.into()))?;
     parse_cnx_doc(&doc)
 }
 
 /// Parse a descriptor from an already-built DOM (e.g. the output of the
 /// XMI2CNX transform).
 pub fn parse_cnx_doc(doc: &Document) -> Result<CnxDocument, CnxParseError> {
-    let root = doc
-        .root_element()
-        .ok_or_else(|| CnxParseError::new("empty document"))?;
+    let root = doc.root_element().ok_or_else(|| CnxParseError::new("empty document"))?;
     if !doc.name(root).is_some_and(|n| n.is("cn2")) {
         return Err(CnxParseError::new(format!(
             "root element is <{}>, expected <cn2>",
@@ -52,12 +61,12 @@ pub fn parse_cnx_doc(doc: &Document) -> Result<CnxDocument, CnxParseError> {
         .ok_or_else(|| CnxParseError::new("<client> missing class="))?
         .to_string();
     let mut client = Client::new(class);
+    client.span = doc.node_pos(client_el).into();
     client.log = doc.attr(client_el, "log").map(str::to_string);
     client.port = match doc.attr(client_el, "port") {
-        Some(p) => Some(
-            p.parse::<u16>()
-                .map_err(|_| CnxParseError::new(format!("bad port {p:?}")))?,
-        ),
+        Some(p) => Some(p.parse::<u16>().map_err(|_| {
+            CnxParseError::at(format!("bad port {p:?}"), doc.node_pos(client_el).into())
+        })?),
         None => None,
     };
 
@@ -75,19 +84,21 @@ pub fn parse_cnx_doc(doc: &Document) -> Result<CnxDocument, CnxParseError> {
 }
 
 fn parse_task(doc: &Document, el: NodeId) -> Result<Task, CnxParseError> {
+    let span: crate::span::Span = doc.node_pos(el).into();
     let name = doc
         .attr(el, "name")
-        .ok_or_else(|| CnxParseError::new("<task> missing name="))?
+        .ok_or_else(|| CnxParseError::at("<task> missing name=", span))?
         .to_string();
     let jar = doc
         .attr(el, "jar")
-        .ok_or_else(|| CnxParseError::new(format!("task {name:?} missing jar=")))?
+        .ok_or_else(|| CnxParseError::at(format!("task {name:?} missing jar="), span))?
         .to_string();
     let class = doc
         .attr(el, "class")
-        .ok_or_else(|| CnxParseError::new(format!("task {name:?} missing class=")))?
+        .ok_or_else(|| CnxParseError::at(format!("task {name:?} missing class="), span))?
         .to_string();
     let mut task = Task::new(name.clone(), jar, class);
+    task.span = span;
     task.depends = doc
         .attr(el, "depends")
         .unwrap_or("")
@@ -106,14 +117,16 @@ fn parse_task(doc: &Document, el: NodeId) -> Result<Task, CnxParseError> {
             match cname.as_str() {
                 "memory" => {
                     req.memory_mb = text.trim().parse::<u64>().map_err(|_| {
-                        CnxParseError::new(format!("task {name:?}: bad memory {text:?}"))
+                        CnxParseError::at(
+                            format!("task {name:?}: bad memory {text:?}"),
+                            doc.node_pos(child).into(),
+                        )
                     })?;
                 }
                 "runmodel" => {
-                    req.runmodel = text
-                        .trim()
-                        .parse::<RunModel>()
-                        .map_err(|e| CnxParseError::new(format!("task {name:?}: {e}")))?;
+                    req.runmodel = text.trim().parse::<RunModel>().map_err(|e| {
+                        CnxParseError::at(format!("task {name:?}: {e}"), doc.node_pos(child).into())
+                    })?;
                 }
                 other => req.extras.push((other.to_string(), text.trim().to_string())),
             }
@@ -123,7 +136,9 @@ fn parse_task(doc: &Document, el: NodeId) -> Result<Task, CnxParseError> {
 
     for param_el in doc.children_named(el, "param") {
         let ty = ParamType::parse(doc.attr(param_el, "type").unwrap_or("String"));
-        task.params.push(Param::new(ty, doc.text_content(param_el)));
+        let mut param = Param::new(ty, doc.text_content(param_el));
+        param.span = doc.node_pos(param_el).into();
+        task.params.push(param);
     }
     Ok(task)
 }
@@ -195,6 +210,52 @@ depends="tctask1,tctask2,tctask3,tctask4,tctask5">
     }
 
     #[test]
+    fn parsed_tasks_carry_spans() {
+        let doc = parse_cnx(FIGURE2).unwrap();
+        let job = &doc.client.jobs[0];
+        let t0 = job.task("tctask0").unwrap();
+        // <task name="tctask0"> opens on line 5 of the FIGURE2 listing.
+        assert_eq!(t0.span.line, 5);
+        assert!(!t0.span.is_synthetic());
+        assert_eq!(t0.params[0].span.line, 11);
+        let t1 = job.task("tctask1").unwrap();
+        assert!(t1.span > t0.span);
+        assert!(!doc.client.span.is_synthetic());
+        assert_eq!(doc.client.span.line, 3);
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let parsed = parse_cnx(FIGURE2).unwrap();
+        let mut resynth = parsed.clone();
+        for job in &mut resynth.client.jobs {
+            for t in &mut job.tasks {
+                t.span = crate::span::Span::synthetic();
+                for p in &mut t.params {
+                    p.span = crate::span::Span::synthetic();
+                }
+            }
+        }
+        resynth.client.span = crate::span::Span::synthetic();
+        assert_eq!(parsed, resynth);
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let err = parse_cnx("<cn2>\n  <client class=\"C\" port=\"banana\"><job/></client>\n</cn2>")
+            .unwrap_err();
+        assert_eq!(err.span.map(|s| s.line), Some(2));
+        let err = parse_cnx(
+            "<cn2><client class=\"C\"><job>\n<task jar=\"j\" class=\"K\"/>\n</job></client></cn2>",
+        )
+        .unwrap_err();
+        assert_eq!(err.span.map(|s| s.line), Some(2));
+        // XML-level failures point at the malformed construct too.
+        let err = parse_cnx("<cn2>\n  <client class=C></client>\n</cn2>").unwrap_err();
+        assert!(err.span.is_some());
+    }
+
+    #[test]
     fn depends_parsing_handles_spacing_and_empty() {
         let doc = parse_cnx(
             r#"<cn2><client class="C"><job>
@@ -240,9 +301,7 @@ depends="tctask1,tctask2,tctask3,tctask4,tctask5">
         assert!(parse_cnx("<cn2/>").is_err());
         assert!(parse_cnx(r#"<cn2><client class="C"/></cn2>"#).is_err());
         assert!(parse_cnx(r#"<cn2><client><job/></client></cn2>"#).is_err());
-        assert!(
-            parse_cnx(r#"<cn2><client class="C" port="99999"><job/></client></cn2>"#).is_err()
-        );
+        assert!(parse_cnx(r#"<cn2><client class="C" port="99999"><job/></client></cn2>"#).is_err());
         assert!(parse_cnx(
             r#"<cn2><client class="C"><job><task name="a" jar="j" class="K">
                <task-req><memory>lots</memory></task-req></task></job></client></cn2>"#

@@ -1,0 +1,86 @@
+//! Source spans threaded from the XML layer into the CNX AST.
+//!
+//! Every AST node produced by [`crate::parse`] carries the position of the
+//! XML construct it came from, so downstream diagnostics (the `cn-analysis`
+//! lint engine, `cnctl lint`) can point at the offending line. AST nodes
+//! built programmatically sit at [`Span::synthetic`], and spans never
+//! participate in equality: `parse(write(doc)) == doc` holds regardless of
+//! where the nodes came from.
+
+use std::fmt;
+
+use cn_xml::Pos;
+
+/// A location in CNX source text: 1-based line/column plus the 0-based byte
+/// offset. The all-zero value marks synthetic (programmatically built) nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+    pub offset: usize,
+}
+
+impl Span {
+    /// The span of a node that has no source text (built in code, not parsed).
+    pub const fn synthetic() -> Span {
+        Span { line: 0, col: 0, offset: 0 }
+    }
+
+    pub fn new(line: u32, col: u32, offset: usize) -> Span {
+        Span { line, col, offset }
+    }
+
+    /// True for nodes that were never parsed from text.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl From<Pos> for Span {
+    fn from(p: Pos) -> Span {
+        Span { line: p.line, col: p.col, offset: p.offset }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            f.write_str("<builtin>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_span_displays_as_builtin() {
+        assert_eq!(Span::synthetic().to_string(), "<builtin>");
+        assert!(Span::synthetic().is_synthetic());
+    }
+
+    #[test]
+    fn real_span_displays_line_col() {
+        let s = Span::new(12, 3, 400);
+        assert_eq!(s.to_string(), "12:3");
+        assert!(!s.is_synthetic());
+    }
+
+    #[test]
+    fn spans_order_by_position() {
+        let a = Span::new(1, 5, 4);
+        let b = Span::new(2, 1, 20);
+        let c = Span::new(2, 9, 28);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn from_pos_copies_fields() {
+        let p = Pos { line: 7, col: 2, offset: 99 };
+        let s: Span = p.into();
+        assert_eq!((s.line, s.col, s.offset), (7, 2, 99));
+    }
+}

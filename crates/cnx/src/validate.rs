@@ -76,8 +76,7 @@ pub fn validate_all(doc: &CnxDocument) -> Vec<CnxValidationError> {
                 errors.push(CnxValidationError::ZeroMemory { task: t.name.clone() });
             }
             if let Some(m) = &t.multiplicity {
-                let ok = m == "*" || m.parse::<u64>().map(|n| n > 0).unwrap_or(false);
-                if !ok {
+                if !multiplicity_is_valid(m) {
                     errors.push(CnxValidationError::BadMultiplicity {
                         task: t.name.clone(),
                         multiplicity: m.clone(),
@@ -90,6 +89,20 @@ pub fn validate_all(doc: &CnxDocument) -> Vec<CnxValidationError> {
         }
     }
     errors
+}
+
+/// Strict multiplicity syntax: `*` or a positive decimal integer, nothing
+/// else. `u64::from_str` alone is too lenient — it accepts a leading `+`
+/// (`"+3"`), and callers that trim first would accept `" 3"` — and those
+/// spellings never appear in CNX descriptors, so they are almost certainly
+/// typos worth rejecting.
+pub fn multiplicity_is_valid(m: &str) -> bool {
+    if m == "*" {
+        return true;
+    }
+    !m.is_empty()
+        && m.bytes().all(|b| b.is_ascii_digit())
+        && m.parse::<u64>().map(|n| n > 0).unwrap_or(false)
 }
 
 #[cfg(test)]
@@ -154,12 +167,39 @@ mod tests {
     }
 
     #[test]
+    fn multiplicity_rejects_lenient_integer_spellings() {
+        // `u64::from_str` accepts "+3"; a trimming caller would accept " 3".
+        // Neither is valid CNX multiplicity syntax.
+        for bad in ["+3", " 3", "3 ", "03x", "3.0", "", "  ", "**", "+0", "１"] {
+            let mut doc = figure2_descriptor(1);
+            doc.client.jobs[0].tasks[1].multiplicity = Some(bad.to_string());
+            assert!(validate(&doc).is_err(), "multiplicity {bad:?} should be rejected");
+        }
+        for good in ["*", "1", "8", "42", "007"] {
+            let mut doc = figure2_descriptor(1);
+            doc.client.jobs[0].tasks[1].multiplicity = Some(good.to_string());
+            assert!(validate(&doc).is_ok(), "multiplicity {good:?} should pass");
+        }
+    }
+
+    #[test]
+    fn multiplicity_helper_is_strict() {
+        assert!(multiplicity_is_valid("*"));
+        assert!(multiplicity_is_valid("5"));
+        assert!(!multiplicity_is_valid("+5"));
+        assert!(!multiplicity_is_valid(" 5"));
+        assert!(!multiplicity_is_valid("0"));
+        assert!(!multiplicity_is_valid("-1"));
+        assert!(!multiplicity_is_valid(""));
+        // 20-digit overflow of u64 must not panic, just fail.
+        assert!(!multiplicity_is_valid("99999999999999999999"));
+    }
+
+    #[test]
     fn graph_errors_surface_with_job_index() {
         let mut doc = figure2_descriptor(1);
         doc.client.jobs[0].tasks[1].depends = vec!["ghost".to_string()];
         let errs = validate_all(&doc);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, CnxValidationError::Graph { job_index: 0, .. })));
+        assert!(errs.iter().any(|e| matches!(e, CnxValidationError::Graph { job_index: 0, .. })));
     }
 }

@@ -103,6 +103,9 @@ mod tests {
         let mut doc = figure2_descriptor(1);
         doc.client.jobs[0].tasks[0].req.extras.push(("cpus".into(), "4".into()));
         let back = parse_cnx(&write_cnx(&doc)).unwrap();
-        assert_eq!(back.client.jobs[0].tasks[0].req.extras, vec![("cpus".to_string(), "4".to_string())]);
+        assert_eq!(
+            back.client.jobs[0].tasks[0].req.extras,
+            vec![("cpus".to_string(), "4".to_string())]
+        );
     }
 }

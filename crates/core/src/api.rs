@@ -147,9 +147,11 @@ impl CnApi {
             ClientError::NoJobManagers
         })?;
 
-        if let Err(e) =
-            self.net.send(addr, chosen.addr, NetMsg::CreateJob { job, client: addr, reply_to: addr })
-        {
+        if let Err(e) = self.net.send(
+            addr,
+            chosen.addr,
+            NetMsg::CreateJob { job, client: addr, reply_to: addr },
+        ) {
             self.net.unregister(addr);
             return Err(ClientError::Net(e.to_string()));
         }
@@ -170,7 +172,10 @@ impl CnApi {
         };
         // On any failure path the handle is dropped here, which unregisters
         // the endpoint (see `impl Drop for JobHandle`).
-        match handle.wait_net(handle.ack_timeout, |m| matches!(m, NetMsg::JobAck { job: j, .. } if *j == job))? {
+        match handle.wait_net(
+            handle.ack_timeout,
+            |m| matches!(m, NetMsg::JobAck { job: j, .. } if *j == job),
+        )? {
             NetMsg::JobAck { accepted: true, .. } => Ok(handle),
             NetMsg::JobAck { reason, .. } => Err(ClientError::JobRejected(reason)),
             _ => unreachable!("filtered on JobAck"),
@@ -288,7 +293,11 @@ impl JobHandle {
         }
         let name = spec.name.clone();
         self.net
-            .send(self.addr, self.jm, NetMsg::CreateTask { job: self.job, spec, reply_to: self.addr })
+            .send(
+                self.addr,
+                self.jm,
+                NetMsg::CreateTask { job: self.job, spec, reply_to: self.addr },
+            )
             .map_err(|e| ClientError::Net(e.to_string()))?;
         let job = self.job;
         let want_name = name.clone();
@@ -322,13 +331,10 @@ impl JobHandle {
 
     /// Send a user-defined message to a task.
     pub fn send_to_task(&self, task: &str, tag: &str, data: UserData) -> Result<(), ClientError> {
-        let &to = self
-            .directory
-            .get(task)
-            .ok_or(ClientError::PlacementFailed {
-                task: task.to_string(),
-                reason: "unknown task".to_string(),
-            })?;
+        let &to = self.directory.get(task).ok_or(ClientError::PlacementFailed {
+            task: task.to_string(),
+            reason: "unknown task".to_string(),
+        })?;
         self.net
             .send(
                 self.addr,

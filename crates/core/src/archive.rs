@@ -134,9 +134,7 @@ impl ArchiveRegistry {
 
     /// Instantiate `class` from archive `jar`.
     pub fn instantiate(&self, jar: &str, class: &str) -> Result<Box<dyn Task>, ArchiveError> {
-        let archive = self
-            .get(jar)
-            .ok_or_else(|| ArchiveError::UnknownArchive(jar.to_string()))?;
+        let archive = self.get(jar).ok_or_else(|| ArchiveError::UnknownArchive(jar.to_string()))?;
         archive.instantiate(class).ok_or_else(|| ArchiveError::UnknownClass {
             archive: jar.to_string(),
             class: class.to_string(),

@@ -53,7 +53,11 @@ pub enum ExecError {
     /// A dynamic task had no run-time argument lists.
     MissingDynamicArgs(String),
     /// A fixed multiplicity disagreed with the argument list count.
-    MultiplicityMismatch { task: String, declared: String, provided: usize },
+    MultiplicityMismatch {
+        task: String,
+        declared: String,
+        provided: usize,
+    },
     Client(ClientError),
 }
 
@@ -87,10 +91,7 @@ impl From<ClientError> for ExecError {
 /// per argument list; the instance's params are the base params followed by
 /// the invocation's params. Tasks that depended on `w` now depend on every
 /// instance; instances inherit `w`'s dependencies.
-pub fn expand_dynamic(
-    doc: &CnxDocument,
-    dynamic: &DynamicArgs,
-) -> Result<CnxDocument, ExecError> {
+pub fn expand_dynamic(doc: &CnxDocument, dynamic: &DynamicArgs) -> Result<CnxDocument, ExecError> {
     let mut out = doc.clone();
     for job in &mut out.client.jobs {
         let mut new_tasks: Vec<CnxTask> = Vec::with_capacity(job.tasks.len());
@@ -266,9 +267,8 @@ mod tests {
         }));
         let mut a = CnxTask::new("a", "sum.jar", "Sum").with_param(Param::integer(2));
         a.req.memory_mb = 100;
-        let mut b = CnxTask::new("b", "sum.jar", "Sum")
-            .with_param(Param::integer(40))
-            .depends_on(&["a"]);
+        let mut b =
+            CnxTask::new("b", "sum.jar", "Sum").with_param(Param::integer(40)).depends_on(&["a"]);
         b.req.memory_mb = 100;
         let doc = descriptor(vec![a, b]);
         let reports =
@@ -291,15 +291,12 @@ mod tests {
         w.multiplicity = Some("*".to_string());
         w.req.memory_mb = 100;
         let doc = descriptor(vec![w]);
-        let dynamic = DynamicArgs::new()
-            .set("w", (1..=4).map(|i| vec![Param::integer(i)]).collect());
+        let dynamic =
+            DynamicArgs::new().set("w", (1..=4).map(|i| vec![Param::integer(i)]).collect());
         let reports = execute_descriptor(&nb, &doc, &dynamic, Duration::from_secs(10)).unwrap();
         assert_eq!(reports[0].results.len(), 4);
         for i in 1..=4i64 {
-            assert_eq!(
-                reports[0].result(&format!("w_{i}")),
-                Some(&UserData::I64s(vec![i]))
-            );
+            assert_eq!(reports[0].result(&format!("w_{i}")), Some(&UserData::I64s(vec![i])));
         }
         nb.shutdown();
     }

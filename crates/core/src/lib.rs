@@ -54,7 +54,11 @@ pub struct NeighborhoodConfig {
 
 impl Default for NeighborhoodConfig {
     fn default() -> Self {
-        NeighborhoodConfig { latency: LatencyModel::zero(), seed: 7, server: ServerConfig::default() }
+        NeighborhoodConfig {
+            latency: LatencyModel::zero(),
+            seed: 7,
+            server: ServerConfig::default(),
+        }
     }
 }
 
@@ -262,9 +266,10 @@ mod tests {
     #[test]
     fn failing_task_fails_the_job() {
         let nb = deploy(2);
-        nb.registry().publish(TaskArchive::new("bad.jar").class("Boom", || {
-            Box::new(|_ctx: &mut TaskContext| Err(TaskError::new("kaboom")))
-        }));
+        nb.registry()
+            .publish(TaskArchive::new("bad.jar").class("Boom", || {
+                Box::new(|_ctx: &mut TaskContext| Err(TaskError::new("kaboom")))
+            }));
         let api = CnApi::initialize(&nb);
         let mut job = api.create_job(&JobRequirements::default()).unwrap();
         job.add_task(TaskSpec::new("boom", "bad.jar", "Boom")).unwrap();
@@ -356,9 +361,10 @@ mod tests {
     #[test]
     fn jobs_distribute_across_servers_least_loaded() {
         let nb = deploy(4);
-        nb.registry().publish(TaskArchive::new("where.jar").class("Where", || {
-            Box::new(|_ctx: &mut TaskContext| Ok(UserData::Empty))
-        }));
+        nb.registry().publish(
+            TaskArchive::new("where.jar")
+                .class("Where", || Box::new(|_ctx: &mut TaskContext| Ok(UserData::Empty))),
+        );
         let api = CnApi::initialize(&nb);
         let mut job = api.create_job(&JobRequirements::default()).unwrap();
         // 8 tasks across 4 nodes of 4 slots each: with LeastLoaded placement
@@ -397,11 +403,9 @@ mod tests {
         // A task that blocks waiting for a message that never arrives; it
         // observes Shutdown when cancelled.
         nb.registry().publish(TaskArchive::new("wait.jar").class("Waiter", || {
-            Box::new(|ctx: &mut TaskContext| {
-                match ctx.recv_timeout(Duration::from_secs(30)) {
-                    Err(crate::RecvError::Shutdown) => Err(TaskError::new("interrupted")),
-                    other => Err(TaskError::new(format!("unexpected: {other:?}"))),
-                }
+            Box::new(|ctx: &mut TaskContext| match ctx.recv_timeout(Duration::from_secs(30)) {
+                Err(crate::RecvError::Shutdown) => Err(TaskError::new("interrupted")),
+                other => Err(TaskError::new(format!("unexpected: {other:?}"))),
             })
         }));
         let api = CnApi::initialize(&nb);

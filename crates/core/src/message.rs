@@ -132,15 +132,34 @@ pub struct Bid {
 pub enum NetMsg {
     // -- JobManager discovery (multicast) ------------------------------
     /// Client → discovery group: who is willing to manage this job?
-    SolicitJobManager { job: JobId, requirements: JobRequirements, reply_to: Addr },
+    SolicitJobManager {
+        job: JobId,
+        requirements: JobRequirements,
+        reply_to: Addr,
+    },
     /// Willing JobManager → client.
-    JobManagerBid { job: JobId, bid: Bid },
+    JobManagerBid {
+        job: JobId,
+        bid: Bid,
+    },
 
     // -- Job lifecycle (client ↔ selected JobManager) ------------------
-    CreateJob { job: JobId, client: Addr, reply_to: Addr },
-    JobAck { job: JobId, accepted: bool, reason: String },
+    CreateJob {
+        job: JobId,
+        client: Addr,
+        reply_to: Addr,
+    },
+    JobAck {
+        job: JobId,
+        accepted: bool,
+        reason: String,
+    },
     /// Client → JM: create (and place) one task.
-    CreateTask { job: JobId, spec: TaskSpec, reply_to: Addr },
+    CreateTask {
+        job: JobId,
+        spec: TaskSpec,
+        reply_to: Addr,
+    },
     /// JM → client: task placed on `server`, reachable at `task_addr`.
     TaskAck {
         job: JobId,
@@ -152,38 +171,98 @@ pub enum NetMsg {
     },
     /// Client → JM: start executing (roots first, dependents as
     /// dependencies complete).
-    StartJob { job: JobId },
+    StartJob {
+        job: JobId,
+    },
     /// Client → JM: cancel the whole job (running tasks are interrupted).
-    CancelJob { job: JobId },
+    CancelJob {
+        job: JobId,
+    },
 
     // -- Task placement (JM ↔ TaskManagers) ----------------------------
-    SolicitTaskManager { job: JobId, task: String, memory_mb: u64, reply_to: Addr },
-    TaskManagerBid { job: JobId, task: String, bid: Bid },
+    SolicitTaskManager {
+        job: JobId,
+        task: String,
+        memory_mb: u64,
+        reply_to: Addr,
+    },
+    TaskManagerBid {
+        job: JobId,
+        task: String,
+        bid: Bid,
+    },
     /// JM → TM: ship the task archive ("the JobManager will upload the JAR
     /// file to that TaskManager"). `size_bytes` models the transfer cost.
-    UploadArchive { jar: String, size_bytes: u64 },
+    UploadArchive {
+        jar: String,
+        size_bytes: u64,
+    },
     /// JM → TM: instantiate the task (sets up its message queue).
-    AssignTask { job: JobId, spec: TaskSpec, jm: Addr, reply_to: Addr },
-    AssignAck { job: JobId, task: String, accepted: bool, reason: String, task_addr: Option<Addr> },
+    AssignTask {
+        job: JobId,
+        spec: TaskSpec,
+        jm: Addr,
+        reply_to: Addr,
+    },
+    AssignAck {
+        job: JobId,
+        task: String,
+        accepted: bool,
+        reason: String,
+        task_addr: Option<Addr>,
+    },
     /// JM → TM: start a previously assigned task thread.
-    StartTask { job: JobId, task: String, directory: HashMap<String, Addr>, client: Addr },
+    StartTask {
+        job: JobId,
+        task: String,
+        directory: HashMap<String, Addr>,
+        client: Addr,
+    },
     /// JM → TM: cancel an assigned (possibly running) task.
-    CancelTask { job: JobId, task: String },
+    CancelTask {
+        job: JobId,
+        task: String,
+    },
     /// Task thread → its own TaskManager: the task thread has exited and
     /// its bookkeeping entry can be dropped.
-    TaskExited { job: JobId, task: String },
+    TaskExited {
+        job: JobId,
+        task: String,
+    },
 
     // -- Task lifecycle (TM → JM, relayed to client) --------------------
-    TaskStarted { job: JobId, task: String },
-    TaskCompleted { job: JobId, task: String, result: UserData },
-    TaskFailed { job: JobId, task: String, error: String },
+    TaskStarted {
+        job: JobId,
+        task: String,
+    },
+    TaskCompleted {
+        job: JobId,
+        task: String,
+        result: UserData,
+    },
+    TaskFailed {
+        job: JobId,
+        task: String,
+        error: String,
+    },
 
     // -- Job completion (JM → client) ------------------------------------
-    JobCompleted { job: JobId, results: Vec<(String, UserData)> },
-    JobFailed { job: JobId, error: String },
+    JobCompleted {
+        job: JobId,
+        results: Vec<(String, UserData)>,
+    },
+    JobFailed {
+        job: JobId,
+        error: String,
+    },
 
     // -- User-defined messages (task ↔ task, task ↔ client) -------------
-    User { job: JobId, from_task: String, tag: String, data: UserData },
+    User {
+        job: JobId,
+        from_task: String,
+        tag: String,
+        data: UserData,
+    },
 
     // -- Control ----------------------------------------------------------
     Shutdown,
@@ -226,12 +305,28 @@ impl NetMsg {
 pub enum CnMessage {
     /// User-defined message from another task (or the client, `from_task`
     /// = `"<client>"`).
-    User { from_task: String, tag: String, data: UserData },
-    TaskStarted { task: String },
-    TaskCompleted { task: String, result: UserData },
-    TaskFailed { task: String, error: String },
-    JobCompleted { results: Vec<(String, UserData)> },
-    JobFailed { error: String },
+    User {
+        from_task: String,
+        tag: String,
+        data: UserData,
+    },
+    TaskStarted {
+        task: String,
+    },
+    TaskCompleted {
+        task: String,
+        result: UserData,
+    },
+    TaskFailed {
+        task: String,
+        error: String,
+    },
+    JobCompleted {
+        results: Vec<(String, UserData)>,
+    },
+    JobFailed {
+        error: String,
+    },
     Shutdown,
 }
 

@@ -70,13 +70,7 @@ mod tests {
     use cn_cluster::Addr;
 
     fn bid(server: &str, load: f64, mem: u64) -> Bid {
-        Bid {
-            server: server.to_string(),
-            addr: Addr(0),
-            load,
-            free_memory_mb: mem,
-            free_slots: 4,
-        }
+        Bid { server: server.to_string(), addr: Addr(0), load, free_memory_mb: mem, free_slots: 4 }
     }
 
     #[test]
@@ -107,8 +101,7 @@ mod tests {
     fn round_robin_rotates_deterministically() {
         let bids = vec![bid("b", 0.0, 0), bid("a", 0.0, 0), bid("c", 0.0, 0)];
         let mut rr = RoundRobin::new();
-        let picks: Vec<String> =
-            (0..6).map(|_| rr.select(&bids).unwrap().server.clone()).collect();
+        let picks: Vec<String> = (0..6).map(|_| rr.select(&bids).unwrap().server.clone()).collect();
         assert_eq!(picks, ["a", "b", "c", "a", "b", "c"]);
     }
 }

@@ -207,10 +207,7 @@ impl ServerState {
                     && self.node.free_memory_mb() >= requirements.min_free_memory_mb
                     && self.node.free_slots() >= requirements.min_free_slots;
                 if willing {
-                    self.send(
-                        reply_to,
-                        NetMsg::JobManagerBid { job, bid: self.own_bid() },
-                    );
+                    self.send(reply_to, NetMsg::JobManagerBid { job, bid: self.own_bid() });
                 }
             }
 
@@ -246,7 +243,8 @@ impl ServerState {
                     Ok((tm_addr, task_addr, server)) => {
                         if let Some(j) = self.jm_jobs.get_mut(&job) {
                             j.specs.push(spec.clone());
-                            j.assigned.insert(spec.name.clone(), (tm_addr, task_addr, server.clone()));
+                            j.assigned
+                                .insert(spec.name.clone(), (tm_addr, task_addr, server.clone()));
                         }
                         self.send(
                             reply_to,
@@ -280,12 +278,10 @@ impl ServerState {
 
             // ---- TaskManager: placement -------------------------------
             NetMsg::SolicitTaskManager { job, task, memory_mb, reply_to }
-                if self.node.can_host(memory_mb) => {
-                    self.send(
-                        reply_to,
-                        NetMsg::TaskManagerBid { job, task, bid: self.own_bid() },
-                    );
-                }
+                if self.node.can_host(memory_mb) =>
+            {
+                self.send(reply_to, NetMsg::TaskManagerBid { job, task, bid: self.own_bid() });
+            }
             NetMsg::UploadArchive { jar, .. } => self.tm_upload(&jar),
             NetMsg::AssignTask { job, spec, jm, reply_to } => {
                 let task = spec.name.clone();
@@ -321,7 +317,9 @@ impl ServerState {
                     self.send(client, NetMsg::TaskStarted { job, task });
                 }
             }
-            NetMsg::TaskCompleted { job, task, result } => self.jm_task_completed(job, task, result),
+            NetMsg::TaskCompleted { job, task, result } => {
+                self.jm_task_completed(job, task, result)
+            }
             NetMsg::TaskFailed { job, task, error } => self.jm_task_failed(job, task, error),
 
             // Not for the server: ignore.
@@ -507,7 +505,9 @@ impl ServerState {
         let results: Vec<(String, UserData)> = if all_done {
             j.specs
                 .iter()
-                .map(|s| (s.name.clone(), j.completed.get(&s.name).cloned().unwrap_or(UserData::Empty)))
+                .map(|s| {
+                    (s.name.clone(), j.completed.get(&s.name).cloned().unwrap_or(UserData::Empty))
+                })
                 .collect()
         } else {
             Vec::new()
@@ -600,7 +600,14 @@ impl ServerState {
         let key = (job, spec.name.clone());
         self.tm_tasks.insert(
             key,
-            TmTask { spec, jm, endpoint, rx: Some(rx), reservation: Some(reservation), started: false },
+            TmTask {
+                spec,
+                jm,
+                endpoint,
+                rx: Some(rx),
+                reservation: Some(reservation),
+                started: false,
+            },
         );
         Ok(endpoint)
     }
@@ -631,10 +638,12 @@ impl ServerState {
         let handle = std::thread::Builder::new()
             .name(format!("task-{}-{}", job.0, spec.name))
             .spawn(move || {
-                let _reservation = reservation; // released when the task ends
                 let mut instance = match registry.instantiate(&spec.jar, &spec.class) {
                     Ok(i) => i,
                     Err(e) => {
+                        // Release capacity before reporting: a client that
+                        // observes the failure may immediately inspect nodes.
+                        drop(reservation);
                         let _ = net.send(
                             endpoint,
                             jm,
@@ -644,13 +653,17 @@ impl ServerState {
                                 error: format!("[{server_name}] {e}"),
                             },
                         );
-                        let _ = net
-                            .send(endpoint, local_tm, NetMsg::TaskExited { job, task: spec.name.clone() });
+                        let _ = net.send(
+                            endpoint,
+                            local_tm,
+                            NetMsg::TaskExited { job, task: spec.name.clone() },
+                        );
                         net.unregister(endpoint);
                         return;
                     }
                 };
-                let _ = net.send(endpoint, jm, NetMsg::TaskStarted { job, task: spec.name.clone() });
+                let _ =
+                    net.send(endpoint, jm, NetMsg::TaskStarted { job, task: spec.name.clone() });
                 let mut ctx = TaskContext {
                     job,
                     name: spec.name.clone(),
@@ -663,12 +676,20 @@ impl ServerState {
                     stash: Vec::new(),
                 };
                 let outcome = instance.run(&mut ctx);
+                // Release the node reservation before TaskCompleted goes out:
+                // the client unblocks on JobCompleted and may assert that all
+                // slots/memory are free, so the release must happen first.
+                drop(reservation);
                 let msg = match outcome {
                     Ok(result) => NetMsg::TaskCompleted { job, task: spec.name.clone(), result },
                     Err(e) => NetMsg::TaskFailed { job, task: spec.name.clone(), error: e.msg },
                 };
                 let _ = net.send(endpoint, jm, msg);
-                let _ = net.send(endpoint, local_tm, NetMsg::TaskExited { job, task: spec.name.clone() });
+                let _ = net.send(
+                    endpoint,
+                    local_tm,
+                    NetMsg::TaskExited { job, task: spec.name.clone() },
+                );
                 net.unregister(endpoint);
             })
             .expect("spawn task thread");

@@ -208,11 +208,15 @@ impl TaskContext {
     /// Receive the next user message whose tag matches, stashing anything
     /// else for later `recv` calls. This is the selective-receive idiom the
     /// transitive-closure tasks use while waiting for "row k".
-    pub fn recv_tagged(&mut self, tag: &str, timeout: Duration) -> Result<(String, UserData), RecvError> {
+    pub fn recv_tagged(
+        &mut self,
+        tag: &str,
+        timeout: Duration,
+    ) -> Result<(String, UserData), RecvError> {
         // Check the stash first.
-        if let Some(pos) = self.stash.iter().position(
-            |m| matches!(m, CnMessage::User { tag: t, .. } if t == tag),
-        ) {
+        if let Some(pos) =
+            self.stash.iter().position(|m| matches!(m, CnMessage::User { tag: t, .. } if t == tag))
+        {
             if let CnMessage::User { from_task, data, .. } = self.stash.remove(pos) {
                 return Ok((from_task, data));
             }

@@ -25,7 +25,12 @@ pub struct ActionState {
 
 impl ActionState {
     pub fn new(name: impl Into<String>) -> Self {
-        ActionState { name: name.into(), dynamic: false, multiplicity: None, tags: TaggedValues::new() }
+        ActionState {
+            name: name.into(),
+            dynamic: false,
+            multiplicity: None,
+            tags: TaggedValues::new(),
+        }
     }
 }
 

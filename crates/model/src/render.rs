@@ -15,8 +15,12 @@ pub fn to_dot(graph: &ActivityGraph) -> String {
     let _ = writeln!(out, "  rankdir=TB;");
     for node in &graph.nodes {
         let (label, shape) = match &node.kind {
-            NodeKind::Initial => ("".to_string(), "circle, style=filled, fillcolor=black, width=0.2"),
-            NodeKind::Final => ("".to_string(), "doublecircle, style=filled, fillcolor=black, width=0.15"),
+            NodeKind::Initial => {
+                ("".to_string(), "circle, style=filled, fillcolor=black, width=0.2")
+            }
+            NodeKind::Final => {
+                ("".to_string(), "doublecircle, style=filled, fillcolor=black, width=0.15")
+            }
             NodeKind::Fork | NodeKind::Join => {
                 ("".to_string(), "box, style=filled, fillcolor=black, height=0.06, width=1.2")
             }

@@ -81,7 +81,8 @@ impl TaggedValues {
     pub fn params(&self) -> Vec<(String, String)> {
         let mut out = Vec::new();
         for i in 0.. {
-            let (Some(ty), Some(val)) = (self.get(&format!("ptype{i}")), self.get(&format!("pvalue{i}")))
+            let (Some(ty), Some(val)) =
+                (self.get(&format!("ptype{i}")), self.get(&format!("pvalue{i}")))
             else {
                 break;
             };

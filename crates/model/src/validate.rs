@@ -20,7 +20,10 @@ pub enum ValidationError {
     Cycle(Vec<String>),
     DuplicateTaskName(String),
     /// An action state without the tags CN needs to run it.
-    MissingTag { task: String, tag: &'static str },
+    MissingTag {
+        task: String,
+        tag: &'static str,
+    },
     /// Dynamic action without a multiplicity annotation.
     DynamicWithoutMultiplicity(String),
     /// Transition references a node that doesn't exist.
@@ -35,8 +38,12 @@ impl fmt::Display for ValidationError {
             ValidationError::NoInitial => write!(f, "activity has no initial node"),
             ValidationError::MultipleInitials => write!(f, "activity has multiple initial nodes"),
             ValidationError::NoFinal => write!(f, "activity has no final state"),
-            ValidationError::Unreachable(n) => write!(f, "node {n:?} is unreachable from the initial node"),
-            ValidationError::Cycle(names) => write!(f, "task dependency cycle: {}", names.join(" -> ")),
+            ValidationError::Unreachable(n) => {
+                write!(f, "node {n:?} is unreachable from the initial node")
+            }
+            ValidationError::Cycle(names) => {
+                write!(f, "task dependency cycle: {}", names.join(" -> "))
+            }
             ValidationError::DuplicateTaskName(n) => write!(f, "duplicate task name {n:?}"),
             ValidationError::MissingTag { task, tag } => {
                 write!(f, "task {task:?} is missing required tagged value {tag:?}")
@@ -44,7 +51,9 @@ impl fmt::Display for ValidationError {
             ValidationError::DynamicWithoutMultiplicity(n) => {
                 write!(f, "dynamic action {n:?} has no multiplicity annotation")
             }
-            ValidationError::DanglingTransition => write!(f, "transition references a missing node"),
+            ValidationError::DanglingTransition => {
+                write!(f, "transition references a missing node")
+            }
             ValidationError::EmptyGraph => write!(f, "activity graph has no nodes"),
         }
     }
@@ -79,12 +88,8 @@ pub fn validate_all(graph: &ActivityGraph) -> Vec<ValidationError> {
     }
 
     // Exactly one initial; at least one final.
-    let initials: Vec<NodeId> = graph
-        .nodes
-        .iter()
-        .filter(|n| matches!(n.kind, NodeKind::Initial))
-        .map(|n| n.id)
-        .collect();
+    let initials: Vec<NodeId> =
+        graph.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Initial)).map(|n| n.id).collect();
     match initials.len() {
         0 => errors.push(ValidationError::NoInitial),
         1 => {}
@@ -146,62 +151,22 @@ pub fn validate_all(graph: &ActivityGraph) -> Vec<ValidationError> {
     errors
 }
 
-/// DFS cycle detection; returns the names of nodes on a cycle if one exists.
+/// Cycle detection over the node graph, delegating to the shared
+/// deterministic smallest-cycle-first search in `cn-graph` (the same one the
+/// CNX dependency DAG uses), so both layers report the same culprit.
 fn find_cycle(graph: &ActivityGraph) -> Option<Vec<String>> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mark {
-        White,
-        Grey,
-        Black,
-    }
-    let mut marks = vec![Mark::White; graph.nodes.len()];
-    let mut path: Vec<NodeId> = Vec::new();
-
-    fn visit(
-        graph: &ActivityGraph,
-        n: NodeId,
-        marks: &mut [Mark],
-        path: &mut Vec<NodeId>,
-    ) -> Option<Vec<NodeId>> {
-        marks[n.0] = Mark::Grey;
-        path.push(n);
-        for s in graph.successors(n) {
-            match marks[s.0] {
-                Mark::Grey => {
-                    let start = path.iter().position(|&p| p == s).unwrap_or(0);
-                    let mut cycle: Vec<NodeId> = path[start..].to_vec();
-                    cycle.push(s);
-                    return Some(cycle);
-                }
-                Mark::White => {
-                    if let Some(c) = visit(graph, s, marks, path) {
-                        return Some(c);
-                    }
-                }
-                Mark::Black => {}
-            }
-        }
-        path.pop();
-        marks[n.0] = Mark::Black;
-        None
-    }
-
-    for node in &graph.nodes {
-        if marks[node.id.0] == Mark::White {
-            if let Some(cycle) = visit(graph, node.id, &mut marks, &mut path) {
-                return Some(
-                    cycle
-                        .iter()
-                        .map(|&id| match &graph.node(id).kind {
-                            NodeKind::Action(a) => a.name.clone(),
-                            other => other.kind_name().to_string(),
-                        })
-                        .collect(),
-                );
-            }
-        }
-    }
-    None
+    let adj: Vec<Vec<usize>> =
+        graph.nodes.iter().map(|n| graph.successors(n.id).map(|s| s.0).collect()).collect();
+    let cycle = cn_graph::shortest_cycle(&adj)?;
+    Some(
+        cycle
+            .into_iter()
+            .map(|i| match &graph.node(NodeId(i)).kind {
+                NodeKind::Action(a) => a.name.clone(),
+                other => other.kind_name().to_string(),
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -266,6 +231,49 @@ mod tests {
     }
 
     #[test]
+    fn smallest_cycle_reported_deterministically() {
+        // A long cycle (a -> b -> c -> a) and a short one (d <-> e): the
+        // short one must be named, every run.
+        let build = || {
+            let mut g = ActivityGraph::new("x");
+            let i = g.add_node(NodeKind::Initial);
+            let mut mk = |name: &str| {
+                let mut a = ActionState::new(name);
+                a.tags.set("jar", "x.jar");
+                a.tags.set("class", "X");
+                g.add_node(NodeKind::Action(a))
+            };
+            let a = mk("a");
+            let b = mk("b");
+            let c = mk("c");
+            let d = mk("d");
+            let e = mk("e");
+            let f = g.add_node(NodeKind::Final);
+            g.add_transition(i, a);
+            g.add_transition(a, b);
+            g.add_transition(b, c);
+            g.add_transition(c, a);
+            g.add_transition(c, d);
+            g.add_transition(d, e);
+            g.add_transition(e, d);
+            g.add_transition(e, f);
+            g
+        };
+        let first: Vec<_> = validate_all(&build())
+            .into_iter()
+            .filter(|e| matches!(e, ValidationError::Cycle(_)))
+            .collect();
+        assert_eq!(first, vec![ValidationError::Cycle(vec!["d".into(), "e".into(), "d".into()])]);
+        for _ in 0..5 {
+            let again: Vec<_> = validate_all(&build())
+                .into_iter()
+                .filter(|e| matches!(e, ValidationError::Cycle(_)))
+                .collect();
+            assert_eq!(again, first);
+        }
+    }
+
+    #[test]
     fn duplicate_names_detected() {
         let mut g = ActivityGraph::new("x");
         let i = g.add_node(NodeKind::Initial);
@@ -294,12 +302,8 @@ mod tests {
         g.add_transition(i, a);
         g.add_transition(a, f);
         let errs = validate_all(&g);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::MissingTag { tag: "jar", .. })));
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::MissingTag { tag: "class", .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingTag { tag: "jar", .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::MissingTag { tag: "class", .. })));
     }
 
     #[test]
@@ -315,9 +319,7 @@ mod tests {
         g.add_transition(i, an);
         g.add_transition(an, f);
         let errs = validate_all(&g);
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::DynamicWithoutMultiplicity(_))));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::DynamicWithoutMultiplicity(_))));
     }
 
     #[test]

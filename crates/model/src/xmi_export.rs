@@ -260,10 +260,7 @@ mod tests {
         let model = transitive_closure(5);
         let doc = export_xmi(&model);
         let holder = doc.find(doc.document_node(), "UML:StateMachine.transitions").unwrap();
-        assert_eq!(
-            doc.children_named(holder, "UML:Transition").count(),
-            model.transitions.len()
-        );
+        assert_eq!(doc.children_named(holder, "UML:Transition").count(), model.transitions.len());
     }
 
     #[test]

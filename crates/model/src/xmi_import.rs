@@ -74,8 +74,7 @@ pub fn import_xmi(doc: &Document) -> Result<ActivityGraph, XmiImportError> {
             },
             "UML:FinalState" => NodeKind::Final,
             "UML:ActionState" => {
-                let mut action =
-                    ActionState::new(doc.attr(el, "name").unwrap_or("unnamed"));
+                let mut action = ActionState::new(doc.attr(el, "name").unwrap_or("unnamed"));
                 action.dynamic = doc.attr(el, "isDynamic") == Some("true");
                 action.multiplicity = doc.attr(el, "dynamicMultiplicity").map(str::to_string);
                 for tv in doc.find_all(el, "UML:TaggedValue") {
@@ -85,9 +84,7 @@ pub fn import_xmi(doc: &Document) -> Result<ActivityGraph, XmiImportError> {
                 }
                 NodeKind::Action(action)
             }
-            other => {
-                return Err(XmiImportError::new(format!("unsupported subvertex <{other}>")))
-            }
+            other => return Err(XmiImportError::new(format!("unsupported subvertex <{other}>"))),
         };
         let node = graph.add_node(kind);
         if let Some(id) = doc.attr(el, "xmi.id") {
@@ -106,10 +103,8 @@ pub fn import_xmi(doc: &Document) -> Result<ActivityGraph, XmiImportError> {
             let to = *id_map
                 .get(&target)
                 .ok_or_else(|| XmiImportError::new(format!("unknown target id {target:?}")))?;
-            let guard = doc
-                .find(tr, "UML:Guard")
-                .and_then(|g| doc.attr(g, "name"))
-                .map(str::to_string);
+            let guard =
+                doc.find(tr, "UML:Guard").and_then(|g| doc.attr(g, "name")).map(str::to_string);
             match guard {
                 Some(g) => graph.add_guarded_transition(from, to, g),
                 None => graph.add_transition(from, to),
@@ -129,12 +124,11 @@ fn resolve_tag_name(
     if let Some(ty) = doc.first_child_named(tv, "UML:TaggedValue.type") {
         if let Some(td) = doc.first_child_named(ty, "UML:TagDefinition") {
             if let Some(idref) = doc.attr(td, "xmi.idref") {
-                return tag_defs
-                    .get(idref)
-                    .cloned()
-                    .ok_or_else(|| {
-                        XmiImportError::new(format!("tagged value references unknown TagDefinition {idref:?}"))
-                    });
+                return tag_defs.get(idref).cloned().ok_or_else(|| {
+                    XmiImportError::new(format!(
+                        "tagged value references unknown TagDefinition {idref:?}"
+                    ))
+                });
             }
             // Inline definition with a name.
             if let Some(name) = doc.attr(td, "name") {

@@ -66,8 +66,7 @@ pub fn floyd_parallel(input: &Matrix, threads: usize) -> Matrix {
                     {
                         let krow = k_row.read();
                         for (local_i, _) in range.clone().enumerate() {
-                            let row =
-                                &mut chunk[local_i * row_len..(local_i + 1) * row_len];
+                            let row = &mut chunk[local_i * row_len..(local_i + 1) * row_len];
                             let dik = row[k];
                             if dik < INF {
                                 for j in 0..row_len {

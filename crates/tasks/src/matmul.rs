@@ -86,10 +86,7 @@ fn take_bytes(ctx: &TaskContext, name: &str, key: i64) -> Result<Vec<i64>, TaskE
 fn rd_bytes(ctx: &TaskContext, name: &str, key: i64) -> Result<Vec<i64>, TaskError> {
     let tuple = ctx
         .tuplespace()
-        .rd(
-            &vec![Some(Field::S(name.into())), Some(Field::I(key)), None],
-            Duration::from_secs(30),
-        )
+        .rd(&vec![Some(Field::S(name.into())), Some(Field::I(key)), None], Duration::from_secs(30))
         .ok_or_else(|| TaskError::new(format!("shared input {name} not found")))?;
     match &tuple[2] {
         Field::B(bytes) => decode_i64s(bytes),
@@ -166,14 +163,9 @@ pub fn run_matmul(
             Field::B(encode_i64s(block)),
         ]);
     }
-    job.tuplespace().out(vec![
-        Field::S("B".into()),
-        Field::I(-1),
-        Field::B(encode_i64s(b)),
-    ]);
+    job.tuplespace().out(vec![Field::S("B".into()), Field::I(-1), Field::B(encode_i64s(b))]);
     job.start().map_err(|e| TaskError::new(e.to_string()))?;
-    let report =
-        job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
+    let report = job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
     let result = report
         .result("collect")
         .and_then(|d| d.as_i64s())

@@ -86,9 +86,7 @@ impl Matrix {
 
     /// Decode from a user message payload.
     pub fn from_userdata(data: &UserData) -> Result<Matrix, TaskError> {
-        let v = data
-            .as_i64s()
-            .ok_or_else(|| TaskError::new("matrix payload must be I64s"))?;
+        let v = data.as_i64s().ok_or_else(|| TaskError::new("matrix payload must be I64s"))?;
         let n = *v.first().ok_or_else(|| TaskError::new("empty matrix payload"))? as usize;
         if v.len() != n * n + 1 {
             return Err(TaskError::new(format!(

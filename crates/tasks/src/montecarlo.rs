@@ -24,9 +24,9 @@ impl cn_core::Task for Sampler {
             .param_i64(0)
             .ok_or_else(|| TaskError::new("Sampler needs sample count as param 0"))?
             as u64;
-        let seed = ctx
-            .param_i64(1)
-            .ok_or_else(|| TaskError::new("Sampler needs a seed as param 1"))? as u64;
+        let seed =
+            ctx.param_i64(1).ok_or_else(|| TaskError::new("Sampler needs a seed as param 1"))?
+                as u64;
         let hits = count_hits(samples, seed);
         ctx.send("reduce", "partial", UserData::I64s(vec![hits as i64, samples as i64]))?;
         Ok(UserData::I64s(vec![hits as i64]))
@@ -106,8 +106,7 @@ pub fn run_pi(
         job.add_task(s).map_err(|e| TaskError::new(e.to_string()))?;
     }
     job.start().map_err(|e| TaskError::new(e.to_string()))?;
-    let report =
-        job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
+    let report = job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
     match report.result("reduce") {
         Some(UserData::F64s(v)) if !v.is_empty() => Ok(v[0]),
         other => Err(TaskError::new(format!("unexpected reducer result {other:?}"))),

@@ -138,11 +138,7 @@ impl cn_core::Task for TaskSplit {
             rows.extend(matrix.rows_slice(range.clone()));
             ctx.send(worker, "rows", UserData::I64s(rows))?;
         }
-        ctx.send(
-            &joiner,
-            "expect",
-            UserData::Text(format!("n={n};count={}", workers.len())),
-        )?;
+        ctx.send(&joiner, "expect", UserData::Text(format!("n={n};count={}", workers.len())))?;
         Ok(UserData::Text(format!("split {n} rows into {} blocks", workers.len())))
     }
 }
@@ -172,7 +168,8 @@ struct WorkerSetup {
 fn worker_setup(ctx: &mut TaskContext) -> Result<WorkerSetup, TaskError> {
     let (_, init) = ctx.recv_tagged("init", RECV_TIMEOUT).map_err(recv_err)?;
     let init = init.as_text().ok_or_else(|| TaskError::new("init must be text"))?.to_string();
-    let index: usize = plan_field(&init, "index")?.parse().map_err(|_| TaskError::new("bad index"))?;
+    let index: usize =
+        plan_field(&init, "index")?.parse().map_err(|_| TaskError::new("bad index"))?;
     let n: usize = plan_field(&init, "n")?.parse().map_err(|_| TaskError::new("bad n"))?;
     let start: usize =
         plan_field(&init, "start")?.parse().map_err(|_| TaskError::new("bad start"))?;
@@ -184,8 +181,7 @@ fn worker_setup(ctx: &mut TaskContext) -> Result<WorkerSetup, TaskError> {
         .map(str::to_string)
         .collect();
     let (_, rows_msg) = ctx.recv_tagged("rows", RECV_TIMEOUT).map_err(recv_err)?;
-    let rows_payload =
-        rows_msg.as_i64s().ok_or_else(|| TaskError::new("rows must be I64s"))?;
+    let rows_payload = rows_msg.as_i64s().ok_or_else(|| TaskError::new("rows must be I64s"))?;
     if rows_payload.len() < 2 {
         return Err(TaskError::new("rows message too short"));
     }
@@ -199,10 +195,7 @@ fn worker_setup(ctx: &mut TaskContext) -> Result<WorkerSetup, TaskError> {
 
 /// Which worker owns global row `k`.
 fn owner_of(blocks: &[std::ops::Range<usize>], k: usize) -> usize {
-    blocks
-        .iter()
-        .position(|r| r.contains(&k))
-        .expect("every row is in exactly one block")
+    blocks.iter().position(|r| r.contains(&k)).expect("every row is in exactly one block")
 }
 
 /// Relax this worker's rows against row k.
@@ -312,8 +305,7 @@ impl cn_core::Task for TCJoin {
         let mut matrix = Matrix::disconnected(n);
         for _ in 0..count {
             let (_, data) = ctx.recv_tagged("result", RECV_TIMEOUT).map_err(recv_err)?;
-            let payload =
-                data.as_i64s().ok_or_else(|| TaskError::new("result must be I64s"))?;
+            let payload = data.as_i64s().ok_or_else(|| TaskError::new("result must be I64s"))?;
             if payload.len() < 2 {
                 return Err(TaskError::new("result message too short"));
             }
@@ -327,17 +319,14 @@ impl cn_core::Task for TCJoin {
 /// Publish the three transitive-closure archives under the paper's jar
 /// names (Figure 2), including the tuple-space worker variant.
 pub fn publish_tc_archives(registry: &cn_core::ArchiveRegistry) {
-    registry.publish(
-        cn_core::TaskArchive::new(SPLIT_JAR).class(SPLIT_CLASS, || Box::new(TaskSplit)),
-    );
+    registry
+        .publish(cn_core::TaskArchive::new(SPLIT_JAR).class(SPLIT_CLASS, || Box::new(TaskSplit)));
     registry.publish(
         cn_core::TaskArchive::new(WORKER_JAR)
             .class(WORKER_CLASS, || Box::new(TCTask))
             .class(WORKER_TS_CLASS, || Box::new(TCTaskTS)),
     );
-    registry.publish(
-        cn_core::TaskArchive::new(JOIN_JAR).class(JOIN_CLASS, || Box::new(TCJoin)),
-    );
+    registry.publish(cn_core::TaskArchive::new(JOIN_JAR).class(JOIN_CLASS, || Box::new(TCJoin)));
 }
 
 /// Options for a transitive-closure run.
@@ -371,10 +360,8 @@ pub fn run_transitive_closure(
         .create_job(&cn_core::JobRequirements::default())
         .map_err(|e| TaskError::new(e.to_string()))?;
 
-    let worker_class =
-        if options.tuplespace_workers { WORKER_TS_CLASS } else { WORKER_CLASS };
-    let worker_names: Vec<String> =
-        (1..=options.workers).map(|i| format!("tctask{i}")).collect();
+    let worker_class = if options.tuplespace_workers { WORKER_TS_CLASS } else { WORKER_CLASS };
+    let worker_names: Vec<String> = (1..=options.workers).map(|i| format!("tctask{i}")).collect();
 
     let mut split = cn_core::TaskSpec::new("tctask0", SPLIT_JAR, SPLIT_CLASS);
     split.params.push(cn_cnx::Param::string("matrix.txt"));
@@ -396,9 +383,8 @@ pub fn run_transitive_closure(
     seed_input(job.tuplespace(), "matrix.txt", input, &worker_names, "tctask999");
     job.start().map_err(|e| TaskError::new(e.to_string()))?;
     let report = job.wait(options.timeout).map_err(|e| TaskError::new(e.to_string()))?;
-    let result = report
-        .result("tctask999")
-        .ok_or_else(|| TaskError::new("joiner produced no result"))?;
+    let result =
+        report.result("tctask999").ok_or_else(|| TaskError::new("joiner produced no result"))?;
     Matrix::from_userdata(result)
 }
 
@@ -418,8 +404,7 @@ mod tests {
     fn tc_matches_sequential_floyd() {
         let neighborhood = nb(3);
         let g = random_digraph(24, 0.2, 1..10, 11);
-        let result =
-            run_transitive_closure(&neighborhood, &g, &TcOptions::new(4)).unwrap();
+        let result = run_transitive_closure(&neighborhood, &g, &TcOptions::new(4)).unwrap();
         assert_eq!(result, floyd_sequential(&g));
         neighborhood.shutdown();
     }
@@ -428,8 +413,7 @@ mod tests {
     fn tc_single_worker() {
         let neighborhood = nb(1);
         let g = ring_graph(10, 2);
-        let result =
-            run_transitive_closure(&neighborhood, &g, &TcOptions::new(1)).unwrap();
+        let result = run_transitive_closure(&neighborhood, &g, &TcOptions::new(1)).unwrap();
         assert_eq!(result, floyd_sequential(&g));
         neighborhood.shutdown();
     }
@@ -438,8 +422,7 @@ mod tests {
     fn tc_five_workers_like_figure2() {
         let neighborhood = nb(3);
         let g = random_digraph(20, 0.3, 1..5, 5);
-        let result =
-            run_transitive_closure(&neighborhood, &g, &TcOptions::new(5)).unwrap();
+        let result = run_transitive_closure(&neighborhood, &g, &TcOptions::new(5)).unwrap();
         assert_eq!(result, floyd_sequential(&g));
         neighborhood.shutdown();
     }
@@ -448,8 +431,7 @@ mod tests {
     fn tc_more_workers_than_rows() {
         let neighborhood = nb(2);
         let g = random_digraph(4, 0.5, 1..5, 2);
-        let result =
-            run_transitive_closure(&neighborhood, &g, &TcOptions::new(8)).unwrap();
+        let result = run_transitive_closure(&neighborhood, &g, &TcOptions::new(8)).unwrap();
         assert_eq!(result, floyd_sequential(&g));
         neighborhood.shutdown();
     }

@@ -52,9 +52,8 @@ pub struct Mapper;
 
 impl cn_core::Task for Mapper {
     fn run(&mut self, ctx: &mut TaskContext) -> Result<UserData, TaskError> {
-        let shard = ctx
-            .param_i64(0)
-            .ok_or_else(|| TaskError::new("Mapper needs a shard id as param 0"))?;
+        let shard =
+            ctx.param_i64(0).ok_or_else(|| TaskError::new("Mapper needs a shard id as param 0"))?;
         let tuple = ctx
             .tuplespace()
             .take(
@@ -86,8 +85,7 @@ impl cn_core::Task for Reducer {
             let (_, data) = ctx
                 .recv_tagged("partial", Duration::from_secs(30))
                 .map_err(|e| TaskError::new(e.to_string()))?;
-            let text =
-                data.as_text().ok_or_else(|| TaskError::new("partial must be text"))?;
+            let text = data.as_text().ok_or_else(|| TaskError::new("partial must be text"))?;
             for (w, c) in decode_counts(text)? {
                 *total.entry(w).or_insert(0) += c;
             }
@@ -133,8 +131,7 @@ pub fn run_wordcount(
         ]);
     }
     job.start().map_err(|e| TaskError::new(e.to_string()))?;
-    let report =
-        job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
+    let report = job.wait(Duration::from_secs(60)).map_err(|e| TaskError::new(e.to_string()))?;
     let result = report
         .result("reduce")
         .and_then(|d| d.as_text())

@@ -27,11 +27,8 @@ pub fn cnx_to_models(doc: &CnxDocument) -> Vec<ActivityGraph> {
         .iter()
         .enumerate()
         .map(|(i, job)| {
-            let name = if i == 0 {
-                doc.client.class.clone()
-            } else {
-                format!("{}#{i}", doc.client.class)
-            };
+            let name =
+                if i == 0 { doc.client.class.clone() } else { format!("{}#{i}", doc.client.class) };
             job_to_model(name, job)
         })
         .collect()
@@ -188,9 +185,9 @@ mod tests {
         // depends order).
         let original = figure2_descriptor(3);
         let model = &cnx_to_models(&original)[0];
-        let xmi = cn_xml::write_document(&cn_model::export_xmi(model), &cn_xml::WriteOptions::xmi());
-        let cnx_text =
-            crate::xmi2cnx::xmi_to_cnx_xslt(&xmi, &settings_of(&original)).unwrap();
+        let xmi =
+            cn_xml::write_document(&cn_model::export_xmi(model), &cn_xml::WriteOptions::xmi());
+        let cnx_text = crate::xmi2cnx::xmi_to_cnx_xslt(&xmi, &settings_of(&original)).unwrap();
         let back = cn_cnx::parse_cnx(&cnx_text).unwrap();
         assert_eq!(normalized(back), normalized(original));
     }

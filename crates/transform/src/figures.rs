@@ -68,9 +68,6 @@ mod tests {
         // Compare with the hand-built Figure 2 descriptor (depends order
         // normalized; the paper's own listing order is preserved by both).
         let reference = cn_cnx::ast::figure2_descriptor(5);
-        assert_eq!(
-            crate::xmi2cnx::normalized(generated),
-            crate::xmi2cnx::normalized(reference)
-        );
+        assert_eq!(crate::xmi2cnx::normalized(generated), crate::xmi2cnx::normalized(reference));
     }
 }

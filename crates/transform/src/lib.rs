@@ -22,11 +22,13 @@ pub use figures::{figure2_model, figure2_settings};
 pub mod figures;
 pub mod pipeline;
 pub mod portal;
+pub mod roundtrip;
 pub mod xmi2cnx;
 
 pub use cnx2model::cnx_to_models;
 pub use pipeline::{Pipeline, PipelineOptions, PipelineRun, StageTiming};
 pub use portal::{Portal, PortalResponse};
+pub use roundtrip::{cnx_roundtrip_drift, model_roundtrip_drift, Drift};
 pub use xmi2cnx::{model_to_cnx, xmi_to_cnx_native, xmi_to_cnx_xslt, XMI2CNX_XSLT};
 
 #[cfg(test)]

@@ -105,8 +105,7 @@ impl<'n> Pipeline<'n> {
         stage("xmi2cnx-xslt", t);
 
         let t = Instant::now();
-        let descriptor =
-            cn_cnx::parse_cnx(&cnx_text).map_err(|e| format!("CNX parse: {e}"))?;
+        let descriptor = cn_cnx::parse_cnx(&cnx_text).map_err(|e| format!("CNX parse: {e}"))?;
         // Dynamic tasks carry multiplicity that only expands at execution;
         // validate the expanded form below, but check the static shape now.
         cn_cnx::validate(&descriptor).map_err(|e| format!("CNX validation: {e}"))?;
@@ -115,8 +114,7 @@ impl<'n> Pipeline<'n> {
         // Step 4: CNX → client programs.
         let t = Instant::now();
         let rust_source = cn_codegen::generate_rust_client(&descriptor);
-        let java_source =
-            cnx_to_java_xslt(&cnx_text).map_err(|e| format!("CNX2Java: {e}"))?;
+        let java_source = cnx_to_java_xslt(&cnx_text).map_err(|e| format!("CNX2Java: {e}"))?;
         stage("codegen", t);
 
         // Steps 5+6: deploy to the CN servers and execute. The generated
@@ -142,7 +140,15 @@ impl<'n> Pipeline<'n> {
         .map_err(|e| format!("execution: {e}"))?;
         stage("execute", t);
 
-        Ok(PipelineRun { xmi_text, cnx_text, descriptor, rust_source, java_source, reports, timings })
+        Ok(PipelineRun {
+            xmi_text,
+            cnx_text,
+            descriptor,
+            rust_source,
+            java_source,
+            reports,
+            timings,
+        })
     }
 }
 
@@ -182,8 +188,7 @@ mod tests {
         assert!(run.timing("execute").is_some());
 
         // Stage 6: the executed job computed the right answer.
-        let result =
-            Matrix::from_userdata(run.reports[0].result("tctask999").unwrap()).unwrap();
+        let result = Matrix::from_userdata(run.reports[0].result("tctask999").unwrap()).unwrap();
         assert_eq!(result, floyd_sequential(&input));
         nb.shutdown();
     }

@@ -87,10 +87,8 @@ mod tests {
     fn portal_accepts_xmi_and_returns_results() {
         let portal = Portal::new(2);
         cn_tasks::publish_all_archives(portal.neighborhood().registry());
-        let xmi = cn_xml::write_document(
-            &cn_model::export_xmi(&figure2_model(3)),
-            &WriteOptions::xmi(),
-        );
+        let xmi =
+            cn_xml::write_document(&cn_model::export_xmi(&figure2_model(3)), &WriteOptions::xmi());
         let input = random_digraph(12, 0.3, 1..6, 8);
         let workers: Vec<String> = (1..=3).map(|i| format!("tctask{i}")).collect();
         let input2 = input.clone();

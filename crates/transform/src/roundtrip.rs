@@ -1,0 +1,288 @@
+//! Round-trip drift detection: does a model survive the trip through CNX?
+//!
+//! The paper's tool chain translates UML (XMI) → CNX; this repo also has the
+//! reverse transform, making XMI → CNX → XMI a checkable loop. The loop is
+//! lossy on purpose in a few places — [`model_to_cnx`] only exports the
+//! tagged values CNX can express — so a model carrying anything outside
+//! that vocabulary silently degrades. [`model_roundtrip_drift`] and
+//! [`cnx_roundtrip_drift`] make the loss explicit so the `cn-analysis` lint
+//! engine can warn about it (diagnostic CN040) before a user discovers it in
+//! a diffed descriptor.
+
+use cn_cnx::{CnxDocument, ParamType, Task};
+use cn_model::{ActivityGraph, NodeKind};
+
+use crate::cnx2model::{cnx_to_models, settings_of};
+use crate::xmi2cnx::{model_to_cnx, ClientSettings};
+
+/// One place where the round trip failed to reproduce the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// The task the drift is attached to, when it is task-scoped.
+    pub task: Option<String>,
+    /// What got lost or changed, human-readable.
+    pub detail: String,
+}
+
+impl Drift {
+    fn task_scoped(task: &str, detail: impl Into<String>) -> Drift {
+        Drift { task: Some(task.to_string()), detail: detail.into() }
+    }
+
+    fn global(detail: impl Into<String>) -> Drift {
+        Drift { task: None, detail: detail.into() }
+    }
+}
+
+/// A task-level summary of whatever side of the round trip we are on, in
+/// CNX vocabulary, so model and descriptor views compare directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TaskView {
+    jar: String,
+    class: String,
+    memory_mb: u64,
+    runmodel: String,
+    params: Vec<(String, String)>,
+    multiplicity: Option<String>,
+    depends: Vec<String>,
+    /// Tags/requirements with no CNX counterpart (these are what the
+    /// one-way transform drops).
+    extras: Vec<(String, String)>,
+}
+
+/// Tag names [`model_to_cnx`] knows how to export.
+const EXPORTED_TAGS: &[&str] = &["jar", "class", "memory", "runmodel"];
+
+fn is_exported_tag(name: &str) -> bool {
+    EXPORTED_TAGS.contains(&name)
+        || (name.strip_prefix("ptype").or_else(|| name.strip_prefix("pvalue")))
+            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+}
+
+fn model_views(graph: &ActivityGraph) -> Vec<(String, TaskView)> {
+    let deps = graph.task_dependencies();
+    let mut views: Vec<(String, TaskView)> = graph
+        .action_states()
+        .map(|(id, a)| {
+            let mut depends: Vec<String> = deps
+                .iter()
+                .find(|(n, _)| *n == id)
+                .map(|(_, ds)| {
+                    ds.iter()
+                        .filter_map(|d| match &graph.node(*d).kind {
+                            NodeKind::Action(dep) => Some(dep.name.clone()),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            depends.sort();
+            let mut extras: Vec<(String, String)> = a
+                .tags
+                .iter()
+                .filter(|(n, _)| !is_exported_tag(n))
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect();
+            extras.sort();
+            let view = TaskView {
+                jar: a.tags.jar().unwrap_or("").to_string(),
+                class: a.tags.class().unwrap_or("").to_string(),
+                memory_mb: a.tags.memory().unwrap_or(1000),
+                runmodel: a.tags.runmodel().unwrap_or("RUN_AS_THREAD_IN_TM").to_string(),
+                params: a
+                    .tags
+                    .params()
+                    .into_iter()
+                    .map(|(ty, v)| (ParamType::parse(&ty).as_str().to_string(), v))
+                    .collect(),
+                multiplicity: a.multiplicity.clone(),
+                depends,
+                extras,
+            };
+            (a.name.clone(), view)
+        })
+        .collect();
+    views.sort_by(|a, b| a.0.cmp(&b.0));
+    views
+}
+
+fn task_views(doc: &CnxDocument) -> Vec<(String, TaskView)> {
+    let mut views: Vec<(String, TaskView)> = doc
+        .client
+        .jobs
+        .iter()
+        .flat_map(|job| job.tasks.iter())
+        .map(|t: &Task| {
+            let mut depends = t.depends.clone();
+            depends.sort();
+            let mut extras: Vec<(String, String)> = t.req.extras.clone();
+            extras.sort();
+            let view = TaskView {
+                jar: t.jar.clone(),
+                class: t.class.clone(),
+                memory_mb: t.req.memory_mb,
+                runmodel: t.req.runmodel.as_str().to_string(),
+                params: t
+                    .params
+                    .iter()
+                    .map(|p| (p.ty.as_str().to_string(), p.value.clone()))
+                    .collect(),
+                multiplicity: t.multiplicity.clone(),
+                depends,
+                extras,
+            };
+            (t.name.clone(), view)
+        })
+        .collect();
+    views.sort_by(|a, b| a.0.cmp(&b.0));
+    views
+}
+
+fn diff_views(
+    before: &[(String, TaskView)],
+    after: &[(String, TaskView)],
+    drifts: &mut Vec<Drift>,
+) {
+    for (name, b) in before {
+        let Some((_, a)) = after.iter().find(|(n, _)| n == name) else {
+            drifts.push(Drift::task_scoped(name, "task disappears in the round trip"));
+            continue;
+        };
+        let mut field = |what: &str, lost: bool| {
+            if lost {
+                drifts.push(Drift::task_scoped(
+                    name,
+                    format!("{what} does not survive the round trip"),
+                ));
+            }
+        };
+        field("jar", a.jar != b.jar);
+        field("class", a.class != b.class);
+        field("memory requirement", a.memory_mb != b.memory_mb);
+        field("run model", a.runmodel != b.runmodel);
+        field("params", a.params != b.params);
+        field("depends", a.depends != b.depends);
+        if a.multiplicity != b.multiplicity {
+            drifts.push(Drift::task_scoped(
+                name,
+                format!(
+                    "multiplicity {:?} becomes {:?} in the round trip",
+                    b.multiplicity, a.multiplicity
+                ),
+            ));
+        }
+        for (tag, _) in b.extras.iter().filter(|e| !a.extras.contains(e)) {
+            drifts.push(Drift::task_scoped(
+                name,
+                format!("custom tag/requirement {tag:?} is dropped by the round trip"),
+            ));
+        }
+    }
+    for (name, _) in after {
+        if !before.iter().any(|(n, _)| n == name) {
+            drifts.push(Drift::task_scoped(name, "task appears out of nowhere in the round trip"));
+        }
+    }
+}
+
+/// Drift of one activity model through model → CNX → model.
+///
+/// Empty result == the model survives the paper's transform chain intact.
+pub fn model_roundtrip_drift(graph: &ActivityGraph) -> Vec<Drift> {
+    let cnx = model_to_cnx(graph, &ClientSettings::default());
+    let models = cnx_to_models(&cnx);
+    let mut drifts = Vec::new();
+    match models.as_slice() {
+        [back] => diff_views(&model_views(graph), &model_views(back), &mut drifts),
+        other => drifts
+            .push(Drift::global(format!("round trip produced {} models from one", other.len()))),
+    }
+    drifts
+}
+
+/// Drift of a CNX descriptor through CNX → model → CNX.
+///
+/// This is the mirror-image loop, used when linting a `.cnx` input.
+pub fn cnx_roundtrip_drift(doc: &CnxDocument) -> Vec<Drift> {
+    let models = cnx_to_models(doc);
+    let mut drifts = Vec::new();
+    if models.len() != doc.client.jobs.len() {
+        drifts.push(Drift::global(format!(
+            "round trip produced {} models from {} jobs",
+            models.len(),
+            doc.client.jobs.len()
+        )));
+        return drifts;
+    }
+    let settings = settings_of(doc);
+    let mut back = CnxDocument::new(cn_cnx::Client::new(doc.client.class.clone()));
+    back.client.port = doc.client.port;
+    back.client.log = doc.client.log.clone();
+    for model in &models {
+        let one = model_to_cnx(model, &settings);
+        back.client.jobs.extend(one.client.jobs);
+    }
+    diff_views(&task_views(doc), &task_views(&back), &mut drifts);
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_cnx::ast::figure2_descriptor;
+    use cn_model::transitive_closure_model;
+
+    #[test]
+    fn clean_model_has_no_drift() {
+        assert_eq!(model_roundtrip_drift(&transitive_closure_model(4)), Vec::new());
+        assert_eq!(model_roundtrip_drift(&crate::figures::figure2_model(5)), Vec::new());
+    }
+
+    #[test]
+    fn clean_descriptor_has_no_drift() {
+        assert_eq!(cnx_roundtrip_drift(&figure2_descriptor(5)), Vec::new());
+    }
+
+    #[test]
+    fn non_dynamic_multiplicity_drifts() {
+        let mut model = transitive_closure_model(2);
+        let a = model.action_by_name_mut("TCTask1").unwrap();
+        a.multiplicity = Some("4".to_string()); // dynamic stays false
+        let drifts = model_roundtrip_drift(&model);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].task.as_deref(), Some("TCTask1"));
+        assert!(drifts[0].detail.contains("multiplicity"), "{}", drifts[0].detail);
+    }
+
+    #[test]
+    fn custom_tag_drifts() {
+        let mut model = transitive_closure_model(2);
+        let a = model.action_by_name_mut("TCTask2").unwrap();
+        a.tags.set("gpu", "1");
+        let drifts = model_roundtrip_drift(&model);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("gpu"), "{}", drifts[0].detail);
+    }
+
+    #[test]
+    fn task_req_extras_drift_in_cnx_loop() {
+        let mut doc = figure2_descriptor(2);
+        doc.client.jobs[0].tasks[0].req.extras.push(("cpus".to_string(), "4".to_string()));
+        let drifts = cnx_roundtrip_drift(&doc);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].task.as_deref(), Some("tctask0"));
+        assert!(drifts[0].detail.contains("cpus"), "{}", drifts[0].detail);
+    }
+
+    #[test]
+    fn drift_report_is_deterministic() {
+        let mut model = transitive_closure_model(3);
+        model.action_by_name_mut("TCTask1").unwrap().tags.set("zzz", "1");
+        model.action_by_name_mut("TCTask3").unwrap().tags.set("aaa", "2");
+        let first = model_roundtrip_drift(&model);
+        assert_eq!(first.len(), 2);
+        for _ in 0..5 {
+            assert_eq!(model_roundtrip_drift(&model), first);
+        }
+    }
+}

@@ -371,10 +371,7 @@ pub fn xmi_to_cnx_xslt_doc(
 }
 
 /// The native path: XMI text → model import → structural conversion.
-pub fn xmi_to_cnx_native(
-    xmi_text: &str,
-    settings: &ClientSettings,
-) -> Result<CnxDocument, String> {
+pub fn xmi_to_cnx_native(xmi_text: &str, settings: &ClientSettings) -> Result<CnxDocument, String> {
     let doc = cn_xml::parse(xmi_text).map_err(|e| e.to_string())?;
     let graph = cn_model::import_xmi(&doc).map_err(|e| e.to_string())?;
     Ok(model_to_cnx(&graph, settings))
@@ -406,11 +403,8 @@ pub fn model_to_cnx(graph: &ActivityGraph, settings: &ClientSettings) -> CnxDocu
         );
         task.depends = dep_names(id);
         task.req.memory_mb = action.tags.memory().unwrap_or(1000);
-        task.req.runmodel = action
-            .tags
-            .runmodel()
-            .and_then(|r| r.parse::<RunModel>().ok())
-            .unwrap_or_default();
+        task.req.runmodel =
+            action.tags.runmodel().and_then(|r| r.parse::<RunModel>().ok()).unwrap_or_default();
         for (ty, value) in action.tags.params() {
             task.params.push(Param::new(ParamType::parse(&ty), value));
         }
@@ -419,7 +413,8 @@ pub fn model_to_cnx(graph: &ActivityGraph, settings: &ClientSettings) -> CnxDocu
         }
         job.tasks.push(task);
     }
-    let mut client = Client::new(settings.class.clone().unwrap_or_else(|| "GeneratedClient".into()));
+    let mut client =
+        Client::new(settings.class.clone().unwrap_or_else(|| "GeneratedClient".into()));
     client.port = settings.port;
     client.log = settings.log.clone();
     client.jobs.push(job);
@@ -453,7 +448,10 @@ mod tests {
     }
 
     fn xmi_text(workers: usize) -> String {
-        cn_xml::write_document(&export_xmi(&transitive_closure_model(workers)), &WriteOptions::xmi())
+        cn_xml::write_document(
+            &export_xmi(&transitive_closure_model(workers)),
+            &WriteOptions::xmi(),
+        )
     }
 
     #[test]
@@ -497,8 +495,7 @@ mod tests {
     fn xslt_and_native_paths_agree() {
         for workers in [1, 2, 5] {
             let xmi = xmi_text(workers);
-            let via_xslt =
-                cn_cnx::parse_cnx(&xmi_to_cnx_xslt(&xmi, &settings()).unwrap()).unwrap();
+            let via_xslt = cn_cnx::parse_cnx(&xmi_to_cnx_xslt(&xmi, &settings()).unwrap()).unwrap();
             let via_native = xmi_to_cnx_native(&xmi, &settings()).unwrap();
             assert_eq!(
                 normalized(via_xslt),

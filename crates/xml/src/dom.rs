@@ -27,10 +27,16 @@ pub enum NodeKind {
     /// The document root (not an element; has the root element among its
     /// children, alongside top-level comments/PIs).
     Document,
-    Element { name: QName, attrs: Vec<(QName, String)> },
+    Element {
+        name: QName,
+        attrs: Vec<(QName, String)>,
+    },
     Text(String),
     Comment(String),
-    ProcessingInstruction { target: String, data: String },
+    ProcessingInstruction {
+        target: String,
+        data: String,
+    },
 }
 
 /// A node: payload plus tree links.
@@ -39,6 +45,9 @@ pub struct Node {
     pub kind: NodeKind,
     pub(crate) parent: Option<NodeId>,
     pub(crate) children: Vec<NodeId>,
+    /// Source position of the construct that produced this node. Nodes built
+    /// programmatically (rather than parsed) sit at `Pos::start()`.
+    pub(crate) pos: Pos,
 }
 
 /// An XML document as a tree.
@@ -59,7 +68,12 @@ impl Document {
     /// Create an empty document containing only the document node.
     pub fn new() -> Self {
         Document {
-            nodes: vec![Node { kind: NodeKind::Document, parent: None, children: Vec::new() }],
+            nodes: vec![Node {
+                kind: NodeKind::Document,
+                parent: None,
+                children: Vec::new(),
+                pos: Pos::start(),
+            }],
             encoding: None,
         }
     }
@@ -86,7 +100,7 @@ impl Document {
                             pos,
                         ));
                     }
-                    let id = doc.push_node(
+                    let id = doc.push_node_at(
                         NodeKind::Element {
                             name,
                             attrs: attrs
@@ -95,6 +109,7 @@ impl Document {
                                 .collect(),
                         },
                         Some(parent),
+                        pos,
                     );
                     if !self_closing {
                         stack.push(id);
@@ -106,24 +121,25 @@ impl Document {
                 Event::Text(t) => {
                     let parent = *stack.last().unwrap();
                     if parent != NodeId(0) {
-                        doc.push_node(NodeKind::Text(t.into_owned()), Some(parent));
+                        doc.push_node_at(NodeKind::Text(t.into_owned()), Some(parent), pos);
                     }
                 }
                 Event::CData(t) => {
                     let parent = *stack.last().unwrap();
                     if parent != NodeId(0) {
-                        doc.push_node(NodeKind::Text(t.to_string()), Some(parent));
+                        doc.push_node_at(NodeKind::Text(t.to_string()), Some(parent), pos);
                     }
                 }
                 Event::Comment(c) => {
                     let parent = *stack.last().unwrap();
-                    doc.push_node(NodeKind::Comment(c.to_string()), Some(parent));
+                    doc.push_node_at(NodeKind::Comment(c.to_string()), Some(parent), pos);
                 }
                 Event::ProcessingInstruction { target, data } => {
                     let parent = *stack.last().unwrap();
-                    doc.push_node(
+                    doc.push_node_at(
                         NodeKind::ProcessingInstruction { target, data: data.to_string() },
                         Some(parent),
+                        pos,
                     );
                 }
                 Event::Doctype(_) => {}
@@ -140,8 +156,12 @@ impl Document {
     }
 
     fn push_node(&mut self, kind: NodeKind, parent: Option<NodeId>) -> NodeId {
+        self.push_node_at(kind, parent, Pos::start())
+    }
+
+    fn push_node_at(&mut self, kind: NodeKind, parent: Option<NodeId>, pos: Pos) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, parent, children: Vec::new() });
+        self.nodes.push(Node { kind, parent, children: Vec::new(), pos });
         if let Some(p) = parent {
             self.nodes[p.index()].children.push(id);
         }
@@ -195,6 +215,13 @@ impl Document {
         &self.nodes[id.index()].kind
     }
 
+    /// Source position of a node. For parsed documents this is where the
+    /// node's construct starts in the input; programmatically built nodes
+    /// report `Pos::start()`.
+    pub fn node_pos(&self, id: NodeId) -> Pos {
+        self.nodes[id.index()].pos
+    }
+
     /// Number of nodes (including the document node).
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -244,7 +271,11 @@ impl Document {
     }
 
     /// All child elements with the given full lexical name.
-    pub fn children_named<'a>(&'a self, id: NodeId, name: &'a str) -> impl Iterator<Item = NodeId> + 'a {
+    pub fn children_named<'a>(
+        &'a self,
+        id: NodeId,
+        name: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
         self.child_elements(id).filter(move |&c| self.name(c).is_some_and(|n| n.is(name)))
     }
 
@@ -293,16 +324,13 @@ impl Document {
     /// Find the first descendant element (in document order) with the given
     /// full lexical name.
     pub fn find(&self, from: NodeId, name: &str) -> Option<NodeId> {
-        self.descendants(from)
-            .find(|&n| self.name(n).is_some_and(|q| q.is(name)))
+        self.descendants(from).find(|&n| self.name(n).is_some_and(|q| q.is(name)))
     }
 
     /// All descendant elements with the given full lexical name, in document
     /// order.
     pub fn find_all(&self, from: NodeId, name: &str) -> Vec<NodeId> {
-        self.descendants(from)
-            .filter(|&n| self.name(n).is_some_and(|q| q.is(name)))
-            .collect()
+        self.descendants(from).filter(|&n| self.name(n).is_some_and(|q| q.is(name))).collect()
     }
 
     /// Document-order position of every node, used for node-set sorting.
@@ -383,10 +411,8 @@ mod tests {
     #[test]
     fn doc_order_matches_traversal() {
         let doc = Document::parse("<a><b><c/></b><d/></a>").unwrap();
-        let order: Vec<u32> = doc
-            .descendants(doc.document_node())
-            .map(|n| doc.doc_order(n))
-            .collect();
+        let order: Vec<u32> =
+            doc.descendants(doc.document_node()).map(|n| doc.doc_order(n)).collect();
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(order, sorted);
@@ -423,6 +449,25 @@ mod tests {
         let all = doc.find_all(doc.document_node(), "t");
         let ns: Vec<_> = all.iter().map(|&t| doc.attr(t, "n").unwrap()).collect();
         assert_eq!(ns, ["0", "1", "2"]);
+    }
+
+    #[test]
+    fn parsed_nodes_carry_positions() {
+        let doc = Document::parse(CNX_SNIPPET).unwrap();
+        let root = doc.root_element().unwrap();
+        // <cn2> opens on line 2 of the snippet (line 1 is the XML decl).
+        assert_eq!(doc.node_pos(root).line, 2);
+        let tasks = doc.find_all(root, "task");
+        assert_eq!(doc.node_pos(tasks[0]).line, 5);
+        assert_eq!(doc.node_pos(tasks[1]).line, 9);
+        assert!(doc.node_pos(tasks[1]).offset > doc.node_pos(tasks[0]).offset);
+    }
+
+    #[test]
+    fn constructed_nodes_sit_at_start() {
+        let mut doc = Document::new();
+        let root = doc.add_element(doc.document_node(), "cn2");
+        assert_eq!(doc.node_pos(root), Pos::start());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt;
 ///
 /// Line and column are 1-based (editor convention); `offset` is the 0-based
 /// byte offset into the input.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pos {
     pub line: u32,
     pub col: u32,

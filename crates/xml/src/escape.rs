@@ -51,9 +51,9 @@ pub fn unescape(s: &str, pos: Pos) -> Result<Cow<'_, str>, XmlError> {
     while let Some(amp) = rest.find('&') {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
-        let semi = after.find(';').ok_or_else(|| {
-            XmlError::new(XmlErrorKind::BadEntity(clip(after).to_string()), pos)
-        })?;
+        let semi = after
+            .find(';')
+            .ok_or_else(|| XmlError::new(XmlErrorKind::BadEntity(clip(after).to_string()), pos))?;
         let name = &after[..semi];
         match name {
             "amp" => out.push('&'),

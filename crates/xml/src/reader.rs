@@ -133,7 +133,11 @@ impl<'a> Reader<'a> {
         Ok(QName::new(&self.input[start..self.at]))
     }
 
-    fn read_until(&mut self, terminator: &str, construct: &'static str) -> Result<&'a str, XmlError> {
+    fn read_until(
+        &mut self,
+        terminator: &str,
+        construct: &'static str,
+    ) -> Result<&'a str, XmlError> {
         match self.rest().find(terminator) {
             Some(i) => {
                 let content = &self.rest()[..i];
@@ -228,8 +232,9 @@ impl<'a> Reader<'a> {
                     self.eat_ws();
                     let value = self.read_attr_value()?;
                     if attrs.iter().any(|a| a.name == attr_name) {
-                        return Err(self
-                            .err(XmlErrorKind::DuplicateAttribute(attr_name.as_str().to_string())));
+                        return Err(self.err(XmlErrorKind::DuplicateAttribute(
+                            attr_name.as_str().to_string(),
+                        )));
                     }
                     attrs.push(Attr { name: attr_name, value });
                 }

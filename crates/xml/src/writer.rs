@@ -205,7 +205,8 @@ mod tests {
 
     #[test]
     fn roundtrip_compact() {
-        let src = r#"<cn2><client class="TransClosure"><job><task name="t0"/></job></client></cn2>"#;
+        let src =
+            r#"<cn2><client class="TransClosure"><job><task name="t0"/></job></client></cn2>"#;
         let doc = Document::parse(src).unwrap();
         assert_eq!(write_document(&doc, &WriteOptions::compact()), src);
     }
@@ -238,8 +239,10 @@ mod tests {
         let mut doc = Document::new();
         let root = doc.add_element(doc.document_node(), "a");
         doc.set_attr(root, "v", "it's");
-        let out =
-            write_document(&doc, &WriteOptions { indent: None, declaration: false, single_quotes: true });
+        let out = write_document(
+            &doc,
+            &WriteOptions { indent: None, declaration: false, single_quotes: true },
+        );
         assert_eq!(out, "<a v='it&#39;s'/>");
     }
 

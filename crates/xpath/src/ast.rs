@@ -75,7 +75,10 @@ impl Axis {
     /// Axes that walk backwards in document order (`position()` counts from
     /// the context node outwards per the spec).
     pub fn is_reverse(self) -> bool {
-        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+        matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling
+        )
     }
 }
 
@@ -139,7 +142,11 @@ pub enum Expr {
     Path(PathExpr),
     /// `(expr)[pred]/rest` — a filtered primary expression with an optional
     /// trailing relative path.
-    Filter { primary: Box<Expr>, predicates: Vec<Expr>, steps: Vec<Step> },
+    Filter {
+        primary: Box<Expr>,
+        predicates: Vec<Expr>,
+        steps: Vec<Step>,
+    },
 }
 
 impl Expr {

@@ -288,18 +288,15 @@ impl<'d> Ctx<'d> {
         match (a, b) {
             (Value::NodeSet(na), Value::NodeSet(nb)) => na.iter().any(|n| {
                 let x = crate::value::str_to_number(&n.string_value(self.doc));
-                nb.iter()
-                    .any(|m| cmp(x, crate::value::str_to_number(&m.string_value(self.doc))))
+                nb.iter().any(|m| cmp(x, crate::value::str_to_number(&m.string_value(self.doc))))
             }),
             (Value::NodeSet(ns), other) => {
                 let y = other.as_number();
-                ns.iter()
-                    .any(|n| cmp(crate::value::str_to_number(&n.string_value(self.doc)), y))
+                ns.iter().any(|n| cmp(crate::value::str_to_number(&n.string_value(self.doc)), y))
             }
             (other, Value::NodeSet(ns)) => {
                 let x = other.as_number();
-                ns.iter()
-                    .any(|n| cmp(x, crate::value::str_to_number(&n.string_value(self.doc))))
+                ns.iter().any(|n| cmp(x, crate::value::str_to_number(&n.string_value(self.doc))))
             }
             _ => cmp(a.as_number(), b.as_number()),
         }
@@ -307,11 +304,8 @@ impl<'d> Ctx<'d> {
 
     /// Evaluate a location path from the context node.
     pub fn eval_path(&self, path: &PathExpr) -> Result<Vec<XNode>, EvalError> {
-        let start: XNode = if path.absolute {
-            XNode::Node(self.doc.document_node())
-        } else {
-            self.node
-        };
+        let start: XNode =
+            if path.absolute { XNode::Node(self.doc.document_node()) } else { self.node };
         let mut current = vec![start];
         let steps = collapse_descendant_steps(&path.steps);
         let mut steps: &[Step] = &steps;
@@ -337,9 +331,12 @@ impl<'d> Ctx<'d> {
         let mut out = Vec::new();
         for &node in input {
             let axis_nodes = self.axis_nodes(node, step.axis);
-            let tested: Vec<XNode> =
-                axis_nodes.into_iter().filter(|n| self.test_node(*n, &step.test, step.axis)).collect();
-            let selected = self.apply_predicates(tested, &step.predicates, step.axis.is_reverse())?;
+            let tested: Vec<XNode> = axis_nodes
+                .into_iter()
+                .filter(|n| self.test_node(*n, &step.test, step.axis))
+                .collect();
+            let selected =
+                self.apply_predicates(tested, &step.predicates, step.axis.is_reverse())?;
             out.extend(selected);
         }
         sort_dedup(self.doc, &mut out);
@@ -383,9 +380,9 @@ impl<'d> Ctx<'d> {
                 XNode::Attr { .. } => Vec::new(),
             },
             Axis::Attribute => match node {
-                XNode::Node(n) => (0..doc.attrs(n).len())
-                    .map(|index| XNode::Attr { owner: n, index })
-                    .collect(),
+                XNode::Node(n) => {
+                    (0..doc.attrs(n).len()).map(|index| XNode::Attr { owner: n, index }).collect()
+                }
                 XNode::Attr { .. } => Vec::new(),
             },
             Axis::SelfAxis => vec![node],
@@ -405,9 +402,7 @@ impl<'d> Ctx<'d> {
                 out
             }
             Axis::Descendant => match node {
-                XNode::Node(n) => {
-                    doc.descendants(n).skip(1).map(XNode::Node).collect()
-                }
+                XNode::Node(n) => doc.descendants(n).skip(1).map(XNode::Node).collect(),
                 XNode::Attr { .. } => Vec::new(),
             },
             Axis::DescendantOrSelf => match node {
@@ -534,10 +529,8 @@ mod tests {
 
     #[test]
     fn descendant_collapse_preserves_semantics() {
-        let doc = cn_xml::parse(
-            "<a><b><t k='1'/></b><t k='2'/><c><d><t k='3'/></d></c></a>",
-        )
-        .unwrap();
+        let doc =
+            cn_xml::parse("<a><b><t k='1'/></b><t k='2'/><c><d><t k='3'/></d></c></a>").unwrap();
         let ctx = Ctx::new(&doc, doc.document_node());
         // //t with a value predicate (collapsible)
         let v = ctx.eval(&parse("count(//t[@k != '9'])").unwrap()).unwrap();
@@ -629,19 +622,10 @@ mod tests {
 
     #[test]
     fn siblings() {
-        assert_eq!(
-            eval_s("//task[@name='tctask0']/following-sibling::task[1]/@name"),
-            "tctask1"
-        );
-        assert_eq!(
-            eval_s("//task[@name='tctask2']/preceding-sibling::task[1]/@name"),
-            "tctask1"
-        );
+        assert_eq!(eval_s("//task[@name='tctask0']/following-sibling::task[1]/@name"), "tctask1");
+        assert_eq!(eval_s("//task[@name='tctask2']/preceding-sibling::task[1]/@name"), "tctask1");
         // position() on a reverse axis counts nearest-first.
-        assert_eq!(
-            eval_s("//task[@name='tctask2']/preceding-sibling::task[2]/@name"),
-            "tctask0"
-        );
+        assert_eq!(eval_s("//task[@name='tctask2']/preceding-sibling::task[2]/@name"), "tctask0");
     }
 
     #[test]

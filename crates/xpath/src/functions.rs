@@ -77,10 +77,8 @@ pub fn call_function(ctx: &Ctx<'_>, name: &str, args: Vec<Value>) -> Result<Valu
         "sum" => {
             let [v] = take::<1>(args).map_err(|_| wrong_arity())?;
             let ns = v.into_nodeset().ok_or_else(|| EvalError::new("sum() needs a node-set"))?;
-            let total: f64 = ns
-                .iter()
-                .map(|n| crate::value::str_to_number(&n.string_value(doc)))
-                .sum();
+            let total: f64 =
+                ns.iter().map(|n| crate::value::str_to_number(&n.string_value(doc))).sum();
             Ok(Value::Number(total))
         }
 
@@ -121,9 +119,7 @@ pub fn call_function(ctx: &Ctx<'_>, name: &str, args: Vec<Value>) -> Result<Valu
             let [a, b] = take::<2>(args).map_err(|_| wrong_arity())?;
             let s = a.to_string_value(doc);
             let m = b.to_string_value(doc);
-            Ok(Value::Str(
-                s.find(&m).map(|i| s[i + m.len()..].to_string()).unwrap_or_default(),
-            ))
+            Ok(Value::Str(s.find(&m).map(|i| s[i + m.len()..].to_string()).unwrap_or_default()))
         }
         "substring" => {
             if arity != 2 && arity != 3 {

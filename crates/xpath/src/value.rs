@@ -179,7 +179,11 @@ pub fn number_to_string(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
     } else if n == n.trunc() && n.abs() < 1e15 {
         // -0 renders as "0".
         format!("{}", n.trunc() as i64)

@@ -12,7 +12,9 @@ use cn_xpath::{Ctx, EvalError, Value, XNode};
 use parking_lot::Mutex;
 
 use crate::output::{serialize, Builder, OutputMethod};
-use crate::stylesheet::{Avt, AvtPart, Instruction, KeyDef, SortKey, Stylesheet, Template, ValueSource};
+use crate::stylesheet::{
+    Avt, AvtPart, Instruction, KeyDef, SortKey, Stylesheet, Template, ValueSource,
+};
 
 /// Anything that can go wrong parsing or running a stylesheet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,9 +165,7 @@ impl<'d> KeyTables<'d> {
                             table.entry(v.string_value(self.doc)).or_default().push(xnode);
                         }
                     }
-                    other => {
-                        table.entry(other.to_string_value(self.doc)).or_default().push(xnode)
-                    }
+                    other => table.entry(other.to_string_value(self.doc)).or_default().push(xnode),
                 }
             }
         }
@@ -226,7 +226,11 @@ impl<'a> Runtime<'a> {
     }
 
     /// Find the best template rule for `node` in `mode`.
-    fn best_rule(&self, node: XNode, mode: Option<&str>) -> Result<Option<&'a Template>, XsltError> {
+    fn best_rule(
+        &self,
+        node: XNode,
+        mode: Option<&str>,
+    ) -> Result<Option<&'a Template>, XsltError> {
         let ctx = self.root_ctx();
         let mut best: Option<(&Template, f64)> = None;
         for t in self.style.rules_for_mode(mode) {
@@ -351,10 +355,9 @@ impl<'a> Runtime<'a> {
                 }
                 Instruction::ApplyTemplates { select, mode, with_params, sorts } => {
                     let nodes = match select {
-                        Some(e) => ctx
-                            .eval(e)?
-                            .into_nodeset()
-                            .ok_or_else(|| XsltError::new("apply-templates select= must be a node-set"))?,
+                        Some(e) => ctx.eval(e)?.into_nodeset().ok_or_else(|| {
+                            XsltError::new("apply-templates select= must be a node-set")
+                        })?,
                         None => match ctx.node {
                             XNode::Node(n) => {
                                 self.source.children(n).iter().map(|&c| XNode::Node(c)).collect()

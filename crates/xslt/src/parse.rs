@@ -8,14 +8,15 @@ use cn_xpath::Expr;
 use crate::exec::XsltError;
 use crate::output::OutputMethod;
 use crate::pattern::Pattern;
-use crate::stylesheet::{Avt, AvtPart, Instruction, KeyDef, SortKey, Stylesheet, Template, ValueSource};
+use crate::stylesheet::{
+    Avt, AvtPart, Instruction, KeyDef, SortKey, Stylesheet, Template, ValueSource,
+};
 
 /// Parse a stylesheet from source text.
 pub fn parse_stylesheet(src: &str) -> Result<Stylesheet, XsltError> {
     let doc = cn_xml::parse(src).map_err(|e| XsltError::new(format!("stylesheet XML: {e}")))?;
-    let root = doc
-        .root_element()
-        .ok_or_else(|| XsltError::new("stylesheet has no root element"))?;
+    let root =
+        doc.root_element().ok_or_else(|| XsltError::new("stylesheet has no root element"))?;
     let root_name = doc.name(root).unwrap();
     if !matches!(root_name.local(), "stylesheet" | "transform") {
         return Err(XsltError::new(format!(
@@ -51,15 +52,13 @@ pub fn parse_stylesheet(src: &str) -> Result<Stylesheet, XsltError> {
                 global_params.push((n, v));
             }
             "key" => {
-                let kname = doc
-                    .attr(child, "name")
-                    .ok_or_else(|| XsltError::new("xsl:key needs name="))?;
+                let kname =
+                    doc.attr(child, "name").ok_or_else(|| XsltError::new("xsl:key needs name="))?;
                 let kmatch = doc
                     .attr(child, "match")
                     .ok_or_else(|| XsltError::new("xsl:key needs match="))?;
-                let kuse = doc
-                    .attr(child, "use")
-                    .ok_or_else(|| XsltError::new("xsl:key needs use="))?;
+                let kuse =
+                    doc.attr(child, "use").ok_or_else(|| XsltError::new("xsl:key needs use="))?;
                 keys.push(KeyDef {
                     name: kname.to_string(),
                     pattern: Pattern::parse(kmatch)?,
@@ -68,8 +67,8 @@ pub fn parse_stylesheet(src: &str) -> Result<Stylesheet, XsltError> {
             }
             // Accepted and ignored: we always strip inter-element
             // whitespace in the stylesheet itself.
-            "strip-space" | "preserve-space" | "decimal-format" | "import"
-            | "include" | "namespace-alias" | "attribute-set" => {}
+            "strip-space" | "preserve-space" | "decimal-format" | "import" | "include"
+            | "namespace-alias" | "attribute-set" => {}
             other => {
                 return Err(XsltError::new(format!("unsupported top-level element xsl:{other}")))
             }
@@ -98,10 +97,7 @@ fn parse_template(doc: &Document, el: NodeId, order: usize) -> Result<Template, 
     let mode = doc.attr(el, "mode").map(str::to_string);
     let priority = doc
         .attr(el, "priority")
-        .map(|p| {
-            p.parse::<f64>()
-                .map_err(|_| XsltError::new(format!("bad priority {p:?}")))
-        })
+        .map(|p| p.parse::<f64>().map_err(|_| XsltError::new(format!("bad priority {p:?}"))))
         .transpose()?;
 
     // Leading xsl:param children declare template parameters.
@@ -238,9 +234,7 @@ fn parse_instruction(doc: &Document, el: NodeId, local: &str) -> Result<Instruct
             })
         }
         "if" => {
-            let test = doc
-                .attr(el, "test")
-                .ok_or_else(|| XsltError::new("xsl:if needs test="))?;
+            let test = doc.attr(el, "test").ok_or_else(|| XsltError::new("xsl:if needs test="))?;
             Ok(Instruction::If { test: parse_expr(test)?, body: body()? })
         }
         "choose" => {
@@ -256,9 +250,7 @@ fn parse_instruction(doc: &Document, el: NodeId, local: &str) -> Result<Instruct
                 } else if is_xsl(cname, "otherwise") {
                     otherwise = parse_body(doc, doc.children(child))?;
                 } else {
-                    return Err(XsltError::new(format!(
-                        "unexpected <{cname}> inside xsl:choose"
-                    )));
+                    return Err(XsltError::new(format!("unexpected <{cname}> inside xsl:choose")));
                 }
             }
             if whens.is_empty() {
@@ -267,15 +259,13 @@ fn parse_instruction(doc: &Document, el: NodeId, local: &str) -> Result<Instruct
             Ok(Instruction::Choose { whens, otherwise })
         }
         "element" => {
-            let name = doc
-                .attr(el, "name")
-                .ok_or_else(|| XsltError::new("xsl:element needs name="))?;
+            let name =
+                doc.attr(el, "name").ok_or_else(|| XsltError::new("xsl:element needs name="))?;
             Ok(Instruction::Element { name: parse_avt(name)?, body: body()? })
         }
         "attribute" => {
-            let name = doc
-                .attr(el, "name")
-                .ok_or_else(|| XsltError::new("xsl:attribute needs name="))?;
+            let name =
+                doc.attr(el, "name").ok_or_else(|| XsltError::new("xsl:attribute needs name="))?;
             Ok(Instruction::Attribute { name: parse_avt(name)?, body: body()? })
         }
         "comment" => Ok(Instruction::Comment { body: body()? }),
@@ -491,14 +481,12 @@ mod tests {
     #[test]
     fn rejects_bad_stylesheets() {
         assert!(parse_stylesheet("<notxsl/>").is_err());
-        assert!(parse_stylesheet(
-            &format!("<xsl:stylesheet {NS}><xsl:template/></xsl:stylesheet>")
-        )
+        assert!(parse_stylesheet(&format!(
+            "<xsl:stylesheet {NS}><xsl:template/></xsl:stylesheet>"
+        ))
         .is_err());
-        assert!(parse_stylesheet(
-            &format!("<xsl:stylesheet {NS}><xsl:bogus/></xsl:stylesheet>")
-        )
-        .is_err());
+        assert!(parse_stylesheet(&format!("<xsl:stylesheet {NS}><xsl:bogus/></xsl:stylesheet>"))
+            .is_err());
     }
 
     #[test]

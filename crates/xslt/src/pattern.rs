@@ -81,19 +81,12 @@ impl Pattern {
     /// alternative as its own rule — we match per-alternative in
     /// [`Pattern::matching_priority`]).
     pub fn max_default_priority(&self) -> f64 {
-        self.alternatives
-            .iter()
-            .map(|a| a.default_priority())
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.alternatives.iter().map(|a| a.default_priority()).fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// If `node` matches, return the default priority of the best matching
     /// alternative.
-    pub fn matching_priority(
-        &self,
-        ctx: &Ctx<'_>,
-        node: XNode,
-    ) -> Result<Option<f64>, EvalError> {
+    pub fn matching_priority(&self, ctx: &Ctx<'_>, node: XNode) -> Result<Option<f64>, EvalError> {
         let mut best: Option<f64> = None;
         for alt in &self.alternatives {
             if matches_alternative(ctx, node, alt)? {
@@ -163,15 +156,10 @@ fn path_to_alternative(path: &PathExpr, src: &str) -> Result<Alternative, XsltEr
     Ok(Alternative { absolute: path.absolute, steps })
 }
 
-fn matches_alternative(
-    ctx: &Ctx<'_>,
-    node: XNode,
-    alt: &Alternative,
-) -> Result<bool, EvalError> {
+fn matches_alternative(ctx: &Ctx<'_>, node: XNode, alt: &Alternative) -> Result<bool, EvalError> {
     if alt.steps.is_empty() {
         // Pattern "/": matches only the document node.
-        return Ok(alt.absolute
-            && matches!(node, XNode::Node(n) if n == ctx.doc.document_node()));
+        return Ok(alt.absolute && matches!(node, XNode::Node(n) if n == ctx.doc.document_node()));
     }
     matches_from(ctx, node, alt, alt.steps.len() - 1)
 }
@@ -321,11 +309,7 @@ mod tests {
 
     #[test]
     fn predicate_pattern() {
-        assert!(check(
-            "task[@name='t0']",
-            "<job><task name='t0'/><task name='t1'/></job>",
-            "task"
-        ));
+        assert!(check("task[@name='t0']", "<job><task name='t0'/><task name='t1'/></job>", "task"));
         let doc = cn_xml::parse("<job><task name='t0'/><task name='t1'/></job>").unwrap();
         let p = Pattern::parse("task[2]").unwrap();
         let ctx = Ctx::new(&doc, doc.document_node());

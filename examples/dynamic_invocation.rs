@@ -58,10 +58,8 @@ fn main() {
     job.tasks[0].req.memory_mb = 64;
 
     for multiplicity in [2usize, 5, 9] {
-        let dynamic = DynamicArgs::new().set(
-            "TCTask",
-            (1..=multiplicity as i64).map(|i| vec![Param::integer(i)]).collect(),
-        );
+        let dynamic = DynamicArgs::new()
+            .set("TCTask", (1..=multiplicity as i64).map(|i| vec![Param::integer(i)]).collect());
         let reports =
             execute_descriptor(&neighborhood, &descriptor, &dynamic, Duration::from_secs(30))
                 .expect("dynamic execution");

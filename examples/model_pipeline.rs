@@ -62,6 +62,9 @@ fn main() {
 
     let result = Matrix::from_userdata(run.reports[0].result("tctask999").unwrap()).unwrap();
     assert_eq!(result, floyd_sequential(&input));
-    println!("\nexecution verified against sequential Floyd ({} tasks)", run.descriptor.task_count());
+    println!(
+        "\nexecution verified against sequential Floyd ({} tasks)",
+        run.descriptor.task_count()
+    );
     neighborhood.shutdown();
 }

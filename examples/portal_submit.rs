@@ -7,9 +7,7 @@
 //! ```
 
 use computational_neighborhood::core::DynamicArgs;
-use computational_neighborhood::tasks::{
-    self, floyd_sequential, ring_graph, seed_input, Matrix,
-};
+use computational_neighborhood::tasks::{self, floyd_sequential, ring_graph, seed_input, Matrix};
 use computational_neighborhood::transform::{figure2_model, figure2_settings, Portal};
 
 fn main() {

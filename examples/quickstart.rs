@@ -30,9 +30,10 @@ fn main() {
             })
             .class("demo.Shouter", || {
                 Box::new(|ctx: &mut TaskContext| {
-                    let (from, data) = ctx
-                        .recv_tagged("greeting", Duration::from_secs(10))
-                        .map_err(|e| computational_neighborhood::core::TaskError::new(e.to_string()))?;
+                    let (from, data) =
+                        ctx.recv_tagged("greeting", Duration::from_secs(10)).map_err(|e| {
+                            computational_neighborhood::core::TaskError::new(e.to_string())
+                        })?;
                     let text = data.as_text().unwrap_or("").to_uppercase();
                     Ok(UserData::Text(format!("{text}! (via {from})")))
                 })

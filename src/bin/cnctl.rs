@@ -1,7 +1,9 @@
 //! `cnctl` — command-line front end to the CN tool chain.
 //!
 //! ```text
-//! cnctl validate  <file.cnx>                      check + DAG analytics
+//! cnctl validate  <file.cnx>                      all diagnostics + DAG analytics
+//! cnctl lint      <file.cnx|file.xmi> [--format text|json] [--deny warnings]
+//!                 [--nodes N --node-memory MB [--node-slots S]]
 //! cnctl transform <file.xmi> [--class C] [--port P] [--log L] [--no-keys]
 //! cnctl codegen   <file.cnx> [--lang rust|java]
 //! cnctl render    <file.cnx|file.xmi> [--format dot|ascii]
@@ -10,10 +12,15 @@
 //! ```
 //!
 //! Everything reads/writes plain files or stdout, so the tool composes with
-//! shell pipelines the way the paper's XSLT-based tooling did.
+//! shell pipelines the way the paper's XSLT-based tooling did. `lint` and
+//! `validate` use their exit code to report what they found: 0 = clean,
+//! 1 = errors, 2 = warnings only (`lint` only; `validate` ignores warnings
+//! for exit purposes).
 
 use std::fmt::Write as _;
 
+use computational_neighborhood::analysis;
+use computational_neighborhood::cluster::ClusterCapacity;
 use computational_neighborhood::cnx;
 use computational_neighborhood::codegen;
 use computational_neighborhood::model;
@@ -22,7 +29,12 @@ use computational_neighborhood::transform::{self, xmi2cnx::ClientSettings};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(output) => print!("{output}"),
+        Ok((output, code)) => {
+            print!("{output}");
+            if code != 0 {
+                std::process::exit(code);
+            }
+        }
         Err(e) => {
             eprintln!("cnctl: {e}");
             std::process::exit(1);
@@ -30,8 +42,8 @@ fn main() {
     }
 }
 
-/// Dispatch a command line; returns the text to print.
-fn run(args: &[String]) -> Result<String, String> {
+/// Dispatch a command line; returns the text to print and the exit code.
+fn run(args: &[String]) -> Result<(String, i32), String> {
     let mut it = args.iter();
     let command = it.next().map(String::as_str).unwrap_or("help");
     let rest: Vec<&str> = it.map(String::as_str).collect();
@@ -41,20 +53,27 @@ fn run(args: &[String]) -> Result<String, String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             validate_cnx(&text)
         }
+        "lint" => {
+            let path = positional(&rest, 0).ok_or(
+                "usage: cnctl lint <file.cnx|file.xmi> [--format text|json] [--deny warnings]",
+            )?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            lint_input(&text, &rest)
+        }
         "transform" => {
             let path = positional(&rest, 0).ok_or("usage: cnctl transform <file.xmi> [...]")?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            transform_xmi(&text, &rest)
+            transform_xmi(&text, &rest).map(clean)
         }
         "codegen" => {
             let path = positional(&rest, 0).ok_or("usage: cnctl codegen <file.cnx> [...]")?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            codegen_cnx(&text, flag_value(&rest, "--lang").unwrap_or("rust"))
+            codegen_cnx(&text, flag_value(&rest, "--lang").unwrap_or("rust")).map(clean)
         }
         "render" => {
             let path = positional(&rest, 0).ok_or("usage: cnctl render <file> [...]")?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            render(&text, flag_value(&rest, "--format").unwrap_or("ascii"))
+            render(&text, flag_value(&rest, "--format").unwrap_or("ascii")).map(clean)
         }
         "example-xmi" => {
             let workers: usize = positional(&rest, 0)
@@ -64,24 +83,30 @@ fn run(args: &[String]) -> Result<String, String> {
             if workers == 0 {
                 return Err("need at least one worker".to_string());
             }
-            Ok(computational_neighborhood::xml::write_document(
+            Ok(clean(computational_neighborhood::xml::write_document(
                 &model::export_xmi(&transform::figure2_model(workers)),
                 &computational_neighborhood::xml::WriteOptions::xmi(),
-            ))
+            )))
         }
         "demo" => {
             let workers: usize = positional(&rest, 0)
                 .map(|w| w.parse().map_err(|_| format!("bad worker count {w:?}")))
                 .transpose()?
                 .unwrap_or(3);
-            demo(workers)
+            demo(workers).map(clean)
         }
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "help" | "--help" | "-h" => Ok(clean(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
 
-const USAGE: &str = "usage: cnctl <validate|transform|codegen|render|demo|example-xmi|help> [args]\n";
+const USAGE: &str =
+    "usage: cnctl <validate|lint|transform|codegen|render|demo|example-xmi|help> [args]\n";
+
+/// Wrap plain output with the success exit code.
+fn clean(output: String) -> (String, i32) {
+    (output, 0)
+}
 
 fn positional<'a>(args: &[&'a str], index: usize) -> Option<&'a str> {
     args.iter().filter(|a| !a.starts_with("--")).nth(index).copied()
@@ -95,11 +120,20 @@ fn has_flag(args: &[&str], flag: &str) -> bool {
     args.contains(&flag)
 }
 
-/// `validate`: parse, validate, and summarize the dependency structure.
-fn validate_cnx(text: &str) -> Result<String, String> {
-    let doc = cnx::parse_cnx(text).map_err(|e| e.to_string())?;
-    cnx::validate(&doc).map_err(|e| e.to_string())?;
+/// `validate`: run every lint pass, print all diagnostics sorted by source
+/// span, and summarize the dependency structure when the descriptor is
+/// error-free. The exit code is non-zero only for errors — warnings and
+/// infos are advisory here (use `lint --deny warnings` to harden).
+fn validate_cnx(text: &str) -> Result<(String, i32), String> {
+    let report = analysis::lint_cnx_source(text, &analysis::LintOptions::default());
     let mut out = String::new();
+    for d in report.diagnostics() {
+        let _ = writeln!(out, "{d}");
+    }
+    if report.has_errors() {
+        return Ok((out, 1));
+    }
+    let doc = cnx::parse_cnx(text).map_err(|e| e.to_string())?;
     let _ = writeln!(out, "client {:?}: OK", doc.client.class);
     for (i, job) in doc.client.jobs.iter().enumerate() {
         let graph = cnx::DependencyGraph::build(job).map_err(|e| e.to_string())?;
@@ -116,7 +150,87 @@ fn validate_cnx(text: &str) -> Result<String, String> {
             let _ = writeln!(out, "    wave {w}: {}", names.join(", "));
         }
     }
-    Ok(out)
+    Ok((out, 0))
+}
+
+/// `lint`: run the cross-layer lint engine over a CNX descriptor or an XMI
+/// model and render the report. Exit code: 0 clean, 1 errors, 2 warnings
+/// only. `--deny warnings` promotes warnings to errors; `--nodes` /
+/// `--node-memory` / `--node-slots` describe the target cluster so the
+/// capacity passes (CN011/CN015/CN016) can judge resource requirements.
+fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown format {format:?} (text|json)"));
+    }
+    match flag_value(args, "--deny") {
+        None | Some("warnings") => {}
+        Some(other) => return Err(format!("unknown deny class {other:?} (warnings)")),
+    }
+    let opts = analysis::LintOptions { capacity: capacity_from_args(args)? };
+    let mut report = if looks_like_xmi(text) {
+        analysis::lint_xmi_source(text, &opts)
+    } else {
+        analysis::lint_cnx_source(text, &opts)
+    };
+    if flag_value(args, "--deny") == Some("warnings") {
+        report = report.deny_warnings();
+    }
+    let rendered = match format {
+        "json" => {
+            let mut json = report.to_json();
+            json.push('\n');
+            json
+        }
+        _ => report.to_text(),
+    };
+    let code = if report.has_errors() {
+        1
+    } else if report.has_warnings() {
+        2
+    } else {
+        0
+    };
+    Ok((rendered, code))
+}
+
+/// Build a [`ClusterCapacity`] from `--nodes N --node-memory MB
+/// [--node-slots S]`; both leading flags are required together.
+fn capacity_from_args(args: &[&str]) -> Result<Option<ClusterCapacity>, String> {
+    let nodes = flag_value(args, "--nodes");
+    let memory = flag_value(args, "--node-memory");
+    let slots = flag_value(args, "--node-slots");
+    match (nodes, memory) {
+        (None, None) => {
+            if slots.is_some() {
+                return Err("--node-slots requires --nodes and --node-memory".to_string());
+            }
+            Ok(None)
+        }
+        (Some(n), Some(m)) => {
+            let nodes: usize = n.parse().map_err(|_| format!("bad node count {n:?}"))?;
+            let memory: u64 = m.parse().map_err(|_| format!("bad node memory {m:?}"))?;
+            let slots: usize = slots
+                .map(|s| s.parse().map_err(|_| format!("bad slot count {s:?}")))
+                .transpose()?
+                .unwrap_or(1);
+            Ok(Some(ClusterCapacity::uniform(nodes, memory, slots)))
+        }
+        _ => Err("--nodes and --node-memory must be given together".to_string()),
+    }
+}
+
+/// Sniff the input: XMI documents have an `<XMI>` root; anything else is
+/// treated as CNX (including unparseable text, which CNX linting reports
+/// as CN000).
+fn looks_like_xmi(text: &str) -> bool {
+    computational_neighborhood::xml::parse(text)
+        .ok()
+        .and_then(|doc| {
+            let root = doc.root_element()?;
+            Some(doc.name(root)?.local() == "XMI")
+        })
+        .unwrap_or(false)
 }
 
 /// `transform`: XMI text → CNX text via the XSLT path.
@@ -198,12 +312,10 @@ fn demo(workers: usize) -> Result<String, String> {
             seed_input(job.tuplespace(), "matrix.txt", &input2, &worker_names, "tctask999");
         })),
     };
-    let run = transform::Pipeline::new(&nb)
-        .run(&transform::figure2_model(workers), options)?;
-    let result = Matrix::from_userdata(
-        run.reports[0].result("tctask999").ok_or("no joiner result")?,
-    )
-    .map_err(|e| e.to_string())?;
+    let run = transform::Pipeline::new(&nb).run(&transform::figure2_model(workers), options)?;
+    let result =
+        Matrix::from_userdata(run.reports[0].result("tctask999").ok_or("no joiner result")?)
+            .map_err(|e| e.to_string())?;
     let verified = result == floyd_sequential(&input);
     nb.shutdown();
 
@@ -213,7 +325,11 @@ fn demo(workers: usize) -> Result<String, String> {
     for t in &run.timings {
         let _ = writeln!(out, "  {:<16} {:?}", t.stage, t.elapsed);
     }
-    let _ = writeln!(out, "== execution: {} task results, verified={verified} ==", run.reports[0].results.len());
+    let _ = writeln!(
+        out,
+        "== execution: {} task results, verified={verified} ==",
+        run.reports[0].results.len()
+    );
     if !verified {
         return Err("demo result did not match sequential Floyd".to_string());
     }
@@ -239,7 +355,8 @@ mod tests {
 
     #[test]
     fn validate_reports_waves() {
-        let out = validate_cnx(&figure2_cnx_text()).unwrap();
+        let (out, code) = validate_cnx(&figure2_cnx_text()).unwrap();
+        assert_eq!(code, 0);
         assert!(out.contains("client \"TransClosure\": OK"));
         assert!(out.contains("5 tasks") || out.contains("critical path 3"), "{out}");
         assert!(out.contains("wave 1: tctask1, tctask2, tctask3"));
@@ -250,8 +367,100 @@ mod tests {
         let bad = r#"<cn2><client class="C"><job>
             <task name="a" jar="j" class="K" depends="a"/>
         </job></client></cn2>"#;
-        let err = validate_cnx(bad).unwrap_err();
-        assert!(err.contains("cycle"), "{err}");
+        let (out, code) = validate_cnx(bad).unwrap();
+        assert_eq!(code, 1);
+        assert!(out.contains("cycle"), "{out}");
+        assert!(out.contains("CN007"), "{out}");
+        assert!(!out.contains(": OK"), "{out}");
+    }
+
+    #[test]
+    fn validate_prints_all_diagnostics_in_span_order() {
+        // Two distinct errors on two lines: both must show, in order.
+        let bad = "<cn2><client class=\"C\"><job>\n\
+                   <task name=\"a\" jar=\"\" class=\"K\"/>\n\
+                   <task name=\"b\" jar=\"j\" class=\"K\" depends=\"ghost\"/>\n\
+                   </job></client></cn2>";
+        let (out, code) = validate_cnx(bad).unwrap();
+        assert_eq!(code, 1);
+        let empty_jar = out.find("CN003").expect("empty-field diagnostic");
+        let unknown_dep = out.find("CN006").expect("unknown-dependency diagnostic");
+        assert!(empty_jar < unknown_dep, "{out}");
+    }
+
+    #[test]
+    fn validate_warnings_do_not_fail_the_exit_code() {
+        // An isolated extra task is a warning (CN013), not an error.
+        let mut doc = figure2_descriptor(3);
+        doc.client.jobs[0]
+            .tasks
+            .push(computational_neighborhood::cnx::ast::Task::new("stray", "s.jar", "S"));
+        let (out, code) = validate_cnx(&write_cnx(&doc)).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("CN013"), "{out}");
+        assert!(out.contains(": OK"), "{out}");
+    }
+
+    #[test]
+    fn lint_clean_input_exits_zero() {
+        let (out, code) = lint_input(&figure2_cnx_text(), &[]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("0 error(s), 0 warning(s), 0 info(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_distinguishes_warnings_from_errors() {
+        let mut doc = figure2_descriptor(3);
+        doc.client.jobs[0]
+            .tasks
+            .push(computational_neighborhood::cnx::ast::Task::new("stray", "s.jar", "S"));
+        let text = write_cnx(&doc);
+        let (_, code) = lint_input(&text, &[]).unwrap();
+        assert_eq!(code, 2);
+        // --deny warnings promotes to a hard failure.
+        let (out, code) = lint_input(&text, &["x", "--deny", "warnings"]).unwrap();
+        assert_eq!(code, 1);
+        assert!(out.contains("error[CN013]"), "{out}");
+        // Errors always exit 1.
+        let (_, code) = lint_input("<cn2><client class=\"C\"></client></cn2>", &[]).unwrap();
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn lint_json_format_is_machine_readable() {
+        let (out, code) = lint_input("not xml at all", &["x", "--format", "json"]).unwrap();
+        assert_eq!(code, 1);
+        assert!(out.starts_with("{\"diagnostics\":["), "{out}");
+        assert!(out.contains("\"code\":\"CN000\""), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+        assert!(lint_input("x", &["x", "--format", "yaml"]).is_err());
+        assert!(lint_input("x", &["x", "--deny", "infos"]).is_err());
+    }
+
+    #[test]
+    fn lint_accepts_xmi_input() {
+        let (out, code) = lint_input(&figure2_xmi_text(), &[]).unwrap();
+        assert_eq!(code, 0, "{out}");
+        // A degenerate model: strip everything but one action.
+        let (out, code) = lint_input(&figure2_xmi_text(), &["x", "--format", "json"]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("\"errors\":0"), "{out}");
+    }
+
+    #[test]
+    fn lint_capacity_flags_feed_the_memory_passes() {
+        // Figure 2's five workers need 5000 MB in one wave; a 2-node,
+        // 1000 MB cluster cannot hold that.
+        let text = write_cnx(&figure2_descriptor(5));
+        let (out, code) =
+            lint_input(&text, &["x", "--nodes", "2", "--node-memory", "1000", "--node-slots", "4"])
+                .unwrap();
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("CN016"), "{out}");
+        // Flag validation.
+        assert!(lint_input(&text, &["x", "--nodes", "2"]).is_err());
+        assert!(lint_input(&text, &["x", "--node-slots", "4"]).is_err());
+        assert!(lint_input(&text, &["x", "--nodes", "two", "--node-memory", "1"]).is_err());
     }
 
     #[test]
@@ -292,7 +501,7 @@ mod tests {
 
     #[test]
     fn example_xmi_feeds_transform() {
-        let xmi = run(&["example-xmi".to_string(), "2".to_string()]).unwrap();
+        let (xmi, _) = run(&["example-xmi".to_string(), "2".to_string()]).unwrap();
         assert!(xmi.contains("UML:ActionState"));
         let cnx = transform_xmi(&xmi, &["x", "--class", "TC"]).unwrap();
         assert!(cnx.contains("tctask999"));
@@ -312,6 +521,6 @@ mod tests {
     fn unknown_command_errors_with_usage() {
         let err = run(&["frobnicate".to_string()]).unwrap_err();
         assert!(err.contains("usage:"));
-        assert!(run(&[]).unwrap().contains("usage:"));
+        assert!(run(&[]).unwrap().0.contains("usage:"));
     }
 }

@@ -21,16 +21,21 @@
 //! * [`codegen`] — native client-program generation from CNX.
 //! * [`transform`] — XMI2CNX / CNX2Rust / CNX2Java stylesheets, the six-step
 //!   pipeline of Figure 6, and the web-portal prototype.
+//! * [`graph`] — shared graph algorithms (deterministic cycle search).
+//! * [`analysis`] — the cross-layer lint engine behind `cnctl lint`: coded,
+//!   spanned diagnostics over CNX descriptors and activity models.
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` for the complete model → XMI → CNX → execute
 //! flow on a 5-worker transitive-closure job.
 
+pub use cn_analysis as analysis;
 pub use cn_cluster as cluster;
 pub use cn_cnx as cnx;
 pub use cn_codegen as codegen;
 pub use cn_core as core;
+pub use cn_graph as graph;
 pub use cn_model as model;
 pub use cn_tasks as tasks;
 pub use cn_transform as transform;

@@ -15,8 +15,7 @@ use computational_neighborhood::tasks::{
     Matrix, TcOptions,
 };
 use computational_neighborhood::transform::{
-    figure2_model, figure2_settings, xmi_to_cnx_native, xmi_to_cnx_xslt, Pipeline,
-    PipelineOptions,
+    figure2_model, figure2_settings, xmi_to_cnx_native, xmi_to_cnx_xslt, Pipeline, PipelineOptions,
 };
 
 fn xmi_of(workers: usize) -> String {
@@ -43,8 +42,7 @@ fn model_to_execution_produces_correct_shortest_paths() {
         })),
     };
     let run = Pipeline::new(&nb).run(&figure2_model(workers), options).unwrap();
-    let via_pipeline =
-        Matrix::from_userdata(run.reports[0].result("tctask999").unwrap()).unwrap();
+    let via_pipeline = Matrix::from_userdata(run.reports[0].result("tctask999").unwrap()).unwrap();
 
     // Three independent implementations agree: the message-passing CN job,
     // the shared-memory parallel baseline, and sequential Floyd.
@@ -67,10 +65,8 @@ fn direct_api_and_pipeline_paths_agree() {
 fn xslt_and_native_transform_agree_across_sizes() {
     for workers in [1, 2, 7, 16] {
         let xmi = xmi_of(workers);
-        let via_xslt = cnx::parse_cnx(
-            &xmi_to_cnx_xslt(&xmi, &figure2_settings()).unwrap(),
-        )
-        .unwrap();
+        let via_xslt =
+            cnx::parse_cnx(&xmi_to_cnx_xslt(&xmi, &figure2_settings()).unwrap()).unwrap();
         let via_native = xmi_to_cnx_native(&xmi, &figure2_settings()).unwrap();
         let norm = computational_neighborhood::transform::xmi2cnx::normalized;
         assert_eq!(norm(via_xslt), norm(via_native), "divergence at {workers} workers");
@@ -108,9 +104,10 @@ fn crashed_node_excluded_from_placement_but_job_succeeds() {
 #[test]
 fn partitioned_manager_surfaces_as_client_timeout() {
     let nb = Neighborhood::deploy(NodeSpec::fleet(2, 8192, 16));
-    nb.registry().publish(core::TaskArchive::new("x.jar").class("X", || {
-        Box::new(|_ctx: &mut core::TaskContext| Ok(UserData::Empty))
-    }));
+    nb.registry().publish(
+        core::TaskArchive::new("x.jar")
+            .class("X", || Box::new(|_ctx: &mut core::TaskContext| Ok(UserData::Empty))),
+    );
     let api = CnApi::initialize(&nb);
     let mut job = api.create_job(&JobRequirements::default()).unwrap();
     let manager = job.manager().to_string();
@@ -138,9 +135,11 @@ fn placement_survives_lost_solicitation() {
         NodeSpec::new("b-worker", 4096, 4),
         NodeSpec::new("c-worker", 4096, 4),
     ]);
-    nb.registry().publish(core::TaskArchive::new("x.jar").class("X", || {
-        Box::new(|_ctx: &mut core::TaskContext| Ok(UserData::Text("ran".into())))
-    }));
+    nb.registry().publish(
+        core::TaskArchive::new("x.jar").class("X", || {
+            Box::new(|_ctx: &mut core::TaskContext| Ok(UserData::Text("ran".into())))
+        }),
+    );
     let api = CnApi::with_config(
         &nb,
         core::ClientConfig { policy: core::Policy::RoundRobin, ..Default::default() },
@@ -180,7 +179,8 @@ fn spawn_fake_taskmanager(
                         free_memory_mb: 1 << 40,
                         free_slots: 1 << 20,
                     };
-                    let _ = net.send(addr, reply_to, core::NetMsg::TaskManagerBid { job, task, bid });
+                    let _ =
+                        net.send(addr, reply_to, core::NetMsg::TaskManagerBid { job, task, bid });
                 }
                 core::NetMsg::AssignTask { job, spec, reply_to, .. } => match behaviour {
                     FakeBehaviour::Reject => {
@@ -245,9 +245,10 @@ fn placement_retries_after_rejection_and_after_timeout() {
 #[test]
 fn insufficient_aggregate_memory_fails_placement_cleanly() {
     let nb = Neighborhood::deploy(NodeSpec::fleet(2, 512, 4));
-    nb.registry().publish(core::TaskArchive::new("big.jar").class("Big", || {
-        Box::new(|_ctx: &mut core::TaskContext| Ok(UserData::Empty))
-    }));
+    nb.registry().publish(
+        core::TaskArchive::new("big.jar")
+            .class("Big", || Box::new(|_ctx: &mut core::TaskContext| Ok(UserData::Empty))),
+    );
     let api = CnApi::initialize(&nb);
     let mut job = api.create_job(&JobRequirements::default()).unwrap();
     let mut t = TaskSpec::new("big", "big.jar", "Big");
@@ -295,7 +296,8 @@ fn many_small_jobs_share_the_neighborhood() {
 
 #[test]
 fn scheduling_policies_all_complete_the_guiding_example() {
-    for policy in [core::Policy::FirstResponder, core::Policy::LeastLoaded, core::Policy::RoundRobin]
+    for policy in
+        [core::Policy::FirstResponder, core::Policy::LeastLoaded, core::Policy::RoundRobin]
     {
         let config = NeighborhoodConfig {
             server: core::ServerConfig { policy, ..Default::default() },
@@ -347,12 +349,14 @@ fn job_events_include_lifecycle_for_every_task() {
     let report = job.wait(Duration::from_secs(30)).unwrap();
     // "Get Messages from Tasks": every task produced started + completed.
     for name in ["tctask0", "tctask1", "tctask999"] {
-        assert!(report.events.iter().any(
-            |e| matches!(e, core::CnMessage::TaskStarted { task } if task == name)
-        ));
-        assert!(report.events.iter().any(
-            |e| matches!(e, core::CnMessage::TaskCompleted { task, .. } if task == name)
-        ));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, core::CnMessage::TaskStarted { task } if task == name)));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, core::CnMessage::TaskCompleted { task, .. } if task == name)));
     }
     nb.shutdown();
 }

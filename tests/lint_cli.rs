@@ -1,0 +1,115 @@
+//! End-to-end tests for `cnctl lint` against checked-in golden files.
+//!
+//! The goldens under `tests/golden/` pin the exact `--format json` output for
+//! the Figure-2 descriptor (clean) and a deliberately defective variant. When
+//! an intentional change shifts the output, regenerate with:
+//!
+//! ```text
+//! REGENERATE_GOLDEN=1 cargo test --test lint_cli
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use computational_neighborhood::analysis;
+use computational_neighborhood::cnx::{ast::figure2_descriptor, write_cnx};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn golden(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn regenerating() -> bool {
+    std::env::var_os("REGENERATE_GOLDEN").is_some()
+}
+
+/// Compare `actual` against the checked-in file, or rewrite it when
+/// `REGENERATE_GOLDEN` is set.
+fn check_golden(path: &Path, actual: &str) {
+    if regenerating() {
+        std::fs::write(path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); rerun with REGENERATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "output drifted from golden {}; rerun with REGENERATE_GOLDEN=1 if intended",
+        path.display()
+    );
+}
+
+/// Run the real `cnctl` binary; returns (stdout, exit code).
+fn run_cnctl(args: &[&str]) -> (String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cnctl")).args(args).output().expect("run cnctl");
+    (String::from_utf8(out.stdout).expect("utf-8 stdout"), out.status.code().expect("exit code"))
+}
+
+/// The clean fixture is exactly what the library writer produces for the
+/// paper's Figure-2 descriptor, so the golden test exercises real output
+/// rather than a hand-rolled approximation.
+#[test]
+fn figure2_fixture_matches_library_writer() {
+    let path = fixture("figure2.cnx");
+    let expect = write_cnx(&figure2_descriptor(3));
+    if regenerating() {
+        std::fs::write(&path, &expect).expect("write fixture");
+    }
+    let text = std::fs::read_to_string(&path).expect("read figure2.cnx fixture");
+    assert_eq!(text, expect, "fixtures/figure2.cnx drifted from write_cnx(figure2_descriptor(3))");
+}
+
+#[test]
+fn lint_json_golden_figure2_clean() {
+    let path = fixture("figure2.cnx");
+    let (stdout, code) = run_cnctl(&["lint", path.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(code, 0, "clean descriptor must exit 0:\n{stdout}");
+    check_golden(&golden("figure2_lint.json"), &stdout);
+}
+
+#[test]
+fn lint_json_golden_figure2_dirty() {
+    let path = fixture("figure2_dirty.cnx");
+    let (stdout, code) = run_cnctl(&["lint", path.to_str().unwrap(), "--format", "json"]);
+    // The fixture seeds a CN012 type mismatch (an error), so exit code 1.
+    assert_eq!(code, 1, "dirty descriptor must exit 1:\n{stdout}");
+    for expected_code in ["CN010", "CN012", "CN013", "CN014", "CN015"] {
+        assert!(stdout.contains(expected_code), "missing {expected_code} in:\n{stdout}");
+    }
+    check_golden(&golden("figure2_dirty_lint.json"), &stdout);
+}
+
+/// The CLI's JSON is the library report verbatim plus a trailing newline;
+/// anything else would let the two drift apart.
+#[test]
+fn cli_json_matches_library_report() {
+    for name in ["figure2.cnx", "figure2_dirty.cnx"] {
+        let path = fixture(name);
+        let src = std::fs::read_to_string(&path).expect("read fixture");
+        let report = analysis::lint_cnx_source(&src, &analysis::LintOptions::default());
+        let (stdout, _) = run_cnctl(&["lint", path.to_str().unwrap(), "--format", "json"]);
+        assert_eq!(stdout, report.to_json() + "\n", "CLI vs library drift for {name}");
+    }
+}
+
+/// `--deny warnings` must promote the dirty fixture's warnings and flip a
+/// clean run's exit code only when something was actually reported.
+#[test]
+fn deny_warnings_changes_exit_code_only_when_warned() {
+    let clean = fixture("figure2.cnx");
+    let (_, code) = run_cnctl(&["lint", clean.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(code, 0);
+
+    let dirty = fixture("figure2_dirty.cnx");
+    let (plain, code) = run_cnctl(&["lint", dirty.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    let (denied, code) = run_cnctl(&["lint", dirty.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(code, 1);
+    // Promotion rewrites severities, so the denied rendering must differ.
+    assert_ne!(plain, denied);
+}

@@ -376,3 +376,83 @@ proptest! {
         prop_assert_eq!(short, long);
     }
 }
+
+// ---------- Lint engine -------------------------------------------------------
+
+use computational_neighborhood::analysis::{Engine, LintOptions};
+
+fn doc_of(job: CnxJob) -> cnx::CnxDocument {
+    let mut client = cnx::Client::new("PropClient");
+    client.jobs.push(job);
+    cnx::CnxDocument::new(client)
+}
+
+/// An `arb_job` DAG extended with one extra [`arb_task`] appended at the end
+/// (suffixed so its name cannot collide with the generated `task{i}` names).
+fn arb_job_with_extra_task() -> impl Strategy<Value = CnxJob> {
+    arb_job().prop_flat_map(|job| {
+        let names: Vec<String> = job.tasks.iter().map(|t| t.name.clone()).collect();
+        arb_task(names).prop_map(move |mut extra| {
+            let mut job = job.clone();
+            extra.name = format!("{}_extra", extra.name);
+            job.tasks.push(extra);
+            job
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lint_is_deterministic_across_runs(job in arb_job_with_extra_task()) {
+        let doc = doc_of(job);
+        let opts = LintOptions::default();
+        let a = Engine::with_default_passes().lint_cnx(&doc, &opts);
+        let b = Engine::with_default_passes().lint_cnx(&doc, &opts);
+        prop_assert_eq!(a.to_text(), b.to_text());
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn lint_is_deterministic_through_serialization(job in arb_job_with_extra_task()) {
+        // Linting the in-memory document and linting its serialized text
+        // must agree on everything except source positions.
+        let doc = doc_of(job);
+        let opts = LintOptions::default();
+        let direct = Engine::with_default_passes().lint_cnx(&doc, &opts);
+        let reparsed = computational_neighborhood::analysis::lint_cnx_source(
+            &cnx::write_cnx(&doc),
+            &opts,
+        );
+        let strip = |r: &computational_neighborhood::analysis::LintReport| {
+            let mut lines: Vec<(String, String, String)> = r
+                .diagnostics()
+                .iter()
+                .map(|d| (d.code.to_string(), d.severity.to_string(), d.message.clone()))
+                .collect();
+            lines.sort();
+            lines
+        };
+        prop_assert_eq!(strip(&direct), strip(&reparsed));
+    }
+
+    #[test]
+    fn lint_is_stable_under_task_reordering(job in arb_job_with_extra_task(), rot in 0usize..8) {
+        let opts = LintOptions::default();
+        let base = Engine::with_default_passes().lint_cnx(&doc_of(job.clone()), &opts);
+
+        let mut reversed = job.clone();
+        reversed.tasks.reverse();
+        let rev = Engine::with_default_passes().lint_cnx(&doc_of(reversed), &opts);
+        prop_assert_eq!(base.to_json(), rev.to_json());
+
+        let mut rotated = job.clone();
+        if !rotated.tasks.is_empty() {
+            let k = rot % rotated.tasks.len();
+            rotated.tasks.rotate_left(k);
+        }
+        let rot_report = Engine::with_default_passes().lint_cnx(&doc_of(rotated), &opts);
+        prop_assert_eq!(base.to_json(), rot_report.to_json());
+    }
+}

@@ -166,7 +166,12 @@ fn many_sequential_jobs_do_not_leak_state() {
     // All slots and memory released.
     for node in nb.nodes() {
         assert_eq!(node.free_slots(), node.spec().task_slots, "leaked slot on {}", node.name());
-        assert_eq!(node.free_memory_mb(), node.spec().memory_mb, "leaked memory on {}", node.name());
+        assert_eq!(
+            node.free_memory_mb(),
+            node.spec().memory_mb,
+            "leaked memory on {}",
+            node.name()
+        );
     }
     nb.shutdown();
 }

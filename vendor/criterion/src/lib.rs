@@ -1,0 +1,184 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides just enough API for the workspace's `#[bench]`-style harnesses
+//! to compile and run without crates.io access: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Instead of criterion's statistical sampling it runs a short
+//! calibrated loop and prints mean wall-clock time per iteration — enough
+//! to eyeball regressions, not a replacement for real criterion numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark identifier: `function name / parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup { _criterion: self, group: name }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{name}"), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (the shim picks its own iteration counts).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.group, id), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.group, id), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters > 0 {
+        let per_iter = b.total / b.iters;
+        eprintln!("  {label}: {per_iter:?}/iter ({} iters)", b.iters);
+    } else {
+        eprintln!("  {label}: no measurement");
+    }
+}
+
+/// Timer handle: `b.iter(|| work())`.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup, then enough iterations to fill a few milliseconds,
+        // capped to keep full bench runs fast.
+        let warmup = Instant::now();
+        black_box(f());
+        let once = warmup.elapsed();
+        let target = Duration::from_millis(20);
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u32
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Identity function that defeats constant-folding of its argument.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// `criterion_group!(name, target1, target2, ...)`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_pipeline_runs() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("f", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("g", 3), &3, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            group.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("parse", 50).to_string(), "parse/50");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,370 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `proptest` to this crate. It provides the API subset the workspace's
+//! property tests use — `Strategy` with `prop_map`/`prop_flat_map`/`boxed`,
+//! range and string-pattern strategies, `collection::vec`,
+//! `sample::subsequence`, `any`, and the `proptest!`, `prop_compose!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case number and message
+//!   but not a minimized input. Generation is deterministic (seeded from
+//!   the test name and case index), so failures reproduce exactly.
+//! * **String patterns** support the subset of regex syntax the tests use:
+//!   char classes with ranges (`[a-z0-9_]`), literal chars, `\PC`
+//!   (printable char), and `{m,n}` repetition.
+//! * `.proptest-regressions` files are ignored.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+use test_runner::TestRng;
+
+/// `any::<T>()` — the full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    fn generate_any(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate_any(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate_any(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::generate_any(rng)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for collection strategies (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    /// `vec(element, size)` — a vector whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::collection::SizeRange;
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// A random order-preserving subsequence of `items` whose length is
+    /// drawn from `size` (clamped to the number of items).
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence { items, size: size.into() }
+    }
+
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let max = self.size.max.min(self.items.len());
+            let min = self.size.min.min(max);
+            let want = min + rng.below((max - min + 1) as u64) as usize;
+            // Floyd's algorithm for a uniform k-subset, then restore order.
+            let mut chosen: Vec<usize> = Vec::with_capacity(want);
+            let n = self.items.len();
+            for j in n - want..n {
+                let t = rng.below((j + 1) as u64) as usize;
+                if chosen.contains(&t) {
+                    chosen.push(j);
+                } else {
+                    chosen.push(t);
+                }
+            }
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+/// `proptest! { #![proptest_config(cfg)]? #[test] fn name(x in strat, ..) { body } .. }`
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $( $(#[$meta:meta])+ fn $name:ident
+        ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let case_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(case_name, case);
+                    $( let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng); )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest {} failed at case {}/{}: {}",
+                               stringify!($name), case, config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_compose! { fn name(params..)(bindings..) -> Ret { body } }`
+#[macro_export]
+macro_rules! prop_compose {
+    ( $(#[$meta:meta])* $vis:vis fn $name:ident
+        ( $( $param:ident : $pty:ty ),* $(,)? )
+        ( $( $arg:ident in $strat:expr ),+ $(,)? )
+        -> $ret:ty $body:block ) => {
+        $(#[$meta])*
+        $vis fn $name( $( $param : $pty ),* ) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(
+                move |proptest_rng: &mut $crate::test_runner::TestRng| {
+                    $( let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), proptest_rng); )+
+                    $body
+                },
+            )
+        }
+    };
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Like `assert!` but fails the current proptest case instead of panicking
+/// directly (the harness reports the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::for_case("patterns", 1);
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let p = "\\PC{0,16}".generate(&mut rng);
+            assert!(p.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::for_case("subseq", 2);
+        let items: Vec<u32> = (0..10).collect();
+        for _ in 0..100 {
+            let sub = crate::sample::subsequence(items.clone(), 0..=4).generate(&mut rng);
+            assert!(sub.len() <= 4);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "{sub:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = crate::collection::vec(0u64..100, 0..8);
+        let a = strat.generate(&mut TestRng::for_case("det", 3));
+        let b = strat.generate(&mut TestRng::for_case("det", 3));
+        assert_eq!(a, b);
+        // ... and varies across cases (with overwhelming probability).
+        let c = strat.generate(&mut TestRng::for_case("det", 4));
+        let d = strat.generate(&mut TestRng::for_case("det", 5));
+        assert!(a != c || c != d);
+    }
+
+    #[test]
+    fn oneof_union_hits_every_arm() {
+        let strat = prop_oneof![Just('a'), Just('b'), Just('c')];
+        let mut rng = TestRng::for_case("oneof", 6);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    prop_compose! {
+        fn small_pair(limit: u64)(a in 0u64..10, b in 0u64..10) -> (u64, u64) {
+            (a.min(limit), b.min(limit))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(pair in small_pair(5), tag in "[a-z]{1,4}") {
+            prop_assert!(pair.0 <= 5 && pair.1 <= 5);
+            prop_assert!(!tag.is_empty() && tag.len() <= 4);
+            prop_assert_eq!(pair.0.min(5), pair.0);
+            prop_assert_ne!(tag.len(), 0);
+        }
+
+        #[test]
+        fn flat_map_and_boxed_compose(v in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0u64..10, n..n + 1).boxed()
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+}

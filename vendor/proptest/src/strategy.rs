@@ -1,0 +1,392 @@
+//! The `Strategy` trait, combinators, and primitive strategy impls.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of values. Unlike real proptest there is no value tree and
+/// no shrinking — `generate` produces the final value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe alias used by [`BoxedStrategy`] and [`Union`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between same-typed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Strategy from a generation closure (used by `prop_compose!`).
+pub struct FnStrategy<F>(F);
+
+impl<F> FnStrategy<F> {
+    pub fn new(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+}
+
+impl<T, F> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+// ---- primitive strategies --------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy sampled");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy sampled");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy sampled");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ---- string pattern strategies ---------------------------------------------
+
+/// `&str` regex-subset patterns generate `String`s. Supported syntax:
+/// literals, `[...]` classes with `a-z` ranges, `\PC` (printable char), and
+/// `{m,n}` repetition after any atom.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+enum AtomKind {
+    Literal(char),
+    /// Inclusive char ranges, e.g. `[a-z0-9_]` = [(a,z),(0,9),(_,_)].
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match &self.kind {
+            AtomKind::Literal(c) => *c,
+            AtomKind::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick exhausted ranges")
+            }
+            AtomKind::Printable => {
+                // ASCII printable plus a few multibyte chars so the XML
+                // tests see non-ASCII input.
+                const EXTRA: [char; 6] = ['ü', 'é', '→', '✓', 'Ω', '中'];
+                let pick = rng.below(95 + EXTRA.len() as u64);
+                if pick < 95 {
+                    char::from_u32(0x20 + pick as u32).unwrap_or(' ')
+                } else {
+                    EXTRA[(pick - 95) as usize]
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let kind = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo =
+                        chars.next().unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(&']') | None => {
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(&hi) => {
+                                chars.next();
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                AtomKind::Class(ranges)
+            }
+            '\\' => {
+                let esc =
+                    chars.next().unwrap_or_else(|| panic!("trailing backslash in {pattern:?}"));
+                if esc == 'P' && chars.peek() == Some(&'C') {
+                    chars.next();
+                    AtomKind::Printable
+                } else {
+                    AtomKind::Literal(esc)
+                }
+            }
+            c => AtomKind::Literal(c),
+        };
+        // Optional {m,n} / {n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for q in chars.by_ref() {
+                if q == '}' {
+                    break;
+                }
+                spec.push(q);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                    n.trim().parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                ),
+                None => {
+                    let n = spec
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in {pattern:?}");
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parsing_handles_ranges_and_literals() {
+        let mut rng = TestRng::for_case("class", 0);
+        for _ in 0..100 {
+            let c = "[a-c_x]".generate(&mut rng);
+            assert!(["a", "b", "c", "_", "x"].contains(&c.as_str()), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn exact_quantifier() {
+        let mut rng = TestRng::for_case("quant", 0);
+        let s = "[a-z]{4}".generate(&mut rng);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn literal_atoms_pass_through() {
+        let mut rng = TestRng::for_case("lit", 0);
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+
+    #[test]
+    fn printable_excludes_control_chars() {
+        let mut rng = TestRng::for_case("pc", 0);
+        for _ in 0..50 {
+            let s = "\\PC{0,32}".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn map_flat_map_boxed_union_compose() {
+        let mut rng = TestRng::for_case("combos", 0);
+        let strat =
+            (1u64..4).prop_flat_map(|n| Just(n).prop_map(|n| n * 10).boxed()).prop_map(|n| n + 1);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!([11, 21, 31].contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::for_case("tuple", 0);
+        let (a, b, c, d) = (0u64..5, -3i64..3, Just('x'), 0.0f64..1.0).generate(&mut rng);
+        assert!(a < 5);
+        assert!((-3..3).contains(&b));
+        assert_eq!(c, 'x');
+        assert!((0.0..1.0).contains(&d));
+    }
+}
+
+// ---- tuple strategies ------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
