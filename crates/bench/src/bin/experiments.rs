@@ -20,6 +20,10 @@ use cn_transform::xmi_to_cnx_xslt;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--bench-json") {
+        bench_json(args.iter().any(|a| a == "--smoke"));
+        return;
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     if want("fig1") {
@@ -58,6 +62,115 @@ fn main() {
     if want("e5") {
         e5_tuplespace_vs_messages();
     }
+}
+
+/// Milliseconds per iteration of `f` over `reps` timed runs (one warmup).
+fn ms_per_iter(reps: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
+}
+
+/// `--bench-json [--smoke]`: machine-readable fast-path baseline (E6).
+///
+/// Writes `BENCH_PR2.json` in the current directory: XMI→CNX transform
+/// latency at 5/20/60-task models (XSLT engine and native path), parallel
+/// batch throughput by pool width, raw XML parse bandwidth, and tuple-space
+/// op rate. `--smoke` shrinks iteration counts for CI smoke runs — the
+/// numbers are then indicative only (record-only job, no thresholds).
+fn bench_json(smoke: bool) {
+    use std::fmt::Write as _;
+
+    let reps: u32 = if smoke { 3 } else { 10 };
+    let settings = figure2_settings();
+
+    // Transform latency per model size (the E2/bench "workers" axis).
+    let mut transform_rows = String::new();
+    for &workers in &[5usize, 20, 60] {
+        let xmi = cn_xml::write_document(
+            &cn_model::export_xmi(&figure2_model(workers)),
+            &cn_xml::WriteOptions::xmi(),
+        );
+        let xslt = ms_per_iter(reps, || {
+            xmi_to_cnx_xslt(&xmi, &settings).expect("xslt");
+        });
+        let native = ms_per_iter(reps, || {
+            cn_transform::xmi_to_cnx_native(&xmi, &settings).expect("native");
+        });
+        if !transform_rows.is_empty() {
+            transform_rows.push_str(",\n");
+        }
+        write!(
+            transform_rows,
+            "    {{\"workers\": {workers}, \"xslt_ms_per_iter\": {xslt:.6}, \"native_ms_per_iter\": {native:.6}}}"
+        )
+        .unwrap();
+        println!("transform workers={workers}: xslt {xslt:.3} ms/iter, native {native:.3} ms/iter");
+    }
+
+    // Batch throughput: same stylesheet fanned over a document set.
+    let docs: Vec<String> = (0..if smoke { 8 } else { 32 })
+        .map(|i| {
+            cn_xml::write_document(
+                &cn_model::export_xmi(&figure2_model(20 + i % 5)),
+                &cn_xml::WriteOptions::xmi(),
+            )
+        })
+        .collect();
+    let mut batch_rows = String::new();
+    for &pool in &[1usize, 4, 8] {
+        let batch = cn_transform::BatchTransformer::xmi2cnx(pool).expect("stylesheet");
+        let ms = ms_per_iter(reps, || {
+            let results = batch.run_with_settings(&docs, &settings);
+            assert!(results.iter().all(Result::is_ok));
+        });
+        let docs_per_s = docs.len() as f64 / (ms / 1e3);
+        if !batch_rows.is_empty() {
+            batch_rows.push_str(",\n");
+        }
+        write!(
+            batch_rows,
+            "    {{\"pool\": {pool}, \"docs\": {}, \"docs_per_s\": {docs_per_s:.2}}}",
+            docs.len()
+        )
+        .unwrap();
+        println!("batch pool={pool}: {docs_per_s:.1} docs/s over {} docs", docs.len());
+    }
+
+    // Raw XML parse bandwidth over a large XMI document.
+    let big = cn_xml::write_document(
+        &cn_model::export_xmi(&figure2_model(if smoke { 60 } else { 200 })),
+        &cn_xml::WriteOptions::xmi(),
+    );
+    let parse_ms = ms_per_iter(reps * 3, || {
+        cn_xml::parse(&big).expect("parse");
+    });
+    let parse_mb_s = big.len() as f64 / 1e6 / (parse_ms / 1e3);
+    println!("xml parse: {parse_mb_s:.1} MB/s ({} bytes)", big.len());
+
+    // Tuple-space op rate: out + take pairs, single thread.
+    let ops = if smoke { 20_000u64 } else { 200_000 };
+    let ts = cn_core::TupleSpace::new();
+    let t = Instant::now();
+    for i in 0..ops {
+        ts.out(vec![cn_core::Field::S("k".into()), cn_core::Field::I(i as i64)]);
+    }
+    let pat = vec![Some(cn_core::Field::S("k".into())), None];
+    for _ in 0..ops {
+        ts.try_in(&pat).expect("tuple present");
+    }
+    let ts_ops_s = (2 * ops) as f64 / t.elapsed().as_secs_f64();
+    println!("tuplespace: {ts_ops_s:.0} ops/s");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fast-path baseline (PR2)\",\n  \"mode\": \"{mode}\",\n  \"transform\": [\n{transform_rows}\n  ],\n  \"batch_transform\": [\n{batch_rows}\n  ],\n  \"xml_parse_mb_per_s\": {parse_mb_s:.2},\n  \"tuplespace_ops_per_s\": {ts_ops_s:.0}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+    );
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("wrote BENCH_PR2.json");
 }
 
 fn banner(id: &str, title: &str) {

@@ -47,9 +47,18 @@ pub fn select(policy: Policy, bids: &[Bid], rr_counter: usize) -> Option<&Bid> {
 }
 
 /// Stateful round-robin selector.
+///
+/// The rotation order (server names, sorted) is computed once per *round* —
+/// i.e. once per distinct bidder set — and reused across calls while the
+/// set is unchanged, instead of re-sorting a fresh allocation on every
+/// selection. Bidding rounds in a stable neighborhood produce the same
+/// willing set task after task, so steady-state selection does no sorting
+/// and no allocation.
 #[derive(Debug, Default)]
 pub struct RoundRobin {
     counter: usize,
+    /// Sorted server names from the last round; the cached rotation order.
+    order: Vec<String>,
 }
 
 impl RoundRobin {
@@ -58,7 +67,20 @@ impl RoundRobin {
     }
 
     pub fn select<'a>(&mut self, bids: &'a [Bid]) -> Option<&'a Bid> {
-        let chosen = select(Policy::RoundRobin, bids, self.counter)?;
+        if bids.is_empty() {
+            return None;
+        }
+        // The cache is valid iff it holds exactly this bidder set. Names in
+        // `order` are sorted, so membership is a binary search — no
+        // allocation on the steady-state path.
+        let unchanged = self.order.len() == bids.len()
+            && bids.iter().all(|b| self.order.binary_search(&b.server).is_ok());
+        if !unchanged {
+            self.order = bids.iter().map(|b| b.server.clone()).collect();
+            self.order.sort();
+        }
+        let name = &self.order[self.counter % self.order.len()];
+        let chosen = bids.iter().find(|b| &b.server == name)?;
         self.counter = self.counter.wrapping_add(1);
         Some(chosen)
     }
@@ -103,5 +125,30 @@ mod tests {
         let mut rr = RoundRobin::new();
         let picks: Vec<String> = (0..6).map(|_| rr.select(&bids).unwrap().server.clone()).collect();
         assert_eq!(picks, ["a", "b", "c", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn round_robin_matches_stateless_reference() {
+        let bids = vec![bid("d", 0.1, 8), bid("b", 0.9, 2), bid("a", 0.4, 4), bid("c", 0.2, 1)];
+        let mut rr = RoundRobin::new();
+        for i in 0..10 {
+            assert_eq!(
+                rr.select(&bids).unwrap().server,
+                select(Policy::RoundRobin, &bids, i).unwrap().server
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_resorts_when_bidders_change() {
+        let mut rr = RoundRobin::new();
+        let bids = vec![bid("a", 0.0, 0), bid("b", 0.0, 0)];
+        assert_eq!(rr.select(&bids).unwrap().server, "a");
+        // A bidder joins: the cached order is invalid and must rebuild.
+        let bids = vec![bid("a", 0.0, 0), bid("b", 0.0, 0), bid("0-new", 0.0, 0)];
+        assert_eq!(rr.select(&bids).unwrap().server, "a", "counter=1 → second of sorted");
+        // One leaves: rebuild again, arrival order irrelevant.
+        let bids = vec![bid("b", 0.0, 0), bid("a", 0.0, 0)];
+        assert_eq!(rr.select(&bids).unwrap().server, "a", "counter=2 → wraps to first");
     }
 }

@@ -6,6 +6,8 @@
 //! non-blocking forms are provided. One space exists per job and is
 //! reachable from every task via [`crate::TaskContext::tuplespace`].
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -57,10 +59,17 @@ fn matches(tuple: &Tuple, pattern: &Pattern) -> bool {
 }
 
 /// A Linda-style tuple space.
+///
+/// Tuples are bucketed by arity: a pattern can only match tuples of its own
+/// length, so `rd`/`in` scan one bucket instead of the whole space, and an
+/// `out` of an N-tuple wakes only waiters blocked on arity-N patterns
+/// (matrix-row traffic no longer wakes barrier waiters, and vice versa).
 #[derive(Debug, Default)]
 pub struct TupleSpace {
-    tuples: Mutex<Vec<Tuple>>,
-    cv: Condvar,
+    buckets: Mutex<HashMap<usize, VecDeque<Tuple>>>,
+    /// One condvar per arity, created on first wait or deposit for that
+    /// arity. All condvars pair with the `buckets` mutex.
+    arity_cvs: Mutex<HashMap<usize, Arc<Condvar>>>,
 }
 
 impl TupleSpace {
@@ -68,70 +77,88 @@ impl TupleSpace {
         Self::default()
     }
 
+    /// The wakeup channel for one arity. Taken *before* the bucket lock —
+    /// never while holding it — so lock order is always cvs → buckets.
+    fn cv_for(&self, arity: usize) -> Arc<Condvar> {
+        Arc::clone(self.arity_cvs.lock().entry(arity).or_insert_with(|| Arc::new(Condvar::new())))
+    }
+
     /// Deposit a tuple (`out` in Linda terms).
     pub fn out(&self, tuple: Tuple) {
         assert!(!tuple.is_empty(), "tuples must be non-empty");
-        self.tuples.lock().push(tuple);
-        self.cv.notify_all();
+        let arity = tuple.len();
+        let cv = self.cv_for(arity);
+        self.buckets.lock().entry(arity).or_default().push_back(tuple);
+        cv.notify_all();
     }
 
     /// Non-blocking read: copy a matching tuple if present.
     pub fn try_rd(&self, pattern: &Pattern) -> Option<Tuple> {
-        let tuples = self.tuples.lock();
-        tuples.iter().find(|t| matches(t, pattern)).cloned()
+        let buckets = self.buckets.lock();
+        buckets.get(&pattern.len())?.iter().find(|t| matches(t, pattern)).cloned()
     }
 
     /// Non-blocking take: remove and return a matching tuple if present.
     pub fn try_in(&self, pattern: &Pattern) -> Option<Tuple> {
-        let mut tuples = self.tuples.lock();
-        let pos = tuples.iter().position(|t| matches(t, pattern))?;
-        Some(tuples.remove(pos))
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.get_mut(&pattern.len())?;
+        let pos = bucket.iter().position(|t| matches(t, pattern))?;
+        bucket.remove(pos)
     }
 
     /// Blocking read with timeout.
     pub fn rd(&self, pattern: &Pattern, timeout: Duration) -> Option<Tuple> {
+        let arity = pattern.len();
+        let cv = self.cv_for(arity);
         let deadline = Instant::now() + timeout;
-        let mut tuples = self.tuples.lock();
+        let mut buckets = self.buckets.lock();
         loop {
-            if let Some(t) = tuples.iter().find(|t| matches(t, pattern)) {
-                return Some(t.clone());
+            let hit =
+                buckets.get(&arity).and_then(|b| b.iter().find(|t| matches(t, pattern)).cloned());
+            if hit.is_some() {
+                return hit;
             }
-            let now = Instant::now();
-            if now >= deadline {
+            if Instant::now() >= deadline {
                 return None;
             }
-            if self.cv.wait_until(&mut tuples, deadline).timed_out() {
-                return tuples.iter().find(|t| matches(t, pattern)).cloned();
+            if cv.wait_until(&mut buckets, deadline).timed_out() {
+                return buckets
+                    .get(&arity)
+                    .and_then(|b| b.iter().find(|t| matches(t, pattern)).cloned());
             }
         }
     }
 
     /// Blocking take with timeout.
     pub fn take(&self, pattern: &Pattern, timeout: Duration) -> Option<Tuple> {
+        let arity = pattern.len();
+        let cv = self.cv_for(arity);
         let deadline = Instant::now() + timeout;
-        let mut tuples = self.tuples.lock();
+        let mut buckets = self.buckets.lock();
         loop {
-            if let Some(pos) = tuples.iter().position(|t| matches(t, pattern)) {
-                return Some(tuples.remove(pos));
+            if let Some(bucket) = buckets.get_mut(&arity) {
+                if let Some(pos) = bucket.iter().position(|t| matches(t, pattern)) {
+                    return bucket.remove(pos);
+                }
             }
-            let now = Instant::now();
-            if now >= deadline {
+            if Instant::now() >= deadline {
                 return None;
             }
-            if self.cv.wait_until(&mut tuples, deadline).timed_out() {
-                let pos = tuples.iter().position(|t| matches(t, pattern))?;
-                return Some(tuples.remove(pos));
+            if cv.wait_until(&mut buckets, deadline).timed_out() {
+                let bucket = buckets.get_mut(&arity)?;
+                let pos = bucket.iter().position(|t| matches(t, pattern))?;
+                return bucket.remove(pos);
             }
         }
     }
 
     /// Number of tuples currently in the space.
     pub fn len(&self) -> usize {
-        self.tuples.lock().len()
+        self.buckets.lock().values().map(VecDeque::len).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.tuples.lock().is_empty()
+        self.len() == 0
     }
 }
 
@@ -220,6 +247,40 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (0..n as i64).collect::<Vec<_>>());
         assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn arity_buckets_stay_disjoint() {
+        let ts = TupleSpace::new();
+        ts.out(vec![Field::I(1)]);
+        ts.out(vec![Field::I(1), Field::I(2)]);
+        assert_eq!(ts.len(), 2);
+        assert!(ts.try_in(&vec![None, None]).is_some());
+        assert!(ts.try_in(&vec![None]).is_some());
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn waiter_survives_traffic_of_other_arities() {
+        // A take blocked on a 2-field pattern must see the 2-tuple even
+        // while 1-tuples are being deposited concurrently.
+        let ts = Arc::new(TupleSpace::new());
+        let producer = {
+            let ts = ts.clone();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    ts.out(vec![Field::I(i)]);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                ts.out(vec![Field::S("pair".into()), Field::I(7)]);
+            })
+        };
+        let got = ts
+            .take(&vec![Some(Field::S("pair".into())), None], Duration::from_secs(2))
+            .expect("2-tuple arrives");
+        assert_eq!(got[1], Field::I(7));
+        assert_eq!(ts.len(), 50, "unrelated 1-tuples untouched");
+        producer.join().unwrap();
     }
 
     #[test]

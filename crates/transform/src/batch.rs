@@ -1,0 +1,177 @@
+//! Parallel batch transformation.
+//!
+//! The portal receives independent XMI documents — one per submitted model —
+//! and pushes each through the same stylesheet. A [`BatchTransformer`]
+//! compiles the stylesheet once (through the process-wide
+//! [`compile_cached`] table, so the dispatch index and every XPath
+//! expression in it are shared) and fans the documents across a pool of
+//! worker threads connected by crossbeam channels. Results come back in
+//! input order; a document that fails to parse or transform yields an `Err`
+//! in its slot without disturbing its neighbours.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use cn_xpath::Value;
+use cn_xslt::{compile_cached, transform_with_params, Stylesheet, XsltError};
+use crossbeam::channel;
+
+use crate::xmi2cnx::{ClientSettings, XMI2CNX_XSLT};
+
+/// A stylesheet compiled once, applied to many documents in parallel.
+pub struct BatchTransformer {
+    style: Arc<Stylesheet>,
+    workers: usize,
+    /// Element that must be present in every input (e.g.
+    /// `UML:ActivityGraph` for XMI batches); inputs without it error out.
+    require_element: Option<&'static str>,
+}
+
+impl BatchTransformer {
+    /// Compile `stylesheet_src` (or reuse a cached compilation) for a pool
+    /// of `workers` threads.
+    pub fn new(stylesheet_src: &str, workers: usize) -> Result<BatchTransformer, XsltError> {
+        Ok(BatchTransformer {
+            style: compile_cached(stylesheet_src)?,
+            workers: workers.max(1),
+            require_element: None,
+        })
+    }
+
+    /// The XMI→CNX batch: keyed stylesheet, inputs must contain a
+    /// `UML:ActivityGraph` (same guard as [`crate::xmi_to_cnx_xslt`]).
+    pub fn xmi2cnx(workers: usize) -> Result<BatchTransformer, XsltError> {
+        let mut b = BatchTransformer::new(XMI2CNX_XSLT, workers)?;
+        b.require_element = Some("UML:ActivityGraph");
+        Ok(b)
+    }
+
+    /// The compiled stylesheet backing this batch.
+    pub fn style(&self) -> &Stylesheet {
+        &self.style
+    }
+
+    /// Pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Transform every document in `inputs` with [`ClientSettings`]-derived
+    /// parameters. See [`BatchTransformer::run`].
+    pub fn run_with_settings(
+        &self,
+        inputs: &[String],
+        settings: &ClientSettings,
+    ) -> Vec<Result<String, XsltError>> {
+        self.run(inputs, &settings.params())
+    }
+
+    /// Transform every document in `inputs`, in parallel, preserving input
+    /// order. Equivalent to (and differential-tested against) transforming
+    /// each input sequentially.
+    pub fn run(
+        &self,
+        inputs: &[String],
+        params: &HashMap<String, Value>,
+    ) -> Vec<Result<String, XsltError>> {
+        let n = inputs.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return inputs.iter().map(|src| self.transform_one(src, params)).collect();
+        }
+
+        let (job_tx, job_rx) = channel::unbounded::<(usize, &str)>();
+        let (result_tx, result_rx) = channel::unbounded::<(usize, Result<String, XsltError>)>();
+        for (i, src) in inputs.iter().enumerate() {
+            job_tx.send((i, src.as_str())).expect("job receiver alive");
+        }
+        // Disconnect the job channel so workers exit once it drains.
+        drop(job_tx);
+
+        let mut out: Vec<Option<Result<String, XsltError>>> = (0..n).map(|_| None).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((i, src)) = job_rx.recv() {
+                        let _ = result_tx.send((i, self.transform_one(src, params)));
+                    }
+                });
+            }
+            drop(result_tx);
+            drop(job_rx);
+            while let Ok((i, r)) = result_rx.recv() {
+                out[i] = Some(r);
+            }
+        });
+        out.into_iter().map(|r| r.expect("every input produces exactly one result")).collect()
+    }
+
+    fn transform_one(
+        &self,
+        src: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<String, XsltError> {
+        let doc = cn_xml::parse(src).map_err(|e| XsltError::new(e.to_string()))?;
+        if let Some(required) = self.require_element {
+            if doc.find(doc.document_node(), required).is_none() {
+                return Err(XsltError::new(format!(
+                    "input does not look like an XMI activity model (no {required} element)"
+                )));
+            }
+        }
+        Ok(transform_with_params(&self.style, &doc, params)?.to_output_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmi2cnx::xmi_to_cnx_xslt;
+    use cn_model::{export_xmi, transitive_closure_model};
+    use cn_xml::WriteOptions;
+
+    fn xmi_text(workers: usize) -> String {
+        cn_xml::write_document(
+            &export_xmi(&transitive_closure_model(workers)),
+            &WriteOptions::xmi(),
+        )
+    }
+
+    fn settings() -> ClientSettings {
+        ClientSettings { class: Some("Batch".into()), port: Some(4000), log: None }
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_order() {
+        let inputs: Vec<String> = (1..=6).map(xmi_text).collect();
+        let batch = BatchTransformer::xmi2cnx(4).unwrap();
+        let got = batch.run_with_settings(&inputs, &settings());
+        for (src, out) in inputs.iter().zip(&got) {
+            let sequential = xmi_to_cnx_xslt(src, &settings()).unwrap();
+            assert_eq!(out.as_ref().unwrap(), &sequential);
+        }
+    }
+
+    #[test]
+    fn bad_inputs_fail_in_place() {
+        let inputs = vec![xmi_text(2), "<broken".to_string(), "<notxmi/>".to_string(), xmi_text(1)];
+        let batch = BatchTransformer::xmi2cnx(3).unwrap();
+        let got = batch.run_with_settings(&inputs, &settings());
+        assert!(got[0].is_ok());
+        assert!(got[1].is_err());
+        assert!(got[2].as_ref().is_err_and(|e| e.msg.contains("UML:ActivityGraph")));
+        assert!(got[3].is_ok());
+    }
+
+    #[test]
+    fn single_worker_and_empty_batches_work() {
+        let batch = BatchTransformer::xmi2cnx(1).unwrap();
+        assert!(batch.run_with_settings(&[], &settings()).is_empty());
+        let got = batch.run_with_settings(&[xmi_text(1)], &settings());
+        assert_eq!(got.len(), 1);
+        assert!(got[0].is_ok());
+    }
+}

@@ -11,6 +11,7 @@ use std::time::Duration;
 use cn_cluster::NodeSpec;
 use cn_core::{DynamicArgs, JobReport, Neighborhood};
 
+use crate::batch::BatchTransformer;
 use crate::cnx2java::cnx_to_java_xslt;
 use crate::xmi2cnx::{xmi_to_cnx_xslt, ClientSettings};
 
@@ -21,6 +22,14 @@ pub struct PortalResponse {
     pub rust_source: String,
     pub java_source: String,
     pub reports: Vec<JobReport>,
+}
+
+/// The downloadable artifacts for one translated model (no execution).
+#[derive(Debug)]
+pub struct PortalArtifacts {
+    pub cnx_text: String,
+    pub rust_source: String,
+    pub java_source: String,
 }
 
 /// A portal fronting its own CN deployment.
@@ -70,6 +79,37 @@ impl Portal {
         Ok(PortalResponse { cnx_text, rust_source, java_source, reports })
     }
 
+    /// Translate a batch of XMI documents to downloadable artifacts without
+    /// executing them, fanning the XSLT work across `workers` threads.
+    ///
+    /// Each input gets its own result slot, in input order; one broken model
+    /// does not sink the batch.
+    pub fn translate_batch(
+        &self,
+        xmi_texts: &[String],
+        settings: &ClientSettings,
+        workers: usize,
+    ) -> Vec<Result<PortalArtifacts, String>> {
+        let batch = match BatchTransformer::xmi2cnx(workers) {
+            Ok(b) => b,
+            Err(e) => return xmi_texts.iter().map(|_| Err(format!("XMI2CNX: {e}"))).collect(),
+        };
+        batch
+            .run_with_settings(xmi_texts, settings)
+            .into_iter()
+            .map(|cnx| {
+                let cnx_text = cnx.map_err(|e| format!("XMI2CNX: {e}"))?;
+                let descriptor =
+                    cn_cnx::parse_cnx(&cnx_text).map_err(|e| format!("CNX parse: {e}"))?;
+                cn_cnx::validate(&descriptor).map_err(|e| format!("CNX validation: {e}"))?;
+                let rust_source = cn_codegen::generate_rust_client(&descriptor);
+                let java_source =
+                    cnx_to_java_xslt(&cnx_text).map_err(|e| format!("CNX2Java: {e}"))?;
+                Ok(PortalArtifacts { cnx_text, rust_source, java_source })
+            })
+            .collect()
+    }
+
     /// Tear down the deployment.
     pub fn shutdown(self) {
         self.neighborhood.shutdown();
@@ -103,6 +143,32 @@ mod tests {
         let result =
             Matrix::from_userdata(response.reports[0].result("tctask999").unwrap()).unwrap();
         assert_eq!(result, floyd_sequential(&input));
+        portal.shutdown();
+    }
+
+    #[test]
+    fn translate_batch_produces_per_model_artifacts() {
+        let portal = Portal::new(1);
+        let models: Vec<String> = (2..=4)
+            .map(|w| {
+                cn_xml::write_document(
+                    &cn_model::export_xmi(&figure2_model(w)),
+                    &WriteOptions::xmi(),
+                )
+            })
+            .chain(std::iter::once("<notxmi/>".to_string()))
+            .collect();
+        let got = portal.translate_batch(&models, &figure2_settings(), 3);
+        assert_eq!(got.len(), 4);
+        for (w, artifacts) in (2..=4).zip(&got) {
+            let artifacts = artifacts.as_ref().unwrap();
+            // figure2_model(w) has w workers plus split and join tasks.
+            let parsed = cn_cnx::parse_cnx(&artifacts.cnx_text).unwrap();
+            assert_eq!(parsed.task_count(), w + 2);
+            assert!(artifacts.java_source.contains("TransClosure"));
+            assert!(artifacts.rust_source.contains("run_transclosure"));
+        }
+        assert!(got[3].as_ref().is_err_and(|e| e.contains("XMI2CNX")));
         portal.shutdown();
     }
 

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use cn_cnx::{Client, CnxDocument, Job, Param, ParamType, RunModel, Task};
 use cn_model::{ActivityGraph, NodeId};
 use cn_xpath::Value;
-use cn_xslt::{transform, Stylesheet, XsltError};
+use cn_xslt::{compile_cached, XsltError};
 
 /// The keyless XMI→CNX stylesheet (the original formulation): every idref
 /// resolution and transition lookup rescans the document, which makes it
@@ -313,7 +313,7 @@ pub struct ClientSettings {
 }
 
 impl ClientSettings {
-    fn params(&self) -> HashMap<String, Value> {
+    pub(crate) fn params(&self) -> HashMap<String, Value> {
         let mut params = HashMap::new();
         if let Some(c) = &self.class {
             params.insert("client-class".to_string(), Value::Str(c.clone()));
@@ -346,7 +346,7 @@ fn run_stylesheet(
     xmi_text: &str,
     settings: &ClientSettings,
 ) -> Result<String, XsltError> {
-    let style = Stylesheet::parse(stylesheet)?;
+    let style = compile_cached(stylesheet)?;
     let doc = cn_xml::parse(xmi_text).map_err(|e| XsltError::new(e.to_string()))?;
     // Guard against non-XMI input: the stylesheet would "succeed" with an
     // empty client, which is never what the caller meant.
@@ -364,9 +364,8 @@ pub fn xmi_to_cnx_xslt_doc(
     doc: &cn_xml::Document,
     settings: &ClientSettings,
 ) -> Result<String, XsltError> {
-    let style = Stylesheet::parse(XMI2CNX_XSLT)?;
+    let style = compile_cached(XMI2CNX_XSLT)?;
     let result = cn_xslt::exec::transform_with_params(&style, doc, &settings.params())?;
-    let _ = transform; // (re-exported API; parameterized form used here)
     Ok(result.to_output_string())
 }
 

@@ -8,7 +8,7 @@
 //! the tool chain performs).
 
 use crate::error::{Pos, XmlError, XmlErrorKind};
-use crate::name::QName;
+use crate::name::{Atom, QName};
 use crate::reader::{Event, Reader};
 
 /// Index of a node in its document's arena.
@@ -265,9 +265,16 @@ impl Document {
         self.children(id).iter().copied().filter(move |&c| self.is_element(c))
     }
 
+    /// Non-inserting atom lookup for query-side names. A `None` means the
+    /// name was never interned, so no parsed node or attribute can bear it.
+    fn query_atom(name: &str) -> Option<Atom> {
+        Atom::lookup(name)
+    }
+
     /// First child element with the given full lexical name.
     pub fn first_child_named(&self, id: NodeId, name: &str) -> Option<NodeId> {
-        self.child_elements(id).find(|&c| self.name(c).is_some_and(|n| n.is(name)))
+        let atom = Self::query_atom(name)?;
+        self.child_elements(id).find(|&c| self.name(c).is_some_and(|n| n.atom() == atom))
     }
 
     /// All child elements with the given full lexical name.
@@ -276,14 +283,30 @@ impl Document {
         id: NodeId,
         name: &'a str,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.child_elements(id).filter(move |&c| self.name(c).is_some_and(|n| n.is(name)))
+        let atom = Self::query_atom(name);
+        self.child_elements(id)
+            .filter(move |&c| atom.is_some_and(|a| self.name(c).is_some_and(|n| n.atom() == a)))
     }
 
-    /// Attribute value by full lexical name.
+    /// Attribute value by full lexical name. The name is resolved to an
+    /// interned atom once; the scan over the attribute list is then integer
+    /// compares.
     pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
         match self.kind(id) {
             NodeKind::Element { attrs, .. } => {
-                attrs.iter().find(|(n, _)| n.is(name)).map(|(_, v)| v.as_str())
+                let atom = Self::query_atom(name)?;
+                attrs.iter().find(|(n, _)| n.atom() == atom).map(|(_, v)| v.as_str())
+            }
+            _ => None,
+        }
+    }
+
+    /// Attribute value by pre-interned name — the fast path when the caller
+    /// already holds a [`QName`] (e.g. compiled XPath/XSLT node tests).
+    pub fn attr_by_qname(&self, id: NodeId, name: &QName) -> Option<&str> {
+        match self.kind(id) {
+            NodeKind::Element { attrs, .. } => {
+                attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
             }
             _ => None,
         }
@@ -299,6 +322,20 @@ impl Document {
 
     /// Concatenated descendant text (the XPath `string()` value of a node).
     pub fn text_content(&self, id: NodeId) -> String {
+        // Common shapes first, with no intermediate buffer growth: a text
+        // node itself, or an element whose only child is one text node
+        // (`<memory>1000</memory>`).
+        match self.kind(id) {
+            NodeKind::Text(t) => return t.clone(),
+            NodeKind::Document | NodeKind::Element { .. } => {
+                if let [only] = self.children(id)[..] {
+                    if let NodeKind::Text(t) = self.kind(only) {
+                        return t.clone();
+                    }
+                }
+            }
+            NodeKind::Comment(_) | NodeKind::ProcessingInstruction { .. } => return String::new(),
+        }
         let mut out = String::new();
         self.collect_text(id, &mut out);
         out
@@ -324,13 +361,15 @@ impl Document {
     /// Find the first descendant element (in document order) with the given
     /// full lexical name.
     pub fn find(&self, from: NodeId, name: &str) -> Option<NodeId> {
-        self.descendants(from).find(|&n| self.name(n).is_some_and(|q| q.is(name)))
+        let atom = Self::query_atom(name)?;
+        self.descendants(from).find(|&n| self.name(n).is_some_and(|q| q.atom() == atom))
     }
 
     /// All descendant elements with the given full lexical name, in document
     /// order.
     pub fn find_all(&self, from: NodeId, name: &str) -> Vec<NodeId> {
-        self.descendants(from).filter(|&n| self.name(n).is_some_and(|q| q.is(name))).collect()
+        let Some(atom) = Self::query_atom(name) else { return Vec::new() };
+        self.descendants(from).filter(|&n| self.name(n).is_some_and(|q| q.atom() == atom)).collect()
     }
 
     /// Document-order position of every node, used for node-set sorting.

@@ -30,7 +30,7 @@ pub mod writer;
 
 pub use dom::{Document, Node, NodeId, NodeKind};
 pub use error::{Pos, XmlError, XmlErrorKind};
-pub use name::QName;
+pub use name::{Atom, QName};
 pub use reader::{Event, Reader};
 pub use writer::{write_document, write_fragment, WriteOptions};
 

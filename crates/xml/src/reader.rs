@@ -9,7 +9,7 @@ use std::borrow::Cow;
 
 use crate::error::{Pos, XmlError, XmlErrorKind};
 use crate::escape::unescape;
-use crate::name::{is_name_char, is_name_start, QName};
+use crate::name::{is_ascii_name_char, is_name_char, is_name_start, QName};
 
 /// One parsed attribute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +50,11 @@ pub struct Reader<'a> {
     col: u32,
     /// Stack of open element names for nesting checks.
     open: Vec<QName>,
+    /// Per-document intern memo keyed by the raw input slice: a document
+    /// mentions each distinct name many times, and this keeps the global
+    /// (locked) intern table to one hit per *distinct* name, so concurrent
+    /// parsers don't serialize on the interner.
+    interned: std::collections::HashMap<&'a str, QName>,
     /// Set once `Eof` has been returned.
     done: bool,
     /// True until the first non-decl event is produced.
@@ -58,7 +63,16 @@ pub struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     pub fn new(input: &'a str) -> Self {
-        Reader { input, at: 0, line: 1, col: 1, open: Vec::new(), done: false, at_start: true }
+        Reader {
+            input,
+            at: 0,
+            line: 1,
+            col: 1,
+            open: Vec::new(),
+            interned: std::collections::HashMap::new(),
+            done: false,
+            at_start: true,
+        }
     }
 
     /// Current source position.
@@ -93,9 +107,43 @@ impl<'a> Reader<'a> {
 
     fn advance(&mut self, bytes: usize) {
         let target = self.at + bytes;
+        let input = self.input.as_bytes();
         while self.at < target {
-            self.bump();
+            let b = input[self.at];
+            self.at += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if b & 0xC0 != 0x80 {
+                // Count characters, not bytes: UTF-8 continuation bytes do
+                // not advance the column.
+                self.col += 1;
+            }
         }
+    }
+
+    /// Byte-cursor fast path: advance over a run of bytes satisfying `pred`,
+    /// keeping line/col in sync. `pred` sees raw bytes, so callers must
+    /// either reject all bytes >= 0x80 or only stop on ASCII sentinels
+    /// (which never occur inside a multi-byte UTF-8 sequence).
+    fn skip_bytes_while(&mut self, pred: impl Fn(u8) -> bool) {
+        let bytes = self.input.as_bytes();
+        let (mut i, mut line, mut col) = (self.at, self.line, self.col);
+        while let Some(&b) = bytes.get(i) {
+            if !pred(b) {
+                break;
+            }
+            i += 1;
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else if b & 0xC0 != 0x80 {
+                col += 1;
+            }
+        }
+        self.at = i;
+        self.line = line;
+        self.col = col;
     }
 
     fn err(&self, kind: XmlErrorKind) -> XmlError {
@@ -103,8 +151,15 @@ impl<'a> Reader<'a> {
     }
 
     fn eat_ws(&mut self) {
-        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
-            self.bump();
+        loop {
+            self.skip_bytes_while(|b| b.is_ascii_whitespace());
+            // Rare non-ASCII whitespace falls back to the char path.
+            match self.peek() {
+                Some(c) if !c.is_ascii() && c.is_whitespace() => {
+                    self.bump();
+                }
+                _ => return,
+            }
         }
     }
 
@@ -127,10 +182,23 @@ impl<'a> Reader<'a> {
             }
             _ => return Err(self.err(XmlErrorKind::ExpectedName)),
         }
-        while matches!(self.peek(), Some(c) if is_name_char(c)) {
-            self.bump();
+        loop {
+            self.skip_bytes_while(|b| b < 0x80 && is_ascii_name_char(b));
+            // Non-ASCII name characters fall back to the char path.
+            match self.peek() {
+                Some(c) if !c.is_ascii() && is_name_char(c) => {
+                    self.bump();
+                }
+                _ => break,
+            }
         }
-        Ok(QName::new(&self.input[start..self.at]))
+        let raw = &self.input[start..self.at];
+        if let Some(q) = self.interned.get(raw) {
+            return Ok(*q);
+        }
+        let q = QName::new(raw);
+        self.interned.insert(raw, q);
+        Ok(q)
     }
 
     fn read_until(
@@ -188,19 +256,18 @@ impl<'a> Reader<'a> {
         self.bump();
         let pos = self.pos();
         let start = self.at;
-        loop {
-            match self.peek() {
-                Some(c) if c == quote => {
-                    let raw = &self.input[start..self.at];
-                    self.bump();
-                    return unescape(raw, pos);
-                }
-                Some('<') => return Err(self.err(XmlErrorKind::UnexpectedChar('<'))),
-                Some(_) => {
-                    self.bump();
-                }
-                None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        let q = quote as u8;
+        // Both sentinels are ASCII, so they never occur mid-character.
+        self.skip_bytes_while(|b| b != q && b != b'<');
+        match self.peek() {
+            Some(c) if c == quote => {
+                let raw = &self.input[start..self.at];
+                self.bump();
+                unescape(raw, pos)
             }
+            Some('<') => Err(self.err(XmlErrorKind::UnexpectedChar('<'))),
+            Some(_) => unreachable!("scan stops only on quote or '<'"),
+            None => Err(self.err(XmlErrorKind::UnexpectedEof)),
         }
     }
 
@@ -213,7 +280,7 @@ impl<'a> Reader<'a> {
             match self.peek() {
                 Some('>') => {
                     self.bump();
-                    self.open.push(name.clone());
+                    self.open.push(name);
                     return Ok(Event::StartTag { name, attrs, self_closing: false });
                 }
                 Some('/') => {
@@ -321,12 +388,7 @@ impl<'a> Reader<'a> {
             // Character data up to the next '<' or EOF.
             let pos = self.pos();
             let start = self.at;
-            while let Some(c) = self.peek() {
-                if c == '<' {
-                    break;
-                }
-                self.bump();
-            }
+            self.skip_bytes_while(|b| b != b'<');
             let raw = &self.input[start..self.at];
             if self.open.is_empty() && !raw.trim().is_empty() {
                 return Err(XmlError::new(

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use cn_xml::QName;
+
 /// Binary operators, in the spec's precedence groups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
@@ -87,8 +89,9 @@ impl Axis {
 pub enum NodeTest {
     /// `*` — any element (or any attribute on the attribute axis).
     Any,
-    /// `name` or `prefix:name` — full lexical name match.
-    Name(String),
+    /// `name` or `prefix:name` — full lexical name match. The name is
+    /// interned at parse time, so evaluation compares atoms, not strings.
+    Name(QName),
     /// `prefix:*`
     PrefixAny(String),
     /// `text()`
@@ -109,7 +112,7 @@ pub struct Step {
 
 impl Step {
     pub fn child(name: &str) -> Step {
-        Step { axis: Axis::Child, test: NodeTest::Name(name.to_string()), predicates: Vec::new() }
+        Step { axis: Axis::Child, test: NodeTest::Name(QName::new(name)), predicates: Vec::new() }
     }
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use cn_xml::{Document, NodeId, NodeKind};
+use cn_xml::{Atom, Document, NodeId, NodeKind, QName};
 
 use crate::ast::{Axis, BinOp, Expr, NodeTest, PathExpr, Step};
 use crate::functions::call_function;
@@ -39,7 +39,7 @@ impl std::error::Error for EvalError {}
 /// idrefs (like XMI2CNX) rescan the document per lookup.
 #[derive(Default)]
 pub struct ScanCache {
-    by_name: Mutex<HashMap<String, Arc<Vec<XNode>>>>,
+    by_name: Mutex<HashMap<Atom, Arc<Vec<XNode>>>>,
 }
 
 impl ScanCache {
@@ -66,7 +66,10 @@ pub struct Ctx<'d> {
     pub position: usize,
     /// Context size.
     pub size: usize,
-    pub vars: HashMap<String, Value>,
+    /// Variable environment, shared copy-on-write: focusing the context on
+    /// another node (`at`) is a pointer copy, and bindings clone the map
+    /// only when it is actually shared.
+    pub vars: Arc<HashMap<String, Value>>,
     /// Optional shared scan cache (valid only while `doc` is unmodified).
     pub cache: Option<Arc<ScanCache>>,
     /// Optional `key()` resolver (supplied by the XSLT runtime).
@@ -80,14 +83,29 @@ impl<'d> Ctx<'d> {
             node: XNode::Node(node),
             position: 1,
             size: 1,
-            vars: HashMap::new(),
+            vars: Arc::new(HashMap::new()),
             cache: None,
             keys: None,
         }
     }
 
     pub fn with_vars(doc: &'d Document, node: NodeId, vars: HashMap<String, Value>) -> Self {
-        Ctx { doc, node: XNode::Node(node), position: 1, size: 1, vars, cache: None, keys: None }
+        Ctx {
+            doc,
+            node: XNode::Node(node),
+            position: 1,
+            size: 1,
+            vars: Arc::new(vars),
+            cache: None,
+            keys: None,
+        }
+    }
+
+    /// Bind (or shadow) a variable. Copy-on-write: cheap when this context
+    /// is the sole owner of its environment, clones the map only when it is
+    /// shared with other live contexts.
+    pub fn bind_var(&mut self, name: impl Into<String>, value: Value) {
+        Arc::make_mut(&mut self.vars).insert(name.into(), value);
     }
 
     /// Attach a shared scan cache (the document must not change while the
@@ -104,33 +122,35 @@ impl<'d> Ctx<'d> {
     }
 
     /// A copy of this context focused on a different node/position/size.
+    /// Cheap: the variable environment is shared, not cloned.
     pub fn at(&self, node: XNode, position: usize, size: usize) -> Ctx<'d> {
         Ctx {
             doc: self.doc,
             node,
             position,
             size,
-            vars: self.vars.clone(),
+            vars: Arc::clone(&self.vars),
             cache: self.cache.clone(),
             keys: self.keys.clone(),
         }
     }
 
     /// All elements named `name`, document order, via the scan cache.
-    fn cached_descendants_named(&self, name: &str) -> Option<Arc<Vec<XNode>>> {
+    fn cached_descendants_named(&self, name: &QName) -> Option<Arc<Vec<XNode>>> {
         let cache = self.cache.as_ref()?;
+        let atom = name.atom();
         let mut by_name = cache.by_name.lock();
-        if let Some(hit) = by_name.get(name) {
+        if let Some(hit) = by_name.get(&atom) {
             return Some(Arc::clone(hit));
         }
         let nodes: Vec<XNode> = self
             .doc
             .descendants(self.doc.document_node())
-            .filter(|&n| self.doc.name(n).is_some_and(|q| q.is(name)))
+            .filter(|&n| self.doc.name(n).is_some_and(|q| q.atom() == atom))
             .map(XNode::Node)
             .collect();
         let arc = Arc::new(nodes);
-        by_name.insert(name.to_string(), Arc::clone(&arc));
+        by_name.insert(atom, Arc::clone(&arc));
         Some(arc)
     }
 
@@ -456,7 +476,11 @@ impl<'d> Ctx<'d> {
                 }
                 match test {
                     NodeTest::Any => true,
-                    NodeTest::Name(want) => node.name(doc) == want,
+                    // Interned-name integer compare — the hot path of every
+                    // axis step.
+                    NodeTest::Name(want) => {
+                        node.qname(doc).is_some_and(|q| q.atom() == want.atom())
+                    }
                     NodeTest::PrefixAny(prefix) => node
                         .name(doc)
                         .strip_prefix(prefix.as_str())

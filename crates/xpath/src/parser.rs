@@ -4,6 +4,7 @@
 use std::fmt;
 
 use crate::ast::{Axis, BinOp, Expr, NodeTest, PathExpr, Step};
+use cn_xml::QName;
 
 /// Parse failure with a byte offset into the expression text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -618,7 +619,7 @@ impl Parser {
                 } else if let Some(prefix) = n.strip_suffix(":*") {
                     Ok(NodeTest::PrefixAny(prefix.to_string()))
                 } else {
-                    Ok(NodeTest::Name(n))
+                    Ok(NodeTest::Name(QName::new(n)))
                 }
             }
             _ => Err(self.err("expected a node test")),

@@ -50,6 +50,19 @@ impl XNode {
         }
     }
 
+    /// The element/attribute [`QName`], if this node has one. Comparing the
+    /// returned name's atom against a query atom is the integer fast path
+    /// used by node tests.
+    pub fn qname(&self, doc: &Document) -> Option<cn_xml::QName> {
+        match *self {
+            XNode::Node(n) => match doc.kind(n) {
+                NodeKind::Element { name, .. } => Some(*name),
+                _ => None,
+            },
+            XNode::Attr { owner, index } => doc.attrs(owner).get(index).map(|(n, _)| *n),
+        }
+    }
+
     /// The local part of the name (`local-name()`).
     pub fn local_name<'d>(&self, doc: &'d Document) -> &'d str {
         match *self {

@@ -11,6 +11,7 @@ use cn_xpath::{Ctx, EvalError, Value, XNode};
 
 use parking_lot::Mutex;
 
+use crate::dispatch::DispatchIndex;
 use crate::output::{serialize, Builder, OutputMethod};
 use crate::stylesheet::{
     Avt, AvtPart, Instruction, KeyDef, SortKey, Stylesheet, Template, ValueSource,
@@ -65,37 +66,71 @@ pub fn transform(style: &Stylesheet, source: &Document) -> Result<TransformResul
     transform_with_params(style, source, &HashMap::new())
 }
 
+/// Execution options. The defaults are what production callers want; the
+/// differential tests flip them to compare against reference behaviour.
+#[derive(Debug, Clone)]
+pub struct TransformOptions {
+    /// Resolve `apply-templates` through the per-mode name-keyed dispatch
+    /// index instead of scanning every rule. `false` forces the reference
+    /// linear scan (identical output, used for differential testing).
+    pub indexed_dispatch: bool,
+}
+
+impl Default for TransformOptions {
+    fn default() -> Self {
+        TransformOptions { indexed_dispatch: true }
+    }
+}
+
 /// Run `style` against `source`, overriding top-level `xsl:param`s.
 pub fn transform_with_params(
     style: &Stylesheet,
     source: &Document,
     params: &HashMap<String, Value>,
 ) -> Result<TransformResult, XsltError> {
+    transform_with_options(style, source, params, &TransformOptions::default())
+}
+
+/// Full-control entry point: [`transform_with_params`] plus
+/// [`TransformOptions`].
+pub fn transform_with_options(
+    style: &Stylesheet,
+    source: &Document,
+    params: &HashMap<String, Value>,
+    options: &TransformOptions,
+) -> Result<TransformResult, XsltError> {
     let keys: Arc<KeyTables<'_>> = Arc::new(KeyTables::new(source, &style.keys));
+    let proto = Ctx::new(source, source.document_node())
+        .with_cache(Arc::new(ScanCache::new()))
+        .with_keys(Arc::clone(&keys) as Arc<dyn KeyResolver + '_>);
     let mut runtime = Runtime {
         style,
         source,
         builder: Builder::new(),
         messages: Vec::new(),
-        globals: HashMap::new(),
         depth: 0,
-        cache: Arc::new(ScanCache::new()),
-        keys,
+        dispatch: if options.indexed_dispatch { Some(style.dispatch_index()) } else { None },
+        proto,
     };
-    // Global params first (caller override beats default), then globals.
+    // Global params first (caller override beats default), then globals;
+    // later declarations see earlier bindings.
     for (name, default) in &style.global_params {
         let v = match params.get(name) {
             Some(v) => v.clone(),
             None => match default {
-                Some(vs) => runtime.eval_value_source(vs, &runtime.root_ctx())?,
+                Some(vs) => {
+                    let ctx = runtime.proto.clone();
+                    runtime.eval_value_source(vs, &ctx)?
+                }
                 None => Value::Str(String::new()),
             },
         };
-        runtime.globals.insert(name.clone(), v);
+        runtime.proto.bind_var(name.clone(), v);
     }
     for (name, vs) in &style.globals {
-        let v = runtime.eval_value_source(vs, &runtime.root_ctx())?;
-        runtime.globals.insert(name.clone(), v);
+        let ctx = runtime.proto.clone();
+        let v = runtime.eval_value_source(vs, &ctx)?;
+        runtime.proto.bind_var(name.clone(), v);
     }
 
     let root = XNode::Node(source.document_node());
@@ -117,13 +152,15 @@ struct Runtime<'a> {
     source: &'a Document,
     builder: Builder,
     messages: Vec<String>,
-    globals: HashMap<String, Value>,
     depth: usize,
-    /// Shared whole-document scan cache (the source is immutable for the
-    /// duration of the transform).
-    cache: Arc<ScanCache>,
-    /// Lazily built `xsl:key` index tables.
-    keys: Arc<KeyTables<'a>>,
+    /// Name-keyed template dispatch index, or `None` to force the reference
+    /// linear scan over every rule.
+    dispatch: Option<&'a DispatchIndex>,
+    /// Prototype evaluation context: positioned at the document node, with
+    /// global bindings, the shared whole-document scan cache, and the lazily
+    /// built `xsl:key` tables. Per-node contexts derive from it via
+    /// [`Ctx::at`] — an `Arc` refcount bump, not a variable-map copy.
+    proto: Ctx<'a>,
 }
 
 /// Lazily-built index tables for the stylesheet's `xsl:key` declarations:
@@ -182,43 +219,16 @@ impl KeyResolver for KeyTables<'_> {
 }
 
 impl<'a> Runtime<'a> {
-    fn root_ctx(&self) -> Ctx<'a> {
-        Ctx::with_vars(self.source, self.source.document_node(), self.globals.clone())
-            .with_cache(Arc::clone(&self.cache))
-            .with_keys(self.keys.clone() as Arc<dyn KeyResolver + 'a>)
-    }
-
-    /// Context for `node` with locals layered over globals.
-    fn ctx_for(
-        &self,
-        node: XNode,
-        position: usize,
-        size: usize,
-        locals: &HashMap<String, Value>,
-    ) -> Ctx<'a> {
-        let mut vars = self.globals.clone();
-        for (k, v) in locals {
-            vars.insert(k.clone(), v.clone());
-        }
-        let mut ctx = Ctx::with_vars(self.source, self.source.document_node(), vars)
-            .with_cache(Arc::clone(&self.cache))
-            .with_keys(self.keys.clone() as Arc<dyn KeyResolver + 'a>);
-        ctx.node = node;
-        ctx.position = position;
-        ctx.size = size;
-        ctx
-    }
-
     fn eval_value_source(&mut self, vs: &ValueSource, ctx: &Ctx<'a>) -> Result<Value, XsltError> {
         match vs {
             ValueSource::Expr(e) => Ok(ctx.eval(e)?),
             ValueSource::Body(body) => {
                 // Result-tree fragment → string (the only coercion the CN
                 // stylesheets need). The fragment body sees the caller's
-                // full variable scope.
+                // full variable scope; its own bindings stay local.
                 let saved = std::mem::take(&mut self.builder);
-                let mut locals = ctx.vars.clone();
-                self.run_body(body, ctx, &mut locals)?;
+                let mut inner = ctx.clone();
+                self.run_body(body, &mut inner)?;
                 let fragment = std::mem::replace(&mut self.builder, saved);
                 Ok(Value::Str(fragment.text_value()))
             }
@@ -226,16 +236,35 @@ impl<'a> Runtime<'a> {
     }
 
     /// Find the best template rule for `node` in `mode`.
+    ///
+    /// With the dispatch index, only rules bucketed under the node's name
+    /// atom (plus the mode's catch-alls) are pattern-tested; without it,
+    /// every rule in the mode is. Both paths see candidates in declaration
+    /// order, so conflict resolution is identical.
     fn best_rule(
         &self,
         node: XNode,
         mode: Option<&str>,
     ) -> Result<Option<&'a Template>, XsltError> {
-        let ctx = self.root_ctx();
-        let mut best: Option<(&Template, f64)> = None;
-        for t in self.style.rules_for_mode(mode) {
-            let pattern = t.pattern.as_ref().expect("rules_for_mode yields match templates");
-            if let Some(default_prio) = pattern.matching_priority(&ctx, node)? {
+        let style = self.style;
+        match self.dispatch {
+            Some(ix) => {
+                let atom = node.qname(self.source).map(|q| q.atom());
+                self.pick_best(node, ix.candidates(mode, atom).map(|i| &style.templates[i]))
+            }
+            None => self.pick_best(node, style.rules_for_mode(mode)),
+        }
+    }
+
+    fn pick_best(
+        &self,
+        node: XNode,
+        rules: impl Iterator<Item = &'a Template>,
+    ) -> Result<Option<&'a Template>, XsltError> {
+        let mut best: Option<(&'a Template, f64)> = None;
+        for t in rules {
+            let pattern = t.pattern.as_ref().expect("dispatch yields match templates");
+            if let Some(default_prio) = pattern.matching_priority(&self.proto, node)? {
                 let prio = t.priority.unwrap_or(default_prio);
                 let better = match best {
                     None => true,
@@ -266,25 +295,21 @@ impl<'a> Runtime<'a> {
         for (i, &node) in nodes.iter().enumerate() {
             match self.best_rule(node, mode)? {
                 Some(t) => {
-                    let mut locals = HashMap::new();
+                    let mut ctx = self.proto.at(node, i + 1, size);
                     // Bind declared params: passed value, else default.
+                    // Defaults see earlier params (accumulating scope).
                     for (pname, pdefault) in &t.params {
                         let passed = with_params.iter().find(|(n, _)| n == pname);
                         let v = match passed {
                             Some((_, v)) => v.clone(),
                             None => match pdefault {
-                                Some(vs) => {
-                                    let ctx = self.ctx_for(node, i + 1, size, &locals);
-                                    self.eval_value_source(vs, &ctx)?
-                                }
+                                Some(vs) => self.eval_value_source(vs, &ctx)?,
                                 None => Value::Str(String::new()),
                             },
                         };
-                        locals.insert(pname.clone(), v);
+                        ctx.bind_var(pname.clone(), v);
                     }
-                    let ctx = self.ctx_for(node, i + 1, size, &locals);
-                    let body = t.body.clone();
-                    self.run_body(&body, &ctx, &mut locals)?;
+                    self.run_body(&t.body, &mut ctx)?;
                 }
                 None => self.builtin_rule(node, mode, i + 1, size)?,
             }
@@ -310,8 +335,7 @@ impl<'a> Runtime<'a> {
                     self.apply_templates_to(&children, mode, &[])
                 }
                 cn_xml::NodeKind::Text(t) => {
-                    let t = t.clone();
-                    self.builder.text(&t);
+                    self.builder.text(t);
                     Ok(())
                 }
                 cn_xml::NodeKind::Comment(_) | cn_xml::NodeKind::ProcessingInstruction { .. } => {
@@ -336,17 +360,11 @@ impl<'a> Runtime<'a> {
         Ok(out)
     }
 
-    /// Execute an instruction body. `locals` accumulates `xsl:variable`
-    /// bindings that stay in scope for the rest of the body.
-    fn run_body(
-        &mut self,
-        body: &[Instruction],
-        outer_ctx: &Ctx<'a>,
-        locals: &mut HashMap<String, Value>,
-    ) -> Result<(), XsltError> {
+    /// Execute an instruction body. `xsl:variable` bindings accumulate
+    /// directly in `ctx` (copy-on-write: nested scopes clone the `Ctx`,
+    /// which shares the variable map until a binding diverges).
+    fn run_body(&mut self, body: &[Instruction], ctx: &mut Ctx<'a>) -> Result<(), XsltError> {
         for inst in body {
-            // Re-derive the context so newly bound variables are visible.
-            let ctx = self.ctx_for(outer_ctx.node, outer_ctx.position, outer_ctx.size, locals);
             match inst {
                 Instruction::Text(t) => self.builder.text(t),
                 Instruction::ValueOf(e) => {
@@ -365,43 +383,43 @@ impl<'a> Runtime<'a> {
                             XNode::Attr { .. } => Vec::new(),
                         },
                     };
-                    let nodes = self.sorted(nodes, sorts, &ctx)?;
+                    let nodes = self.sorted(nodes, sorts, ctx)?;
                     let mut params = Vec::new();
                     for (n, vs) in with_params {
-                        params.push((n.clone(), self.eval_value_source(vs, &ctx)?));
+                        params.push((n.clone(), self.eval_value_source(vs, ctx)?));
                     }
                     self.apply_templates_to(&nodes, mode.as_deref(), &params)?;
                 }
                 Instruction::CallTemplate { name, with_params } => {
-                    let &idx = self
-                        .style
+                    let style = self.style;
+                    let &idx = style
                         .named
                         .get(name)
                         .ok_or_else(|| XsltError::new(format!("no template named {name:?}")))?;
-                    let t = &self.style.templates[idx];
+                    let t = &style.templates[idx];
                     let mut params = Vec::new();
                     for (n, vs) in with_params {
-                        params.push((n.clone(), self.eval_value_source(vs, &ctx)?));
+                        params.push((n.clone(), self.eval_value_source(vs, ctx)?));
                     }
-                    let mut call_locals = HashMap::new();
+                    // The callee scope starts from globals (not the caller's
+                    // locals) at the caller's context position.
+                    let mut call_ctx = self.proto.at(ctx.node, ctx.position, ctx.size);
                     for (pname, pdefault) in &t.params {
                         let v = match params.iter().find(|(n, _)| n == pname) {
                             Some((_, v)) => v.clone(),
                             None => match pdefault {
-                                Some(vs) => self.eval_value_source(vs, &ctx)?,
+                                Some(vs) => self.eval_value_source(vs, ctx)?,
                                 None => Value::Str(String::new()),
                             },
                         };
-                        call_locals.insert(pname.clone(), v);
+                        call_ctx.bind_var(pname.clone(), v);
                     }
                     self.depth += 1;
                     if self.depth > MAX_DEPTH {
                         self.depth -= 1;
                         return Err(XsltError::new("template recursion depth exceeded"));
                     }
-                    let call_ctx = self.ctx_for(ctx.node, ctx.position, ctx.size, &call_locals);
-                    let body = t.body.clone();
-                    self.run_body(&body, &call_ctx, &mut call_locals)?;
+                    self.run_body(&t.body, &mut call_ctx)?;
                     self.depth -= 1;
                 }
                 Instruction::ForEach { select, sorts, body } => {
@@ -409,48 +427,47 @@ impl<'a> Runtime<'a> {
                         .eval(select)?
                         .into_nodeset()
                         .ok_or_else(|| XsltError::new("for-each select= must be a node-set"))?;
-                    let nodes = self.sorted(nodes, sorts, &ctx)?;
+                    let nodes = self.sorted(nodes, sorts, ctx)?;
                     let size = nodes.len();
                     for (i, node) in nodes.into_iter().enumerate() {
-                        let mut inner_locals = locals.clone();
-                        let inner = self.ctx_for(node, i + 1, size, &inner_locals);
-                        self.run_body(body, &inner, &mut inner_locals)?;
+                        let mut inner = ctx.at(node, i + 1, size);
+                        self.run_body(body, &mut inner)?;
                     }
                 }
                 Instruction::If { test, body } => {
                     if ctx.eval_bool(test)? {
-                        let mut inner_locals = locals.clone();
-                        self.run_body(body, &ctx, &mut inner_locals)?;
+                        let mut inner = ctx.clone();
+                        self.run_body(body, &mut inner)?;
                     }
                 }
                 Instruction::Choose { whens, otherwise } => {
                     let mut taken = false;
                     for (test, body) in whens {
                         if ctx.eval_bool(test)? {
-                            let mut inner_locals = locals.clone();
-                            self.run_body(body, &ctx, &mut inner_locals)?;
+                            let mut inner = ctx.clone();
+                            self.run_body(body, &mut inner)?;
                             taken = true;
                             break;
                         }
                     }
                     if !taken && !otherwise.is_empty() {
-                        let mut inner_locals = locals.clone();
-                        self.run_body(otherwise, &ctx, &mut inner_locals)?;
+                        let mut inner = ctx.clone();
+                        self.run_body(otherwise, &mut inner)?;
                     }
                 }
                 Instruction::Element { name, body } => {
-                    let n = self.eval_avt(name, &ctx)?;
+                    let n = self.eval_avt(name, ctx)?;
                     self.builder.start_element(&n);
-                    let mut inner_locals = locals.clone();
-                    self.run_body(body, &ctx, &mut inner_locals)?;
+                    let mut inner = ctx.clone();
+                    self.run_body(body, &mut inner)?;
                     self.builder.end_element();
                 }
                 Instruction::Attribute { name, body } => {
-                    let n = self.eval_avt(name, &ctx)?;
+                    let n = self.eval_avt(name, ctx)?;
                     // Evaluate the body into text.
                     let saved = std::mem::take(&mut self.builder);
-                    let mut inner_locals = locals.clone();
-                    self.run_body(body, &ctx, &mut inner_locals)?;
+                    let mut inner = ctx.clone();
+                    self.run_body(body, &mut inner)?;
                     let fragment = std::mem::replace(&mut self.builder, saved);
                     if !self.builder.attribute(&n, &fragment.text_value()) {
                         return Err(XsltError::new(format!(
@@ -460,24 +477,24 @@ impl<'a> Runtime<'a> {
                 }
                 Instruction::Comment { body } => {
                     let saved = std::mem::take(&mut self.builder);
-                    let mut inner_locals = locals.clone();
-                    self.run_body(body, &ctx, &mut inner_locals)?;
+                    let mut inner = ctx.clone();
+                    self.run_body(body, &mut inner)?;
                     let fragment = std::mem::replace(&mut self.builder, saved);
                     self.builder.comment(&fragment.text_value());
                 }
                 Instruction::LiteralElement { name, attrs, body } => {
                     self.builder.start_element(name.as_str());
                     for (an, avt) in attrs {
-                        let v = self.eval_avt(avt, &ctx)?;
+                        let v = self.eval_avt(avt, ctx)?;
                         self.builder.attribute(an.as_str(), &v);
                     }
-                    let mut inner_locals = locals.clone();
-                    self.run_body(body, &ctx, &mut inner_locals)?;
+                    let mut inner = ctx.clone();
+                    self.run_body(body, &mut inner)?;
                     self.builder.end_element();
                 }
                 Instruction::Variable { name, value } => {
-                    let v = self.eval_value_source(value, &ctx)?;
-                    locals.insert(name.clone(), v);
+                    let v = self.eval_value_source(value, ctx)?;
+                    ctx.bind_var(name.clone(), v);
                 }
                 Instruction::Copy { body } => {
                     // Shallow copy of the context node; for elements the
@@ -486,24 +503,18 @@ impl<'a> Runtime<'a> {
                     match ctx.node {
                         XNode::Node(n) => match self.source.kind(n) {
                             cn_xml::NodeKind::Element { name, .. } => {
-                                let name = name.as_str().to_string();
-                                self.builder.start_element(&name);
-                                let mut inner_locals = locals.clone();
-                                self.run_body(body, &ctx, &mut inner_locals)?;
+                                let name = name.as_str();
+                                self.builder.start_element(name);
+                                let mut inner = ctx.clone();
+                                self.run_body(body, &mut inner)?;
                                 self.builder.end_element();
                             }
-                            cn_xml::NodeKind::Text(t) => {
-                                let t = t.clone();
-                                self.builder.text(&t);
-                            }
-                            cn_xml::NodeKind::Comment(c) => {
-                                let c = c.clone();
-                                self.builder.comment(&c);
-                            }
+                            cn_xml::NodeKind::Text(t) => self.builder.text(t),
+                            cn_xml::NodeKind::Comment(c) => self.builder.comment(c),
                             cn_xml::NodeKind::Document
                             | cn_xml::NodeKind::ProcessingInstruction { .. } => {
-                                let mut inner_locals = locals.clone();
-                                self.run_body(body, &ctx, &mut inner_locals)?;
+                                let mut inner = ctx.clone();
+                                self.run_body(body, &mut inner)?;
                             }
                         },
                         XNode::Attr { .. } => {
@@ -530,8 +541,8 @@ impl<'a> Runtime<'a> {
                 },
                 Instruction::Message { body, terminate } => {
                     let saved = std::mem::take(&mut self.builder);
-                    let mut inner_locals = locals.clone();
-                    self.run_body(body, &ctx, &mut inner_locals)?;
+                    let mut inner = ctx.clone();
+                    self.run_body(body, &mut inner)?;
                     let fragment = std::mem::replace(&mut self.builder, saved);
                     let msg = fragment.text_value();
                     self.messages.push(msg.clone());

@@ -20,13 +20,20 @@
 //! Entry point: parse a stylesheet with [`Stylesheet::parse`], run it with
 //! [`transform`].
 
+pub mod cache;
+pub mod dispatch;
 pub mod exec;
 pub mod output;
 pub mod parse;
 pub mod pattern;
 pub mod stylesheet;
 
-pub use exec::{transform, TransformResult, XsltError};
+pub use cache::compile_cached;
+pub use dispatch::DispatchIndex;
+pub use exec::{
+    transform, transform_with_options, transform_with_params, TransformOptions, TransformResult,
+    XsltError,
+};
 pub use output::OutputMethod;
 pub use pattern::Pattern;
 pub use stylesheet::{Instruction, Stylesheet, Template};

@@ -74,7 +74,15 @@ pub fn parse_stylesheet(src: &str) -> Result<Stylesheet, XsltError> {
             }
         }
     }
-    Ok(Stylesheet { templates, named, output, globals, global_params, keys })
+    Ok(Stylesheet {
+        templates,
+        named,
+        output,
+        globals,
+        global_params,
+        keys,
+        dispatch: std::sync::OnceLock::new(),
+    })
 }
 
 fn parse_output(doc: &Document, el: NodeId) -> Result<OutputMethod, XsltError> {
@@ -175,14 +183,10 @@ fn parse_body(doc: &Document, children: &[NodeId]) -> Result<Vec<Instruction>, X
                     let mut avt_attrs = Vec::new();
                     for (an, av) in attrs {
                         // xmlns declarations pass through as fixed text.
-                        avt_attrs.push((an.clone(), parse_avt(av)?));
+                        avt_attrs.push((*an, parse_avt(av)?));
                     }
                     let body = parse_body(doc, doc.children(child))?;
-                    out.push(Instruction::LiteralElement {
-                        name: name.clone(),
-                        attrs: avt_attrs,
-                        body,
-                    });
+                    out.push(Instruction::LiteralElement { name: *name, attrs: avt_attrs, body });
                 }
             }
         }

@@ -131,12 +131,21 @@ pub struct Stylesheet {
     /// Declared `xsl:key` indexes, served through the XPath `key()`
     /// function.
     pub keys: Vec<KeyDef>,
+    /// Lazily built name-keyed dispatch index (see [`crate::dispatch`]).
+    /// Derived from `templates` on first use; mutating `templates` after
+    /// that would make it stale — the tool chain never does.
+    pub dispatch: std::sync::OnceLock<crate::dispatch::DispatchIndex>,
 }
 
 impl Stylesheet {
     /// Parse a stylesheet from its XML source text (see [`crate::parse`]).
     pub fn parse(src: &str) -> Result<Stylesheet, crate::XsltError> {
         crate::parse::parse_stylesheet(src)
+    }
+
+    /// The name-keyed template dispatch index, built on first use.
+    pub fn dispatch_index(&self) -> &crate::dispatch::DispatchIndex {
+        self.dispatch.get_or_init(|| crate::dispatch::DispatchIndex::build(self))
     }
 
     /// Templates that could match in `mode`, best-first (priority desc,
