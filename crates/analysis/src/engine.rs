@@ -172,6 +172,7 @@ pub mod codes {
     pub const UNBOUNDED_MULTIPLICITY: &str = "CN015";
     pub const MEMORY_OVERSUBSCRIBED: &str = "CN016";
     pub const SERIAL_JOB: &str = "CN017";
+    pub const RECORDER_CAPACITY: &str = "CN018";
 
     // Model validity (mapped from `cn_model::validate_all`).
     pub const MODEL_NO_INITIAL: &str = "CN020";
@@ -211,6 +212,7 @@ pub const ALL_CODES: &[&str] = &[
     codes::UNBOUNDED_MULTIPLICITY,
     codes::MEMORY_OVERSUBSCRIBED,
     codes::SERIAL_JOB,
+    codes::RECORDER_CAPACITY,
     codes::MODEL_NO_INITIAL,
     codes::MODEL_MULTIPLE_INITIALS,
     codes::MODEL_NO_FINAL,

@@ -58,7 +58,7 @@ mod tests {
     #[test]
     fn default_engine_registers_all_passes() {
         let names = Engine::with_default_passes().pass_names();
-        assert!(names.len() >= 12, "{names:?}");
+        assert!(names.len() >= 13, "{names:?}");
         for expected in [
             "cnx-validity",
             "duplicate-depends",
@@ -68,6 +68,7 @@ mod tests {
             "multiplicity-bounds",
             "memory-capacity",
             "parallelism",
+            "recorder-capacity",
             "cnx-roundtrip",
             "model-validity",
             "fork-join",

@@ -25,6 +25,7 @@ pub fn default_passes() -> Vec<Box<dyn CnxPass>> {
         Box::new(MultiplicityBoundsPass),
         Box::new(MemoryCapacityPass),
         Box::new(ParallelismPass),
+        Box::new(RecorderCapacityPass),
         Box::new(RoundtripPass),
     ]
 }
@@ -385,6 +386,46 @@ impl CnxPass for ParallelismPass {
     }
 }
 
+/// CN018: more task instances than the flight recorder retains by default.
+///
+/// Each task emits at least one severity-tagged event on an interesting
+/// lifecycle transition, so a composition whose expanded task count exceeds
+/// [`cn_observe::DEFAULT_FLIGHT_CAPACITY`] will silently evict early events
+/// from a default-capacity recorder. Numeric multiplicity expands the
+/// count; `*` is unbounded and reported at the default capacity too.
+pub struct RecorderCapacityPass;
+
+impl CnxPass for RecorderCapacityPass {
+    fn name(&self) -> &'static str {
+        "recorder-capacity"
+    }
+
+    fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>) {
+        let cap = cn_observe::DEFAULT_FLIGHT_CAPACITY as u64;
+        for (ji, job) in ctx.doc.client.jobs.iter().enumerate() {
+            let instances: u64 = job
+                .tasks
+                .iter()
+                .map(|t| match t.multiplicity.as_deref() {
+                    // `*` is unbounded — CN015's business; count the minimum.
+                    Some("*") => 1,
+                    Some(m) => m.parse::<u64>().unwrap_or(1),
+                    None => 1,
+                })
+                .sum();
+            if instances > cap {
+                out.push(Diagnostic::new(
+                    codes::RECORDER_CAPACITY,
+                    Severity::Warning,
+                    format!(
+                        "job #{ji} expands to {instances} task instance(s) but the default flight recorder retains only {cap} events: early trace events will be evicted (raise it with Recorder::with_flight_capacity)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// CN040: information lost in the CNX → model → CNX round trip.
 pub struct RoundtripPass;
 
@@ -593,6 +634,27 @@ mod tests {
         assert_eq!(codes_of(&report), vec![codes::SERIAL_JOB]);
         assert_eq!(report.max_severity(), Some(Severity::Info));
         assert!(lint(&figure2_descriptor(3)).is_empty());
+    }
+
+    #[test]
+    fn recorder_capacity_warns_past_the_flight_default() {
+        // 600 expanded workers > DEFAULT_FLIGHT_CAPACITY (512).
+        let mut doc = figure2_descriptor(2);
+        doc.client.jobs[0].tasks[1].multiplicity = Some("600".into());
+        let report = lint(&doc);
+        assert!(codes_of(&report).contains(&codes::RECORDER_CAPACITY), "{}", report.to_text());
+        let d = report.diagnostics().iter().find(|d| d.code == codes::RECORDER_CAPACITY).unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("512"), "{}", d.message);
+        // Figure 2 at realistic sizes stays quiet, as does `*` (CN015's
+        // territory) and a count right at the capacity.
+        assert!(!codes_of(&lint(&figure2_descriptor(100))).contains(&codes::RECORDER_CAPACITY));
+        let mut star = figure2_descriptor(2);
+        star.client.jobs[0].tasks[1].multiplicity = Some("*".into());
+        assert!(!codes_of(&lint(&star)).contains(&codes::RECORDER_CAPACITY));
+        let mut at_cap = figure2_descriptor(2);
+        at_cap.client.jobs[0].tasks[1].multiplicity = Some("508".into());
+        assert!(!codes_of(&lint(&at_cap)).contains(&codes::RECORDER_CAPACITY));
     }
 
     #[test]

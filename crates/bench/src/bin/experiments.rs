@@ -165,12 +165,61 @@ fn bench_json(smoke: bool) {
     let ts_ops_s = (2 * ops) as f64 / t.elapsed().as_secs_f64();
     println!("tuplespace: {ts_ops_s:.0} ops/s");
 
+    let runtime_metrics = runtime_metrics_json(smoke);
+
     let json = format!(
-        "{{\n  \"bench\": \"fast-path baseline (PR2)\",\n  \"mode\": \"{mode}\",\n  \"transform\": [\n{transform_rows}\n  ],\n  \"batch_transform\": [\n{batch_rows}\n  ],\n  \"xml_parse_mb_per_s\": {parse_mb_s:.2},\n  \"tuplespace_ops_per_s\": {ts_ops_s:.0}\n}}\n",
+        "{{\n  \"bench\": \"fast-path baseline (PR2)\",\n  \"mode\": \"{mode}\",\n  \"transform\": [\n{transform_rows}\n  ],\n  \"batch_transform\": [\n{batch_rows}\n  ],\n  \"xml_parse_mb_per_s\": {parse_mb_s:.2},\n  \"tuplespace_ops_per_s\": {ts_ops_s:.0},\n  \"runtime_metrics\": {runtime_metrics}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
     );
-    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    write_atomic("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
     println!("wrote BENCH_PR2.json");
+}
+
+/// Write `content` to `path` via temp file + atomic rename so a concurrent
+/// reader (CI artifact collection) never sees a truncated report.
+fn write_atomic(path: &str, content: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Run one recorded transitive-closure job and render the runtime metrics
+/// block: CN-API dispatch latency histogram and fabric message rate.
+fn runtime_metrics_json(smoke: bool) -> String {
+    use cn_bench::bench_neighborhood_recorded;
+    use cn_observe::{Recorder, LATENCY_BUCKETS_US};
+
+    let rec = Recorder::new();
+    let nb = bench_neighborhood_recorded(3, 64, rec.clone());
+    cn_tasks::publish_tc_archives(nb.registry());
+    let g = random_digraph(if smoke { 16 } else { 64 }, 0.2, 1..9, 9);
+    let workers = 4;
+    let t = Instant::now();
+    run_transitive_closure(&nb, &g, &TcOptions::new(workers)).expect("recorded tc run");
+    let elapsed_s = t.elapsed().as_secs_f64();
+    nb.shutdown();
+
+    let dispatch =
+        rec.metrics().histogram("api.dispatch_latency_us", LATENCY_BUCKETS_US).snapshot();
+    let sent = rec.metrics().counter("net.sent").get();
+    let delivered = rec.metrics().counter("net.delivered").get();
+    let tasks_completed = rec.metrics().counter("server.tasks_completed").get();
+    let msgs_per_s = sent as f64 / elapsed_s.max(1e-9);
+    println!(
+        "runtime: {tasks_completed} tasks, dispatch p50 <= {} us (n={}), {msgs_per_s:.0} msgs/s",
+        dispatch.quantile_bound(0.5),
+        dispatch.count
+    );
+    format!(
+        "{{\n    \"tasks_completed\": {tasks_completed},\n    \"dispatch_latency_us\": {{\"count\": {}, \"mean\": {:.1}, \"p50_le\": {}, \"p90_le\": {}, \"p99_le\": {}}},\n    \"messages_sent\": {sent},\n    \"messages_delivered\": {delivered},\n    \"messages_per_s\": {msgs_per_s:.0}\n  }}",
+        dispatch.count,
+        dispatch.mean(),
+        dispatch.quantile_bound(0.5),
+        dispatch.quantile_bound(0.9),
+        dispatch.quantile_bound(0.99),
+    )
 }
 
 fn banner(id: &str, title: &str) {

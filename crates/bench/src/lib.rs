@@ -8,8 +8,19 @@ use cn_core::{Neighborhood, NeighborhoodConfig, ServerConfig};
 /// A neighborhood tuned for benchmarking: instant fabric, short discovery
 /// windows so placement overhead doesn't swamp compute measurements.
 pub fn bench_neighborhood(nodes: usize, slots: usize) -> Neighborhood {
+    bench_neighborhood_recorded(nodes, slots, cn_observe::Recorder::disabled())
+}
+
+/// [`bench_neighborhood`] with an explicit recorder, for runs that report
+/// runtime metrics alongside wall-clock numbers.
+pub fn bench_neighborhood_recorded(
+    nodes: usize,
+    slots: usize,
+    recorder: cn_observe::Recorder,
+) -> Neighborhood {
     let config = NeighborhoodConfig {
         server: ServerConfig { bid_window: Duration::from_micros(500), ..Default::default() },
+        recorder,
         ..Default::default()
     };
     Neighborhood::deploy_with(NodeSpec::fleet(nodes, 64 * 1024, slots), config)

@@ -22,6 +22,7 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 
+pub use cn_observe::{Recorder, Severity};
 pub use metrics::{MetricsSnapshot, NetworkMetrics};
 pub use network::{Addr, Envelope, GroupId, LatencyModel, Network, SendError};
 pub use node::{ClusterCapacity, NodeHandle, NodeSpec, ReserveError};

@@ -1,43 +1,72 @@
-//! Lightweight atomic counters for the network fabric and runtime benches.
+//! Network counters, backed by the `cn-observe` metrics registry.
+//!
+//! This module used to carry its own `AtomicU64` plumbing; the counters now
+//! live in [`cn_observe::metrics`] so `cnctl stats` and the bench harness
+//! see them alongside every other runtime metric. The original call-site
+//! API (`record_*`, [`NetworkMetrics::snapshot`], [`MetricsSnapshot`]) is
+//! unchanged, and the counters stay always-on: fabric accounting does not
+//! depend on whether span tracing is enabled.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cn_observe::{Counter, Registry};
 
 /// Shared counters, updated lock-free on the hot send/deliver paths.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct NetworkMetrics {
-    sent: AtomicU64,
-    delivered: AtomicU64,
-    dropped: AtomicU64,
-    multicasts: AtomicU64,
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    multicasts: Counter,
+}
+
+impl Default for NetworkMetrics {
+    fn default() -> Self {
+        NetworkMetrics {
+            sent: Counter::standalone(),
+            delivered: Counter::standalone(),
+            dropped: Counter::standalone(),
+            multicasts: Counter::standalone(),
+        }
+    }
 }
 
 impl NetworkMetrics {
+    /// Counters registered in `registry` under the `net.*` names, so a
+    /// recorder-aware fabric shares them with the rest of the stack.
+    pub fn registered(registry: &Registry) -> NetworkMetrics {
+        NetworkMetrics {
+            sent: registry.counter("net.sent"),
+            delivered: registry.counter("net.delivered"),
+            dropped: registry.counter("net.dropped"),
+            multicasts: registry.counter("net.multicasts"),
+        }
+    }
+
     #[inline]
     pub fn record_send(&self) {
-        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.sent.inc();
     }
 
     #[inline]
     pub fn record_delivery(&self) {
-        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.delivered.inc();
     }
 
     #[inline]
     pub fn record_drop(&self) {
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.inc();
     }
 
     #[inline]
     pub fn record_multicast(&self) {
-        self.multicasts.fetch_add(1, Ordering::Relaxed);
+        self.multicasts.inc();
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            sent: self.sent.load(Ordering::Relaxed),
-            delivered: self.delivered.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            multicasts: self.multicasts.load(Ordering::Relaxed),
+            sent: self.sent.get(),
+            delivered: self.delivered.get(),
+            dropped: self.dropped.get(),
+            multicasts: self.multicasts.get(),
         }
     }
 }
@@ -89,6 +118,21 @@ mod tests {
         assert_eq!(s.delivered, 1);
         assert_eq!(s.dropped, 1);
         assert_eq!(s.multicasts, 1);
+    }
+
+    #[test]
+    fn registered_counters_surface_in_the_registry() {
+        let registry = Registry::new();
+        let m = NetworkMetrics::registered(&registry);
+        m.record_send();
+        m.record_drop();
+        let snap = registry.snapshot();
+        let get = |name: &str| snap.counters.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("net.sent"), 1);
+        assert_eq!(get("net.dropped"), 1);
+        assert_eq!(get("net.delivered"), 0);
+        // The NetworkMetrics view and the registry view are the same cells.
+        assert_eq!(m.snapshot().sent, 1);
     }
 
     #[test]

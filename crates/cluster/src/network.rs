@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cn_observe::{Recorder, Severity};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
@@ -145,6 +146,7 @@ struct Shared<M> {
     model: LatencyModel,
     rng: Mutex<StdRng>,
     metrics: NetworkMetrics,
+    recorder: Recorder,
 }
 
 /// The network fabric. Cheap to clone; the fabric thread (if any) stops when
@@ -162,6 +164,12 @@ impl<M: Send + Clone + 'static> Clone for Network<M> {
 impl<M: Send + Clone + 'static> Network<M> {
     /// Create a fabric with the given latency model and RNG seed.
     pub fn new(model: LatencyModel, seed: u64) -> Self {
+        Network::with_recorder(model, seed, Recorder::disabled())
+    }
+
+    /// Create a fabric whose counters register in `recorder`'s metrics
+    /// registry (`net.*`) and whose fault injection writes flight events.
+    pub fn with_recorder(model: LatencyModel, seed: u64, recorder: Recorder) -> Self {
         let shared = Arc::new(Shared {
             endpoints: Mutex::new(HashMap::new()),
             groups: Mutex::new(HashMap::new()),
@@ -175,7 +183,8 @@ impl<M: Send + Clone + 'static> Network<M> {
             next_seq: AtomicU64::new(0),
             model,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
-            metrics: NetworkMetrics::default(),
+            metrics: NetworkMetrics::registered(recorder.metrics()),
+            recorder,
         });
         if !model.is_instant() {
             let weak = Arc::downgrade(&shared);
@@ -259,10 +268,14 @@ impl<M: Send + Clone + 'static> Network<M> {
     }
 
     fn dropped_by_fault(&self, from: Addr, to: Addr) -> bool {
+        let rec = &self.shared.recorder;
         {
             let parts = self.shared.partitioned.lock();
             if parts.contains(&from) || parts.contains(&to) {
                 self.shared.metrics.record_drop();
+                rec.event_with(Severity::Warn, "net", None, || {
+                    format!("partition dropped {from} -> {to}")
+                });
                 return true;
             }
         }
@@ -275,6 +288,9 @@ impl<M: Send + Clone + 'static> Network<M> {
                         drops.remove(&to);
                     }
                     self.shared.metrics.record_drop();
+                    rec.event_with(Severity::Warn, "net", None, || {
+                        format!("injected drop of {from} -> {to}")
+                    });
                     return true;
                 }
             }
@@ -283,6 +299,9 @@ impl<M: Send + Clone + 'static> Network<M> {
             let roll: f64 = self.shared.rng.lock().gen();
             if roll < self.shared.model.drop_rate {
                 self.shared.metrics.record_drop();
+                rec.event_with(Severity::Info, "net", None, || {
+                    format!("lossy wire dropped {from} -> {to}")
+                });
                 return true;
             }
         }
@@ -329,11 +348,15 @@ impl<M: Send + Clone + 'static> Network<M> {
     /// [`Network::heal`].
     pub fn partition(&self, addr: Addr) {
         self.shared.partitioned.lock().insert(addr);
+        self.shared
+            .recorder
+            .event_with(Severity::Warn, "fault", None, || format!("partitioned {addr}"));
     }
 
     /// Heal a partition.
     pub fn heal(&self, addr: Addr) {
         self.shared.partitioned.lock().remove(&addr);
+        self.shared.recorder.event_with(Severity::Info, "fault", None, || format!("healed {addr}"));
     }
 
     /// Heal every partition (used before orderly shutdown, so control
@@ -348,12 +371,20 @@ impl<M: Send + Clone + 'static> Network<M> {
     pub fn drop_next(&self, addr: Addr, n: u32) {
         if n > 0 {
             self.shared.drop_next.lock().insert(addr, n);
+            self.shared.recorder.event_with(Severity::Warn, "fault", None, || {
+                format!("armed drop of next {n} messages to {addr}")
+            });
         }
     }
 
     /// Metrics snapshot.
     pub fn metrics(&self) -> crate::metrics::MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The observability handle this fabric records into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.recorder
     }
 
     /// Block until the delayed-delivery queue is empty (no-op for instant

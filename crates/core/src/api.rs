@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cn_cluster::{Addr, Envelope, Network};
+use cn_observe::{Counter, Histogram, Recorder, Severity, SpanId, LATENCY_BUCKETS_US};
 use crossbeam::channel::Receiver;
 
 use crate::message::{
@@ -96,6 +97,14 @@ pub struct CnApi {
     net: Network<NetMsg>,
     spaces: Arc<SpaceRegistry>,
     config: ClientConfig,
+    rec: Recorder,
+    /// CN API call counters + the per-task dispatch latency histogram
+    /// (CreateTask send → TaskAck), resolved once per factory.
+    c_jobs: Counter,
+    c_tasks: Counter,
+    c_solicits: Counter,
+    c_bids: Counter,
+    dispatch: Histogram,
 }
 
 impl CnApi {
@@ -107,16 +116,32 @@ impl CnApi {
     }
 
     pub fn with_config(neighborhood: &Neighborhood, config: ClientConfig) -> CnApi {
-        CnApi { net: neighborhood.network().clone(), spaces: neighborhood.spaces(), config }
+        let rec = neighborhood.recorder().clone();
+        CnApi {
+            net: neighborhood.network().clone(),
+            spaces: neighborhood.spaces(),
+            config,
+            c_jobs: rec.counter("api.jobs_created"),
+            c_tasks: rec.counter("api.tasks_created"),
+            c_solicits: rec.counter("api.jm_solicitations"),
+            c_bids: rec.counter("api.jm_bids_received"),
+            dispatch: rec.histogram("api.dispatch_latency_us", LATENCY_BUCKETS_US),
+            rec,
+        }
     }
 
     /// Create a job: multicast a solicitation, collect bids from willing
     /// JobManagers, select one per policy, and register the job with it.
     pub fn create_job(&self, requirements: &JobRequirements) -> Result<JobHandle, ClientError> {
         let job = JobId(NEXT_JOB_ID.fetch_add(1, Ordering::Relaxed));
+        // The job span is the parent of every task span in this job. Its
+        // name is the constant "job": per-run identity lives in the job
+        // field, which exporters remap to a stable rank.
+        let span = self.rec.span_start_job("job", "job", None, Some(job.0), None);
         let (addr, rx) = self.net.register();
         let mut bids: Vec<Bid> = Vec::new();
         for _attempt in 0..=self.config.discovery_retries {
+            self.c_solicits.inc();
             self.net.multicast(
                 addr,
                 cn_cluster::network::DISCOVERY_GROUP,
@@ -131,6 +156,7 @@ impl CnApi {
                 if let Ok(env) = rx.recv_timeout(remaining) {
                     if let NetMsg::JobManagerBid { job: bjob, bid } = env.msg {
                         if bjob == job && !bids.iter().any(|b| b.addr == bid.addr) {
+                            self.c_bids.inc();
                             bids.push(bid);
                         }
                     }
@@ -144,8 +170,15 @@ impl CnApi {
         }
         let chosen = select(self.config.policy, &bids, 0).cloned().ok_or_else(|| {
             self.net.unregister(addr);
+            self.rec.event_job(Severity::Warn, "job", job.0, "no willing JobManager responded");
+            self.rec.span_end(span);
             ClientError::NoJobManagers
         })?;
+        // Which server wins is timing-dependent, so it is flight-recorder
+        // material, never span structure (DESIGN.md §8).
+        self.rec.event_with(Severity::Info, "job", Some(job.0), || {
+            format!("JobManager on {:?} selected from {} bid(s)", chosen.server, bids.len())
+        });
 
         if let Err(e) = self.net.send(
             addr,
@@ -153,6 +186,7 @@ impl CnApi {
             NetMsg::CreateJob { job, client: addr, reply_to: addr },
         ) {
             self.net.unregister(addr);
+            self.rec.span_end(span);
             return Err(ClientError::Net(e.to_string()));
         }
         let mut handle = JobHandle {
@@ -169,14 +203,23 @@ impl CnApi {
             spaces: Arc::clone(&self.spaces),
             stash: Vec::new(),
             ack_timeout: self.config.ack_timeout,
+            rec: self.rec.clone(),
+            span,
+            c_tasks: self.c_tasks.clone(),
+            c_msgs_to_tasks: self.rec.counter("api.msgs_to_tasks"),
+            dispatch: self.dispatch.clone(),
         };
         // On any failure path the handle is dropped here, which unregisters
-        // the endpoint (see `impl Drop for JobHandle`).
+        // the endpoint and closes the job span (see `impl Drop for
+        // JobHandle`).
         match handle.wait_net(
             handle.ack_timeout,
             |m| matches!(m, NetMsg::JobAck { job: j, .. } if *j == job),
         )? {
-            NetMsg::JobAck { accepted: true, .. } => Ok(handle),
+            NetMsg::JobAck { accepted: true, .. } => {
+                self.c_jobs.inc();
+                Ok(handle)
+            }
             NetMsg::JobAck { reason, .. } => Err(ClientError::JobRejected(reason)),
             _ => unreachable!("filtered on JobAck"),
         }
@@ -201,6 +244,12 @@ pub struct JobHandle {
     /// Messages received while waiting for protocol acks.
     stash: Vec<CnMessage>,
     ack_timeout: Duration,
+    rec: Recorder,
+    /// The job span, closed on completion/failure/cancel (or in Drop).
+    span: Option<SpanId>,
+    c_tasks: Counter,
+    c_msgs_to_tasks: Counter,
+    dispatch: Histogram,
 }
 
 impl Drop for JobHandle {
@@ -208,6 +257,7 @@ impl Drop for JobHandle {
         // Idempotent: wait()/cancel() have usually unregistered already.
         self.net.unregister(self.addr);
         self.spaces.remove(self.job);
+        self.rec.span_end(self.span.take());
     }
 }
 
@@ -231,6 +281,12 @@ impl JobHandle {
     /// The job-wide tuple space (also reachable from every task context).
     pub fn tuplespace(&self) -> &Arc<TupleSpace> {
         &self.space
+    }
+
+    /// This job's trace span, if the neighborhood's recorder is enabled.
+    /// Useful as a parent for client-side spans (e.g. input seeding).
+    pub fn span(&self) -> Option<SpanId> {
+        self.span
     }
 
     /// Names of the tasks created so far.
@@ -292,6 +348,7 @@ impl JobHandle {
             return Err(ClientError::Usage("add_task after start"));
         }
         let name = spec.name.clone();
+        let dispatch_start = Instant::now();
         self.net
             .send(
                 self.addr,
@@ -304,13 +361,20 @@ impl JobHandle {
         let ack = self.wait_net(self.ack_timeout, |m| {
             matches!(m, NetMsg::TaskAck { job: j, task, .. } if *j == job && *task == want_name)
         })?;
+        // Dispatch latency: CreateTask send → TaskAck, i.e. the full
+        // solicit/bid/upload/assign round the JobManager ran on our behalf.
+        self.dispatch.record(dispatch_start.elapsed().as_micros() as u64);
         match ack {
             NetMsg::TaskAck { accepted: true, task_addr: Some(addr), .. } => {
+                self.c_tasks.inc();
                 self.directory.insert(name.clone(), addr);
                 self.task_names.push(name);
                 Ok(())
             }
             NetMsg::TaskAck { reason, .. } => {
+                self.rec.event_with(Severity::Warn, "job", Some(job.0), || {
+                    format!("placement failed for task {name:?}: {reason}")
+                });
                 Err(ClientError::PlacementFailed { task: name, reason })
             }
             _ => unreachable!("filtered on TaskAck"),
@@ -335,6 +399,7 @@ impl JobHandle {
             task: task.to_string(),
             reason: "unknown task".to_string(),
         })?;
+        self.c_msgs_to_tasks.inc();
         self.net
             .send(
                 self.addr,
@@ -388,12 +453,15 @@ impl JobHandle {
                 CnMessage::JobFailed { .. } => {
                     self.spaces.remove(self.job);
                     self.net.unregister(self.addr);
+                    self.rec.event_job(Severity::Warn, "job", self.job.0, "cancelled by client");
+                    self.rec.span_end(self.span.take());
                     return Ok(());
                 }
                 CnMessage::JobCompleted { .. } => {
                     // The job finished before the cancel arrived.
                     self.spaces.remove(self.job);
                     self.net.unregister(self.addr);
+                    self.rec.span_end(self.span.take());
                     return Ok(());
                 }
                 _ => {}
@@ -414,11 +482,16 @@ impl JobHandle {
                 CnMessage::JobCompleted { results } => {
                     self.spaces.remove(self.job);
                     self.net.unregister(self.addr);
+                    self.rec.span_end(self.span.take());
                     return Ok(JobReport { results, events, elapsed: start.elapsed() });
                 }
                 CnMessage::JobFailed { error } => {
                     self.spaces.remove(self.job);
                     self.net.unregister(self.addr);
+                    self.rec.event_with(Severity::Error, "job", Some(self.job.0), || {
+                        format!("job failed: {error}")
+                    });
+                    self.rec.span_end(self.span.take());
                     return Err(ClientError::JobFailed(error));
                 }
                 other => events.push(other),

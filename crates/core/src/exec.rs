@@ -179,7 +179,11 @@ pub fn execute_descriptor_seeded(
         for task in &job_decl.tasks {
             job.add_task(TaskSpec::from_cnx(task))?;
         }
+        let rec = neighborhood.recorder();
+        let seed_span =
+            job.span().and_then(|parent| rec.span_start("client", "seed-input", Some(parent)));
         seed(&mut job);
+        rec.span_end(seed_span);
         job.start()?;
         reports.push(job.wait(timeout)?);
     }

@@ -42,6 +42,7 @@ pub use tuplespace::{Field, Pattern, Tuple, TupleSpace};
 use std::sync::Arc;
 
 use cn_cluster::{LatencyModel, Network, NodeHandle, NodeSpec};
+use cn_observe::Recorder;
 use spaces::SpaceRegistry;
 
 /// Configuration for a neighborhood deployment.
@@ -50,6 +51,10 @@ pub struct NeighborhoodConfig {
     pub latency: LatencyModel,
     pub seed: u64,
     pub server: ServerConfig,
+    /// Observability handle shared by the fabric, every server, every task
+    /// context, and the client API. Disabled by default: span/event call
+    /// sites then cost one atomic load (DESIGN.md §8).
+    pub recorder: Recorder,
 }
 
 impl Default for NeighborhoodConfig {
@@ -58,6 +63,7 @@ impl Default for NeighborhoodConfig {
             latency: LatencyModel::zero(),
             seed: 7,
             server: ServerConfig::default(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -82,9 +88,10 @@ impl Neighborhood {
 
     /// Deploy with explicit configuration.
     pub fn deploy_with(specs: Vec<NodeSpec>, config: NeighborhoodConfig) -> Neighborhood {
-        let net: Network<NetMsg> = Network::new(config.latency, config.seed);
+        let net: Network<NetMsg> =
+            Network::with_recorder(config.latency, config.seed, config.recorder.clone());
         let registry = Arc::new(ArchiveRegistry::new());
-        let spaces = Arc::new(SpaceRegistry::new());
+        let spaces = Arc::new(SpaceRegistry::with_recorder(&config.recorder));
         let mut nodes = Vec::with_capacity(specs.len());
         let mut servers = Vec::with_capacity(specs.len());
         for spec in specs {
@@ -137,6 +144,12 @@ impl Neighborhood {
     /// Network metrics snapshot.
     pub fn metrics(&self) -> cn_cluster::MetricsSnapshot {
         self.net.metrics()
+    }
+
+    /// The observability handle this deployment records into (the one from
+    /// [`NeighborhoodConfig::recorder`]; disabled unless one was supplied).
+    pub fn recorder(&self) -> &Recorder {
+        self.net.recorder()
     }
 
     /// Stop all servers and wait for their threads. Any active network

@@ -18,6 +18,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cn_cluster::{Addr, Envelope, Network, NodeHandle};
+use cn_observe::{Counter, Recorder, Severity};
 use crossbeam::channel::Receiver;
 
 use crate::archive::ArchiveRegistry;
@@ -68,10 +69,10 @@ impl CnServer {
         let name = name.into();
         let (addr, rx) = net.register();
         net.join_group(addr, cn_cluster::network::DISCOVERY_GROUP);
+        let rec = net.recorder().clone();
         let state = ServerState {
             name: name.clone(),
             addr,
-            net: net.clone(),
             rx,
             node,
             registry,
@@ -83,6 +84,14 @@ impl CnServer {
             uploaded: HashSet::new(),
             rr: RoundRobin::new(),
             task_threads: Vec::new(),
+            c_jm_bids: rec.counter("server.jm_bids_sent"),
+            c_tm_bids: rec.counter("server.tm_bids_sent"),
+            c_task_solicits: rec.counter("server.task_solicitations"),
+            c_tasks_started: rec.counter("server.tasks_started"),
+            c_tasks_completed: rec.counter("server.tasks_completed"),
+            c_tasks_failed: rec.counter("server.tasks_failed"),
+            rec,
+            net: net.clone(),
         };
         let thread = std::thread::Builder::new()
             .name(format!("cnserver-{name}"))
@@ -149,6 +158,13 @@ struct ServerState {
     uploaded: HashSet<String>,
     rr: RoundRobin,
     task_threads: Vec<JoinHandle<()>>,
+    rec: Recorder,
+    c_jm_bids: Counter,
+    c_tm_bids: Counter,
+    c_task_solicits: Counter,
+    c_tasks_started: Counter,
+    c_tasks_completed: Counter,
+    c_tasks_failed: Counter,
 }
 
 impl ServerState {
@@ -207,6 +223,7 @@ impl ServerState {
                     && self.node.free_memory_mb() >= requirements.min_free_memory_mb
                     && self.node.free_slots() >= requirements.min_free_slots;
                 if willing {
+                    self.c_jm_bids.inc();
                     self.send(reply_to, NetMsg::JobManagerBid { job, bid: self.own_bid() });
                 }
             }
@@ -280,6 +297,7 @@ impl ServerState {
             NetMsg::SolicitTaskManager { job, task, memory_mb, reply_to }
                 if self.node.can_host(memory_mb) =>
             {
+                self.c_tm_bids.inc();
                 self.send(reply_to, NetMsg::TaskManagerBid { job, task, bid: self.own_bid() });
             }
             NetMsg::UploadArchive { jar, .. } => self.tm_upload(&jar),
@@ -352,6 +370,7 @@ impl ServerState {
         }
         // Multicast solicitation (the paper's "JobManager solicits
         // TaskManager for the Tasks").
+        self.c_task_solicits.inc();
         self.net.multicast(
             self.addr,
             cn_cluster::network::DISCOVERY_GROUP,
@@ -388,6 +407,9 @@ impl ServerState {
         // Try bidders in policy order: a TaskManager may still reject (its
         // state can change between bid and assignment) or time out, in
         // which case the JobManager falls back to the next-best bidder.
+        self.rec.event_with(Severity::Debug, "job", Some(job.0), || {
+            format!("[{}] task {:?} drew {} TaskManager bid(s)", self.name, spec.name, bids.len())
+        });
         let mut failures: Vec<String> = Vec::new();
         let mut remaining = bids;
         while !remaining.is_empty() {
@@ -437,12 +459,21 @@ impl ServerState {
         let Some(ack) = ack else {
             // The TM may have accepted after we gave up; tell it to release
             // the assignment (best effort — idempotent on the TM side).
+            self.rec.event_with(Severity::Warn, "job", Some(job.0), || {
+                format!(
+                    "[{}] AssignAck timeout from {} for {:?}",
+                    self.name, chosen.server, spec.name
+                )
+            });
             self.send(tm_addr, NetMsg::CancelTask { job, task: task_name });
             return Err("AssignAck timeout".to_string());
         };
         if ack.from != tm_addr {
             // Stale ack from an earlier bidder: release whatever it set up
             // and report this attempt as failed.
+            self.rec.event_with(Severity::Warn, "job", Some(job.0), || {
+                format!("[{}] stale AssignAck from {} for {:?}", self.name, ack.from, spec.name)
+            });
             self.send(ack.from, NetMsg::CancelTask { job, task: task_name });
             return Err(format!("stale AssignAck from {}", ack.from));
         }
@@ -532,6 +563,9 @@ impl ServerState {
         }
         j.failed = true;
         let client = j.client;
+        self.rec.event_with(Severity::Warn, "job", Some(job.0), || {
+            format!("[{}] job cancelled by client", self.name)
+        });
         // Everything assigned and not yet complete is cancelled — including
         // tasks that never started (their reservations must be released).
         let to_cancel: Vec<(String, Addr)> = j
@@ -556,6 +590,9 @@ impl ServerState {
         let first_failure = !j.failed;
         j.failed = true;
         let client = j.client;
+        self.rec.event_with(Severity::Error, "job", Some(job.0), || {
+            format!("[{}] task {task:?} failed: {error}; cancelling the job", self.name)
+        });
         // Cancel everything assigned and not complete — running tasks are
         // interrupted, never-started ones release their reservations.
         let to_cancel: Vec<(String, Addr)> = j
@@ -635,6 +672,10 @@ impl ServerState {
         let registry = Arc::clone(&self.registry);
         let space = self.spaces.get_or_create(job);
         let server_name = self.name.clone();
+        let rec = self.rec.clone();
+        let c_started = self.c_tasks_started.clone();
+        let c_completed = self.c_tasks_completed.clone();
+        let c_failed = self.c_tasks_failed.clone();
         let handle = std::thread::Builder::new()
             .name(format!("task-{}-{}", job.0, spec.name))
             .spawn(move || {
@@ -644,6 +685,10 @@ impl ServerState {
                         // Release capacity before reporting: a client that
                         // observes the failure may immediately inspect nodes.
                         drop(reservation);
+                        c_failed.inc();
+                        rec.event_with(Severity::Error, "task", Some(job.0), || {
+                            format!("[{server_name}] could not instantiate {:?}: {e}", spec.name)
+                        });
                         let _ = net.send(
                             endpoint,
                             jm,
@@ -664,6 +709,14 @@ impl ServerState {
                 };
                 let _ =
                     net.send(endpoint, jm, NetMsg::TaskStarted { job, task: spec.name.clone() });
+                c_started.inc();
+                let span = rec.span_start_job(
+                    "task",
+                    &spec.name,
+                    rec.job_span(job.0),
+                    Some(job.0),
+                    Some(&spec.name),
+                );
                 let mut ctx = TaskContext {
                     job,
                     name: spec.name.clone(),
@@ -676,13 +729,26 @@ impl ServerState {
                     stash: Vec::new(),
                 };
                 let outcome = instance.run(&mut ctx);
+                // The task span must close before TaskCompleted/TaskFailed is
+                // sent: the JobManager forwards completion to the client, which
+                // may immediately close the enclosing job span.
+                rec.span_end(span);
                 // Release the node reservation before TaskCompleted goes out:
                 // the client unblocks on JobCompleted and may assert that all
                 // slots/memory are free, so the release must happen first.
                 drop(reservation);
                 let msg = match outcome {
-                    Ok(result) => NetMsg::TaskCompleted { job, task: spec.name.clone(), result },
-                    Err(e) => NetMsg::TaskFailed { job, task: spec.name.clone(), error: e.msg },
+                    Ok(result) => {
+                        c_completed.inc();
+                        NetMsg::TaskCompleted { job, task: spec.name.clone(), result }
+                    }
+                    Err(e) => {
+                        c_failed.inc();
+                        rec.event_with(Severity::Error, "task", Some(job.0), || {
+                            format!("[{server_name}] task {:?} failed: {}", spec.name, e.msg)
+                        });
+                        NetMsg::TaskFailed { job, task: spec.name.clone(), error: e.msg }
+                    }
                 };
                 let _ = net.send(endpoint, jm, msg);
                 let _ = net.send(

@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use cn_observe::{Counter, Recorder};
 use parking_lot::Mutex;
 
 use crate::message::JobId;
@@ -14,6 +15,9 @@ use crate::tuplespace::TupleSpace;
 #[derive(Debug, Default)]
 pub struct SpaceRegistry {
     spaces: Mutex<HashMap<JobId, Arc<TupleSpace>>>,
+    /// Neighborhood-wide `space.out` / `space.rd` / `space.in` counters,
+    /// shared by every job's space. `None` for standalone registries.
+    counters: Option<(Counter, Counter, Counter)>,
 }
 
 impl SpaceRegistry {
@@ -21,8 +25,23 @@ impl SpaceRegistry {
         Self::default()
     }
 
+    /// A registry whose spaces report tuple-space operation counts into the
+    /// recorder's metrics registry (`space.out`, `space.rd`, `space.in`).
+    pub fn with_recorder(rec: &Recorder) -> Self {
+        let m = rec.metrics();
+        Self {
+            spaces: Mutex::default(),
+            counters: Some((m.counter("space.out"), m.counter("space.rd"), m.counter("space.in"))),
+        }
+    }
+
     pub fn get_or_create(&self, job: JobId) -> Arc<TupleSpace> {
-        Arc::clone(self.spaces.lock().entry(job).or_default())
+        Arc::clone(self.spaces.lock().entry(job).or_insert_with(|| {
+            Arc::new(match &self.counters {
+                Some((o, r, i)) => TupleSpace::with_counters(o.clone(), r.clone(), i.clone()),
+                None => TupleSpace::new(),
+            })
+        }))
     }
 
     /// Drop a job's space (when the job completes).
@@ -62,6 +81,21 @@ mod tests {
         a.out(vec![Field::I(1)]);
         assert!(b.is_empty());
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn recorder_backed_registry_counts_ops_across_jobs() {
+        let rec = cn_observe::Recorder::new();
+        let reg = SpaceRegistry::with_recorder(&rec);
+        let a = reg.get_or_create(JobId(1));
+        let b = reg.get_or_create(JobId(2));
+        a.out(vec![Field::I(1)]);
+        b.out(vec![Field::I(2)]);
+        let _ = a.try_rd(&vec![None]);
+        let _ = b.try_in(&vec![None]);
+        assert_eq!(rec.metrics().counter("space.out").get(), 2);
+        assert_eq!(rec.metrics().counter("space.rd").get(), 1);
+        assert_eq!(rec.metrics().counter("space.in").get(), 1);
     }
 
     #[test]

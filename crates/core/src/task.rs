@@ -131,6 +131,10 @@ impl TaskContext {
             .directory
             .get(to_task)
             .ok_or_else(|| TaskError::new(format!("unknown task {to_task:?}")))?;
+        let rec = self.net.recorder();
+        if rec.is_enabled() {
+            rec.counter("task.msgs_sent").inc();
+        }
         self.net
             .send(
                 self.addr,
@@ -162,6 +166,10 @@ impl TaskContext {
     fn decode(&self, env: Envelope<NetMsg>) -> Option<CnMessage> {
         match env.msg {
             NetMsg::User { from_task, tag, data, .. } => {
+                let rec = self.net.recorder();
+                if rec.is_enabled() {
+                    rec.counter("task.msgs_received").inc();
+                }
                 Some(CnMessage::User { from_task, tag, data })
             }
             NetMsg::Shutdown | NetMsg::CancelTask { .. } => Some(CnMessage::Shutdown),

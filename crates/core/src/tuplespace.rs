@@ -10,6 +10,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cn_observe::Counter;
 use parking_lot::{Condvar, Mutex};
 
 /// One field of a tuple.
@@ -64,17 +65,39 @@ fn matches(tuple: &Tuple, pattern: &Pattern) -> bool {
 /// length, so `rd`/`in` scan one bucket instead of the whole space, and an
 /// `out` of an N-tuple wakes only waiters blocked on arity-N patterns
 /// (matrix-row traffic no longer wakes barrier waiters, and vice versa).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TupleSpace {
     buckets: Mutex<HashMap<usize, VecDeque<Tuple>>>,
     /// One condvar per arity, created on first wait or deposit for that
     /// arity. All condvars pair with the `buckets` mutex.
     arity_cvs: Mutex<HashMap<usize, Arc<Condvar>>>,
+    /// Operation counters (`out` / `rd`-family / `in`-family). Standalone
+    /// atomics by default; [`TupleSpace::with_counters`] shares them with a
+    /// metrics registry.
+    out_ops: Counter,
+    rd_ops: Counter,
+    in_ops: Counter,
+}
+
+impl Default for TupleSpace {
+    fn default() -> Self {
+        Self::with_counters(Counter::standalone(), Counter::standalone(), Counter::standalone())
+    }
 }
 
 impl TupleSpace {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A space whose operation counters are shared (e.g. registry-backed).
+    pub fn with_counters(out_ops: Counter, rd_ops: Counter, in_ops: Counter) -> Self {
+        Self { buckets: Mutex::default(), arity_cvs: Mutex::default(), out_ops, rd_ops, in_ops }
+    }
+
+    /// `(out, rd, in)` operation counts observed by this space's counters.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (self.out_ops.get(), self.rd_ops.get(), self.in_ops.get())
     }
 
     /// The wakeup channel for one arity. Taken *before* the bucket lock —
@@ -86,6 +109,7 @@ impl TupleSpace {
     /// Deposit a tuple (`out` in Linda terms).
     pub fn out(&self, tuple: Tuple) {
         assert!(!tuple.is_empty(), "tuples must be non-empty");
+        self.out_ops.inc();
         let arity = tuple.len();
         let cv = self.cv_for(arity);
         self.buckets.lock().entry(arity).or_default().push_back(tuple);
@@ -94,12 +118,14 @@ impl TupleSpace {
 
     /// Non-blocking read: copy a matching tuple if present.
     pub fn try_rd(&self, pattern: &Pattern) -> Option<Tuple> {
+        self.rd_ops.inc();
         let buckets = self.buckets.lock();
         buckets.get(&pattern.len())?.iter().find(|t| matches(t, pattern)).cloned()
     }
 
     /// Non-blocking take: remove and return a matching tuple if present.
     pub fn try_in(&self, pattern: &Pattern) -> Option<Tuple> {
+        self.in_ops.inc();
         let mut buckets = self.buckets.lock();
         let bucket = buckets.get_mut(&pattern.len())?;
         let pos = bucket.iter().position(|t| matches(t, pattern))?;
@@ -108,6 +134,7 @@ impl TupleSpace {
 
     /// Blocking read with timeout.
     pub fn rd(&self, pattern: &Pattern, timeout: Duration) -> Option<Tuple> {
+        self.rd_ops.inc();
         let arity = pattern.len();
         let cv = self.cv_for(arity);
         let deadline = Instant::now() + timeout;
@@ -131,6 +158,7 @@ impl TupleSpace {
 
     /// Blocking take with timeout.
     pub fn take(&self, pattern: &Pattern, timeout: Duration) -> Option<Tuple> {
+        self.in_ops.inc();
         let arity = pattern.len();
         let cv = self.cv_for(arity);
         let deadline = Instant::now() + timeout;

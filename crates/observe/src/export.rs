@@ -1,0 +1,413 @@
+//! Exporters: canonical JSONL journal, Chrome `trace_event` timeline, text
+//! summary.
+//!
+//! ## The determinism contract
+//!
+//! Raw capture order is a thread interleaving: logical-clock ticks are
+//! total-ordered but not reproducible, and runtime job ids come from a
+//! process-global counter. Exporters therefore emit a **canonical** form:
+//!
+//! 1. job ids are remapped to dense ranks in ascending raw-id order (raw
+//!    ids are allocated monotonically, so rank = order of appearance);
+//! 2. the span forest is sorted structurally — children of each node are
+//!    ordered by `(category, name, job rank, task)`;
+//! 3. timestamps are re-assigned by a DFS over the sorted forest (enter =
+//!    tick++, exit = tick++), which guarantees well-formed nesting and
+//!    erases scheduling jitter;
+//! 4. span ids are renumbered in DFS order.
+//!
+//! Two runs that capture the same *structural* span set (same categories,
+//! names, parents, jobs, tasks) export byte-identical journals — the
+//! instrumentation keeps variable-count facts (bids received, retries,
+//! chosen nodes) in counters and the flight recorder, not in span
+//! structure. Sibling spans must be structurally distinct for the order to
+//! be fully pinned; ties fall back to capture order.
+
+use crate::metrics::RegistrySnapshot;
+use crate::trace::{SpanData, SpanId};
+use crate::Recorder;
+use std::collections::HashMap;
+
+/// One span after canonicalization (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalSpan {
+    /// Dense id in DFS order, starting at 1.
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub category: String,
+    pub name: String,
+    /// Job rank (1-based appearance order), not the raw runtime id.
+    pub job: Option<u64>,
+    pub task: Option<String>,
+    /// Canonical DFS tick at entry.
+    pub start: u64,
+    /// Canonical DFS tick at exit; always > `start`.
+    pub end: u64,
+}
+
+/// Canonicalize a raw span snapshot. Public so tests can assert structure
+/// directly; `journal_jsonl`/`chrome_trace` are serializations of this.
+pub fn canonical_spans(raw: &[SpanData]) -> Vec<CanonicalSpan> {
+    // 1. Job ranks by ascending raw id.
+    let mut job_ids: Vec<u64> = raw.iter().filter_map(|s| s.job).collect();
+    job_ids.sort_unstable();
+    job_ids.dedup();
+    let job_rank: HashMap<u64, u64> =
+        job_ids.iter().enumerate().map(|(i, &j)| (j, i as u64 + 1)).collect();
+
+    // 2. Build the forest. A parent id that points at a missing span (never
+    // possible via the Recorder API, but defend anyway) makes a root.
+    let by_id: HashMap<SpanId, &SpanData> = raw.iter().map(|s| (s.id, s)).collect();
+    let mut children: HashMap<Option<SpanId>, Vec<&SpanData>> = HashMap::new();
+    for s in raw {
+        let parent = s.parent.filter(|p| by_id.contains_key(p));
+        children.entry(parent).or_default().push(s);
+    }
+    let sort_key = |s: &SpanData| {
+        (
+            s.category.clone(),
+            s.name.clone(),
+            s.job.map(|j| job_rank[&j]),
+            s.task.clone(),
+            s.id, // capture-order tie-break for structurally identical siblings
+        )
+    };
+    for bucket in children.values_mut() {
+        bucket.sort_by_key(|s| sort_key(s));
+    }
+
+    // 3./4. DFS: renumber ids, re-assign ticks.
+    let mut out = Vec::with_capacity(raw.len());
+    let mut tick = 0u64;
+    fn visit(
+        span: &SpanData,
+        parent: Option<u64>,
+        children: &HashMap<Option<SpanId>, Vec<&SpanData>>,
+        job_rank: &HashMap<u64, u64>,
+        tick: &mut u64,
+        out: &mut Vec<CanonicalSpan>,
+    ) {
+        let id = out.len() as u64 + 1;
+        let start = *tick;
+        *tick += 1;
+        out.push(CanonicalSpan {
+            id,
+            parent,
+            category: span.category.clone(),
+            name: span.name.clone(),
+            job: span.job.map(|j| job_rank[&j]),
+            task: span.task.clone(),
+            start,
+            end: 0, // patched after children
+        });
+        let slot = out.len() - 1;
+        if let Some(kids) = children.get(&Some(span.id)) {
+            for kid in kids {
+                visit(kid, Some(id), children, job_rank, tick, out);
+            }
+        }
+        out[slot].end = *tick;
+        *tick += 1;
+    }
+    if let Some(roots) = children.get(&None) {
+        for root in roots {
+            visit(root, None, &children, &job_rank, &mut tick, &mut out);
+        }
+    }
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn opt_str(v: &Option<String>) -> String {
+    v.as_ref().map_or_else(|| "null".to_string(), |v| format!("\"{}\"", json_escape(v)))
+}
+
+/// The canonical JSONL event journal: one JSON object per line, one line
+/// per span, in DFS order. Byte-identical across runs that capture the
+/// same structural span set (see module docs).
+pub fn journal_jsonl(recorder: &Recorder) -> String {
+    let mut out = String::new();
+    for s in canonical_spans(&recorder.spans().snapshot()) {
+        out.push_str(&format!(
+            "{{\"span\":{},\"parent\":{},\"cat\":\"{}\",\"name\":\"{}\",\"job\":{},\"task\":{},\"start\":{},\"end\":{}}}\n",
+            s.id,
+            opt_u64(s.parent),
+            json_escape(&s.category),
+            json_escape(&s.name),
+            opt_u64(s.job),
+            opt_str(&s.task),
+            s.start,
+            s.end,
+        ));
+    }
+    out
+}
+
+/// A Chrome `trace_event` document (load in `chrome://tracing` or Perfetto).
+/// Spans become complete (`"ph":"X"`) events on one track per job: `pid` is
+/// the job rank (0 = client/toolchain work outside any job), `ts`/`dur` are
+/// canonical logical ticks.
+pub fn chrome_trace(recorder: &Recorder) -> String {
+    let spans = canonical_spans(&recorder.spans().snapshot());
+    let mut events = Vec::with_capacity(spans.len() + 4);
+    let mut pids: Vec<u64> = spans.iter().map(|s| s.job.unwrap_or(0)).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    for pid in &pids {
+        let label = if *pid == 0 { "toolchain".to_string() } else { format!("job {pid}") };
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+    for s in &spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":1,\"args\":{{\"span\":{},\"task\":{}}}}}",
+            json_escape(&s.name),
+            json_escape(&s.category),
+            s.start,
+            s.end - s.start,
+            s.job.unwrap_or(0),
+            s.id,
+            opt_str(&s.task),
+        ));
+    }
+    format!("{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n", events.join(","))
+}
+
+/// Render a registry snapshot as an aligned text table (shared by
+/// `summary_text` and `cnctl stats`).
+pub fn metrics_table(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<32} {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<32} {v}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snap.histograms {
+            let p50 = h.quantile_bound(0.50);
+            let p99 = h.quantile_bound(0.99);
+            let fmt = |b: u64| {
+                if b == u64::MAX {
+                    "inf".to_string()
+                } else {
+                    b.to_string()
+                }
+            };
+            out.push_str(&format!(
+                "  {name:<32} count={} mean={:.1} p50<={} p99<={}\n",
+                h.count,
+                h.mean(),
+                fmt(p50),
+                fmt(p99),
+            ));
+        }
+    }
+    out
+}
+
+/// The human-readable summary: metrics table, span counts by category, and
+/// the flight-recorder tail.
+pub fn summary_text(recorder: &Recorder) -> String {
+    let mut out = String::new();
+    out.push_str("== metrics ==\n");
+    let metrics = metrics_table(&recorder.metrics().snapshot());
+    if metrics.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        out.push_str(&metrics);
+    }
+
+    out.push_str("== spans ==\n");
+    let spans = recorder.spans().snapshot();
+    if spans.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        let mut by_cat: Vec<(String, usize)> = {
+            let mut m: HashMap<&str, usize> = HashMap::new();
+            for s in &spans {
+                *m.entry(s.category.as_str()).or_default() += 1;
+            }
+            m.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+        };
+        by_cat.sort();
+        for (cat, n) in by_cat {
+            out.push_str(&format!("  {cat:<32} {n}\n"));
+        }
+    }
+
+    out.push_str(&format!(
+        "== flight recorder (last {} of {} retained, {} evicted) ==\n",
+        recorder.flight().last(20).len(),
+        recorder.flight().len(),
+        recorder.flight().evicted(),
+    ));
+    for e in recorder.flight().last(20) {
+        match e.job {
+            Some(job) => out.push_str(&format!(
+                "  [{:>6}] {:<5} {}(job {}): {}\n",
+                e.tick,
+                e.severity.as_str(),
+                e.category,
+                job,
+                e.message
+            )),
+            None => out.push_str(&format!(
+                "  [{:>6}] {:<5} {}: {}\n",
+                e.tick,
+                e.severity.as_str(),
+                e.category,
+                e.message
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    /// Two recorders capturing the same structure in different interleaved
+    /// orders (and with different raw job ids) must export identically.
+    fn capture(r: &Recorder, job_a: u64, job_b: u64, flip: bool) {
+        let (first, second) = if flip { (job_b, job_a) } else { (job_a, job_b) };
+        for job in [first, second] {
+            let js = r.span_start_job("job", "job", None, Some(job), None);
+            for task in ["t0", "t1"] {
+                let ts = r.span_start_job("task", task, js, Some(job), Some(task));
+                r.span_end(ts);
+            }
+            r.span_end(js);
+        }
+    }
+
+    #[test]
+    fn canonical_export_erases_capture_order_and_raw_ids() {
+        let a = Recorder::new();
+        capture(&a, 10, 11, false);
+        let b = Recorder::new();
+        capture(&b, 20, 21, true);
+        // Same structure → byte-identical journals despite different raw
+        // job ids and different capture orders.
+        // Job ranks: a captured 10 then 11 (ranks 1,2); b captured 21 then
+        // 20, but ranks follow ascending raw id, so job 20 is rank 1 —
+        // matching a's first-captured job only because both journals sort
+        // structurally, not temporally.
+        assert_eq!(journal_jsonl(&a), journal_jsonl(&b));
+        assert_eq!(chrome_trace(&a), chrome_trace(&b));
+    }
+
+    #[test]
+    fn canonical_nesting_is_well_formed() {
+        let r = Recorder::new();
+        capture(&r, 1, 2, false);
+        let spans = canonical_spans(&r.spans().snapshot());
+        assert_eq!(spans.len(), 6);
+        for s in &spans {
+            assert!(s.end > s.start, "span {} not closed after start", s.id);
+            if let Some(parent) = s.parent {
+                let p = spans.iter().find(|x| x.id == parent).expect("parent exists");
+                assert!(p.start < s.start && s.end < p.end, "child escapes parent interval");
+                assert_eq!(p.job, s.job, "child crossed into another job");
+            }
+        }
+        // Dense DFS ids and ticks: 6 spans → ticks 0..12 each used once.
+        let mut ticks: Vec<u64> = spans.iter().flat_map(|s| [s.start, s.end]).collect();
+        ticks.sort_unstable();
+        assert_eq!(ticks, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn journal_lines_are_json_shaped() {
+        let r = Recorder::new();
+        let root = r.span_start("pipeline", "run \"x\"", None);
+        r.span_end(root);
+        let journal = journal_jsonl(&r);
+        assert_eq!(journal.lines().count(), 1);
+        assert!(journal.contains("\"name\":\"run \\\"x\\\"\""));
+        assert!(journal.starts_with('{') && journal.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let r = Recorder::new();
+        let js = r.span_start_job("job", "job", None, Some(5), None);
+        let ts = r.span_start_job("task", "t0", js, Some(5), Some("t0"));
+        r.span_end(ts);
+        r.span_end(js);
+        let trace = chrome_trace(&r);
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"name\":\"process_name\""));
+        // Job 5 is the only job → rank 1.
+        assert!(trace.contains("\"pid\":1"));
+        assert!(trace.contains("\"task\":\"t0\""));
+    }
+
+    #[test]
+    fn summary_text_sections() {
+        let r = Recorder::new();
+        r.counter("net.sent").add(3);
+        r.histogram("lat", &[10, 100]).record(7);
+        let s = r.span_start("stage", "x", None);
+        r.span_end(s);
+        r.event(Severity::Warn, "net", "drop");
+        let text = summary_text(&r);
+        assert!(text.contains("== metrics =="));
+        assert!(text.contains("net.sent"));
+        assert!(text.contains("count=1"));
+        assert!(text.contains("== spans =="));
+        assert!(text.contains("stage"));
+        assert!(text.contains("== flight recorder"));
+        assert!(text.contains("drop"));
+    }
+
+    #[test]
+    fn orphan_parent_defends_as_root() {
+        // Construct a span whose parent id is garbage; canonicalization
+        // treats it as a root instead of dropping it.
+        let r = Recorder::new();
+        let clock_span =
+            r.spans().start(r.clock(), "x", "orphan", Some(crate::SpanId(999)), None, None);
+        r.spans().end(r.clock(), clock_span);
+        let spans = canonical_spans(&r.spans().snapshot());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent, None);
+    }
+
+    #[test]
+    fn escape_covers_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\te\r"), "a\\\"b\\\\c\\nd\\te\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,328 @@
+//! Lock-sharded metrics registry.
+//!
+//! Names hash to one of a fixed set of shards, each a `Mutex<HashMap>`;
+//! resolution (`counter`/`gauge`/`histogram`) takes one shard lock, but the
+//! returned handles are `Arc`'d atomics — hot paths resolve once, then
+//! update lock-free. Snapshots iterate every shard and sort by name, so
+//! reports are deterministic regardless of registration order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// Default histogram bounds for latency-style values in microseconds:
+/// 50µs … 10s in roughly 3× steps, plus the implicit overflow bucket.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000, 10_000_000,
+];
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (for standalone use).
+    pub fn standalone() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    /// Inclusive upper bounds, ascending. `counts` has one extra slot for
+    /// values above the last bound.
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram(Arc::new(HistInner {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }))
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = self.0.bounds.partition_point(|&b| b < value);
+        self.0.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            counts: self.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            count: self.0.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` entries; the last is the overflow bucket.
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0–1.0);
+    /// `u64::MAX` when it falls in the overflow bucket, 0 when empty.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The sharded name → metric table.
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<String, Metric>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        // FNV-1a: stable across platforms, good enough to spread names.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Resolve or create the counter `name`. Panics if the name is already
+    /// registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::standalone()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Resolve or create the histogram `name`. The bounds of the first
+    /// registration win; later callers share the same buckets.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut shard = self.shard(name).lock().unwrap();
+        match shard
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A sorted point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        for shard in &self.shards {
+            for (name, metric) in shard.lock().unwrap().iter() {
+                match metric {
+                    Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                    Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                    Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+                }
+            }
+        }
+        snap.counters.sort();
+        snap.gauges.sort();
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+/// A sorted point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("net.sent");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("net.sent").get(), 5);
+        let g = reg.gauge("queue.depth");
+        g.add(3);
+        g.add(-1);
+        assert_eq!(reg.gauge("queue.depth").get(), 2);
+        g.set(10);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 3, 0, 1]); // ≤10, ≤100, ≤1000, overflow
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 5 + 10 + 11 + 99 + 100 + 5000);
+        assert!((s.mean() - (s.sum as f64 / 6.0)).abs() < 1e-9);
+        assert_eq!(s.quantile_bound(0.5), 100);
+        assert_eq!(s.quantile_bound(1.0), u64::MAX);
+        assert_eq!(
+            HistogramSnapshot { bounds: vec![], counts: vec![0], sum: 0, count: 0 }
+                .quantile_bound(0.5),
+            0
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("z").inc();
+        reg.counter("a").inc();
+        reg.gauge("m").set(7);
+        reg.histogram("h", &[1]).record(2);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["a", "z"]
+        );
+        assert_eq!(snap.gauges, vec![("m".to_string(), 7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.counts, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn handles_are_lock_free_after_resolution() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("hot");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("hot").get(), 40_000);
+    }
+}

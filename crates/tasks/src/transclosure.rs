@@ -354,6 +354,15 @@ pub fn run_transitive_closure(
     options: &TcOptions,
 ) -> Result<Matrix, TaskError> {
     assert!(options.workers > 0, "need at least one worker");
+    let rec = neighborhood.recorder().clone();
+    rec.event_with(cn_cluster::Severity::Info, "client", None, || {
+        format!(
+            "transitive closure: n={} workers={} variant={}",
+            input.n(),
+            options.workers,
+            if options.tuplespace_workers { "tuplespace" } else { "messages" }
+        )
+    });
     publish_tc_archives(neighborhood.registry());
     let api = cn_core::CnApi::initialize(neighborhood);
     let mut job = api
@@ -380,7 +389,12 @@ pub fn run_transitive_closure(
     join.memory_mb = 100;
     job.add_task(join).map_err(|e| TaskError::new(e.to_string()))?;
 
+    // Seeding is part of the composition: record it as its own span nested
+    // in the job span so traces show setup time apart from execution.
+    let seed_span =
+        job.span().and_then(|parent| rec.span_start("client", "seed-input", Some(parent)));
     seed_input(job.tuplespace(), "matrix.txt", input, &worker_names, "tctask999");
+    rec.span_end(seed_span);
     job.start().map_err(|e| TaskError::new(e.to_string()))?;
     let report = job.wait(options.timeout).map_err(|e| TaskError::new(e.to_string()))?;
     let result =

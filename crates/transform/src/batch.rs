@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread;
 
+use cn_observe::Recorder;
 use cn_xpath::Value;
 use cn_xslt::{compile_cached, transform_with_params, Stylesheet, XsltError};
 use crossbeam::channel;
@@ -26,6 +27,8 @@ pub struct BatchTransformer {
     /// Element that must be present in every input (e.g.
     /// `UML:ActivityGraph` for XMI batches); inputs without it error out.
     require_element: Option<&'static str>,
+    /// Observation handle; disabled by default.
+    recorder: Recorder,
 }
 
 impl BatchTransformer {
@@ -36,7 +39,16 @@ impl BatchTransformer {
             style: compile_cached(stylesheet_src)?,
             workers: workers.max(1),
             require_element: None,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Record one `batch` span per input (named `input-<index>`, so the
+    /// span set is a deterministic function of the batch, not of which
+    /// worker picked each document up).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The XMI→CNX batch: keyed stylesheet, inputs must contain a
@@ -78,7 +90,11 @@ impl BatchTransformer {
         let n = inputs.len();
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return inputs.iter().map(|src| self.transform_one(src, params)).collect();
+            return inputs
+                .iter()
+                .enumerate()
+                .map(|(i, src)| self.observed_transform(i, src, params))
+                .collect();
         }
 
         let (job_tx, job_rx) = channel::unbounded::<(usize, &str)>();
@@ -96,7 +112,7 @@ impl BatchTransformer {
                 let result_tx = result_tx.clone();
                 scope.spawn(move || {
                     while let Ok((i, src)) = job_rx.recv() {
-                        let _ = result_tx.send((i, self.transform_one(src, params)));
+                        let _ = result_tx.send((i, self.observed_transform(i, src, params)));
                     }
                 });
             }
@@ -107,6 +123,23 @@ impl BatchTransformer {
             }
         });
         out.into_iter().map(|r| r.expect("every input produces exactly one result")).collect()
+    }
+
+    /// [`BatchTransformer::transform_one`] wrapped in a per-input span.
+    fn observed_transform(
+        &self,
+        index: usize,
+        src: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<String, XsltError> {
+        let span = if self.recorder.is_enabled() {
+            self.recorder.span_start("batch", &format!("input-{index}"), None)
+        } else {
+            None
+        };
+        let out = self.transform_one(src, params);
+        self.recorder.span_end(span);
+        out
     }
 
     fn transform_one(

@@ -77,68 +77,96 @@ impl<'n> Pipeline<'n> {
 
     /// Run all six steps for `model`. Fails fast on validation or
     /// transformation problems at any stage.
+    ///
+    /// When the neighborhood carries an enabled [`cn_observe::Recorder`], a
+    /// `pipeline` span with one `stage` child per step is recorded; the
+    /// `execute` stage nests the job/task spans the runtime emits.
     pub fn run(
         &self,
         model: &ActivityGraph,
+        options: PipelineOptions,
+    ) -> Result<PipelineRun, String> {
+        let rec = self.neighborhood.recorder().clone();
+        let root = rec.span_start("pipeline", "pipeline", None);
+        let result = self.run_stages(model, options, &rec, root);
+        rec.span_end(root);
+        result
+    }
+
+    fn run_stages(
+        &self,
+        model: &ActivityGraph,
         mut options: PipelineOptions,
+        rec: &cn_observe::Recorder,
+        root: Option<cn_observe::SpanId>,
     ) -> Result<PipelineRun, String> {
         let mut timings = Vec::new();
-        let mut stage = |name: &'static str, start: Instant| {
-            timings.push(StageTiming { stage: name, elapsed: start.elapsed() });
-        };
+        // Each step gets a wall-clock timing entry and (when recording) a
+        // `stage` span; the span closes even when the step errors out.
+        macro_rules! staged {
+            ($name:literal, $body:expr) => {{
+                let t = Instant::now();
+                let span = rec.span_start("stage", $name, root);
+                let out = $body;
+                rec.span_end(span);
+                timings.push(StageTiming { stage: $name, elapsed: t.elapsed() });
+                out
+            }};
+        }
 
         // Step 1: the model itself (validate it).
-        let t = Instant::now();
-        cn_model::validate(model).map_err(|e| format!("model validation: {e}"))?;
-        stage("validate-model", t);
+        staged!("validate-model", cn_model::validate(model))
+            .map_err(|e| format!("model validation: {e}"))?;
 
         // Step 2: export as XMI.
-        let t = Instant::now();
-        let xmi_doc = cn_model::export_xmi(model);
-        let xmi_text = cn_xml::write_document(&xmi_doc, &WriteOptions::xmi());
-        stage("export-xmi", t);
+        let xmi_text = staged!("export-xmi", {
+            let xmi_doc = cn_model::export_xmi(model);
+            cn_xml::write_document(&xmi_doc, &WriteOptions::xmi())
+        });
 
         // Step 3: XMI → CNX via XSLT.
-        let t = Instant::now();
-        let cnx_text =
-            xmi_to_cnx_xslt(&xmi_text, &options.settings).map_err(|e| format!("XMI2CNX: {e}"))?;
-        stage("xmi2cnx-xslt", t);
+        let cnx_text = staged!("xmi2cnx-xslt", xmi_to_cnx_xslt(&xmi_text, &options.settings))
+            .map_err(|e| format!("XMI2CNX: {e}"))?;
 
-        let t = Instant::now();
-        let descriptor = cn_cnx::parse_cnx(&cnx_text).map_err(|e| format!("CNX parse: {e}"))?;
         // Dynamic tasks carry multiplicity that only expands at execution;
         // validate the expanded form below, but check the static shape now.
-        cn_cnx::validate(&descriptor).map_err(|e| format!("CNX validation: {e}"))?;
-        stage("validate-cnx", t);
+        let descriptor = staged!("validate-cnx", {
+            cn_cnx::parse_cnx(&cnx_text).map_err(|e| format!("CNX parse: {e}")).and_then(|d| {
+                cn_cnx::validate(&d).map_err(|e| format!("CNX validation: {e}"))?;
+                Ok(d)
+            })
+        })?;
 
         // Step 4: CNX → client programs.
-        let t = Instant::now();
-        let rust_source = cn_codegen::generate_rust_client(&descriptor);
-        let java_source = cnx_to_java_xslt(&cnx_text).map_err(|e| format!("CNX2Java: {e}"))?;
-        stage("codegen", t);
+        let (rust_source, java_source) = staged!("codegen", {
+            let rust_source = cn_codegen::generate_rust_client(&descriptor);
+            cnx_to_java_xslt(&cnx_text)
+                .map_err(|e| format!("CNX2Java: {e}"))
+                .map(|java| (rust_source, java))
+        })?;
 
         // Steps 5+6: deploy to the CN servers and execute. The generated
         // client's call sequence is executed through the interpreted path
         // (identical API calls; see cn_core::exec).
-        let t = Instant::now();
         let seed = options.seed.take();
-        let reports = match seed {
-            Some(mut hook) => cn_core::execute_descriptor_seeded(
-                self.neighborhood,
-                &descriptor,
-                &options.dynamic,
-                options.timeout,
-                |job| hook(job),
-            ),
-            None => cn_core::execute_descriptor(
-                self.neighborhood,
-                &descriptor,
-                &options.dynamic,
-                options.timeout,
-            ),
-        }
+        let reports = staged!("execute", {
+            match seed {
+                Some(mut hook) => cn_core::execute_descriptor_seeded(
+                    self.neighborhood,
+                    &descriptor,
+                    &options.dynamic,
+                    options.timeout,
+                    |job| hook(job),
+                ),
+                None => cn_core::execute_descriptor(
+                    self.neighborhood,
+                    &descriptor,
+                    &options.dynamic,
+                    options.timeout,
+                ),
+            }
+        })
         .map_err(|e| format!("execution: {e}"))?;
-        stage("execute", t);
 
         Ok(PipelineRun {
             xmi_text,

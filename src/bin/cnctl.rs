@@ -9,6 +9,8 @@
 //! cnctl render    <file.cnx|file.xmi> [--format dot|ascii]
 //! cnctl demo      [workers]                        full pipeline on the TC example
 //! cnctl example-xmi [workers]                      emit the Figure-3 model as XMI
+//! cnctl trace     <file.xmi|examples> [--out trace.json] [--journal j.jsonl] [--workers N]
+//! cnctl stats     <file.xmi|examples> [--workers N]
 //! ```
 //!
 //! Everything reads/writes plain files or stdout, so the tool composes with
@@ -95,13 +97,15 @@ fn run(args: &[String]) -> Result<(String, i32), String> {
                 .unwrap_or(3);
             demo(workers).map(clean)
         }
+        "trace" => trace_cmd(&rest).map(clean),
+        "stats" => stats_cmd(&rest).map(clean),
         "help" | "--help" | "-h" => Ok(clean(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
 
-const USAGE: &str =
-    "usage: cnctl <validate|lint|transform|codegen|render|demo|example-xmi|help> [args]\n";
+const USAGE: &str = "usage: cnctl \
+     <validate|lint|transform|codegen|render|demo|example-xmi|trace|stats|help> [args]\n";
 
 /// Wrap plain output with the success exit code.
 fn clean(output: String) -> (String, i32) {
@@ -336,6 +340,111 @@ fn demo(workers: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Run the Figure-6 pipeline on `src` (an XMI file path, or the literal
+/// `examples` for the bundled Figure-3 transitive-closure model) with an
+/// enabled recorder. Returns the recorder — even when execution failed, so
+/// the trace of the stages that did run can still be exported — together
+/// with the pipeline outcome.
+fn run_traced(
+    src: &str,
+    args: &[&str],
+) -> Result<(computational_neighborhood::observe::Recorder, Result<(), String>), String> {
+    use computational_neighborhood::cluster::NodeSpec;
+    use computational_neighborhood::core::{DynamicArgs, Neighborhood, NeighborhoodConfig};
+    use computational_neighborhood::observe::Recorder;
+    use computational_neighborhood::tasks::{self, random_digraph, seed_input};
+
+    let workers: usize = flag_value(args, "--workers")
+        .map(|w| w.parse().map_err(|_| format!("bad worker count {w:?}")))
+        .transpose()?
+        .unwrap_or(3);
+    if workers == 0 {
+        return Err("need at least one worker".to_string());
+    }
+    let graph = if src == "examples" {
+        transform::figure2_model(workers)
+    } else {
+        let text = std::fs::read_to_string(src).map_err(|e| format!("{src}: {e}"))?;
+        let doc = computational_neighborhood::xml::parse(&text).map_err(|e| e.to_string())?;
+        model::import_xmi(&doc).map_err(|e| e.to_string())?
+    };
+
+    let rec = Recorder::new();
+    let nb = Neighborhood::deploy_with(
+        NodeSpec::fleet(3, 8192, 16),
+        NeighborhoodConfig { recorder: rec.clone(), ..NeighborhoodConfig::default() },
+    );
+    tasks::publish_all_archives(nb.registry());
+    let input = random_digraph(16, 0.25, 1..9, 1);
+    let options = transform::PipelineOptions {
+        settings: transform::figure2_settings(),
+        dynamic: DynamicArgs::new(),
+        timeout: std::time::Duration::from_secs(60),
+        // Model-agnostic seeding: if the composition looks like the
+        // transitive-closure example (a tctask0 splitter and a tctask999
+        // joiner), deposit the input matrix; anything else runs unseeded.
+        seed: Some(Box::new(move |job| {
+            let names = job.task_names();
+            if names.iter().any(|n| n == "tctask0") && names.iter().any(|n| n == "tctask999") {
+                let worker_names: Vec<String> = names
+                    .iter()
+                    .filter(|n| *n != "tctask0" && *n != "tctask999")
+                    .cloned()
+                    .collect();
+                seed_input(job.tuplespace(), "matrix.txt", &input, &worker_names, "tctask999");
+            }
+        })),
+    };
+    let outcome = transform::Pipeline::new(&nb).run(&graph, options).map(|_| ());
+    nb.shutdown();
+    Ok((rec, outcome))
+}
+
+/// Write `content` to `path` via a sibling temp file and an atomic rename,
+/// so readers never observe a partially-written artifact.
+fn write_atomic(path: &str, content: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, content).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("rename {tmp} -> {path}: {e}")
+    })
+}
+
+/// `trace`: run the pipeline under an enabled recorder and export the
+/// canonical Chrome `trace_event` timeline (plus, optionally, the JSONL
+/// span journal). Exports happen even when execution fails, so partial
+/// traces remain inspectable.
+fn trace_cmd(args: &[&str]) -> Result<String, String> {
+    use computational_neighborhood::observe::{chrome_trace, journal_jsonl};
+
+    let src = positional(args, 0)
+        .ok_or("usage: cnctl trace <file.xmi|examples> [--out trace.json] [--journal j.jsonl]")?;
+    let out_path = flag_value(args, "--out").unwrap_or("trace.json");
+    let (rec, outcome) = run_traced(src, args)?;
+    write_atomic(out_path, &chrome_trace(&rec))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "wrote {} span(s) to {out_path}", rec.spans().len());
+    if let Some(journal_path) = flag_value(args, "--journal") {
+        write_atomic(journal_path, &journal_jsonl(&rec))?;
+        let _ = writeln!(out, "wrote span journal to {journal_path}");
+    }
+    outcome.map_err(|e| format!("{e}\n(partial trace written to {out_path})"))?;
+    Ok(out)
+}
+
+/// `stats`: run the pipeline under an enabled recorder and print the text
+/// summary (metrics table, span counts by category, flight-recorder tail).
+fn stats_cmd(args: &[&str]) -> Result<String, String> {
+    use computational_neighborhood::observe::summary_text;
+
+    let src = positional(args, 0).ok_or("usage: cnctl stats <file.xmi|examples> [--workers N]")?;
+    let (rec, outcome) = run_traced(src, args)?;
+    let summary = summary_text(&rec);
+    outcome.map_err(|e| format!("{e}\n{summary}"))?;
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +615,47 @@ mod tests {
         let cnx = transform_xmi(&xmi, &["x", "--class", "TC"]).unwrap();
         assert!(cnx.contains("tctask999"));
         assert!(run(&["example-xmi".to_string(), "0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn trace_writes_chrome_trace_and_journal() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/test-artifacts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("cnctl-trace.json");
+        let journal = dir.join("cnctl-trace.jsonl");
+        let args = vec![
+            "examples",
+            "--workers",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ];
+        let msg = trace_cmd(&args).unwrap();
+        assert!(msg.contains("span(s)"), "{msg}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+        let j = std::fs::read_to_string(&journal).unwrap();
+        assert!(j.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "{j}");
+        // One span per pipeline stage and per task.
+        for name in ["validate-model", "xmi2cnx-xslt", "execute", "tctask0", "tctask1", "tctask999"]
+        {
+            assert!(j.contains(&format!("\"name\":\"{name}\"")), "missing {name} in {j}");
+        }
+        std::fs::remove_file(out).ok();
+        std::fs::remove_file(journal).ok();
+    }
+
+    #[test]
+    fn stats_reports_metrics_and_spans() {
+        let out = stats_cmd(&["examples", "--workers", "2"]).unwrap();
+        assert!(out.contains("== metrics =="), "{out}");
+        assert!(out.contains("api.jobs_created"), "{out}");
+        assert!(out.contains("server.tasks_completed"), "{out}");
+        assert!(out.contains("== spans =="), "{out}");
+        assert!(stats_cmd(&[]).is_err());
     }
 
     #[test]

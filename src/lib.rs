@@ -24,6 +24,9 @@
 //! * [`graph`] — shared graph algorithms (deterministic cycle search).
 //! * [`analysis`] — the cross-layer lint engine behind `cnctl lint`: coded,
 //!   spanned diagnostics over CNX descriptors and activity models.
+//! * [`observe`] — the observability subsystem: metrics registry, span
+//!   tracing with logical clocks, flight recorder, and the exporters behind
+//!   `cnctl trace` / `cnctl stats`.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@ pub use cn_codegen as codegen;
 pub use cn_core as core;
 pub use cn_graph as graph;
 pub use cn_model as model;
+pub use cn_observe as observe;
 pub use cn_tasks as tasks;
 pub use cn_transform as transform;
 pub use cn_xml as xml;

@@ -81,6 +81,7 @@ fn runs_over_lan_latency_profile() {
         latency: LatencyModel::lan(),
         seed: 42,
         server: core::ServerConfig { bid_window: Duration::from_millis(15), ..Default::default() },
+        ..Default::default()
     };
     let nb = Neighborhood::deploy_with(NodeSpec::fleet(3, 8192, 16), config);
     tasks::publish_all_archives(nb.registry());

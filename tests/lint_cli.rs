@@ -84,6 +84,25 @@ fn lint_json_golden_figure2_dirty() {
     check_golden(&golden("figure2_dirty_lint.json"), &stdout);
 }
 
+/// CN018: a 600-way multiplicity expands the job past the flight
+/// recorder's default 512-event capacity — a warning with its own golden.
+#[test]
+fn lint_json_golden_recorder_overflow() {
+    let path = fixture("recorder_overflow.cnx");
+    let mut doc = figure2_descriptor(2);
+    doc.client.jobs[0].tasks[1].multiplicity = Some("600".into());
+    let expect = write_cnx(&doc);
+    if regenerating() {
+        std::fs::write(&path, &expect).expect("write fixture");
+    }
+    let text = std::fs::read_to_string(&path).expect("read recorder_overflow.cnx fixture");
+    assert_eq!(text, expect, "fixtures/recorder_overflow.cnx drifted from its generator");
+    let (stdout, code) = run_cnctl(&["lint", path.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(code, 2, "CN018 is a warning, so exit 2:\n{stdout}");
+    assert!(stdout.contains("\"code\":\"CN018\""), "{stdout}");
+    check_golden(&golden("recorder_overflow_lint.json"), &stdout);
+}
+
 /// The CLI's JSON is the library report verbatim plus a trailing newline;
 /// anything else would let the two drift apart.
 #[test]
