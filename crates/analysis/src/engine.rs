@@ -20,12 +20,18 @@ pub struct LintOptions {
     /// the capacity passes (CN011/CN015/CN016) stay quiet or degrade to
     /// their capacity-free variants.
     pub capacity: Option<ClusterCapacity>,
+    /// Per-server memory, as configured on a wire deployment's `cnctl
+    /// serve --memory` flags. When set, CN019 warns about tasks that no
+    /// configured server could ever host.
+    pub server_memory_mb: Option<Vec<u64>>,
 }
 
 /// Everything a CNX pass can look at.
 pub struct CnxContext<'a> {
     pub doc: &'a CnxDocument,
     pub capacity: Option<&'a ClusterCapacity>,
+    /// `--server-memory` values for the CN019 wire-deployment check.
+    pub server_memory_mb: Option<&'a [u64]>,
 }
 
 /// Everything a model pass can look at.
@@ -94,7 +100,11 @@ impl Engine {
 
     /// Lint a parsed CNX descriptor.
     pub fn lint_cnx(&self, doc: &CnxDocument, opts: &LintOptions) -> LintReport {
-        let ctx = CnxContext { doc, capacity: opts.capacity.as_ref() };
+        let ctx = CnxContext {
+            doc,
+            capacity: opts.capacity.as_ref(),
+            server_memory_mb: opts.server_memory_mb.as_deref(),
+        };
         let mut out = Vec::new();
         for pass in &self.cnx_passes {
             pass.run(&ctx, &mut out);
@@ -173,6 +183,9 @@ pub mod codes {
     pub const MEMORY_OVERSUBSCRIBED: &str = "CN016";
     pub const SERIAL_JOB: &str = "CN017";
     pub const RECORDER_CAPACITY: &str = "CN018";
+    /// A task requests more memory than any `--server-memory` value (wire
+    /// deployments).
+    pub const SERVER_MEMORY: &str = "CN019";
 
     // Model validity (mapped from `cn_model::validate_all`).
     pub const MODEL_NO_INITIAL: &str = "CN020";
@@ -213,6 +226,7 @@ pub const ALL_CODES: &[&str] = &[
     codes::MEMORY_OVERSUBSCRIBED,
     codes::SERIAL_JOB,
     codes::RECORDER_CAPACITY,
+    codes::SERVER_MEMORY,
     codes::MODEL_NO_INITIAL,
     codes::MODEL_MULTIPLE_INITIALS,
     codes::MODEL_NO_FINAL,

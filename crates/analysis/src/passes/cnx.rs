@@ -26,6 +26,7 @@ pub fn default_passes() -> Vec<Box<dyn CnxPass>> {
         Box::new(MemoryCapacityPass),
         Box::new(ParallelismPass),
         Box::new(RecorderCapacityPass),
+        Box::new(ServerMemoryPass),
         Box::new(RoundtripPass),
     ]
 }
@@ -386,6 +387,40 @@ impl CnxPass for ParallelismPass {
     }
 }
 
+/// CN019: a task requests more memory than any configured server offers.
+///
+/// Wire deployments declare per-process capacity with `cnctl serve
+/// --memory`; passing the same values to `cnctl lint --server-memory`
+/// catches task requirements that no server in the fleet could ever bid
+/// on — the job would stall in placement at run time.
+pub struct ServerMemoryPass;
+
+impl CnxPass for ServerMemoryPass {
+    fn name(&self) -> &'static str {
+        "server-memory"
+    }
+
+    fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(servers) = ctx.server_memory_mb else { return };
+        let Some(largest) = servers.iter().copied().max() else { return };
+        for (_, _, t) in for_each_task(ctx.doc) {
+            if t.req.memory_mb > largest {
+                out.push(
+                    Diagnostic::new(
+                        codes::SERVER_MEMORY,
+                        Severity::Warning,
+                        format!(
+                            "task {:?} requires {} MB but the largest configured server offers {} MB: no TaskManager in this deployment can bid on it",
+                            t.name, t.req.memory_mb, largest
+                        ),
+                    )
+                    .with_span(t.span),
+                );
+            }
+        }
+    }
+}
+
 /// CN018: more task instances than the flight recorder retains by default.
 ///
 /// Each task emits at least one severity-tagged event on an interesting
@@ -469,7 +504,8 @@ mod tests {
     }
 
     fn lint_with_capacity(doc: &CnxDocument, cap: ClusterCapacity) -> LintReport {
-        Engine::with_default_passes().lint_cnx(doc, &LintOptions { capacity: Some(cap) })
+        Engine::with_default_passes()
+            .lint_cnx(doc, &LintOptions { capacity: Some(cap), ..LintOptions::default() })
     }
 
     fn codes_of(report: &LintReport) -> Vec<&'static str> {
@@ -655,6 +691,31 @@ mod tests {
         let mut at_cap = figure2_descriptor(2);
         at_cap.client.jobs[0].tasks[1].multiplicity = Some("508".into());
         assert!(!codes_of(&lint(&at_cap)).contains(&codes::RECORDER_CAPACITY));
+    }
+
+    #[test]
+    fn server_memory_warns_when_no_server_can_host() {
+        let lint_with_servers = |doc: &CnxDocument, servers: Vec<u64>| {
+            Engine::with_default_passes().lint_cnx(
+                doc,
+                &LintOptions { server_memory_mb: Some(servers), ..LintOptions::default() },
+            )
+        };
+        // Figure 2 tasks each want 1000 MB: a 512 MB fleet warns per task,
+        // one 2048 MB server anywhere in the fleet clears every warning.
+        let doc = figure2_descriptor(2);
+        let report = lint_with_servers(&doc, vec![256, 512]);
+        let warned: Vec<_> =
+            report.diagnostics().iter().filter(|d| d.code == codes::SERVER_MEMORY).collect();
+        assert_eq!(warned.len(), 4, "{}", report.to_text());
+        assert!(warned.iter().all(|d| d.severity == Severity::Warning));
+        assert!(warned[0].message.contains("512 MB"), "{}", warned[0].message);
+        assert!(
+            !codes_of(&lint_with_servers(&doc, vec![512, 2048])).contains(&codes::SERVER_MEMORY)
+        );
+        // Exactly-fitting is fine; no --server-memory means no opinion.
+        assert!(!codes_of(&lint_with_servers(&doc, vec![1000])).contains(&codes::SERVER_MEMORY));
+        assert!(!codes_of(&lint(&doc)).contains(&codes::SERVER_MEMORY));
     }
 
     #[test]

@@ -173,6 +173,94 @@ fn bench_json(smoke: bool) {
     );
     write_atomic("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
     println!("wrote BENCH_PR2.json");
+
+    let wire = wire_metrics_json(smoke);
+    let wire_json = format!(
+        "{{\n  \"bench\": \"wire transport (PR4)\",\n  \"mode\": \"{mode}\",\n  \"wire\": {wire}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+    );
+    write_atomic("BENCH_PR4.json", &wire_json).expect("write BENCH_PR4.json");
+    println!("wrote BENCH_PR4.json");
+}
+
+/// Wire-transport throughput over real loopback TCP: two `SocketFabric`s
+/// in one process (so both ends of every frame cross the codec, the
+/// length-prefixed framing, and the kernel socket path). Reports burst
+/// throughput in messages/s plus p50/p99 single-frame latency measured by
+/// round-tripping one message at a time through an echo peer.
+fn wire_metrics_json(smoke: bool) -> String {
+    use cn_core::{JobId, NetMsg, UserData};
+    use cn_observe::Recorder;
+    use cn_wire::{SocketFabric, WireConfig};
+
+    let rec = Recorder::new();
+    let a: SocketFabric<NetMsg> =
+        SocketFabric::new(WireConfig::default(), rec.clone()).expect("wire fabric a");
+    let b: SocketFabric<NetMsg> =
+        SocketFabric::new(WireConfig::default(), Recorder::disabled()).expect("wire fabric b");
+    use cn_wire::Fabric as _;
+    let (addr_a, rx_a) = a.register();
+    let (addr_b, rx_b) = b.register();
+
+    let msg = |i: u64| {
+        let mut bytes = vec![0xAB; 64];
+        bytes[..8].copy_from_slice(&i.to_le_bytes());
+        NetMsg::User {
+            job: JobId(1),
+            from_task: "bench".into(),
+            tag: "frame".into(),
+            data: UserData::Bytes(bytes),
+        }
+    };
+    let frame_bytes = {
+        // On-wire frame: u32 length prefix + the versioned payload
+        // (version byte, from, to, encoded NetMsg body).
+        let payload = cn_wire::codec::encode_payload(&cn_cluster::Envelope {
+            from: addr_a,
+            to: addr_b,
+            msg: msg(0),
+        });
+        4 + payload.len()
+    };
+
+    // Burst throughput: pipeline `n` frames A→B and drain them all.
+    let n: u64 = if smoke { 2_000 } else { 20_000 };
+    let t = Instant::now();
+    for i in 0..n {
+        a.send(addr_a, addr_b, msg(i)).expect("wire send");
+    }
+    for _ in 0..n {
+        rx_b.recv_timeout(Duration::from_secs(10)).expect("wire recv");
+    }
+    let msgs_per_s = n as f64 / t.elapsed().as_secs_f64();
+
+    // Frame latency: one message in flight at a time, echoed back, so each
+    // sample is a full request/response over two TCP connections. Halving
+    // the round trip approximates the one-way frame cost.
+    let samples: usize = if smoke { 200 } else { 2_000 };
+    let mut lat_us: Vec<f64> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let t = Instant::now();
+        a.send(addr_a, addr_b, msg(i as u64)).expect("wire send");
+        let env = rx_b.recv_timeout(Duration::from_secs(10)).expect("wire recv");
+        b.send(addr_b, env.from, env.msg).expect("wire echo");
+        rx_a.recv_timeout(Duration::from_secs(10)).expect("wire echo recv");
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6 / 2.0);
+    }
+    lat_us.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let quantile = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q).round() as usize];
+    let (p50, p99) = (quantile(0.5), quantile(0.99));
+
+    let sent = rec.counter("wire.frames_sent").get();
+    a.shutdown();
+    b.shutdown();
+    println!(
+        "wire: {msgs_per_s:.0} msgs/s burst, frame p50 {p50:.1} us, p99 {p99:.1} us \
+         ({frame_bytes} B frames, {sent} frames recorded)"
+    );
+    format!(
+        "{{\n    \"frame_bytes\": {frame_bytes},\n    \"burst_messages\": {n},\n    \"messages_per_s\": {msgs_per_s:.0},\n    \"latency_samples\": {samples},\n    \"frame_latency_us\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}}}\n  }}"
+    )
 }
 
 /// Write `content` to `path` via temp file + atomic rename so a concurrent
@@ -329,7 +417,9 @@ fn fig5_dynamic_invocation() {
             &descriptor,
             &dynamic,
             Duration::from_secs(60),
-            move |job| seed_input(job.tuplespace(), "matrix.txt", &input2, &names2, "TCJoin"),
+            move |job| {
+                seed_input(job, "matrix.txt", &input2, &names2, "TCJoin").expect("seed input")
+            },
         )
         .expect("dynamic run");
         let result = Matrix::from_userdata(reports[0].result("TCJoin").unwrap()).unwrap();
@@ -357,7 +447,7 @@ fn fig6_pipeline() {
         dynamic: DynamicArgs::new(),
         timeout: Duration::from_secs(60),
         seed: Some(Box::new(move |job| {
-            seed_input(job.tuplespace(), "matrix.txt", &input2, &worker_names, "tctask999");
+            seed_input(job, "matrix.txt", &input2, &worker_names, "tctask999").expect("seed input");
         })),
     };
     let run =

@@ -24,7 +24,7 @@ pub mod node;
 
 pub use cn_observe::{Recorder, Severity};
 pub use metrics::{MetricsSnapshot, NetworkMetrics};
-pub use network::{Addr, Envelope, GroupId, LatencyModel, Network, SendError};
+pub use network::{Addr, Envelope, GroupId, LatencyModel, Network, SendError, DISCOVERY_GROUP};
 pub use node::{ClusterCapacity, NodeHandle, NodeSpec, ReserveError};
 
 #[cfg(test)]

@@ -86,12 +86,24 @@ impl LatencyModel {
     }
 }
 
-/// Send failure.
+/// Send failure. The first two variants are raised by the simulated
+/// fabric; the wire variants are raised by the socket transport in
+/// `cn-wire` (the error type lives here so both fabrics share one
+/// `Result` surface).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendError {
     UnknownAddr(Addr),
     /// The destination endpoint was dropped.
     Closed(Addr),
+    /// No TCP connection could be established to the peer process (after
+    /// the configured retries).
+    ConnectFailed(Addr),
+    /// A connect or write did not finish within the configured timeout.
+    Timeout(Addr),
+    /// The frame could not be encoded/decoded for this destination.
+    Codec(Addr),
+    /// The peer process closed the connection mid-conversation.
+    PeerClosed(Addr),
 }
 
 impl fmt::Display for SendError {
@@ -99,6 +111,10 @@ impl fmt::Display for SendError {
         match self {
             SendError::UnknownAddr(a) => write!(f, "unknown address {a}"),
             SendError::Closed(a) => write!(f, "endpoint {a} is closed"),
+            SendError::ConnectFailed(a) => write!(f, "could not connect to peer of {a}"),
+            SendError::Timeout(a) => write!(f, "transport timeout sending to {a}"),
+            SendError::Codec(a) => write!(f, "codec failure for {a}"),
+            SendError::PeerClosed(a) => write!(f, "peer of {a} closed the connection"),
         }
     }
 }

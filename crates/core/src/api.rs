@@ -13,8 +13,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cn_cluster::{Addr, Envelope, Network};
+use cn_cluster::{Addr, Envelope};
 use cn_observe::{Counter, Histogram, Recorder, Severity, SpanId, LATENCY_BUCKETS_US};
+use cn_wire::FabricHandle;
 use crossbeam::channel::Receiver;
 
 use crate::message::{
@@ -22,7 +23,7 @@ use crate::message::{
 };
 use crate::scheduler::{select, Policy};
 use crate::spaces::SpaceRegistry;
-use crate::tuplespace::TupleSpace;
+use crate::tuplespace::{Tuple, TupleSpace};
 use crate::Neighborhood;
 
 /// Client-side failure.
@@ -94,7 +95,7 @@ static NEXT_JOB_ID: AtomicU64 = AtomicU64::new(1);
 
 /// The CN API factory instance.
 pub struct CnApi {
-    net: Network<NetMsg>,
+    net: FabricHandle<NetMsg>,
     spaces: Arc<SpaceRegistry>,
     config: ClientConfig,
     rec: Recorder,
@@ -116,10 +117,22 @@ impl CnApi {
     }
 
     pub fn with_config(neighborhood: &Neighborhood, config: ClientConfig) -> CnApi {
-        let rec = neighborhood.recorder().clone();
+        CnApi::over(neighborhood.network().clone().into(), neighborhood.spaces(), config)
+    }
+
+    /// Build a CN API directly over any transport fabric. This is the
+    /// entry point for multi-process deployments: `cnctl submit` hands it
+    /// a [`cn_wire::SocketFabric`] and a fresh client-local space
+    /// registry, and the same protocol runs over real sockets.
+    pub fn over(
+        net: FabricHandle<NetMsg>,
+        spaces: Arc<SpaceRegistry>,
+        config: ClientConfig,
+    ) -> CnApi {
+        let rec = net.recorder().clone();
         CnApi {
-            net: neighborhood.network().clone(),
-            spaces: neighborhood.spaces(),
+            net,
+            spaces,
             config,
             c_jobs: rec.counter("api.jobs_created"),
             c_tasks: rec.counter("api.tasks_created"),
@@ -128,6 +141,12 @@ impl CnApi {
             dispatch: rec.histogram("api.dispatch_latency_us", LATENCY_BUCKETS_US),
             rec,
         }
+    }
+
+    /// The recorder this API (and its job handles) records into — the
+    /// fabric's recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Create a job: multicast a solicitation, collect bids from willing
@@ -144,7 +163,7 @@ impl CnApi {
             self.c_solicits.inc();
             self.net.multicast(
                 addr,
-                cn_cluster::network::DISCOVERY_GROUP,
+                cn_cluster::DISCOVERY_GROUP,
                 NetMsg::SolicitJobManager { job, requirements: *requirements, reply_to: addr },
             );
             let deadline = Instant::now() + self.config.bid_window;
@@ -202,6 +221,7 @@ impl CnApi {
             space: self.spaces.get_or_create(job),
             spaces: Arc::clone(&self.spaces),
             stash: Vec::new(),
+            shadow: HashMap::new(),
             ack_timeout: self.config.ack_timeout,
             rec: self.rec.clone(),
             span,
@@ -232,7 +252,7 @@ pub struct JobHandle {
     jm: Addr,
     /// Name of the server whose JobManager owns this job.
     pub jm_server: String,
-    net: Network<NetMsg>,
+    net: FabricHandle<NetMsg>,
     addr: Addr,
     rx: Receiver<Envelope<NetMsg>>,
     /// task name → task endpoint (learned from TaskAcks).
@@ -243,6 +263,14 @@ pub struct JobHandle {
     spaces: Arc<SpaceRegistry>,
     /// Messages received while waiting for protocol acks.
     stash: Vec<CnMessage>,
+    /// Wire mode only: client-side shadow spans for remote task
+    /// executions, keyed by task name. On a shared-memory fabric the
+    /// TaskManagers record task spans into the same recorder and no
+    /// shadowing happens; over sockets the server processes have their own
+    /// recorders, so the client reconstructs the task layer of the span
+    /// forest from TaskStarted/TaskCompleted/TaskFailed lifecycle
+    /// messages — keeping the exported forest identical across fabrics.
+    shadow: HashMap<String, Option<SpanId>>,
     ack_timeout: Duration,
     rec: Recorder,
     /// The job span, closed on completion/failure/cancel (or in Drop).
@@ -257,6 +285,9 @@ impl Drop for JobHandle {
         // Idempotent: wait()/cancel() have usually unregistered already.
         self.net.unregister(self.addr);
         self.spaces.remove(self.job);
+        for (_, span) in self.shadow.drain() {
+            self.rec.span_end(span);
+        }
         self.rec.span_end(self.span.take());
     }
 }
@@ -299,8 +330,8 @@ impl JobHandle {
         &self.jm_server
     }
 
-    fn decode(env: Envelope<NetMsg>) -> Option<CnMessage> {
-        match env.msg {
+    fn decode(&mut self, env: Envelope<NetMsg>) -> Option<CnMessage> {
+        let msg = match env.msg {
             NetMsg::User { from_task, tag, data, .. } => {
                 Some(CnMessage::User { from_task, tag, data })
             }
@@ -312,6 +343,31 @@ impl JobHandle {
             NetMsg::JobCompleted { results, .. } => Some(CnMessage::JobCompleted { results }),
             NetMsg::JobFailed { error, .. } => Some(CnMessage::JobFailed { error }),
             _ => None,
+        };
+        if let Some(m) = &msg {
+            self.observe_shadow(m);
+        }
+        msg
+    }
+
+    /// See the `shadow` field: over a non-shared-memory fabric the task
+    /// layer of the span forest is reconstructed from lifecycle messages.
+    fn observe_shadow(&mut self, m: &CnMessage) {
+        if self.net.shared_memory() {
+            return;
+        }
+        match m {
+            CnMessage::TaskStarted { task } => {
+                let span =
+                    self.rec.span_start_job("task", task, self.span, Some(self.job.0), Some(task));
+                self.shadow.insert(task.clone(), span);
+            }
+            CnMessage::TaskCompleted { task, .. } | CnMessage::TaskFailed { task, .. } => {
+                if let Some(span) = self.shadow.remove(task) {
+                    self.rec.span_end(span);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -328,10 +384,11 @@ impl JobHandle {
             if remaining.is_zero() {
                 return Err(ClientError::Timeout("protocol ack"));
             }
-            match self.rx.recv_timeout(remaining) {
+            let received = self.rx.recv_timeout(remaining);
+            match received {
                 Ok(env) if want(&env.msg) => return Ok(env.msg),
                 Ok(env) => {
-                    if let Some(m) = Self::decode(env) {
+                    if let Some(m) = self.decode(env) {
                         self.stash.push(m);
                     }
                 }
@@ -381,6 +438,23 @@ impl JobHandle {
         }
     }
 
+    /// Deposit a tuple into the job's tuple space ("seeding" the input
+    /// before the job starts). On a shared-memory fabric this writes the
+    /// space directly — exactly what clients did before this method
+    /// existed. Over the wire it sends [`NetMsg::SeedTuple`] to the
+    /// JobManager, which deposits it into its replica and relays it to
+    /// every TaskManager assigned a task of this job, so tasks observe
+    /// the same pre-start space contents in both deployments.
+    pub fn seed_tuple(&self, tuple: Tuple) -> Result<(), ClientError> {
+        if self.net.shared_memory() {
+            self.space.out(tuple);
+            return Ok(());
+        }
+        self.net
+            .send(self.addr, self.jm, NetMsg::SeedTuple { job: self.job, tuple })
+            .map_err(|e| ClientError::Net(e.to_string()))
+    }
+
     /// Start the job: the JobManager launches dependency-free tasks now and
     /// each remaining task as its dependencies complete.
     pub fn start(&mut self) -> Result<(), ClientError> {
@@ -425,9 +499,10 @@ impl JobHandle {
             if remaining.is_zero() {
                 return Err(ClientError::Timeout("message"));
             }
-            match self.rx.recv_timeout(remaining) {
+            let received = self.rx.recv_timeout(remaining);
+            match received {
                 Ok(env) => {
-                    if let Some(m) = Self::decode(env) {
+                    if let Some(m) = self.decode(env) {
                         return Ok(m);
                     }
                 }

@@ -168,18 +168,31 @@ pub fn execute_descriptor_seeded(
     doc: &CnxDocument,
     dynamic: &DynamicArgs,
     timeout: Duration,
+    seed: impl FnMut(&mut crate::api::JobHandle),
+) -> Result<Vec<JobReport>, ExecError> {
+    let api = CnApi::initialize(neighborhood);
+    execute_with_api_seeded(&api, doc, dynamic, timeout, seed)
+}
+
+/// Like [`execute_descriptor_seeded`], but against an already-constructed
+/// [`CnApi`] — the entry point when the fabric is a real socket transport
+/// and there is no in-process [`Neighborhood`] to borrow (`cnctl submit`).
+pub fn execute_with_api_seeded(
+    api: &CnApi,
+    doc: &CnxDocument,
+    dynamic: &DynamicArgs,
+    timeout: Duration,
     mut seed: impl FnMut(&mut crate::api::JobHandle),
 ) -> Result<Vec<JobReport>, ExecError> {
     let expanded = expand_dynamic(doc, dynamic)?;
     cn_cnx::validate(&expanded).map_err(|e| ExecError::Validation(e.to_string()))?;
-    let api = CnApi::initialize(neighborhood);
     let mut reports = Vec::with_capacity(expanded.client.jobs.len());
     for job_decl in &expanded.client.jobs {
         let mut job = api.create_job(&JobRequirements::default())?;
         for task in &job_decl.tasks {
             job.add_task(TaskSpec::from_cnx(task))?;
         }
-        let rec = neighborhood.recorder();
+        let rec = api.recorder();
         let seed_span =
             job.span().and_then(|parent| rec.span_start("client", "seed-input", Some(parent)));
         seed(&mut job);

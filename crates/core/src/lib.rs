@@ -29,10 +29,13 @@ pub mod server;
 pub mod spaces;
 pub mod task;
 pub mod tuplespace;
+pub mod wire;
 
 pub use api::{ClientConfig, ClientError, CnApi, JobHandle, JobReport};
 pub use archive::{ArchiveRegistry, TaskArchive};
-pub use exec::{execute_descriptor, execute_descriptor_seeded, DynamicArgs, ExecError};
+pub use exec::{
+    execute_descriptor, execute_descriptor_seeded, execute_with_api_seeded, DynamicArgs, ExecError,
+};
 pub use message::{CnMessage, JobId, JobRequirements, NetMsg, TaskSpec, UserData};
 pub use scheduler::Policy;
 pub use server::{CnServer, ServerConfig};
@@ -100,7 +103,7 @@ impl Neighborhood {
             servers.push(CnServer::spawn(
                 name,
                 node.clone(),
-                net.clone(),
+                net.clone().into(),
                 Arc::clone(&registry),
                 Arc::clone(&spaces),
                 config.server.clone(),
@@ -119,7 +122,15 @@ impl Neighborhood {
         &self.net
     }
 
-    pub(crate) fn spaces(&self) -> Arc<SpaceRegistry> {
+    /// The deployment's transport as a [`FabricHandle`] — the abstraction
+    /// `CnApi`/`CnServer` actually talk to. For a simulated neighborhood
+    /// this wraps the in-process [`Network`]; `cnctl serve`/`submit` build
+    /// the same handle over a [`cn_wire::SocketFabric`] instead.
+    pub fn fabric(&self) -> cn_wire::FabricHandle<NetMsg> {
+        self.net.clone().into()
+    }
+
+    pub fn spaces(&self) -> Arc<SpaceRegistry> {
         Arc::clone(&self.spaces)
     }
 

@@ -264,6 +264,16 @@ pub enum NetMsg {
         data: UserData,
     },
 
+    /// Client → JM (wire mode): deposit a tuple into the job's tuple
+    /// space before the job starts. On a shared-memory fabric the client
+    /// writes the space directly and this message is never sent; over the
+    /// wire the JM deposits it into its own replica and relays it to every
+    /// TaskManager assigned a task of the job.
+    SeedTuple {
+        job: JobId,
+        tuple: Vec<crate::tuplespace::Field>,
+    },
+
     // -- Control ----------------------------------------------------------
     Shutdown,
 }
@@ -294,6 +304,7 @@ impl NetMsg {
             NetMsg::JobCompleted { .. } => "JobCompleted",
             NetMsg::JobFailed { .. } => "JobFailed",
             NetMsg::User { .. } => "User",
+            NetMsg::SeedTuple { .. } => "SeedTuple",
             NetMsg::Shutdown => "Shutdown",
         }
     }

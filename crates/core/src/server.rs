@@ -17,8 +17,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cn_cluster::{Addr, Envelope, Network, NodeHandle};
+use cn_cluster::{Addr, Envelope, NodeHandle};
 use cn_observe::{Counter, Recorder, Severity};
+use cn_wire::FabricHandle;
 use crossbeam::channel::Receiver;
 
 use crate::archive::ArchiveRegistry;
@@ -26,6 +27,7 @@ use crate::message::{Bid, JobId, NetMsg, TaskSpec, UserData, CLIENT_TASK_NAME};
 use crate::scheduler::{select, Policy, RoundRobin};
 use crate::spaces::SpaceRegistry;
 use crate::task::TaskContext;
+use crate::tuplespace::Tuple;
 
 /// Tunables for a server.
 #[derive(Debug, Clone)]
@@ -52,23 +54,26 @@ impl Default for ServerConfig {
 pub struct CnServer {
     pub name: String,
     pub addr: Addr,
-    net: Network<NetMsg>,
+    net: FabricHandle<NetMsg>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl CnServer {
-    /// Spawn a server for `node`, joined to the discovery group.
+    /// Spawn a server for `node`, joined to the discovery group. The
+    /// fabric decides the deployment shape: the simulated network hosts a
+    /// whole neighborhood in one process, a socket fabric puts this
+    /// server on the wire (`cnctl serve`).
     pub fn spawn(
         name: impl Into<String>,
         node: NodeHandle,
-        net: Network<NetMsg>,
+        net: FabricHandle<NetMsg>,
         registry: Arc<ArchiveRegistry>,
         spaces: Arc<SpaceRegistry>,
         config: ServerConfig,
     ) -> CnServer {
         let name = name.into();
         let (addr, rx) = net.register();
-        net.join_group(addr, cn_cluster::network::DISCOVERY_GROUP);
+        net.join_group(addr, cn_cluster::DISCOVERY_GROUP);
         let rec = net.recorder().clone();
         let state = ServerState {
             name: name.clone(),
@@ -144,7 +149,7 @@ struct TmTask {
 struct ServerState {
     name: String,
     addr: Addr,
-    net: Network<NetMsg>,
+    net: FabricHandle<NetMsg>,
     rx: Receiver<Envelope<NetMsg>>,
     node: NodeHandle,
     registry: Arc<ArchiveRegistry>,
@@ -326,7 +331,18 @@ impl ServerState {
             NetMsg::CancelTask { job, task } => self.tm_cancel(job, &task),
             NetMsg::TaskExited { job, task } => {
                 self.tm_tasks.remove(&(job, task));
+                // Wire mode: this process owns a private replica of the
+                // job's tuple space; drop it once the last local task of
+                // the job is gone. (On a shared-memory fabric the client's
+                // JobHandle owns that cleanup — removing here would hand
+                // later tasks of the same job a fresh empty space.)
+                if !self.net.shared_memory() && !self.tm_tasks.keys().any(|(j, _)| *j == job) {
+                    self.spaces.remove(job);
+                }
             }
+
+            // ---- Tuple seeding (wire mode) ----------------------------
+            NetMsg::SeedTuple { job, tuple } => self.seed_tuple(job, tuple),
 
             // ---- JobManager: task lifecycle from TMs -------------------
             NetMsg::TaskStarted { job, task } => {
@@ -342,6 +358,26 @@ impl ServerState {
 
             // Not for the server: ignore.
             _ => {}
+        }
+    }
+
+    /// Wire-mode tuple seeding: deposit into this process's replica of
+    /// the job's space and, if we are the job's JobManager, relay to every
+    /// distinct remote TaskManager assigned one of its tasks. Per-peer
+    /// FIFO ordering on the socket fabric guarantees the relayed tuple
+    /// lands before any later `StartTask` to the same TaskManager.
+    fn seed_tuple(&mut self, job: JobId, tuple: Tuple) {
+        self.spaces.get_or_create(job).out(tuple.clone());
+        let Some(j) = self.jm_jobs.get(&job) else { return };
+        let mut relayed: HashSet<Addr> = HashSet::new();
+        let targets: Vec<Addr> = j
+            .assigned
+            .values()
+            .map(|(tm, _, _)| *tm)
+            .filter(|tm| *tm != self.addr && relayed.insert(*tm))
+            .collect();
+        for tm in targets {
+            self.send(tm, NetMsg::SeedTuple { job, tuple: tuple.clone() });
         }
     }
 
@@ -373,7 +409,7 @@ impl ServerState {
         self.c_task_solicits.inc();
         self.net.multicast(
             self.addr,
-            cn_cluster::network::DISCOVERY_GROUP,
+            cn_cluster::DISCOVERY_GROUP,
             NetMsg::SolicitTaskManager {
                 job,
                 task: spec.name.clone(),
@@ -546,8 +582,13 @@ impl ServerState {
         let job_started = j.job_started;
         self.send(client, NetMsg::TaskCompleted { job, task, result });
         if all_done {
-            // The job is finished; drop its JobManager state.
+            // The job is finished; drop its JobManager state (and, in wire
+            // mode, its local tuple-space replica — client job ids restart
+            // per process, so a stale space could leak into a later job).
             self.jm_jobs.remove(&job);
+            if !self.net.shared_memory() {
+                self.spaces.remove(job);
+            }
             self.send(client, NetMsg::JobCompleted { job, results });
         } else if job_started {
             self.jm_start_ready(job);
@@ -582,6 +623,9 @@ impl ServerState {
             }
         }
         self.jm_jobs.remove(&job);
+        if !self.net.shared_memory() {
+            self.spaces.remove(job);
+        }
         self.send(client, NetMsg::JobFailed { job, error: "cancelled by client".to_string() });
     }
 
@@ -611,6 +655,9 @@ impl ServerState {
         self.send(client, NetMsg::TaskFailed { job, task: task.clone(), error: error.clone() });
         if first_failure {
             self.jm_jobs.remove(&job);
+            if !self.net.shared_memory() {
+                self.spaces.remove(job);
+            }
             self.send(
                 client,
                 NetMsg::JobFailed { job, error: format!("task {task:?} failed: {error}") },

@@ -11,8 +11,9 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use cn_cluster::{Addr, Envelope, Network};
+use cn_cluster::{Addr, Envelope};
 use cn_cnx::Param;
+use cn_wire::FabricHandle;
 use crossbeam::channel::Receiver;
 
 use crate::message::{CnMessage, JobId, NetMsg, UserData, CLIENT_TASK_NAME};
@@ -83,7 +84,7 @@ pub struct TaskContext {
     pub name: String,
     /// Declared parameters (from CNX `<param>` / tagged values).
     pub params: Vec<Param>,
-    pub(crate) net: Network<NetMsg>,
+    pub(crate) net: FabricHandle<NetMsg>,
     pub(crate) addr: Addr,
     pub(crate) rx: Receiver<Envelope<NetMsg>>,
     /// task name → endpoint address, for the whole job (the client is
@@ -258,9 +259,10 @@ impl TaskContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cn_cluster::LatencyModel;
+    use cn_cluster::{LatencyModel, Network};
 
     fn make_ctx(net: &Network<NetMsg>) -> (TaskContext, TaskContext) {
+        let net: FabricHandle<NetMsg> = net.clone().into();
         let (a_addr, a_rx) = net.register();
         let (b_addr, b_rx) = net.register();
         let mut directory = HashMap::new();

@@ -146,8 +146,26 @@ fn opt_str(v: &Option<String>) -> String {
 /// per span, in DFS order. Byte-identical across runs that capture the
 /// same structural span set (see module docs).
 pub fn journal_jsonl(recorder: &Recorder) -> String {
+    journal_jsonl_filtered(recorder, &[])
+}
+
+/// [`journal_jsonl`] with whole categories removed before
+/// canonicalization. The wire transport records connection spans
+/// (category `"wire"`) whose count depends on physical topology; dropping
+/// them yields the same canonical journal for a job whether it ran on the
+/// simulated fabric or across OS processes — the differential guarantee
+/// `cnctl submit --journal` relies on. Excluded categories must not parent
+/// spans of retained categories (a retained orphan would be re-rooted and
+/// change the forest shape).
+pub fn journal_jsonl_filtered(recorder: &Recorder, exclude_categories: &[&str]) -> String {
+    let spans: Vec<_> = recorder
+        .spans()
+        .snapshot()
+        .into_iter()
+        .filter(|s| !exclude_categories.contains(&s.category.as_str()))
+        .collect();
     let mut out = String::new();
-    for s in canonical_spans(&recorder.spans().snapshot()) {
+    for s in canonical_spans(&spans) {
         out.push_str(&format!(
             "{{\"span\":{},\"parent\":{},\"cat\":\"{}\",\"name\":\"{}\",\"job\":{},\"task\":{},\"start\":{},\"end\":{}}}\n",
             s.id,

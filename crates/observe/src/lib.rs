@@ -28,7 +28,7 @@ pub mod flight;
 pub mod metrics;
 pub mod trace;
 
-pub use export::{chrome_trace, journal_jsonl, summary_text};
+pub use export::{chrome_trace, journal_jsonl, journal_jsonl_filtered, summary_text};
 pub use flight::{Event, FlightRecorder, Severity};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BUCKETS_US,

@@ -67,25 +67,29 @@ pub fn decode_i64s(bytes: &[u8]) -> Result<Vec<i64>, TaskError> {
 
 /// Seed a job's tuple space with the composition plan and the input matrix
 /// — what the generated client program does before starting the tasks.
+///
+/// Goes through [`cn_core::JobHandle::seed_tuple`] so the same call works
+/// on a shared-memory fabric (direct space write) and over the wire (the
+/// tuples travel to the JobManager and are relayed to every TaskManager).
 pub fn seed_input(
-    space: &cn_core::TupleSpace,
+    job: &cn_core::JobHandle,
     filename: &str,
     matrix: &Matrix,
     workers: &[String],
     joiner: &str,
-) {
-    space.out(vec![
+) -> Result<(), cn_core::ClientError> {
+    job.seed_tuple(vec![
         Field::S("plan".into()),
         Field::S(joiner.to_string()),
         Field::S(workers.join(",")),
-    ]);
+    ])?;
     let mut payload = vec![matrix.n() as i64];
     payload.extend_from_slice(matrix.rows());
-    space.out(vec![
+    job.seed_tuple(vec![
         Field::S("input".into()),
         Field::S(filename.to_string()),
         Field::B(encode_i64s(&payload)),
-    ]);
+    ])
 }
 
 /// `TaskSplit`: read the input, initialize the workers with their rows.
@@ -393,7 +397,8 @@ pub fn run_transitive_closure(
     // in the job span so traces show setup time apart from execution.
     let seed_span =
         job.span().and_then(|parent| rec.span_start("client", "seed-input", Some(parent)));
-    seed_input(job.tuplespace(), "matrix.txt", input, &worker_names, "tctask999");
+    seed_input(&job, "matrix.txt", input, &worker_names, "tctask999")
+        .map_err(|e| TaskError::new(e.to_string()))?;
     rec.span_end(seed_span);
     job.start().map_err(|e| TaskError::new(e.to_string()))?;
     let report = job.wait(options.timeout).map_err(|e| TaskError::new(e.to_string()))?;

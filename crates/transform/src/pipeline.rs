@@ -194,7 +194,8 @@ mod tests {
             dynamic: DynamicArgs::new(),
             timeout: Duration::from_secs(60),
             seed: Some(Box::new(move |job| {
-                seed_input(job.tuplespace(), "matrix.txt", &input, &worker_names, "tctask999");
+                seed_input(job, "matrix.txt", &input, &worker_names, "tctask999")
+                    .expect("seed input");
             })),
         }
     }

@@ -134,7 +134,7 @@ mod tests {
         let input2 = input.clone();
         let response = portal
             .submit(&xmi, &figure2_settings(), &DynamicArgs::new(), move |job| {
-                seed_input(job.tuplespace(), "matrix.txt", &input2, &workers, "tctask999");
+                seed_input(job, "matrix.txt", &input2, &workers, "tctask999").expect("seed input");
             })
             .unwrap();
         assert!(response.cnx_text.contains("tctask999"));

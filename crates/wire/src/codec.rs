@@ -1,0 +1,385 @@
+//! The CN wire codec: a small, versioned, little-endian binary format.
+//!
+//! Every frame starts with a `u32` length prefix (TCP only; UDP datagrams
+//! are self-delimiting) followed by the payload:
+//!
+//! | offset | bytes | meaning                          |
+//! |--------|-------|----------------------------------|
+//! | 0      | 1     | wire format version (`WIRE_VERSION`) |
+//! | 1      | 8     | `from` endpoint address          |
+//! | 9      | 8     | `to` endpoint address            |
+//! | 17     | ...   | message body (tag byte + fields) |
+//!
+//! The codec is deliberately hand-rolled: the build environment has no
+//! crates.io access, and the message vocabulary is small and stable.
+//! Decoding NEVER panics on malformed input — every failure is a typed
+//! [`WireError`].
+
+use std::fmt;
+
+use cn_cluster::{Addr, Envelope};
+
+/// Wire format version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload; larger length prefixes are rejected
+/// before any allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// Input ended before the field being read.
+    Truncated,
+    /// An enum tag byte had no assigned meaning.
+    BadTag,
+    /// A length field was implausible (negative, or past `MAX_FRAME_BYTES`).
+    BadLength,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// The version byte did not match [`WIRE_VERSION`].
+    VersionMismatch,
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    FrameTooLarge,
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes,
+}
+
+impl WireErrorKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireErrorKind::Truncated => "truncated",
+            WireErrorKind::BadTag => "bad tag",
+            WireErrorKind::BadLength => "bad length",
+            WireErrorKind::BadUtf8 => "bad utf-8",
+            WireErrorKind::VersionMismatch => "version mismatch",
+            WireErrorKind::FrameTooLarge => "frame too large",
+            WireErrorKind::TrailingBytes => "trailing bytes",
+        }
+    }
+}
+
+/// A typed decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub kind: WireErrorKind,
+    pub detail: String,
+}
+
+impl WireError {
+    pub fn new(kind: WireErrorKind, detail: impl Into<String>) -> Self {
+        WireError { kind, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error ({}): {}", self.kind.as_str(), self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u32(v as u32);
+    }
+
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Cursor-based decoder over a borrowed byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::new(
+                WireErrorKind::Truncated,
+                format!("need {n} byte(s), have {}", self.remaining()),
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, WireError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::new(WireErrorKind::BadTag, format!("bool byte {other}"))),
+        }
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len checked")))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    /// A collection length; bounded so a corrupt frame cannot trigger a
+    /// huge allocation.
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        let n = self.get_u32()?;
+        if n > MAX_FRAME_BYTES {
+            return Err(WireError::new(WireErrorKind::BadLength, format!("length {n}")));
+        }
+        // A collection of n elements needs at least n bytes of input.
+        if n as usize > self.remaining() {
+            return Err(WireError::new(
+                WireErrorKind::BadLength,
+                format!("length {n} exceeds remaining {} byte(s)", self.remaining()),
+            ));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.get_len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|e| WireError::new(WireErrorKind::BadUtf8, e.to_string()))
+    }
+
+    /// Decoding is complete; reject leftover bytes.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::new(
+                WireErrorKind::TrailingBytes,
+                format!("{} byte(s) after message end", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A type with a CN wire representation. Implemented for the protocol
+/// message enum in `cn-core`; the fabric is generic over it.
+pub trait WireEncode: Sized {
+    fn encode(&self, w: &mut Writer);
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+impl WireEncode for Addr {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Addr(r.get_u64()?))
+    }
+}
+
+/// Encode a frame payload (no length prefix): version, from, to, body.
+pub fn encode_payload<M: WireEncode>(env: &Envelope<M>) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(WIRE_VERSION);
+    w.put_u64(env.from.0);
+    w.put_u64(env.to.0);
+    env.msg.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a frame payload produced by [`encode_payload`]. Consumes the
+/// whole buffer; trailing bytes are an error.
+pub fn decode_payload<M: WireEncode>(buf: &[u8]) -> Result<Envelope<M>, WireError> {
+    let mut r = Reader::new(buf);
+    let version = r.get_u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::new(
+            WireErrorKind::VersionMismatch,
+            format!("got version {version}, expected {WIRE_VERSION}"),
+        ));
+    }
+    let from = Addr(r.get_u64()?);
+    let to = Addr(r.get_u64()?);
+    let msg = M::decode(&mut r)?;
+    r.finish()?;
+    Ok(Envelope { from, to, msg })
+}
+
+/// Encode a length-prefixed TCP frame.
+pub fn encode_frame<M: WireEncode>(env: &Envelope<M>) -> Vec<u8> {
+    let payload = encode_payload(env);
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(513);
+        w.put_u32(70_000);
+        w.put_u64(1 << 50);
+        w.put_i64(-42);
+        w.put_f64(1.5);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 513);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 50);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 1.5);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_is_typed_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.get_u64().unwrap_err().kind, WireErrorKind::Truncated);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_bytes().unwrap_err().kind, WireErrorKind::BadLength);
+    }
+
+    #[test]
+    fn bad_utf8_is_typed_error() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_str().unwrap_err().kind, WireErrorKind::BadUtf8);
+    }
+
+    #[test]
+    fn payload_version_is_checked() {
+        let env = Envelope { from: Addr(1), to: Addr(2), msg: Addr(3) };
+        let mut payload = encode_payload(&env);
+        payload[0] = 99;
+        assert_eq!(
+            decode_payload::<Addr>(&payload).unwrap_err().kind,
+            WireErrorKind::VersionMismatch
+        );
+    }
+
+    #[test]
+    fn payload_trailing_bytes_rejected() {
+        let env = Envelope { from: Addr(1), to: Addr(2), msg: Addr(3) };
+        let mut payload = encode_payload(&env);
+        payload.push(0);
+        assert_eq!(
+            decode_payload::<Addr>(&payload).unwrap_err().kind,
+            WireErrorKind::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn frame_carries_length_prefix() {
+        let env = Envelope { from: Addr(5), to: Addr(6), msg: Addr(7) };
+        let frame = encode_frame(&env);
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let decoded: Envelope<Addr> = decode_payload(&frame[4..]).unwrap();
+        assert_eq!(decoded, env);
+    }
+}

@@ -1,0 +1,880 @@
+//! The `std::net` fabric: TCP unicast + UDP discovery over localhost.
+//!
+//! One [`SocketFabric`] per OS process. Every endpoint registered on it
+//! shares the process's TCP listener; the listener port is encoded in the
+//! high bits of each [`Addr`], which is what routes a message to the right
+//! process. Unicast frames travel over one length-prefixed TCP connection
+//! per peer (writes are serialized per connection, so per-peer delivery
+//! order matches send order). Multicast (the CN discovery group) travels
+//! as UDP datagrams — either to a real multicast group or, in loopback
+//! mode, unicast to each configured peer port.
+//!
+//! Faults are first-class: connects and reads have timeouts, connects are
+//! retried with bounded exponential backoff, and every drop, timeout and
+//! reconnect lands in the flight recorder with a `wire.*` counter.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cn_cluster::{Addr, Envelope, GroupId, SendError};
+use cn_observe::{Counter, Recorder, Severity, SpanId};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::codec::{decode_payload, encode_frame, encode_payload, WireEncode, MAX_FRAME_BYTES};
+use crate::{addr_group, addr_port, group_addr, is_group_addr, Fabric, ADDR_PORT_SHIFT};
+
+/// How the discovery group reaches other processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Discovery {
+    /// Real UDP multicast: every process joins `group:port` (with
+    /// `SO_REUSEADDR` so they can share the port on one host).
+    Multicast { group: Ipv4Addr, port: u16 },
+    /// Loopback fallback: discovery datagrams are unicast to each peer's
+    /// port on 127.0.0.1 (the peer list is the deployment's "subnet").
+    Loopback { peers: Vec<u16> },
+}
+
+/// The default multicast group for CN discovery (site-local scope).
+pub const DEFAULT_MULTICAST_GROUP: Ipv4Addr = Ipv4Addr::new(239, 77, 7, 7);
+/// The default UDP port the discovery group shares in multicast mode.
+pub const DEFAULT_MULTICAST_PORT: u16 = 47077;
+
+/// Socket fabric tuning.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// TCP listen port (0 picks an ephemeral port).
+    pub port: u16,
+    pub discovery: Discovery,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Deadline for reading the rest of a frame once its header arrived,
+    /// and for blocking writes.
+    pub read_timeout: Duration,
+    /// Extra connect attempts after the first fails.
+    pub max_retries: u32,
+    /// Backoff before retry N is `retry_base * 2^(N-1)`, capped at 1s.
+    pub retry_base: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            port: 0,
+            discovery: Discovery::Loopback { peers: Vec::new() },
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            max_retries: 3,
+            retry_base: Duration::from_millis(50),
+        }
+    }
+}
+
+/// How often blocked reads/accepts wake up to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Backoff cap between connect retries.
+const MAX_BACKOFF: Duration = Duration::from_secs(1);
+
+struct WireCounters {
+    frames_sent: Counter,
+    frames_recv: Counter,
+    bytes_sent: Counter,
+    bytes_recv: Counter,
+    connects: Counter,
+    reconnects: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    drops: Counter,
+    decode_errors: Counter,
+    discovery_dgrams: Counter,
+}
+
+impl WireCounters {
+    fn new(rec: &Recorder) -> WireCounters {
+        WireCounters {
+            frames_sent: rec.counter("wire.frames_sent"),
+            frames_recv: rec.counter("wire.frames_recv"),
+            bytes_sent: rec.counter("wire.bytes_sent"),
+            bytes_recv: rec.counter("wire.bytes_recv"),
+            connects: rec.counter("wire.connects"),
+            reconnects: rec.counter("wire.reconnects"),
+            retries: rec.counter("wire.connect_retries"),
+            timeouts: rec.counter("wire.timeouts"),
+            drops: rec.counter("wire.drops"),
+            decode_errors: rec.counter("wire.decode_errors"),
+            discovery_dgrams: rec.counter("wire.discovery_dgrams"),
+        }
+    }
+}
+
+struct Conn {
+    stream: Arc<Mutex<TcpStream>>,
+    span: Option<SpanId>,
+}
+
+struct Inner<M> {
+    port: u16,
+    cfg: WireConfig,
+    rec: Recorder,
+    c: WireCounters,
+    endpoints: Mutex<HashMap<u64, Sender<Envelope<M>>>>,
+    groups: Mutex<HashMap<u32, HashSet<Addr>>>,
+    /// Outbound connections, one per peer port. All writes to a peer go
+    /// through its single stream, serialized by the mutex — that is the
+    /// per-peer ordering guarantee.
+    conns: Mutex<HashMap<u16, Conn>>,
+    /// Serializes connection establishment so two senders racing to the
+    /// same (new) peer cannot create two streams and reorder their frames.
+    connect_lock: Mutex<()>,
+    udp: UdpSocket,
+    next_ep: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A real-socket [`Fabric`]. One per process; see the module docs.
+pub struct SocketFabric<M: WireEncode + Send + Clone + 'static> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M: WireEncode + Send + Clone + 'static> SocketFabric<M> {
+    /// Bind the TCP listener and discovery socket, start the accept and
+    /// discovery threads.
+    pub fn new(cfg: WireConfig, rec: Recorder) -> std::io::Result<SocketFabric<M>> {
+        let listener = TcpListener::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, cfg.port))?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let udp = match &cfg.discovery {
+            Discovery::Multicast { group, port: mc_port } => {
+                let sock = bind_reuse(*mc_port).or_else(|_| {
+                    UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, *mc_port))
+                })?;
+                sock.join_multicast_v4(group, &Ipv4Addr::UNSPECIFIED)?;
+                sock.set_multicast_loop_v4(true)?;
+                sock
+            }
+            // Loopback mode: the discovery socket shares the TCP port
+            // number (different protocol, so no clash) — peers only need
+            // to know one port per process.
+            Discovery::Loopback { .. } => {
+                UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))?
+            }
+        };
+        udp.set_read_timeout(Some(POLL_INTERVAL))?;
+        let inner = Arc::new(Inner {
+            port,
+            c: WireCounters::new(&rec),
+            rec,
+            cfg,
+            endpoints: Mutex::new(HashMap::new()),
+            groups: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            connect_lock: Mutex::new(()),
+            udp: udp.try_clone()?,
+            next_ep: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+        });
+        spawn_accept_loop(Arc::clone(&inner), listener);
+        spawn_udp_loop(Arc::clone(&inner), udp);
+        Ok(SocketFabric { inner })
+    }
+
+    /// The bound TCP port (the process's identity on the wire).
+    pub fn port(&self) -> u16 {
+        self.inner.port
+    }
+
+    /// Stop the background threads and close all connections. Idempotent;
+    /// also invoked when the fabric is dropped.
+    pub fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut conns = self.inner.conns.lock();
+        for (_, conn) in conns.drain() {
+            self.inner.rec.span_end(conn.span);
+            let _ = conn.stream.lock().shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl<M: WireEncode + Send + Clone + 'static> Drop for SocketFabric<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<M: WireEncode + Send + Clone + 'static> Fabric<M> for SocketFabric<M> {
+    fn register(&self) -> (Addr, Receiver<Envelope<M>>) {
+        let ep = self.inner.next_ep.fetch_add(1, Ordering::Relaxed);
+        let addr = Addr(((self.inner.port as u64) << ADDR_PORT_SHIFT) | ep);
+        let (tx, rx) = unbounded();
+        self.inner.endpoints.lock().insert(addr.0, tx);
+        (addr, rx)
+    }
+
+    fn unregister(&self, addr: Addr) {
+        self.inner.endpoints.lock().remove(&addr.0);
+        for members in self.inner.groups.lock().values_mut() {
+            members.remove(&addr);
+        }
+    }
+
+    fn join_group(&self, addr: Addr, group: GroupId) {
+        self.inner.groups.lock().entry(group.0).or_default().insert(addr);
+    }
+
+    fn leave_group(&self, addr: Addr, group: GroupId) {
+        if let Some(members) = self.inner.groups.lock().get_mut(&group.0) {
+            members.remove(&addr);
+        }
+    }
+
+    fn send(&self, from: Addr, to: Addr, msg: M) -> Result<(), SendError> {
+        if is_group_addr(to) {
+            self.inner.do_multicast(from, addr_group(to), msg);
+            return Ok(());
+        }
+        if addr_port(to) == self.inner.port {
+            return self.inner.deliver_local(Envelope { from, to, msg });
+        }
+        let frame = encode_frame(&Envelope { from, to, msg });
+        self.inner.send_frame(addr_port(to), &frame, to)
+    }
+
+    fn multicast(&self, from: Addr, group: GroupId, msg: M) -> usize {
+        self.inner.do_multicast(from, group, msg)
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.inner.rec
+    }
+
+    fn shared_memory(&self) -> bool {
+        false
+    }
+}
+
+impl<M: WireEncode + Send + Clone + 'static> Inner<M> {
+    fn deliver_local(&self, env: Envelope<M>) -> Result<(), SendError> {
+        let to = env.to;
+        let tx = self.endpoints.lock().get(&to.0).cloned();
+        match tx {
+            Some(tx) => {
+                if tx.send(env).is_err() {
+                    self.endpoints.lock().remove(&to.0);
+                    return Err(SendError::Closed(to));
+                }
+                Ok(())
+            }
+            None => Err(SendError::UnknownAddr(to)),
+        }
+    }
+
+    /// Deliver an envelope that arrived off the wire. Unknown endpoints
+    /// are counted, not errors — the sender is in another process.
+    fn dispatch(&self, env: Envelope<M>) {
+        self.c.frames_recv.inc();
+        if is_group_addr(env.to) {
+            // Our own discovery datagram echoed back (multicast loop is on
+            // so *other* processes on this host hear us): local members
+            // already got a direct delivery at send time.
+            if addr_port(env.from) == self.port {
+                return;
+            }
+            let gid = addr_group(env.to);
+            let members: Vec<Addr> = self
+                .groups
+                .lock()
+                .get(&gid.0)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            for to in members {
+                if to == env.from {
+                    continue;
+                }
+                let _ = self.deliver_local(Envelope { from: env.from, to, msg: env.msg.clone() });
+            }
+            return;
+        }
+        if self.deliver_local(env).is_err() {
+            self.c.drops.inc();
+        }
+    }
+
+    fn do_multicast(&self, from: Addr, group: GroupId, msg: M) -> usize {
+        let members: Vec<Addr> = self
+            .groups
+            .lock()
+            .get(&group.0)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let mut count = 0;
+        for to in members {
+            if to == from {
+                continue;
+            }
+            count += 1;
+            let _ = self.deliver_local(Envelope { from, to, msg: msg.clone() });
+        }
+        let payload = encode_payload(&Envelope { from, to: group_addr(group), msg });
+        match &self.cfg.discovery {
+            Discovery::Multicast { group: g, port } => {
+                if self.udp.send_to(&payload, SocketAddrV4::new(*g, *port)).is_ok() {
+                    self.c.discovery_dgrams.inc();
+                    count += 1;
+                }
+            }
+            Discovery::Loopback { peers } => {
+                for p in peers {
+                    if *p == self.port {
+                        continue;
+                    }
+                    if self
+                        .udp
+                        .send_to(&payload, SocketAddrV4::new(Ipv4Addr::LOCALHOST, *p))
+                        .is_ok()
+                    {
+                        self.c.discovery_dgrams.inc();
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Write one frame to a peer, reconnecting once if the connection
+    /// died underneath us.
+    fn send_frame(&self, port: u16, frame: &[u8], to: Addr) -> Result<(), SendError> {
+        let mut reconnected = false;
+        loop {
+            let stream = self.get_conn(port, to)?;
+            let res = {
+                let mut s = stream.lock();
+                s.write_all(frame)
+            };
+            match res {
+                Ok(()) => {
+                    self.c.frames_sent.inc();
+                    self.c.bytes_sent.add(frame.len() as u64);
+                    return Ok(());
+                }
+                Err(err) => {
+                    self.drop_conn(port, &format!("write failed: {err}"));
+                    if reconnected {
+                        return Err(
+                            if err.kind() == std::io::ErrorKind::TimedOut
+                                || err.kind() == std::io::ErrorKind::WouldBlock
+                            {
+                                self.c.timeouts.inc();
+                                SendError::Timeout(to)
+                            } else {
+                                SendError::PeerClosed(to)
+                            },
+                        );
+                    }
+                    self.c.reconnects.inc();
+                    self.rec.event_with(Severity::Warn, "wire", None, || {
+                        format!("reconnecting to peer :{port} after write failure")
+                    });
+                    reconnected = true;
+                }
+            }
+        }
+    }
+
+    fn get_conn(&self, port: u16, to: Addr) -> Result<Arc<Mutex<TcpStream>>, SendError> {
+        if let Some(c) = self.conns.lock().get(&port) {
+            return Ok(Arc::clone(&c.stream));
+        }
+        let _guard = self.connect_lock.lock();
+        // Double-check: another sender may have connected while we waited.
+        if let Some(c) = self.conns.lock().get(&port) {
+            return Ok(Arc::clone(&c.stream));
+        }
+        let target = SocketAddr::from(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
+        let mut delay = self.cfg.retry_base;
+        let mut last_timeout = false;
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.c.retries.inc();
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(MAX_BACKOFF);
+            }
+            match TcpStream::connect_timeout(&target, self.cfg.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_write_timeout(Some(self.cfg.read_timeout));
+                    self.c.connects.inc();
+                    let span = self.rec.span_start("wire", &format!("conn:{port}"), None);
+                    let arc = Arc::new(Mutex::new(stream));
+                    self.conns.lock().insert(port, Conn { stream: Arc::clone(&arc), span });
+                    return Ok(arc);
+                }
+                Err(err) => {
+                    last_timeout = err.kind() == std::io::ErrorKind::TimedOut;
+                    self.rec.event_with(Severity::Warn, "wire", None, || {
+                        format!(
+                            "connect to :{port} failed (attempt {}/{}): {err}",
+                            attempt + 1,
+                            self.cfg.max_retries + 1
+                        )
+                    });
+                }
+            }
+        }
+        self.c.drops.inc();
+        Err(if last_timeout {
+            self.c.timeouts.inc();
+            SendError::Timeout(to)
+        } else {
+            SendError::ConnectFailed(to)
+        })
+    }
+
+    fn drop_conn(&self, port: u16, why: &str) {
+        if let Some(conn) = self.conns.lock().remove(&port) {
+            self.rec.span_end(conn.span);
+            let _ = conn.stream.lock().shutdown(std::net::Shutdown::Both);
+            self.rec.event_with(Severity::Warn, "wire", None, || {
+                format!("dropped conn :{port}: {why}")
+            });
+        }
+    }
+}
+
+/// Create a UDP socket bound to `0.0.0.0:port` with `SO_REUSEADDR`, so
+/// several processes on one host can share the discovery port. `std::net`
+/// cannot set socket options before bind, so this goes through the libc
+/// already linked into every Rust binary.
+#[cfg(unix)]
+fn bind_reuse(port: u16) -> std::io::Result<UdpSocket> {
+    use std::os::fd::FromRawFd;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u8, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const AF_INET: i32 = 2;
+    const SOCK_DGRAM: i32 = 2;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    unsafe {
+        let fd = socket(AF_INET, SOCK_DGRAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one as *const i32 as *const u8, 4) < 0 {
+            let err = std::io::Error::last_os_error();
+            close(fd);
+            return Err(err);
+        }
+        let sa = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: port.to_be(),
+            sin_addr: 0, // INADDR_ANY
+            sin_zero: [0; 8],
+        };
+        if bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+            let err = std::io::Error::last_os_error();
+            close(fd);
+            return Err(err);
+        }
+        Ok(UdpSocket::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(unix))]
+fn bind_reuse(port: u16) -> std::io::Result<UdpSocket> {
+    UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, port))
+}
+
+fn spawn_accept_loop<M: WireEncode + Send + Clone + 'static>(
+    inner: Arc<Inner<M>>,
+    listener: TcpListener,
+) {
+    std::thread::Builder::new()
+        .name(format!("cn-wire-accept-{}", inner.port))
+        .spawn(move || loop {
+            if inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                    let inner2 = Arc::clone(&inner);
+                    let _ = std::thread::Builder::new()
+                        .name(format!("cn-wire-read-{}", inner.port))
+                        .spawn(move || read_loop(inner2, stream));
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(5)));
+                }
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        })
+        .expect("spawn wire accept thread");
+}
+
+/// Outcome of filling a buffer from a stream.
+enum ReadOutcome {
+    Full,
+    /// Clean EOF before any byte of this buffer arrived.
+    Eof,
+    /// Deadline passed mid-buffer.
+    TimedOut,
+    Error(std::io::Error),
+    Stopped,
+}
+
+fn read_full<M: WireEncode + Send + Clone + 'static>(
+    inner: &Inner<M>,
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Option<Instant>,
+) -> ReadOutcome {
+    let mut read = 0;
+    while read < buf.len() {
+        if inner.stop.load(Ordering::Relaxed) {
+            return ReadOutcome::Stopped;
+        }
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => return if read == 0 { ReadOutcome::Eof } else { ReadOutcome::TimedOut },
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let Some(d) = deadline {
+                    if Instant::now() > d {
+                        return ReadOutcome::TimedOut;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadOutcome::Error(e),
+        }
+    }
+    ReadOutcome::Full
+}
+
+/// Per-inbound-connection frame reader.
+fn read_loop<M: WireEncode + Send + Clone + 'static>(inner: Arc<Inner<M>>, mut stream: TcpStream) {
+    loop {
+        let mut header = [0u8; 4];
+        // Idle waiting for the next frame is unbounded; only the frame
+        // body has a read deadline.
+        match read_full(&inner, &mut stream, &mut header, None) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Eof | ReadOutcome::Stopped => return,
+            ReadOutcome::TimedOut => {
+                inner.c.timeouts.inc();
+                inner.rec.event_with(Severity::Warn, "wire", None, || {
+                    "inbound frame header timed out mid-read".to_string()
+                });
+                return;
+            }
+            ReadOutcome::Error(e) => {
+                inner.rec.event_with(Severity::Warn, "wire", None, || {
+                    format!("inbound connection error: {e}")
+                });
+                return;
+            }
+        }
+        let len = u32::from_le_bytes(header);
+        if len > MAX_FRAME_BYTES {
+            inner.c.decode_errors.inc();
+            inner.rec.event_with(Severity::Error, "wire", None, || {
+                format!("inbound frame length {len} exceeds cap; dropping connection")
+            });
+            return;
+        }
+        let mut payload = vec![0u8; len as usize];
+        let deadline = Instant::now() + inner.cfg.read_timeout;
+        match read_full(&inner, &mut stream, &mut payload, Some(deadline)) {
+            ReadOutcome::Full => {}
+            ReadOutcome::TimedOut | ReadOutcome::Eof => {
+                inner.c.timeouts.inc();
+                inner.rec.event_with(Severity::Warn, "wire", None, || {
+                    format!("inbound frame body ({len} bytes) timed out; dropping connection")
+                });
+                return;
+            }
+            ReadOutcome::Stopped => return,
+            ReadOutcome::Error(e) => {
+                inner.rec.event_with(Severity::Warn, "wire", None, || {
+                    format!("inbound connection error: {e}")
+                });
+                return;
+            }
+        }
+        inner.c.bytes_recv.add(4 + len as u64);
+        match decode_payload::<M>(&payload) {
+            Ok(env) => inner.dispatch(env),
+            Err(e) => {
+                // Framing is length-delimited, so a bad payload does not
+                // desynchronize the stream; log and keep reading.
+                inner.c.decode_errors.inc();
+                inner.rec.event_with(Severity::Error, "wire", None, || format!("{e}"));
+            }
+        }
+    }
+}
+
+/// Discovery datagram reader.
+fn spawn_udp_loop<M: WireEncode + Send + Clone + 'static>(inner: Arc<Inner<M>>, udp: UdpSocket) {
+    std::thread::Builder::new()
+        .name(format!("cn-wire-udp-{}", inner.port))
+        .spawn(move || {
+            let mut buf = vec![0u8; 64 * 1024];
+            loop {
+                if inner.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match udp.recv_from(&mut buf) {
+                    Ok((n, _peer)) => match decode_payload::<M>(&buf[..n]) {
+                        Ok(env) => inner.dispatch(env),
+                        Err(e) => {
+                            inner.c.decode_errors.inc();
+                            inner
+                                .rec
+                                .event_with(Severity::Warn, "wire", None, || format!("udp: {e}"));
+                        }
+                    },
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+        })
+        .expect("spawn wire udp thread");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FabricHandle;
+
+    // u64 is a fine stand-in message for transport tests.
+    impl WireEncode for u64 {
+        fn encode(&self, w: &mut crate::codec::Writer) {
+            w.put_u64(*self);
+        }
+
+        fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::WireError> {
+            r.get_u64()
+        }
+    }
+
+    fn loopback_pair() -> (SocketFabric<u64>, SocketFabric<u64>) {
+        // Bind both fabrics first (ephemeral ports), then wire the peer
+        // lists via a rebuild: simplest is to create with explicit ports.
+        let a: SocketFabric<u64> =
+            SocketFabric::new(WireConfig::default(), Recorder::disabled()).unwrap();
+        let b: SocketFabric<u64> =
+            SocketFabric::new(WireConfig::default(), Recorder::disabled()).unwrap();
+        (a, b)
+    }
+
+    fn recv_within(rx: &Receiver<Envelope<u64>>, ms: u64) -> Envelope<u64> {
+        rx.recv_timeout(Duration::from_millis(ms)).expect("message within deadline")
+    }
+
+    #[test]
+    fn tcp_unicast_crosses_fabrics() {
+        let (a, b) = loopback_pair();
+        let (addr_a, _rx_a) = a.register();
+        let (addr_b, rx_b) = b.register();
+        a.send(addr_a, addr_b, 42).unwrap();
+        let env = recv_within(&rx_b, 2000);
+        assert_eq!(env.msg, 42);
+        assert_eq!(env.from, addr_a);
+    }
+
+    #[test]
+    fn per_peer_order_is_preserved() {
+        let (a, b) = loopback_pair();
+        let (addr_a, _rx_a) = a.register();
+        let (addr_b, rx_b) = b.register();
+        for i in 0..200u64 {
+            a.send(addr_a, addr_b, i).unwrap();
+        }
+        for i in 0..200u64 {
+            assert_eq!(recv_within(&rx_b, 2000).msg, i);
+        }
+    }
+
+    #[test]
+    fn local_fast_path_does_not_touch_tcp() {
+        let a: SocketFabric<u64> =
+            SocketFabric::new(WireConfig::default(), Recorder::disabled()).unwrap();
+        let (x, _rx_x) = a.register();
+        let (y, rx_y) = a.register();
+        a.send(x, y, 7).unwrap();
+        assert_eq!(recv_within(&rx_y, 500).msg, 7);
+    }
+
+    #[test]
+    fn send_to_dead_peer_is_typed_error_with_retries() {
+        let rec = Recorder::new();
+        // Reserve a port nobody listens on.
+        let dead_port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let cfg = WireConfig {
+            max_retries: 2,
+            retry_base: Duration::from_millis(5),
+            connect_timeout: Duration::from_millis(200),
+            ..WireConfig::default()
+        };
+        let a: SocketFabric<u64> = SocketFabric::new(cfg, rec.clone()).unwrap();
+        let (addr_a, _rx) = a.register();
+        let dead = Addr(((dead_port as u64) << ADDR_PORT_SHIFT) | 1);
+        let t0 = Instant::now();
+        let err = a.send(addr_a, dead, 1).unwrap_err();
+        assert!(
+            matches!(err, SendError::ConnectFailed(d) | SendError::Timeout(d) if d == dead),
+            "{err:?}"
+        );
+        assert!(t0.elapsed() < Duration::from_secs(5), "bounded backoff");
+        assert_eq!(
+            rec.counter("wire.connect_retries").get(),
+            2,
+            "exponential backoff retries recorded"
+        );
+    }
+
+    #[test]
+    fn peer_death_mid_conversation_surfaces_peer_closed() {
+        let rec = Recorder::new();
+        let a: SocketFabric<u64> =
+            SocketFabric::new(WireConfig::default(), Recorder::disabled()).unwrap();
+        let b: SocketFabric<u64> = SocketFabric::new(
+            WireConfig {
+                max_retries: 0,
+                connect_timeout: Duration::from_millis(200),
+                ..WireConfig::default()
+            },
+            rec.clone(),
+        )
+        .unwrap();
+        let (addr_a, rx_a) = a.register();
+        let (addr_b, _rx_b) = b.register();
+        b.send(addr_b, addr_a, 1).unwrap();
+        assert_eq!(recv_within(&rx_a, 2000).msg, 1);
+        // Kill fabric A: its listener thread stops accepting and the
+        // established connection is reset when dropped.
+        let a_port = a.port();
+        drop(a);
+        std::thread::sleep(Duration::from_millis(100));
+        // The first send may still land in a kernel buffer; keep sending
+        // until the failure surfaces. It must be a typed wire error.
+        let mut last = Ok(());
+        for i in 0..50 {
+            last = b.send(addr_b, Addr(((a_port as u64) << ADDR_PORT_SHIFT) | 1), i);
+            if last.is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let err = last.unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SendError::PeerClosed(_) | SendError::ConnectFailed(_) | SendError::Timeout(_)
+            ),
+            "{err:?}"
+        );
+        // The reconnect attempt and failure are flight-recorder material.
+        let events = rec.flight().dump();
+        assert!(
+            events.iter().any(|e| e.category == "wire"),
+            "expected wire flight events, got {events:?}"
+        );
+    }
+
+    #[test]
+    fn loopback_discovery_reaches_remote_group_members() {
+        let rec = Recorder::disabled();
+        let a: SocketFabric<u64> = SocketFabric::new(WireConfig::default(), rec.clone()).unwrap();
+        let b_cfg = WireConfig {
+            discovery: Discovery::Loopback { peers: vec![a.port()] },
+            ..WireConfig::default()
+        };
+        let b: SocketFabric<u64> = SocketFabric::new(b_cfg, rec).unwrap();
+        let g = GroupId(0);
+        let (addr_a, rx_a) = a.register();
+        a.join_group(addr_a, g);
+        let (addr_b, _rx_b) = b.register();
+        // b multicasts; its peer list names a's port.
+        let n = b.multicast(addr_b, g, 99);
+        assert!(n >= 1);
+        assert_eq!(recv_within(&rx_a, 2000).msg, 99);
+    }
+
+    #[test]
+    fn multicast_discovery_reaches_remote_group_members() {
+        // Real UDP multicast on a dedicated group/port (skip silently if
+        // the environment forbids it — loopback mode is the fallback).
+        let mk = |rec: Recorder| -> Option<SocketFabric<u64>> {
+            SocketFabric::new(
+                WireConfig {
+                    discovery: Discovery::Multicast {
+                        group: Ipv4Addr::new(239, 77, 7, 9),
+                        port: 47179,
+                    },
+                    ..WireConfig::default()
+                },
+                rec,
+            )
+            .ok()
+        };
+        let Some(a) = mk(Recorder::disabled()) else { return };
+        let Some(b) = mk(Recorder::disabled()) else { return };
+        let g = GroupId(0);
+        let (addr_a, rx_a) = a.register();
+        a.join_group(addr_a, g);
+        let (addr_b, _rx_b) = b.register();
+        b.multicast(addr_b, g, 123);
+        match rx_a.recv_timeout(Duration::from_millis(2000)) {
+            Ok(env) => assert_eq!(env.msg, 123),
+            // Multicast may be unavailable in a sandbox; not a failure.
+            Err(_) => eprintln!("multicast unavailable; loopback fallback covers discovery"),
+        }
+    }
+
+    #[test]
+    fn fabric_handle_wraps_socket_fabric() {
+        let a: SocketFabric<u64> =
+            SocketFabric::new(WireConfig::default(), Recorder::disabled()).unwrap();
+        let h = FabricHandle::new(a);
+        assert!(!h.shared_memory());
+        let (x, _rx) = h.register();
+        let (y, rx_y) = h.register();
+        h.send(x, y, 5).unwrap();
+        assert_eq!(rx_y.recv_timeout(Duration::from_millis(500)).unwrap().msg, 5);
+    }
+}

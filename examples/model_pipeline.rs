@@ -40,7 +40,8 @@ fn main() {
         dynamic: DynamicArgs::new(),
         timeout: Duration::from_secs(60),
         seed: Some(Box::new(move |job| {
-            seed_input(job.tuplespace(), "matrix.txt", &input_for_seed, &worker_names, "tctask999");
+            seed_input(job, "matrix.txt", &input_for_seed, &worker_names, "tctask999")
+                .expect("seed input");
         })),
     };
 

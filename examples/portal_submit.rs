@@ -28,7 +28,8 @@ fn main() {
     let input_for_seed = input.clone();
     let response = portal
         .submit(&xmi_text, &figure2_settings(), &DynamicArgs::new(), move |job| {
-            seed_input(job.tuplespace(), "matrix.txt", &input_for_seed, &worker_names, "tctask999");
+            seed_input(job, "matrix.txt", &input_for_seed, &worker_names, "tctask999")
+                .expect("seed input");
         })
         .expect("portal submission");
 

@@ -4,6 +4,7 @@
 //! cnctl validate  <file.cnx>                      all diagnostics + DAG analytics
 //! cnctl lint      <file.cnx|file.xmi> [--format text|json] [--deny warnings]
 //!                 [--nodes N --node-memory MB [--node-slots S]]
+//!                 [--server-memory MB1,MB2,...]
 //! cnctl transform <file.xmi> [--class C] [--port P] [--log L] [--no-keys]
 //! cnctl codegen   <file.cnx> [--lang rust|java]
 //! cnctl render    <file.cnx|file.xmi> [--format dot|ascii]
@@ -11,6 +12,10 @@
 //! cnctl example-xmi [workers]                      emit the Figure-3 model as XMI
 //! cnctl trace     <file.xmi|examples> [--out trace.json] [--journal j.jsonl] [--workers N]
 //! cnctl stats     <file.xmi|examples> [--workers N]
+//! cnctl serve     [--port P] [--peers P1,P2] [--multicast] [--name NAME]
+//!                 [--memory MB] [--slots N] [--run-for SECS] [--trace out.json]
+//! cnctl submit    <file.cnx|examples> [--peers P1,P2,P3] [--multicast] [--workers N]
+//!                 [--timeout SECS] [--journal j.jsonl] [--trace out.json]
 //! ```
 //!
 //! Everything reads/writes plain files or stdout, so the tool composes with
@@ -99,13 +104,15 @@ fn run(args: &[String]) -> Result<(String, i32), String> {
         }
         "trace" => trace_cmd(&rest).map(clean),
         "stats" => stats_cmd(&rest).map(clean),
+        "serve" => serve_cmd(&rest).map(clean),
+        "submit" => submit_cmd(&rest).map(clean),
         "help" | "--help" | "-h" => Ok(clean(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
 
 const USAGE: &str = "usage: cnctl \
-     <validate|lint|transform|codegen|render|demo|example-xmi|trace|stats|help> [args]\n";
+     <validate|lint|transform|codegen|render|demo|example-xmi|trace|stats|serve|submit|help> [args]\n";
 
 /// Wrap plain output with the success exit code.
 fn clean(output: String) -> (String, i32) {
@@ -161,7 +168,9 @@ fn validate_cnx(text: &str) -> Result<(String, i32), String> {
 /// model and render the report. Exit code: 0 clean, 1 errors, 2 warnings
 /// only. `--deny warnings` promotes warnings to errors; `--nodes` /
 /// `--node-memory` / `--node-slots` describe the target cluster so the
-/// capacity passes (CN011/CN015/CN016) can judge resource requirements.
+/// capacity passes (CN011/CN015/CN016) can judge resource requirements,
+/// and `--server-memory 512,1024` lists the per-server `cnctl serve
+/// --memory` values a wire deployment was launched with (CN019).
 fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
     let format = flag_value(args, "--format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
@@ -171,7 +180,10 @@ fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
         None | Some("warnings") => {}
         Some(other) => return Err(format!("unknown deny class {other:?} (warnings)")),
     }
-    let opts = analysis::LintOptions { capacity: capacity_from_args(args)? };
+    let opts = analysis::LintOptions {
+        capacity: capacity_from_args(args)?,
+        server_memory_mb: server_memory_from_args(args)?,
+    };
     let mut report = if looks_like_xmi(text) {
         analysis::lint_xmi_source(text, &opts)
     } else {
@@ -222,6 +234,20 @@ fn capacity_from_args(args: &[&str]) -> Result<Option<ClusterCapacity>, String> 
         }
         _ => Err("--nodes and --node-memory must be given together".to_string()),
     }
+}
+
+/// Parse `--server-memory 512,1024,8192` into per-server MB values for the
+/// CN019 wire-deployment check.
+fn server_memory_from_args(args: &[&str]) -> Result<Option<Vec<u64>>, String> {
+    let Some(raw) = flag_value(args, "--server-memory") else { return Ok(None) };
+    let servers = raw
+        .split(',')
+        .map(|s| s.trim().parse::<u64>().map_err(|_| format!("bad server memory {s:?}")))
+        .collect::<Result<Vec<u64>, String>>()?;
+    if servers.is_empty() {
+        return Err("--server-memory needs at least one value".to_string());
+    }
+    Ok(Some(servers))
 }
 
 /// Sniff the input: XMI documents have an `<XMI>` root; anything else is
@@ -313,7 +339,7 @@ fn demo(workers: usize) -> Result<String, String> {
         dynamic: DynamicArgs::new(),
         timeout: std::time::Duration::from_secs(60),
         seed: Some(Box::new(move |job| {
-            seed_input(job.tuplespace(), "matrix.txt", &input2, &worker_names, "tctask999");
+            seed_input(job, "matrix.txt", &input2, &worker_names, "tctask999").expect("seed input");
         })),
     };
     let run = transform::Pipeline::new(&nb).run(&transform::figure2_model(workers), options)?;
@@ -391,7 +417,8 @@ fn run_traced(
                     .filter(|n| *n != "tctask0" && *n != "tctask999")
                     .cloned()
                     .collect();
-                seed_input(job.tuplespace(), "matrix.txt", &input, &worker_names, "tctask999");
+                seed_input(job, "matrix.txt", &input, &worker_names, "tctask999")
+                    .expect("seed input");
             }
         })),
     };
@@ -443,6 +470,187 @@ fn stats_cmd(args: &[&str]) -> Result<String, String> {
     let summary = summary_text(&rec);
     outcome.map_err(|e| format!("{e}\n{summary}"))?;
     Ok(summary)
+}
+
+/// Parse `--peers 4711,4712` into a port list (empty when absent).
+fn peers_from_args(args: &[&str]) -> Result<Vec<u16>, String> {
+    match flag_value(args, "--peers") {
+        None => Ok(Vec::new()),
+        Some(csv) => csv
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|p| p.parse().map_err(|_| format!("bad peer port {p:?}")))
+            .collect(),
+    }
+}
+
+/// Build the wire discovery mode from `--multicast` / `--peers`.
+fn discovery_from_args(
+    args: &[&str],
+) -> Result<computational_neighborhood::wire::Discovery, String> {
+    use computational_neighborhood::wire::{
+        socket::{DEFAULT_MULTICAST_GROUP, DEFAULT_MULTICAST_PORT},
+        Discovery,
+    };
+    if has_flag(args, "--multicast") {
+        Ok(Discovery::Multicast { group: DEFAULT_MULTICAST_GROUP, port: DEFAULT_MULTICAST_PORT })
+    } else {
+        Ok(Discovery::Loopback { peers: peers_from_args(args)? })
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[&str], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {flag}")),
+    }
+}
+
+/// `serve`: host one CNServer (JobManager + TaskManager) on a real TCP
+/// port — one OS process of a multi-process neighborhood. Prints a
+/// readiness line (`serving <name> on 127.0.0.1:<port>`) once the fabric
+/// is listening, then runs until killed (or for `--run-for` seconds).
+fn serve_cmd(args: &[&str]) -> Result<String, String> {
+    use computational_neighborhood::cluster::{NodeHandle, NodeSpec};
+    use computational_neighborhood::core::spaces::SpaceRegistry;
+    use computational_neighborhood::core::{ArchiveRegistry, CnServer, ServerConfig};
+    use computational_neighborhood::observe::{chrome_trace, Recorder};
+    use computational_neighborhood::tasks;
+    use computational_neighborhood::wire::{FabricHandle, SocketFabric, WireConfig};
+    use std::sync::Arc;
+
+    let port: u16 = parsed_flag(args, "--port", 0)?;
+    let memory: u64 = parsed_flag(args, "--memory", 8192)?;
+    let slots: usize = parsed_flag(args, "--slots", 16)?;
+    let run_for: Option<u64> = flag_value(args, "--run-for")
+        .map(|v| v.parse().map_err(|_| format!("bad value {v:?} for --run-for")))
+        .transpose()?;
+    let cfg = WireConfig { port, discovery: discovery_from_args(args)?, ..WireConfig::default() };
+
+    let rec = Recorder::new();
+    let fabric =
+        SocketFabric::new(cfg, rec.clone()).map_err(|e| format!("bind port {port}: {e}"))?;
+    let port = fabric.port();
+    let name =
+        flag_value(args, "--name").map(str::to_string).unwrap_or_else(|| format!("cn-{port}"));
+
+    let registry = Arc::new(ArchiveRegistry::new());
+    tasks::publish_all_archives(&registry);
+    let spaces = Arc::new(SpaceRegistry::with_recorder(&rec));
+    let node = NodeHandle::new(NodeSpec::new(&name, memory, slots));
+    let server = CnServer::spawn(
+        &name,
+        node,
+        FabricHandle::new(fabric),
+        registry,
+        spaces,
+        ServerConfig::default(),
+    );
+
+    // Readiness marker: scripts (the CI wire job, the differential test)
+    // wait for this line before submitting.
+    println!("serving {name} on 127.0.0.1:{port}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    match run_for {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    server.shutdown();
+    if let Some(path) = flag_value(args, "--trace") {
+        write_atomic(path, &chrome_trace(&rec))?;
+    }
+    Ok(format!("{name} served for {}s\n", run_for.unwrap_or(0)))
+}
+
+/// `submit`: drive a CNX descriptor over the wire against `cnctl serve`
+/// processes — the CN client as its own OS process. `examples` submits the
+/// bundled Figure-3 transitive-closure job (seeded with the same matrix the
+/// in-process tools use) and verifies the result against sequential Floyd.
+/// `--journal` exports the canonical span journal with the wire-only
+/// `"wire"` category removed, so it is byte-comparable with a simulated
+/// run of the same descriptor.
+fn submit_cmd(args: &[&str]) -> Result<String, String> {
+    use computational_neighborhood::core::spaces::SpaceRegistry;
+    use computational_neighborhood::core::{
+        execute_with_api_seeded, ClientConfig, CnApi, DynamicArgs,
+    };
+    use computational_neighborhood::observe::{chrome_trace, journal_jsonl_filtered, Recorder};
+    use computational_neighborhood::tasks::{floyd_sequential, random_digraph, seed_input, Matrix};
+    use computational_neighborhood::wire::{FabricHandle, SocketFabric, WireConfig};
+    use std::sync::Arc;
+
+    let src = positional(args, 0)
+        .ok_or("usage: cnctl submit <file.cnx|examples> [--peers P1,P2,P3] [...]")?;
+    let workers: usize = parsed_flag(args, "--workers", 3)?;
+    if workers == 0 {
+        return Err("need at least one worker".to_string());
+    }
+    let timeout = std::time::Duration::from_secs(parsed_flag(args, "--timeout", 60)?);
+    let doc = if src == "examples" {
+        cnx::ast::figure2_descriptor(workers)
+    } else {
+        let text = std::fs::read_to_string(src).map_err(|e| format!("{src}: {e}"))?;
+        cnx::parse_cnx(&text).map_err(|e| e.to_string())?
+    };
+
+    let cfg = WireConfig { discovery: discovery_from_args(args)?, ..WireConfig::default() };
+    let rec = Recorder::new();
+    let fabric = SocketFabric::new(cfg, rec.clone()).map_err(|e| format!("bind: {e}"))?;
+    let port = fabric.port();
+    let api = CnApi::over(
+        FabricHandle::new(fabric),
+        Arc::new(SpaceRegistry::with_recorder(&rec)),
+        ClientConfig::default(),
+    );
+
+    // Same deterministic input as `cnctl trace`/`demo`, so a wire run and a
+    // simulated run are structurally comparable.
+    let input = random_digraph(16, 0.25, 1..9, 1);
+    let input_for_seed = input.clone();
+    let seed = move |job: &mut computational_neighborhood::core::JobHandle| {
+        let names = job.task_names();
+        if names.iter().any(|n| n == "tctask0") && names.iter().any(|n| n == "tctask999") {
+            let worker_names: Vec<String> =
+                names.iter().filter(|n| *n != "tctask0" && *n != "tctask999").cloned().collect();
+            seed_input(job, "matrix.txt", &input_for_seed, &worker_names, "tctask999")
+                .expect("seed input");
+        }
+    };
+    let outcome = execute_with_api_seeded(&api, &doc, &DynamicArgs::new(), timeout, seed);
+
+    // Export observability artifacts even when the run failed: a partial
+    // trace of a dead-worker run is exactly what you want to look at.
+    let mut out = String::new();
+    if let Some(path) = flag_value(args, "--journal") {
+        write_atomic(path, &journal_jsonl_filtered(&rec, &["wire"]))?;
+        let _ = writeln!(out, "wrote canonical journal to {path}");
+    }
+    if let Some(path) = flag_value(args, "--trace") {
+        write_atomic(path, &chrome_trace(&rec))?;
+        let _ = writeln!(out, "wrote trace to {path}");
+    }
+    let reports = outcome.map_err(|e| format!("{e}\n{out}"))?;
+    let _ = writeln!(out, "client on 127.0.0.1:{port}: {} job(s) completed", reports.len());
+    for (i, report) in reports.iter().enumerate() {
+        let _ = writeln!(out, "  job {i}: {} task result(s)", report.results.len());
+    }
+    if src == "examples" {
+        let result = reports
+            .first()
+            .and_then(|r| r.result("tctask999"))
+            .ok_or("no joiner result in report")?;
+        let verified =
+            Matrix::from_userdata(result).map_err(|e| e.to_string())? == floyd_sequential(&input);
+        let _ = writeln!(out, "verified={verified}");
+        if !verified {
+            return Err("wire result did not match sequential Floyd".to_string());
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

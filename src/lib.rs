@@ -43,6 +43,7 @@ pub use cn_model as model;
 pub use cn_observe as observe;
 pub use cn_tasks as tasks;
 pub use cn_transform as transform;
+pub use cn_wire as wire;
 pub use cn_xml as xml;
 pub use cn_xpath as xpath;
 pub use cn_xslt as xslt;

@@ -38,7 +38,7 @@ fn model_to_execution_produces_correct_shortest_paths() {
         dynamic: DynamicArgs::new(),
         timeout: Duration::from_secs(120),
         seed: Some(Box::new(move |job| {
-            seed_input(job.tuplespace(), "matrix.txt", &input2, &worker_names, "tctask999");
+            seed_input(job, "matrix.txt", &input2, &worker_names, "tctask999").expect("seed input");
         })),
     };
     let run = Pipeline::new(&nb).run(&figure2_model(workers), options).unwrap();
@@ -345,7 +345,8 @@ fn job_events_include_lifecycle_for_every_task() {
     join.depends = vec!["tctask1".into()];
     join.memory_mb = 64;
     job.add_task(join).unwrap();
-    seed_input(job.tuplespace(), "matrix.txt", &input, &["tctask1".to_string()], "tctask999");
+    seed_input(&job, "matrix.txt", &input, &["tctask1".to_string()], "tctask999")
+        .expect("seed input");
     job.start().unwrap();
     let report = job.wait(Duration::from_secs(30)).unwrap();
     // "Get Messages from Tasks": every task produced started + completed.

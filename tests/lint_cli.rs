@@ -103,6 +103,43 @@ fn lint_json_golden_recorder_overflow() {
     check_golden(&golden("recorder_overflow_lint.json"), &stdout);
 }
 
+/// CN019: every Figure-2 task wants 1000 MB, so a wire deployment whose
+/// largest `cnctl serve --memory` is 512 MB can never host any of them —
+/// one warning per task, pinned by a golden.
+#[test]
+fn lint_json_golden_server_memory() {
+    let path = fixture("figure2.cnx");
+    let (stdout, code) = run_cnctl(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--server-memory",
+        "256,512",
+    ]);
+    assert_eq!(code, 2, "CN019 is a warning, so exit 2:\n{stdout}");
+    assert!(stdout.contains("\"code\":\"CN019\""), "{stdout}");
+    check_golden(&golden("server_memory_lint.json"), &stdout);
+
+    // A deployment with one big-enough server keeps the descriptor clean.
+    let (stdout, code) = run_cnctl(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--server-memory",
+        "512,2048",
+    ]);
+    assert_eq!(code, 0, "a 2048 MB server fits every task:\n{stdout}");
+
+    // Malformed values are a usage error, not a silent no-op.
+    let out = Command::new(env!("CARGO_BIN_EXE_cnctl"))
+        .args(["lint", path.to_str().unwrap(), "--server-memory", "512,potato"])
+        .output()
+        .expect("run cnctl");
+    assert!(!out.status.success());
+}
+
 /// The CLI's JSON is the library report verbatim plus a trailing newline;
 /// anything else would let the two drift apart.
 #[test]

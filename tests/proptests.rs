@@ -456,3 +456,169 @@ proptest! {
         prop_assert_eq!(base.to_json(), rot_report.to_json());
     }
 }
+
+// ---------- wire codec -----------------------------------------------------
+
+use computational_neighborhood::cluster::{Addr, Envelope};
+use computational_neighborhood::core::message::Bid;
+use computational_neighborhood::core::{Field, JobId, JobRequirements, NetMsg, TaskSpec, UserData};
+use computational_neighborhood::wire::codec::{decode_payload, encode_payload};
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    (0u64..u64::MAX).prop_map(Addr)
+}
+
+fn arb_userdata() -> impl Strategy<Value = UserData> {
+    prop_oneof![
+        Just(UserData::Empty),
+        xml_text().prop_map(UserData::Text),
+        proptest::collection::vec(0u8..=255, 0..32).prop_map(UserData::Bytes),
+        proptest::collection::vec(-1000i64..1000, 0..16).prop_map(UserData::I64s),
+        proptest::collection::vec(-1e6f64..1e6, 0..16).prop_map(UserData::F64s),
+    ]
+}
+
+fn arb_field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Field::I),
+        (-1e6f64..1e6).prop_map(Field::F),
+        xml_text().prop_map(Field::S),
+        proptest::collection::vec(0u8..=255, 0..24).prop_map(Field::B),
+    ]
+}
+
+prop_compose! {
+    fn arb_spec()(
+        name in name_str(),
+        jar in name_str(),
+        class in name_str(),
+        depends in proptest::collection::vec(name_str(), 0..4),
+        memory in 1u64..100_000,
+        thread in 0u8..2,
+        ints in proptest::collection::vec(-100i64..100, 0..3),
+        text in xml_text(),
+    ) -> TaskSpec {
+        let mut spec = TaskSpec::new(name, jar, class);
+        spec.depends = depends;
+        spec.memory_mb = memory;
+        spec.runmodel = if thread == 0 {
+            cnx::RunModel::RunAsThreadInTm
+        } else {
+            cnx::RunModel::RunAsProcess
+        };
+        spec.params = ints.into_iter().map(Param::integer).collect();
+        spec.params.push(Param::string(text));
+        spec
+    }
+}
+
+prop_compose! {
+    fn arb_bid()(
+        server in name_str(),
+        addr in arb_addr(),
+        load in 0.0f64..64.0,
+        free_memory_mb in 0u64..1_000_000,
+        free_slots in 0usize..64,
+    ) -> Bid {
+        Bid { server, addr, load, free_memory_mb, free_slots }
+    }
+}
+
+/// Every structurally distinct encoding shape in the protocol: plain
+/// fields, optional addresses, nested specs/bids, maps, vecs of pairs,
+/// tuples, and the fieldless control message.
+fn arb_netmsg() -> impl Strategy<Value = NetMsg> {
+    prop_oneof![
+        (0u64..1000, 0u64..100_000, 0usize..64, arb_addr()).prop_map(
+            |(job, min_free_memory_mb, min_free_slots, reply_to)| NetMsg::SolicitJobManager {
+                job: JobId(job),
+                requirements: JobRequirements { min_free_memory_mb, min_free_slots },
+                reply_to,
+            }
+        ),
+        (0u64..1000, arb_bid())
+            .prop_map(|(job, bid)| NetMsg::JobManagerBid { job: JobId(job), bid }),
+        (0u64..1000, arb_spec(), arb_addr()).prop_map(|(job, spec, reply_to)| {
+            NetMsg::CreateTask { job: JobId(job), spec, reply_to }
+        }),
+        (0u64..1000, name_str(), 0u8..2, xml_text(), name_str(), arb_addr(), 0u8..2).prop_map(
+            |(job, task, accepted, reason, server, addr, some)| NetMsg::TaskAck {
+                job: JobId(job),
+                task,
+                accepted: accepted == 1,
+                reason,
+                server,
+                task_addr: (some == 1).then_some(addr),
+            }
+        ),
+        (0u64..1000, arb_spec(), arb_addr(), arb_addr()).prop_map(|(job, spec, jm, reply_to)| {
+            NetMsg::AssignTask { job: JobId(job), spec, jm, reply_to }
+        }),
+        (
+            0u64..1000,
+            name_str(),
+            proptest::collection::vec((name_str(), arb_addr()), 0..5),
+            arb_addr()
+        )
+            .prop_map(|(job, task, dir, client)| NetMsg::StartTask {
+                job: JobId(job),
+                task,
+                directory: dir.into_iter().collect(),
+                client,
+            }),
+        (0u64..1000, name_str(), arb_userdata()).prop_map(|(job, task, result)| {
+            NetMsg::TaskCompleted { job: JobId(job), task, result }
+        }),
+        (0u64..1000, proptest::collection::vec((name_str(), arb_userdata()), 0..5))
+            .prop_map(|(job, results)| NetMsg::JobCompleted { job: JobId(job), results }),
+        (0u64..1000, name_str(), name_str(), arb_userdata()).prop_map(
+            |(job, from_task, tag, data)| NetMsg::User { job: JobId(job), from_task, tag, data }
+        ),
+        (0u64..1000, proptest::collection::vec(arb_field(), 0..6))
+            .prop_map(|(job, tuple)| { NetMsg::SeedTuple { job: JobId(job), tuple } }),
+        Just(NetMsg::Shutdown),
+    ]
+}
+
+prop_compose! {
+    fn arb_envelope()(from in arb_addr(), to in arb_addr(), msg in arb_netmsg()) -> Envelope<NetMsg> {
+        Envelope { from, to, msg }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_payload_round_trips(env in arb_envelope()) {
+        let bytes = encode_payload(&env);
+        let back: Envelope<NetMsg> = decode_payload(&bytes).unwrap();
+        prop_assert_eq!(back, env);
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error_not_a_panic(env in arb_envelope(), cut in 0usize..1_000_000) {
+        // Every strict prefix of a valid payload must fail to decode:
+        // decoding is deterministic and consumes the full payload, so a
+        // shorter input either hits Truncated mid-field or TrailingBytes
+        // can never fire early.
+        let bytes = encode_payload(&env);
+        let cut = cut % bytes.len();
+        prop_assert!(decode_payload::<NetMsg>(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_payload_never_panics(env in arb_envelope(), idx in 0usize..1_000_000, patch in 0u8..=255) {
+        let mut bytes = encode_payload(&env);
+        let idx = idx % bytes.len();
+        bytes[idx] = patch;
+        // Either it still decodes (the byte was payload data) or it fails
+        // with a typed error; it must never panic.
+        let _ = decode_payload::<NetMsg>(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        let _ = decode_payload::<NetMsg>(&bytes);
+    }
+}
