@@ -24,6 +24,11 @@ pub struct LintOptions {
     /// serve --memory` flags. When set, CN019 warns about tasks that no
     /// configured server could ever host.
     pub server_memory_mb: Option<Vec<u64>>,
+    /// Fraction of the wire frame limit (`MAX_FRAME_BYTES`) a task's
+    /// estimated parameter payload may reach before CN009 warns. `None`
+    /// uses [`passes::cnx::DEFAULT_PAYLOAD_WARN_FRACTION`]; `0` disables
+    /// the check.
+    pub payload_warn_fraction: Option<f64>,
 }
 
 /// Everything a CNX pass can look at.
@@ -32,6 +37,8 @@ pub struct CnxContext<'a> {
     pub capacity: Option<&'a ClusterCapacity>,
     /// `--server-memory` values for the CN019 wire-deployment check.
     pub server_memory_mb: Option<&'a [u64]>,
+    /// Resolved CN009 threshold as a fraction of the wire frame limit.
+    pub payload_warn_fraction: f64,
 }
 
 /// Everything a model pass can look at.
@@ -104,6 +111,9 @@ impl Engine {
             doc,
             capacity: opts.capacity.as_ref(),
             server_memory_mb: opts.server_memory_mb.as_deref(),
+            payload_warn_fraction: opts
+                .payload_warn_fraction
+                .unwrap_or(passes::cnx::DEFAULT_PAYLOAD_WARN_FRACTION),
         };
         let mut out = Vec::new();
         for pass in &self.cnx_passes {
@@ -172,6 +182,10 @@ pub mod codes {
     pub const UNKNOWN_DEPENDENCY: &str = "CN006";
     pub const DEPENDENCY_CYCLE: &str = "CN007";
     pub const DUPLICATE_TASK: &str = "CN008";
+    /// A task's estimated parameter payload approaches the wire frame
+    /// limit (`MAX_FRAME_BYTES`); oversized frames are rejected on socket
+    /// deployments.
+    pub const PAYLOAD_SIZE: &str = "CN009";
 
     // CNX style/consistency passes.
     pub const DUPLICATE_DEPENDS: &str = "CN010";
@@ -217,6 +231,7 @@ pub const ALL_CODES: &[&str] = &[
     codes::UNKNOWN_DEPENDENCY,
     codes::DEPENDENCY_CYCLE,
     codes::DUPLICATE_TASK,
+    codes::PAYLOAD_SIZE,
     codes::DUPLICATE_DEPENDS,
     codes::TASK_EXCEEDS_NODE_MEMORY,
     codes::PARAM_TYPE_MISMATCH,

@@ -27,9 +27,14 @@ pub fn default_passes() -> Vec<Box<dyn CnxPass>> {
         Box::new(ParallelismPass),
         Box::new(RecorderCapacityPass),
         Box::new(ServerMemoryPass),
+        Box::new(PayloadSizePass),
         Box::new(RoundtripPass),
     ]
 }
+
+/// CN009's default threshold: warn when a task's estimated parameter
+/// payload exceeds this fraction of the wire frame limit.
+pub const DEFAULT_PAYLOAD_WARN_FRACTION: f64 = 0.5;
 
 /// Span of the task named `name` (synthetic if absent — `with_span` then
 /// drops it).
@@ -461,6 +466,63 @@ impl CnxPass for RecorderCapacityPass {
     }
 }
 
+/// CN009: a task's parameter payload approaches the wire frame limit.
+///
+/// Task parameters travel inside the `CreateTask`/`StartTask` frames on
+/// the socket fabric, and the reader rejects any frame larger than
+/// `MAX_FRAME_BYTES` as `FrameTooLarge` — the job would fail in placement
+/// at run time. Warn while the composition is still a descriptor. The
+/// threshold is a fraction of the limit (default
+/// [`DEFAULT_PAYLOAD_WARN_FRACTION`], configurable with `cnctl lint
+/// --payload-warn-fraction`) because the estimate ignores codec overhead.
+pub struct PayloadSizePass;
+
+/// Rough on-wire size of the spec fields a task contributes to its
+/// `CreateTask` frame: each string is length-prefixed (u32 + bytes), plus a
+/// small allowance for tags and the fixed spec fields.
+fn estimated_payload_bytes(t: &Task) -> u64 {
+    let field = |s: &str| 4 + s.len() as u64;
+    let mut bytes = field(&t.name) + field(&t.jar) + field(&t.class) + 64;
+    for p in &t.params {
+        bytes += field(&p.value) + 8;
+    }
+    for d in &t.depends {
+        bytes += field(d);
+    }
+    bytes
+}
+
+impl CnxPass for PayloadSizePass {
+    fn name(&self) -> &'static str {
+        "payload-size"
+    }
+
+    fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>) {
+        let fraction = ctx.payload_warn_fraction;
+        if fraction <= 0.0 {
+            return;
+        }
+        let limit = u64::from(cn_wire::codec::MAX_FRAME_BYTES);
+        let threshold = (limit as f64 * fraction) as u64;
+        for (_, _, t) in for_each_task(ctx.doc) {
+            let est = estimated_payload_bytes(t);
+            if est > threshold {
+                out.push(
+                    Diagnostic::new(
+                        codes::PAYLOAD_SIZE,
+                        Severity::Warning,
+                        format!(
+                            "task {:?}: estimated parameter payload of {est} B exceeds {fraction} of the {limit} B wire frame limit ({threshold} B): frames past the limit are rejected as FrameTooLarge on socket deployments",
+                            t.name
+                        ),
+                    )
+                    .with_span(t.span),
+                );
+            }
+        }
+    }
+}
+
 /// CN040: information lost in the CNX → model → CNX round trip.
 pub struct RoundtripPass;
 
@@ -510,6 +572,26 @@ mod tests {
 
     fn codes_of(report: &LintReport) -> Vec<&'static str> {
         report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn payload_size_pass_warns_at_a_configured_fraction() {
+        let mut doc = figure2_descriptor(3);
+        doc.client.jobs[0].tasks[1].params.push(Param::string("x".repeat(64)));
+        // Default threshold (half of 64 MiB): quiet.
+        assert!(!codes_of(&lint(&doc)).contains(&codes::PAYLOAD_SIZE));
+        // A tiny configured fraction trips the same descriptor.
+        let report = Engine::with_default_passes().lint_cnx(
+            &doc,
+            &LintOptions { payload_warn_fraction: Some(0.000001), ..LintOptions::default() },
+        );
+        assert!(codes_of(&report).contains(&codes::PAYLOAD_SIZE), "{}", report.to_text());
+        // And 0 disables the pass outright.
+        let report = Engine::with_default_passes().lint_cnx(
+            &doc,
+            &LintOptions { payload_warn_fraction: Some(0.0), ..LintOptions::default() },
+        );
+        assert!(!codes_of(&report).contains(&codes::PAYLOAD_SIZE));
     }
 
     #[test]

@@ -181,6 +181,119 @@ fn bench_json(smoke: bool) {
     );
     write_atomic("BENCH_PR4.json", &wire_json).expect("write BENCH_PR4.json");
     println!("wrote BENCH_PR4.json");
+
+    let pr5 = wire_pr5_metrics_json(smoke);
+    write_atomic("BENCH_PR5.json", &pr5).expect("write BENCH_PR5.json");
+    println!("wrote BENCH_PR5.json");
+}
+
+/// PR5: the zero-copy batched fast path. Re-measures the PR4 A→B loopback
+/// burst with write coalescing on (the default) and off, adds an
+/// encode-once `send_many` fan-out to several remote endpoints, and
+/// repeats the simulated-fabric runtime metrics (whose dispatch path now
+/// drains coalesced batches in one wakeup). Each burst warms the
+/// connection first so smoke runs measure steady state, not connect cost.
+fn wire_pr5_metrics_json(smoke: bool) -> String {
+    use cn_cluster::Addr;
+    use cn_core::{JobId, NetMsg, UserData};
+    use cn_observe::Recorder;
+    use cn_wire::{Fabric as _, SocketFabric, WireConfig};
+
+    let msg = |i: u64| {
+        let mut bytes = vec![0xAB; 64];
+        bytes[..8].copy_from_slice(&i.to_le_bytes());
+        NetMsg::User {
+            job: JobId(1),
+            from_task: "bench".into(),
+            tag: "frame".into(),
+            data: UserData::Bytes(bytes),
+        }
+    };
+    let frame_bytes = 4 + cn_wire::codec::encode_payload(&cn_cluster::Envelope {
+        from: Addr(0),
+        to: Addr(0),
+        msg: msg(0),
+    })
+    .len();
+
+    let n: u64 = if smoke { 2_000 } else { 20_000 };
+    // (msgs/s, batch flushes, mean frames per flush) for one A→B burst.
+    let burst = |batch: bool| -> (f64, u64, f64) {
+        let rec = Recorder::new();
+        let a: SocketFabric<NetMsg> =
+            SocketFabric::new(WireConfig { batch, ..WireConfig::default() }, rec.clone())
+                .expect("wire fabric a");
+        let b: SocketFabric<NetMsg> =
+            SocketFabric::new(WireConfig { batch, ..WireConfig::default() }, Recorder::disabled())
+                .expect("wire fabric b");
+        let (addr_a, _rx_a) = a.register();
+        let (addr_b, rx_b) = b.register();
+        for i in 0..64 {
+            a.send(addr_a, addr_b, msg(i)).expect("warmup send");
+        }
+        for _ in 0..64 {
+            rx_b.recv_timeout(Duration::from_secs(10)).expect("warmup recv");
+        }
+        let flushes0 = rec.counter("wire.batch.flushes").get();
+        let frames0 = rec.counter("wire.batch.frames").get();
+        let t = Instant::now();
+        for i in 0..n {
+            a.send(addr_a, addr_b, msg(i)).expect("wire send");
+        }
+        for _ in 0..n {
+            rx_b.recv_timeout(Duration::from_secs(10)).expect("wire recv");
+        }
+        let msgs_per_s = n as f64 / t.elapsed().as_secs_f64();
+        let flushes = rec.counter("wire.batch.flushes").get() - flushes0;
+        let frames = rec.counter("wire.batch.frames").get() - frames0;
+        let per_flush = if flushes == 0 { 0.0 } else { frames as f64 / flushes as f64 };
+        a.shutdown();
+        b.shutdown();
+        (msgs_per_s, flushes, per_flush)
+    };
+    let (batched_rate, flushes, per_flush) = burst(true);
+    let (unbatched_rate, _, _) = burst(false);
+    let speedup = batched_rate / unbatched_rate.max(1e-9);
+    println!(
+        "wire pr5: batched {batched_rate:.0} msgs/s ({per_flush:.1} frames/flush over \
+         {flushes} flushes), unbatched {unbatched_rate:.0} msgs/s, {speedup:.2}x"
+    );
+
+    // Encode-once fan-out: one send_many to `receivers` endpoints on a
+    // second process-side fabric — the message is serialized once and the
+    // shared frame is re-addressed per destination.
+    let receivers: usize = 8;
+    let rounds: u64 = if smoke { 250 } else { 2_500 };
+    let a: SocketFabric<NetMsg> =
+        SocketFabric::new(WireConfig::default(), Recorder::disabled()).expect("wire fabric a");
+    let b: SocketFabric<NetMsg> =
+        SocketFabric::new(WireConfig::default(), Recorder::disabled()).expect("wire fabric b");
+    let (addr_a, _rx_a) = a.register();
+    let eps: Vec<_> = (0..receivers).map(|_| b.register()).collect();
+    let tos: Vec<Addr> = eps.iter().map(|(addr, _)| *addr).collect();
+    a.send_many(addr_a, &tos, msg(0)).expect("fan-out warmup");
+    for (_, rx) in &eps {
+        rx.recv_timeout(Duration::from_secs(10)).expect("fan-out warmup recv");
+    }
+    let t = Instant::now();
+    for i in 0..rounds {
+        a.send_many(addr_a, &tos, msg(i)).expect("fan-out send");
+    }
+    for (_, rx) in &eps {
+        for _ in 0..rounds {
+            rx.recv_timeout(Duration::from_secs(10)).expect("fan-out recv");
+        }
+    }
+    let fanout_rate = (rounds * receivers as u64) as f64 / t.elapsed().as_secs_f64();
+    a.shutdown();
+    b.shutdown();
+    println!("wire pr5: fan-out x{receivers}: {fanout_rate:.0} msgs/s");
+
+    let runtime_metrics = runtime_metrics_json(smoke);
+    format!(
+        "{{\n  \"bench\": \"zero-copy batched fast path (PR5)\",\n  \"mode\": \"{mode}\",\n  \"wire\": {{\n    \"frame_bytes\": {frame_bytes},\n    \"burst_messages\": {n},\n    \"batched\": {{\"messages_per_s\": {batched_rate:.0}, \"batch_flushes\": {flushes}, \"frames_per_flush\": {per_flush:.1}}},\n    \"unbatched\": {{\"messages_per_s\": {unbatched_rate:.0}}},\n    \"batch_speedup\": {speedup:.2},\n    \"fanout\": {{\"receivers\": {receivers}, \"rounds\": {rounds}, \"messages_per_s\": {fanout_rate:.0}}}\n  }},\n  \"runtime_metrics\": {runtime_metrics}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+    )
 }
 
 /// Wire-transport throughput over real loopback TCP: two `SocketFabric`s

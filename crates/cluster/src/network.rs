@@ -265,20 +265,25 @@ impl<M: Send + Clone + 'static> Network<M> {
     /// Multicast to every group member except the sender. Returns how many
     /// endpoints the message was addressed to.
     pub fn multicast(&self, from: Addr, group: GroupId, msg: M) -> usize {
-        let members = self.group_members(group);
+        let mut members = self.group_members(group);
+        members.retain(|&to| to != from);
         self.shared.metrics.record_multicast();
-        let mut count = 0;
-        for to in members {
-            if to == from {
-                continue;
-            }
-            count += 1;
+        let count = members.len();
+        // The last recipient takes the message by move: k members cost
+        // k-1 clones, and the common single-member case costs none.
+        let mut msg = Some(msg);
+        for (i, to) in members.iter().copied().enumerate() {
             self.shared.metrics.record_send();
             if self.dropped_by_fault(from, to) {
                 continue;
             }
+            let m = if i + 1 == count {
+                msg.take().expect("moved once")
+            } else {
+                msg.as_ref().expect("live until last").clone()
+            };
             // Unknown/closed members are skipped silently (they left).
-            let _ = self.deliver(Envelope { from, to, msg: msg.clone() });
+            let _ = self.deliver(Envelope { from, to, msg: m });
         }
         count
     }
@@ -458,20 +463,25 @@ fn fabric_loop<M: Send + Clone + 'static>(weak: std::sync::Weak<Shared<M>>) {
                 shared.queue_cv.wait_for(&mut queue, wait.min(Duration::from_millis(5)));
             }
         }
-        for env in due_now {
+        // Deliver the whole due batch under one endpoints lock: a burst of
+        // N messages costs one lock acquisition, not N.
+        if !due_now.is_empty() {
+            let n = due_now.len();
             {
                 let endpoints = shared.endpoints.lock();
-                if let Some(tx) = endpoints.get(&env.to) {
-                    if tx.send(env).is_ok() {
-                        shared.metrics.record_delivery();
+                for env in due_now {
+                    if let Some(tx) = endpoints.get(&env.to) {
+                        if tx.send(env).is_ok() {
+                            shared.metrics.record_delivery();
+                        } else {
+                            shared.metrics.record_drop();
+                        }
                     } else {
                         shared.metrics.record_drop();
                     }
-                } else {
-                    shared.metrics.record_drop();
                 }
             }
-            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            shared.in_flight.fetch_sub(n as u64, Ordering::Relaxed);
         }
         // Release the Arc before looping so drop-detection can progress.
         drop(shared);

@@ -503,6 +503,13 @@ impl JobHandle {
             match received {
                 Ok(env) => {
                     if let Some(m) = self.decode(env) {
+                        // One wakeup absorbs a whole coalesced batch: stash
+                        // everything that already arrived behind this one.
+                        while let Ok(extra) = self.rx.try_recv() {
+                            if let Some(m) = self.decode(extra) {
+                                self.stash.push(m);
+                            }
+                        }
                         return Ok(m);
                     }
                 }

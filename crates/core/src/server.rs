@@ -179,7 +179,14 @@ impl ServerState {
                 env
             } else {
                 match self.rx.recv() {
-                    Ok(env) => env,
+                    Ok(env) => {
+                        // Drain whatever arrived in the same coalesced batch
+                        // so one wakeup services the whole flush.
+                        while let Ok(extra) = self.rx.try_recv() {
+                            self.pending.push_back(extra);
+                        }
+                        env
+                    }
                     Err(_) => break, // network gone
                 }
             };
@@ -207,6 +214,11 @@ impl ServerState {
         deadline: Instant,
         mut want: impl FnMut(&NetMsg) -> bool,
     ) -> Option<Envelope<NetMsg>> {
+        // The main loop drains coalesced batches into `pending`, so the
+        // envelope we want may already be there.
+        if let Some(pos) = self.pending.iter().position(|env| want(&env.msg)) {
+            return self.pending.remove(pos);
+        }
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {

@@ -155,13 +155,31 @@ impl TaskContext {
         self.send(CLIENT_TASK_NAME, tag, data)
     }
 
-    /// Broadcast a user-defined message to every peer task.
+    /// Broadcast a user-defined message to every peer task. The fabric
+    /// serializes the message once and fans the encoded bytes out, instead
+    /// of cloning the payload per peer.
     pub fn broadcast(&self, tag: &str, data: UserData) -> Result<usize, TaskError> {
         let peers = self.peers();
-        for p in &peers {
-            self.send(p, tag, data.clone())?;
+        let addrs: Vec<Addr> = peers
+            .iter()
+            .map(|p| *self.directory.get(p).expect("peers come from the directory"))
+            .collect();
+        let rec = self.net.recorder();
+        if rec.is_enabled() {
+            rec.counter("task.msgs_sent").add(addrs.len() as u64);
         }
-        Ok(peers.len())
+        self.net
+            .send_many(
+                self.addr,
+                &addrs,
+                NetMsg::User {
+                    job: self.job,
+                    from_task: self.name.clone(),
+                    tag: tag.to_string(),
+                    data,
+                },
+            )
+            .map_err(|e| TaskError::new(e.to_string()))
     }
 
     fn decode(&self, env: Envelope<NetMsg>) -> Option<CnMessage> {
@@ -179,13 +197,12 @@ impl TaskContext {
         }
     }
 
-    /// Blocking receive with timeout.
-    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<CnMessage, RecvError> {
-        if !self.stash.is_empty() {
-            return Ok(self.stash.remove(0));
-        }
+    /// Batched queue drain: block until at least one decodable message is
+    /// stashed, then absorb every envelope already sitting in the channel —
+    /// a coalesced flush of N frames costs one condvar wakeup, not N.
+    fn fill_stash(&mut self, timeout: Duration) -> Result<(), RecvError> {
         let deadline = std::time::Instant::now() + timeout;
-        loop {
+        while self.stash.is_empty() {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 return Err(RecvError::Timeout);
@@ -193,10 +210,7 @@ impl TaskContext {
             match self.rx.recv_timeout(remaining) {
                 Ok(env) => {
                     if let Some(m) = self.decode(env) {
-                        if matches!(m, CnMessage::Shutdown) {
-                            return Err(RecvError::Shutdown);
-                        }
-                        return Ok(m);
+                        self.stash.push(m);
                     }
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
@@ -206,6 +220,23 @@ impl TaskContext {
                     return Err(RecvError::Disconnected)
                 }
             }
+        }
+        while let Ok(env) = self.rx.try_recv() {
+            if let Some(m) = self.decode(env) {
+                self.stash.push(m);
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<CnMessage, RecvError> {
+        if self.stash.is_empty() {
+            self.fill_stash(timeout)?;
+        }
+        match self.stash.remove(0) {
+            CnMessage::Shutdown => Err(RecvError::Shutdown),
+            m => Ok(m),
         }
     }
 
@@ -222,36 +253,32 @@ impl TaskContext {
         tag: &str,
         timeout: Duration,
     ) -> Result<(String, UserData), RecvError> {
-        // Check the stash first.
-        if let Some(pos) =
-            self.stash.iter().position(|m| matches!(m, CnMessage::User { tag: t, .. } if t == tag))
-        {
-            if let CnMessage::User { from_task, data, .. } = self.stash.remove(pos) {
-                return Ok((from_task, data));
-            }
-        }
         let deadline = std::time::Instant::now() + timeout;
         loop {
+            // Scan the stash in arrival order: the earliest matching
+            // message wins unless a Shutdown arrived before it.
+            let shutdown = self.stash.iter().position(|m| matches!(m, CnMessage::Shutdown));
+            let matched = self
+                .stash
+                .iter()
+                .position(|m| matches!(m, CnMessage::User { tag: t, .. } if t == tag));
+            match (matched, shutdown) {
+                (Some(p), s) if s.is_none_or(|s| p < s) => {
+                    if let CnMessage::User { from_task, data, .. } = self.stash.remove(p) {
+                        return Ok((from_task, data));
+                    }
+                }
+                (_, Some(s)) => {
+                    self.stash.remove(s);
+                    return Err(RecvError::Shutdown);
+                }
+                _ => {}
+            }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 return Err(RecvError::Timeout);
             }
-            match self.rx.recv_timeout(remaining) {
-                Ok(env) => match self.decode(env) {
-                    Some(CnMessage::Shutdown) => return Err(RecvError::Shutdown),
-                    Some(CnMessage::User { from_task, tag: t, data }) if t == tag => {
-                        return Ok((from_task, data))
-                    }
-                    Some(other) => self.stash.push(other),
-                    None => {}
-                },
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    return Err(RecvError::Timeout)
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return Err(RecvError::Disconnected)
-                }
-            }
+            self.fill_stash(remaining)?;
         }
     }
 }

@@ -15,7 +15,9 @@
 //! Decoding NEVER panics on malformed input — every failure is a typed
 //! [`WireError`].
 
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
 
 use cn_cluster::{Addr, Envelope};
 
@@ -143,6 +145,44 @@ impl Writer {
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
     }
+
+    /// Drop the contents but keep the allocation (the scratch-reuse hook).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Overwrite 4 bytes at `at` with `v` — for length prefixes reserved
+    /// before their payload was encoded.
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+thread_local! {
+    /// Per-thread encode scratch. Taken (not borrowed) for the duration of
+    /// [`with_scratch`] so a re-entrant call gets a fresh buffer instead of
+    /// a panic; the larger buffer wins when it is put back.
+    static SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with this thread's reusable encode scratch buffer. The buffer
+/// arrives empty but keeps its previous capacity, so steady-state encoding
+/// on a send path performs no heap allocation.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Writer) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut w = Writer { buf: cell.take() };
+        w.clear();
+        let out = f(&mut w);
+        let buf = w.buf;
+        if buf.capacity() > cell.borrow().capacity() {
+            cell.replace(buf);
+        }
+        out
+    })
 }
 
 /// Cursor-based decoder over a borrowed byte slice.
@@ -260,14 +300,21 @@ impl WireEncode for Addr {
     }
 }
 
+/// Encode a frame payload (no length prefix) into `w`: version, from, to,
+/// body. Appends; callers owning a scratch buffer can pack many payloads.
+pub fn encode_payload_into<M: WireEncode>(from: Addr, to: Addr, msg: &M, w: &mut Writer) {
+    w.put_u8(WIRE_VERSION);
+    w.put_u64(from.0);
+    w.put_u64(to.0);
+    msg.encode(w);
+}
+
 /// Encode a frame payload (no length prefix): version, from, to, body.
 pub fn encode_payload<M: WireEncode>(env: &Envelope<M>) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.put_u8(WIRE_VERSION);
-    w.put_u64(env.from.0);
-    w.put_u64(env.to.0);
-    env.msg.encode(&mut w);
-    w.into_bytes()
+    with_scratch(|w| {
+        encode_payload_into(env.from, env.to, &env.msg, w);
+        w.as_slice().to_vec()
+    })
 }
 
 /// Decode a frame payload produced by [`encode_payload`]. Consumes the
@@ -288,13 +335,146 @@ pub fn decode_payload<M: WireEncode>(buf: &[u8]) -> Result<Envelope<M>, WireErro
     Ok(Envelope { from, to, msg })
 }
 
+/// Encode a length-prefixed TCP frame into `w`. The length prefix is
+/// reserved first and patched once the payload length is known, so the
+/// frame is built in one pass with no intermediate buffer.
+pub fn encode_frame_into<M: WireEncode>(from: Addr, to: Addr, msg: &M, w: &mut Writer) {
+    let start = w.len();
+    w.put_u32(0);
+    encode_payload_into(from, to, msg, w);
+    w.patch_u32(start, (w.len() - start - 4) as u32);
+}
+
 /// Encode a length-prefixed TCP frame.
 pub fn encode_frame<M: WireEncode>(env: &Envelope<M>) -> Vec<u8> {
-    let payload = encode_payload(env);
-    let mut out = Vec::with_capacity(4 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    with_scratch(|w| {
+        encode_frame_into(env.from, env.to, &env.msg, w);
+        w.as_slice().to_vec()
+    })
+}
+
+/// Byte offset of the `to` address inside a length-prefixed frame:
+/// 4 (length) + 1 (version) + 8 (`from`).
+pub const FRAME_TO_OFFSET: usize = 13;
+
+/// An encoded, length-prefixed frame behind a refcounted immutable buffer.
+///
+/// Cloning a `Frame` bumps a refcount; fan-out paths serialize a message
+/// once and hand every recipient (and the per-peer write queues) a shared
+/// view instead of re-encoding or cloning the decoded message.
+#[derive(Clone)]
+pub struct Frame {
+    bytes: Arc<[u8]>,
+}
+
+impl Frame {
+    /// Serialize one message as a frame (one allocation: the shared buffer).
+    pub fn encode<M: WireEncode>(from: Addr, to: Addr, msg: &M) -> Frame {
+        with_scratch(|w| {
+            encode_frame_into(from, to, msg, w);
+            Frame { bytes: Arc::from(w.as_slice()) }
+        })
+    }
+
+    /// The full frame: length prefix + payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The payload (what [`decode_payload`] consumes).
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[4..]
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The destination address carried in the frame header.
+    pub fn to(&self) -> Addr {
+        let raw = self.bytes[FRAME_TO_OFFSET..FRAME_TO_OFFSET + 8].try_into().expect("frame to");
+        Addr(u64::from_le_bytes(raw))
+    }
+
+    /// The same frame re-addressed to `to`: the bytes are copied once and
+    /// the destination field patched — the message body is never re-encoded.
+    pub fn for_to(&self, to: Addr) -> Frame {
+        let mut v = self.bytes.to_vec();
+        v[FRAME_TO_OFFSET..FRAME_TO_OFFSET + 8].copy_from_slice(&to.0.to_le_bytes());
+        Frame { bytes: v.into() }
+    }
+}
+
+/// Incremental splitter for a stream of length-prefixed frames.
+///
+/// Feed it whatever the socket produced — one frame, twenty coalesced
+/// frames, or an arbitrary prefix cut mid-header — and pull complete
+/// payloads out as they materialize. An oversized length prefix is a typed
+/// error before any allocation; because framing is length-delimited, a bad
+/// *payload* never desynchronizes the stream.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Consumed prefix above which the buffer is compacted instead of growing.
+const DECODER_COMPACT_BYTES: usize = 64 * 1024;
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append bytes read off the wire.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > DECODER_COMPACT_BYTES {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame payload, `Ok(None)` when more bytes are
+    /// needed, or a typed error for an oversized length prefix.
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("len checked"));
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::new(
+                WireErrorKind::FrameTooLarge,
+                format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
+            ));
+        }
+        let total = 4 + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = pending[4..total].to_vec();
+        self.start += total;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet returned as a payload.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when a frame has started arriving but is incomplete — the state
+    /// in which a read deadline should be armed.
+    pub fn has_partial(&self) -> bool {
+        self.pending_bytes() > 0
+    }
 }
 
 #[cfg(test)]
@@ -381,5 +561,66 @@ mod tests {
         assert_eq!(len, frame.len() - 4);
         let decoded: Envelope<Addr> = decode_payload(&frame[4..]).unwrap();
         assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn shared_frame_matches_encode_frame_and_readdresses() {
+        let env = Envelope { from: Addr(5), to: Addr(6), msg: Addr(7) };
+        let frame = Frame::encode(env.from, env.to, &env.msg);
+        assert_eq!(frame.bytes(), encode_frame(&env).as_slice());
+        assert_eq!(frame.to(), Addr(6));
+        // Re-addressing patches only the `to` field; the clone shares bytes.
+        let f2 = frame.for_to(Addr(99));
+        assert_eq!(f2.to(), Addr(99));
+        let decoded: Envelope<Addr> = decode_payload(f2.payload()).unwrap();
+        assert_eq!(decoded, Envelope { from: Addr(5), to: Addr(99), msg: Addr(7) });
+        let decoded: Envelope<Addr> = decode_payload(frame.clone().payload()).unwrap();
+        assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn scratch_reuses_capacity_and_tolerates_reentrancy() {
+        let a = with_scratch(|w| {
+            w.put_str("first use grows the buffer well past the nested one");
+            // A nested call must get its own (fresh) buffer, not panic.
+            let inner = with_scratch(|w2| {
+                w2.put_u8(1);
+                w2.as_slice().to_vec()
+            });
+            assert_eq!(inner, vec![1]);
+            w.as_slice().to_vec()
+        });
+        let b = with_scratch(|w| {
+            assert!(w.is_empty(), "scratch must arrive empty");
+            w.put_str("second");
+            w.as_slice().to_vec()
+        });
+        assert!(a.len() > b.len());
+    }
+
+    #[test]
+    fn frame_decoder_splits_coalesced_frames() {
+        let frames: Vec<Vec<u8>> = (0..5u64)
+            .map(|i| encode_frame(&Envelope { from: Addr(1), to: Addr(2), msg: Addr(i) }))
+            .collect();
+        let coalesced: Vec<u8> = frames.iter().flatten().copied().collect();
+        // Feed in awkward 3-byte slices: headers and bodies split anywhere.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for chunk in coalesced.chunks(3) {
+            dec.feed(chunk);
+            while let Some(p) = dec.next_payload().unwrap() {
+                out.push(decode_payload::<Addr>(&p).unwrap().msg);
+            }
+        }
+        assert_eq!(out, vec![Addr(0), Addr(1), Addr(2), Addr(3), Addr(4)]);
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_length_before_allocating() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert_eq!(dec.next_payload().unwrap_err().kind, WireErrorKind::FrameTooLarge);
     }
 }

@@ -21,7 +21,9 @@ use cn_cluster::{Addr, Envelope, GroupId, Network, SendError};
 use cn_observe::Recorder;
 use crossbeam::channel::Receiver;
 
-pub use codec::{Reader, WireEncode, WireError, WireErrorKind, Writer, WIRE_VERSION};
+pub use codec::{
+    Frame, FrameDecoder, Reader, WireEncode, WireError, WireErrorKind, Writer, WIRE_VERSION,
+};
 pub use socket::{Discovery, SocketFabric, WireConfig};
 
 /// How many low bits of an `Addr` hold the per-process endpoint id; bits
@@ -67,6 +69,19 @@ pub trait Fabric<M: Send + Clone + 'static>: Send + Sync {
     fn leave_group(&self, addr: Addr, group: GroupId);
     /// Unicast send.
     fn send(&self, from: Addr, to: Addr, msg: M) -> Result<(), SendError>;
+    /// Unicast the same message to many destinations (task broadcast).
+    /// Stops at the first failure; on success returns `tos.len()`. The
+    /// default clones per destination, moving the message into the last
+    /// send; transports can override to serialize once and share the
+    /// encoded bytes across every destination.
+    fn send_many(&self, from: Addr, tos: &[Addr], msg: M) -> Result<usize, SendError> {
+        let Some((&last, rest)) = tos.split_last() else { return Ok(0) };
+        for &to in rest {
+            self.send(from, to, msg.clone())?;
+        }
+        self.send(from, last, msg)?;
+        Ok(tos.len())
+    }
     /// Multicast to every group member except the sender; returns how many
     /// destinations the message was addressed to (local members plus, for
     /// the socket fabric, remote datagrams sent).
@@ -148,6 +163,10 @@ impl<M: Send + Clone + 'static> FabricHandle<M> {
 
     pub fn send(&self, from: Addr, to: Addr, msg: M) -> Result<(), SendError> {
         self.inner.send(from, to, msg)
+    }
+
+    pub fn send_many(&self, from: Addr, tos: &[Addr], msg: M) -> Result<usize, SendError> {
+        self.inner.send_many(from, tos, msg)
     }
 
     pub fn multicast(&self, from: Addr, group: GroupId, msg: M) -> usize {

@@ -4,7 +4,7 @@
 //! cnctl validate  <file.cnx>                      all diagnostics + DAG analytics
 //! cnctl lint      <file.cnx|file.xmi> [--format text|json] [--deny warnings]
 //!                 [--nodes N --node-memory MB [--node-slots S]]
-//!                 [--server-memory MB1,MB2,...]
+//!                 [--server-memory MB1,MB2,...] [--payload-warn-fraction F]
 //! cnctl transform <file.xmi> [--class C] [--port P] [--log L] [--no-keys]
 //! cnctl codegen   <file.cnx> [--lang rust|java]
 //! cnctl render    <file.cnx|file.xmi> [--format dot|ascii]
@@ -14,8 +14,10 @@
 //! cnctl stats     <file.xmi|examples> [--workers N]
 //! cnctl serve     [--port P] [--peers P1,P2] [--multicast] [--name NAME]
 //!                 [--memory MB] [--slots N] [--run-for SECS] [--trace out.json]
+//!                 [--no-batch]
 //! cnctl submit    <file.cnx|examples> [--peers P1,P2,P3] [--multicast] [--workers N]
 //!                 [--timeout SECS] [--journal j.jsonl] [--trace out.json]
+//!                 [--no-batch]
 //! ```
 //!
 //! Everything reads/writes plain files or stdout, so the tool composes with
@@ -171,6 +173,8 @@ fn validate_cnx(text: &str) -> Result<(String, i32), String> {
 /// capacity passes (CN011/CN015/CN016) can judge resource requirements,
 /// and `--server-memory 512,1024` lists the per-server `cnctl serve
 /// --memory` values a wire deployment was launched with (CN019).
+/// `--payload-warn-fraction 0.25` tunes how close to the wire frame limit
+/// a task's estimated parameter payload may get before CN009 warns.
 fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
     let format = flag_value(args, "--format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
@@ -180,9 +184,18 @@ fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
         None | Some("warnings") => {}
         Some(other) => return Err(format!("unknown deny class {other:?} (warnings)")),
     }
+    let payload_warn_fraction = flag_value(args, "--payload-warn-fraction")
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|f| (0.0..=1.0).contains(f))
+                .ok_or_else(|| format!("bad value {v:?} for --payload-warn-fraction (0..=1)"))
+        })
+        .transpose()?;
     let opts = analysis::LintOptions {
         capacity: capacity_from_args(args)?,
         server_memory_mb: server_memory_from_args(args)?,
+        payload_warn_fraction,
     };
     let mut report = if looks_like_xmi(text) {
         analysis::lint_xmi_source(text, &opts)
@@ -525,7 +538,12 @@ fn serve_cmd(args: &[&str]) -> Result<String, String> {
     let run_for: Option<u64> = flag_value(args, "--run-for")
         .map(|v| v.parse().map_err(|_| format!("bad value {v:?} for --run-for")))
         .transpose()?;
-    let cfg = WireConfig { port, discovery: discovery_from_args(args)?, ..WireConfig::default() };
+    let cfg = WireConfig {
+        port,
+        discovery: discovery_from_args(args)?,
+        batch: !has_flag(args, "--no-batch"),
+        ..WireConfig::default()
+    };
 
     let rec = Recorder::new();
     let fabric =
@@ -597,7 +615,11 @@ fn submit_cmd(args: &[&str]) -> Result<String, String> {
         cnx::parse_cnx(&text).map_err(|e| e.to_string())?
     };
 
-    let cfg = WireConfig { discovery: discovery_from_args(args)?, ..WireConfig::default() };
+    let cfg = WireConfig {
+        discovery: discovery_from_args(args)?,
+        batch: !has_flag(args, "--no-batch"),
+        ..WireConfig::default()
+    };
     let rec = Recorder::new();
     let fabric = SocketFabric::new(cfg, rec.clone()).map_err(|e| format!("bind: {e}"))?;
     let port = fabric.port();

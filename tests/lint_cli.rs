@@ -12,7 +12,10 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use computational_neighborhood::analysis;
-use computational_neighborhood::cnx::{ast::figure2_descriptor, write_cnx};
+use computational_neighborhood::cnx::{
+    ast::{figure2_descriptor, Param},
+    write_cnx,
+};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
@@ -135,6 +138,45 @@ fn lint_json_golden_server_memory() {
     // Malformed values are a usage error, not a silent no-op.
     let out = Command::new(env!("CARGO_BIN_EXE_cnctl"))
         .args(["lint", path.to_str().unwrap(), "--server-memory", "512,potato"])
+        .output()
+        .expect("run cnctl");
+    assert!(!out.status.success());
+}
+
+/// CN009: a 2 KiB string param plus a tight `--payload-warn-fraction`
+/// trips the payload-size warning on exactly the oversized task, pinned by
+/// a golden; the default threshold (half the frame limit) stays quiet.
+#[test]
+fn lint_json_golden_payload_size() {
+    let path = fixture("payload_size.cnx");
+    let mut doc = figure2_descriptor(2);
+    doc.client.jobs[0].tasks[1].params.push(Param::string("x".repeat(2048)));
+    let expect = write_cnx(&doc);
+    if regenerating() {
+        std::fs::write(&path, &expect).expect("write fixture");
+    }
+    let text = std::fs::read_to_string(&path).expect("read payload_size.cnx fixture");
+    assert_eq!(text, expect, "fixtures/payload_size.cnx drifted from its generator");
+
+    let (stdout, code) = run_cnctl(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--payload-warn-fraction",
+        "0.00001",
+    ]);
+    assert_eq!(code, 2, "CN009 is a warning, so exit 2:\n{stdout}");
+    assert!(stdout.contains("\"code\":\"CN009\""), "{stdout}");
+    check_golden(&golden("payload_size_lint.json"), &stdout);
+
+    // The default threshold keeps the same descriptor clean.
+    let (stdout, code) = run_cnctl(&["lint", path.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(code, 0, "default threshold must stay quiet:\n{stdout}");
+
+    // Malformed fractions are a usage error, not a silent no-op.
+    let out = Command::new(env!("CARGO_BIN_EXE_cnctl"))
+        .args(["lint", path.to_str().unwrap(), "--payload-warn-fraction", "2.5"])
         .output()
         .expect("run cnctl");
     assert!(!out.status.success());

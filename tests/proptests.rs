@@ -622,3 +622,84 @@ proptest! {
         let _ = decode_payload::<NetMsg>(&bytes);
     }
 }
+
+// ---------- wire framing (coalesced batches) --------------------------------
+
+use computational_neighborhood::wire::FrameDecoder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coalesced_frames_decode_identically_to_frame_per_read(
+        envs in proptest::collection::vec(arb_envelope(), 1..6),
+        cuts in proptest::collection::vec(0usize..1_000_000, 0..8),
+    ) {
+        use computational_neighborhood::wire::codec::encode_frame;
+        let frames: Vec<Vec<u8>> = envs.iter().map(encode_frame).collect();
+        let stream: Vec<u8> = frames.concat();
+
+        // Reference: one whole frame per read.
+        let mut reference = Vec::new();
+        let mut dec = FrameDecoder::default();
+        for f in &frames {
+            dec.feed(f);
+            while let Some(p) = dec.next_payload().unwrap() {
+                reference.push(p);
+            }
+        }
+        prop_assert!(!dec.has_partial());
+
+        // The same bytes split at arbitrary points — a coalesced batch
+        // arriving in whatever segment sizes the kernel felt like.
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (stream.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(stream.len());
+        cuts.sort_unstable();
+        let mut split = Vec::new();
+        let mut dec = FrameDecoder::default();
+        for w in cuts.windows(2) {
+            dec.feed(&stream[w[0]..w[1]]);
+            while let Some(p) = dec.next_payload().unwrap() {
+                split.push(p);
+            }
+        }
+        prop_assert!(!dec.has_partial());
+        prop_assert_eq!(&split, &reference);
+
+        // And the payload sequence is exactly the original envelopes.
+        let decoded: Vec<Envelope<NetMsg>> =
+            split.iter().map(|p| decode_payload(p).unwrap()).collect();
+        prop_assert_eq!(decoded, envs);
+    }
+
+    #[test]
+    fn corrupted_coalesced_stream_yields_typed_errors_never_panics(
+        envs in proptest::collection::vec(arb_envelope(), 1..6),
+        idx in 0usize..1_000_000,
+        patch in 0u8..=255,
+    ) {
+        use computational_neighborhood::wire::codec::encode_frame;
+        use computational_neighborhood::wire::WireError;
+        let mut stream: Vec<u8> = envs.iter().flat_map(encode_frame).collect();
+        let idx = idx % stream.len();
+        stream[idx] = patch;
+        let mut dec = FrameDecoder::default();
+        dec.feed(&stream);
+        loop {
+            match dec.next_payload() {
+                Ok(Some(p)) => {
+                    // The splitter handed out a payload: it either decodes
+                    // or fails with a typed error, never a panic — and the
+                    // splitter itself stays aligned on length prefixes.
+                    let _ = decode_payload::<NetMsg>(&p);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _typed: WireError = e;
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -41,21 +41,27 @@ impl Drop for Serves {
 /// Launch one `cnctl serve` per port, peered with the others, and wait for
 /// every TCP listener to accept.
 fn launch_serves(ports: &[u16]) -> Serves {
+    launch_serves_with(ports, &[])
+}
+
+fn launch_serves_with(ports: &[u16], extra: &[&str]) -> Serves {
     let children = ports
         .iter()
         .map(|port| {
             let peers: Vec<String> =
                 ports.iter().filter(|p| *p != port).map(|p| p.to_string()).collect();
+            let mut args = vec![
+                "serve".to_string(),
+                "--port".to_string(),
+                port.to_string(),
+                "--peers".to_string(),
+                peers.join(","),
+                "--run-for".to_string(),
+                "120".to_string(),
+            ];
+            args.extend(extra.iter().map(|a| a.to_string()));
             Command::new(CNCTL)
-                .args([
-                    "serve",
-                    "--port",
-                    &port.to_string(),
-                    "--peers",
-                    &peers.join(","),
-                    "--run-for",
-                    "120",
-                ])
+                .args(&args)
                 .stdout(Stdio::piped())
                 .stderr(Stdio::null())
                 .spawn()
@@ -140,6 +146,54 @@ fn wire_run_matches_simulated_canonical_journal() {
         "canonical journals diverged between wire and simulated runs"
     );
     std::fs::remove_file(journal_path).ok();
+}
+
+/// PR5 differential guarantee: write coalescing is invisible to the
+/// runtime. The same Figure-3 job over the wire with batching on (the
+/// default) and off (`--no-batch` on every process) exports byte-identical
+/// canonical journals.
+#[test]
+fn batched_and_unbatched_wire_runs_export_identical_journals() {
+    let run = |no_batch: bool, tag: &str| -> String {
+        let ports = free_ports(3);
+        let extra: &[&str] = if no_batch { &["--no-batch"] } else { &[] };
+        let _serves = launch_serves_with(&ports, extra);
+
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/test-artifacts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join(format!("wire-differential-{tag}.jsonl"));
+        let peers = ports.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(",");
+        let mut args = vec![
+            "submit",
+            "examples",
+            "--workers",
+            "2",
+            "--peers",
+            &peers,
+            "--timeout",
+            "60",
+            "--journal",
+            journal_path.to_str().unwrap(),
+        ];
+        if no_batch {
+            args.push("--no-batch");
+        }
+        let output = Command::new(CNCTL).args(&args).output().expect("run cnctl submit");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(output.status.success(), "submit ({tag}) failed: {stdout}");
+        assert!(stdout.contains("verified=true"), "{stdout}");
+        let journal = std::fs::read_to_string(&journal_path).unwrap();
+        std::fs::remove_file(journal_path).ok();
+        journal
+    };
+
+    let batched = run(false, "batched");
+    let unbatched = run(true, "unbatched");
+    assert!(!batched.is_empty());
+    assert_eq!(
+        batched, unbatched,
+        "canonical journals diverged between batched and unbatched wire runs"
+    );
 }
 
 /// Killing the worker that hosts the JobManager mid-conversation must
