@@ -218,6 +218,25 @@ pub mod codes {
 
     // Cross-artifact consistency.
     pub const ROUNDTRIP_DRIFT: &str = "CN040";
+
+    // Runtime concurrency (`cnctl check`, reported out of `cn-check` model
+    // runs; see DESIGN.md §11).
+    /// The merged lock-order graph contains a cycle: two schedules acquire
+    /// the same locks in opposite orders.
+    pub const LOCK_ORDER_CYCLE: &str = "CN050";
+    /// A condvar wait was entered while holding an unrelated lock.
+    pub const CV_WHILE_HOLDING: &str = "CN051";
+    /// A schedule reached a state where every live task is blocked.
+    pub const DEADLOCK: &str = "CN052";
+    /// A task re-acquired a non-reentrant lock it already holds.
+    pub const DOUBLE_LOCK: &str = "CN053";
+    /// A blocked wait only made progress via a forced timeout: a wakeup the
+    /// code should have delivered never arrived.
+    pub const LOST_NOTIFY: &str = "CN054";
+    /// A scenario assertion failed under some interleaving.
+    pub const SCHEDULE_ASSERT: &str = "CN055";
+    /// A schedule exceeded the step budget (livelock / unbounded retry).
+    pub const STEP_LIMIT: &str = "CN056";
 }
 
 /// Every code constant, for exhaustiveness checks (tests, docs sync).
@@ -254,6 +273,13 @@ pub const ALL_CODES: &[&str] = &[
     codes::MODEL_EMPTY,
     codes::FORK_JOIN_IMBALANCE,
     codes::ROUNDTRIP_DRIFT,
+    codes::LOCK_ORDER_CYCLE,
+    codes::CV_WHILE_HOLDING,
+    codes::DEADLOCK,
+    codes::DOUBLE_LOCK,
+    codes::LOST_NOTIFY,
+    codes::SCHEDULE_ASSERT,
+    codes::STEP_LIMIT,
 ];
 
 #[cfg(test)]

@@ -1,0 +1,267 @@
+//! Long-form documentation for diagnostic codes (`cnctl lint --explain`).
+//!
+//! One entry per stable `CN0xx` code: what the finding means, why it is
+//! worth acting on, and how to address it. A test pins the table to
+//! [`crate::engine::ALL_CODES`] so a new code cannot ship without its
+//! explanation.
+
+use crate::engine::codes;
+
+/// The documentation for one diagnostic code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explanation {
+    pub code: &'static str,
+    /// One-line headline (what happened).
+    pub title: &'static str,
+    /// Why it matters and what to do — full sentences, possibly multi-line.
+    pub rationale: &'static str,
+}
+
+impl Explanation {
+    /// The `--explain` rendering: headline, blank line, rationale.
+    pub fn render(&self) -> String {
+        format!("{}: {}\n\n{}\n", self.code, self.title, self.rationale)
+    }
+}
+
+/// Look up the documentation for a code (case-insensitive, `cn055` works).
+pub fn explain(code: &str) -> Option<&'static Explanation> {
+    let needle = code.to_ascii_uppercase();
+    EXPLANATIONS.iter().find(|e| e.code == needle)
+}
+
+macro_rules! explanations {
+    ($($code:expr => $title:expr, $rationale:expr;)*) => {
+        /// Every code's documentation, in code order.
+        pub const EXPLANATIONS: &[Explanation] = &[
+            $(Explanation { code: $code, title: $title, rationale: $rationale },)*
+        ];
+    };
+}
+
+explanations! {
+    codes::PARSE =>
+        "input could not be parsed or imported",
+        "The CNX or XMI input failed to parse, so no other check could run. \
+         Fix the syntax error at the reported span first; every other \
+         diagnostic is downstream of a well-formed document.";
+    codes::NO_JOBS =>
+        "descriptor declares no jobs",
+        "A CNX client with no <job> elements submits nothing. Either the \
+         descriptor is a stub or the jobs were accidentally removed.";
+    codes::EMPTY_JOB =>
+        "job has no tasks",
+        "An empty job still costs a JobManager selection round but executes \
+         nothing. Remove the job or add its tasks.";
+    codes::EMPTY_FIELD =>
+        "required task field is empty",
+        "Task name, jar, and class must be non-empty for the TaskManager to \
+         load and dispatch the task. An empty field fails at submission.";
+    codes::ZERO_MEMORY =>
+        "task requests zero memory",
+        "Memory requirements drive manager selection; a zero requirement \
+         makes the task schedulable on a node that cannot actually host it.";
+    codes::BAD_MULTIPLICITY =>
+        "task multiplicity is invalid",
+        "Multiplicity must be a positive count (or a bounded range). Zero or \
+         inverted bounds expand to no tasks or fail expansion outright.";
+    codes::UNKNOWN_DEPENDENCY =>
+        "task depends on a name that does not exist",
+        "Dependencies are resolved by task name within the job; an unknown \
+         name can never be satisfied, so the dependent task would wait \
+         forever. Usually a typo or a task renamed without updating \
+         depends= lists.";
+    codes::DEPENDENCY_CYCLE =>
+        "task dependency cycle",
+        "The depends= edges form a cycle, so no topological execution order \
+         exists and none of the tasks on the cycle can ever start.";
+    codes::DUPLICATE_TASK =>
+        "duplicate task name within a job",
+        "Task names are the identity used by dependency resolution and \
+         result reporting; duplicates make depends= references ambiguous.";
+    codes::PAYLOAD_SIZE =>
+        "task parameter payload approaches the wire frame limit",
+        "Socket deployments reject frames above MAX_FRAME_BYTES. A payload \
+         close to the limit works in-process but fails on the wire; shrink \
+         the parameters or move bulk data to a shared space.";
+    codes::DUPLICATE_DEPENDS =>
+        "duplicate entries in a depends= list",
+        "Repeating a dependency is harmless at runtime but usually indicates \
+         a hand-edited list that drifted; the duplicate hides real edits in \
+         diffs.";
+    codes::TASK_EXCEEDS_NODE_MEMORY =>
+        "task exceeds the largest node's memory",
+        "No node in the configured cluster capacity can host this task, so \
+         manager selection will never place it. Lower the requirement or \
+         grow the cluster description.";
+    codes::PARAM_TYPE_MISMATCH =>
+        "parameter value does not match its declared type",
+        "A parameter whose value cannot parse as its declared type fails \
+         when the task unmarshals it — at run time, on a remote node. Catch \
+         it here instead.";
+    codes::ORPHAN_TASK =>
+        "task is isolated from the rest of the job",
+        "Every other task is connected by dependency edges, but this one is \
+         not referenced and references nothing. Often a task that was meant \
+         to be wired into the pipeline.";
+    codes::REDUNDANT_DEPENDS =>
+        "dependency is implied by a longer path",
+        "The direct edge duplicates an ordering the transitive chain already \
+         guarantees. Removing it keeps the graph minimal and the descriptor \
+         readable.";
+    codes::UNBOUNDED_MULTIPLICITY =>
+        "multiplicity has no upper bound",
+        "An unbounded expansion is decided by runtime cluster state, so job \
+         size is unpredictable and capacity checks cannot be meaningful. \
+         Bound the range.";
+    codes::MEMORY_OVERSUBSCRIBED =>
+        "job's concurrent memory demand exceeds cluster capacity",
+        "Tasks that may run concurrently together demand more memory than \
+         the whole cluster provides; the job will serialize on memory \
+         availability rather than dependencies.";
+    codes::SERIAL_JOB =>
+        "job is a pure chain",
+        "Every task depends on the previous one, so the job has no \
+         parallelism and gains nothing from cluster execution. Possibly \
+         intended, but worth a look.";
+    codes::RECORDER_CAPACITY =>
+        "job expands to more tasks than the flight recorder holds",
+        "A run of this job would wrap the flight-recorder ring and evict \
+         its own earliest events, making post-mortem traces incomplete. \
+         Raise the recorder capacity for jobs this size.";
+    codes::SERVER_MEMORY =>
+        "task exceeds every configured server's memory",
+        "With the given --server-memory values, no CN server could ever \
+         host this task's requirement; submission would stall in manager \
+         selection.";
+    codes::MODEL_NO_INITIAL =>
+        "activity model has no initial node",
+        "Import needs a unique entry point to anchor the task graph; \
+         without one the model cannot be scheduled at all.";
+    codes::MODEL_MULTIPLE_INITIALS =>
+        "activity model has multiple initial nodes",
+        "More than one initial node makes the entry point ambiguous; merge \
+         them or fork explicitly after a single initial.";
+    codes::MODEL_NO_FINAL =>
+        "activity model has no final node",
+        "Without a final node, job completion is undefined — there is no \
+         state in which the runtime can declare the job done.";
+    codes::MODEL_UNREACHABLE =>
+        "activity node unreachable from the initial node",
+        "The node can never execute. Usually a transition was deleted or \
+         points the wrong way.";
+    codes::MODEL_CYCLE =>
+        "activity model contains a cycle",
+        "CN jobs are finite DAGs; a cycle in the activity graph cannot be \
+         translated into task dependencies.";
+    codes::MODEL_DUPLICATE_TASK =>
+        "duplicate activity names",
+        "Activity names become task names; duplicates collide in the \
+         generated CNX descriptor.";
+    codes::MODEL_MISSING_TAG =>
+        "activity is missing required CN tagged values",
+        "The jar/class/memory tagged values are how a UML activity carries \
+         CN deployment data; an activity without them generates an invalid \
+         task.";
+    codes::MODEL_DYNAMIC_NO_MULTIPLICITY =>
+        "dynamic activity lacks a multiplicity tag",
+        "An activity marked dynamic expands to N tasks at generation time; \
+         without the multiplicity tag, N is undefined.";
+    codes::MODEL_DANGLING_TRANSITION =>
+        "transition references a missing node",
+        "A control-flow edge whose source or target does not exist — the \
+         XMI export is internally inconsistent, usually from a partial \
+         hand edit.";
+    codes::MODEL_EMPTY =>
+        "activity model has no activities",
+        "A model with control nodes but no activities generates an empty \
+         job. Export from the modeling tool probably failed.";
+    codes::FORK_JOIN_IMBALANCE =>
+        "fork/join branch structure is imbalanced",
+        "A join waits on a different set of branches than the matching fork \
+         created, so the join either deadlocks waiting for a branch that \
+         never arrives or fires early.";
+    codes::ROUNDTRIP_DRIFT =>
+        "model and descriptor disagree after round-trip",
+        "Re-generating the artifact and comparing shows a semantic \
+         difference: the two layers have drifted and one of them is stale.";
+    codes::LOCK_ORDER_CYCLE =>
+        "lock-order cycle across the runtime's locks",
+        "Model-checked schedules acquired the named locks in conflicting \
+         orders (a -> b in one schedule, b -> a in another). The cycle is a \
+         latent deadlock even if no explored schedule happened to deadlock: \
+         two threads entering the cycle from different sides will block \
+         each other forever. Fix by imposing one global acquisition order \
+         or collapsing the locks.";
+    codes::CV_WHILE_HOLDING =>
+        "condvar wait entered while holding an unrelated lock",
+        "A task blocked on a condition variable while still holding a lock \
+         other than the one paired with the wait. The held lock stays held \
+         for the whole wait, so any thread that needs it — including the \
+         one that would signal the condvar — can deadlock against the \
+         waiter. Release the unrelated lock before waiting.";
+    codes::DEADLOCK =>
+        "deadlock: every live task is blocked",
+        "The model checker reached a state where no task can run and no \
+         timed wait can fire — a genuine deadlock, with the replayable \
+         seed and schedule attached as a counterexample. The subjects list \
+         names the resources each blocked task is waiting on; follow the \
+         cycle to pick the lock to reorder or split.";
+    codes::DOUBLE_LOCK =>
+        "double lock: a task re-acquired a lock it already holds",
+        "The runtime's mutexes are not reentrant; acquiring one twice from \
+         the same thread self-deadlocks. This usually appears after a \
+         refactor inlines a helper that takes the same lock as its caller. \
+         Pass the guard down instead of re-locking.";
+    codes::LOST_NOTIFY =>
+        "lost notification: a wakeup was never delivered",
+        "A schedule only made progress because the checker force-fired a \
+         timed wait at global quiescence — in production that is a thread \
+         stuck until its poll interval saves it. Some path enqueues work or \
+         flips the awaited condition without signalling the condvar; audit \
+         every write to the waited-on state for a matching notify.";
+    codes::SCHEDULE_ASSERT =>
+        "assertion failed under some interleaving",
+        "A scenario invariant held on most schedules but failed on the \
+         attached counterexample — a real ordering bug, not a flaky test: \
+         replaying the recorded seed and schedule reproduces it \
+         deterministically. The trace shows the exact operation order that \
+         broke the invariant.";
+    codes::STEP_LIMIT =>
+        "schedule exceeded the step budget",
+        "One schedule ran past the checker's step budget, which usually \
+         means a livelock: tasks keep running without making progress \
+         (spin-retry loops, or two tasks repeatedly undoing each other). \
+         If the scenario is legitimately long, raise the budget; otherwise \
+         inspect the trace tail for the repeating cycle.";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ALL_CODES;
+
+    #[test]
+    fn every_code_has_exactly_one_explanation() {
+        for code in ALL_CODES {
+            let found = EXPLANATIONS.iter().filter(|e| e.code == *code).count();
+            assert_eq!(found, 1, "code {code} needs exactly one explanation, found {found}");
+        }
+        assert_eq!(EXPLANATIONS.len(), ALL_CODES.len(), "explanation without a code constant");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(explain("cn052").map(|e| e.code), Some("CN052"));
+        assert_eq!(explain("CN052").map(|e| e.code), Some("CN052"));
+        assert_eq!(explain("CN999"), None);
+    }
+
+    #[test]
+    fn render_has_headline_and_rationale() {
+        let text = explain("CN050").unwrap().render();
+        assert!(text.starts_with("CN050: lock-order cycle"), "{text}");
+        assert!(text.contains("\n\n"), "{text}");
+        assert!(text.ends_with('\n'), "{text}");
+    }
+}

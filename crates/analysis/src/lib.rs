@@ -41,6 +41,7 @@
 
 pub mod diag;
 pub mod engine;
+pub mod explain;
 pub mod passes;
 pub mod report;
 
@@ -49,6 +50,7 @@ pub use engine::{
     codes, lint_cnx_source, lint_xmi_source, CnxContext, CnxPass, Engine, LintOptions,
     ModelContext, ModelPass,
 };
+pub use explain::{explain, Explanation};
 pub use report::LintReport;
 
 #[cfg(test)]

@@ -5,7 +5,9 @@ use crate::diag::{json_escape, Diagnostic, Severity};
 
 /// Result of a lint run. Diagnostics are kept sorted by span (spanless ones
 /// last), then code, then message — a deterministic order independent of
-/// pass registration or task iteration order.
+/// pass registration or task iteration order. Diagnostics that agree on
+/// that whole key are merged (worst severity wins, related lists union),
+/// so the report's bytes do not depend on which pass emitted first.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintReport {
     diagnostics: Vec<Diagnostic>,
@@ -24,8 +26,26 @@ impl LintReport {
             .then_with(|| a.code.cmp(b.code))
             .then_with(|| a.message.cmp(&b.message))
         });
-        diagnostics.dedup();
-        LintReport { diagnostics }
+        // Same (span, code, message) from different passes must collapse to
+        // one record whose bytes don't depend on registration order: take
+        // the worst severity and the sorted union of related subjects.
+        // (Exact-`dedup` alone would keep both copies, in emission order,
+        // whenever severity or related differed.)
+        let mut merged: Vec<Diagnostic> = Vec::with_capacity(diagnostics.len());
+        for d in diagnostics {
+            match merged.last_mut() {
+                Some(prev)
+                    if prev.code == d.code && prev.span == d.span && prev.message == d.message =>
+                {
+                    prev.severity = prev.severity.max(d.severity);
+                    prev.related.extend(d.related);
+                    prev.related.sort();
+                    prev.related.dedup();
+                }
+                _ => merged.push(d),
+            }
+        }
+        LintReport { diagnostics: merged }
     }
 
     pub fn diagnostics(&self) -> &[Diagnostic] {
@@ -151,6 +171,25 @@ mod tests {
         let d = diag("CN010", Severity::Warning, "dup", 3);
         let report = LintReport::new(vec![d.clone(), d]);
         assert_eq!(report.len(), 1);
+    }
+
+    /// Two passes report the same finding with different severity and
+    /// related subjects; the merged record — and the report's JSON bytes —
+    /// must not depend on which pass was registered first.
+    #[test]
+    fn same_key_merge_is_registration_order_independent() {
+        let a =
+            diag("CN011", Severity::Warning, "too big", 2).with_related(["task \"a\"".to_string()]);
+        let b = diag("CN011", Severity::Error, "too big", 2)
+            .with_related(["node \"n0\"".to_string(), "task \"a\"".to_string()]);
+        let fwd = LintReport::new(vec![a.clone(), b.clone()]);
+        let rev = LintReport::new(vec![b, a]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.to_json(), rev.to_json());
+        assert_eq!(fwd.len(), 1);
+        let d = &fwd.diagnostics()[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.related, ["node \"n0\"", "task \"a\""]);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! The bridge from model-run reports into the `cn-analysis` engine.
+//!
+//! Hazards, merged-graph lock-order cycles, and condvar-while-holding
+//! observations become `CN05x` [`Diagnostic`]s; `cnctl check` renders the
+//! resulting [`LintReport`] with the same text/JSON machinery as `cnctl
+//! lint`, so CI consumes one diagnostic format for both static and
+//! concurrency findings. Spans are always `None` — the subject of a
+//! concurrency finding is a lock name and a schedule, not a source
+//! location; the replay coordinates ride in `related`.
+
+use cn_analysis::{codes, Diagnostic, LintReport, Severity};
+use cn_sync::model::{HazardKind, RunReport};
+
+/// Severity and code for one hazard kind.
+fn classify(kind: HazardKind) -> (&'static str, Severity) {
+    match kind {
+        HazardKind::LockOrderCycle => (codes::LOCK_ORDER_CYCLE, Severity::Error),
+        HazardKind::CondvarWhileHolding => (codes::CV_WHILE_HOLDING, Severity::Warning),
+        HazardKind::Deadlock => (codes::DEADLOCK, Severity::Error),
+        HazardKind::DoubleLock => (codes::DOUBLE_LOCK, Severity::Error),
+        HazardKind::LostNotify => (codes::LOST_NOTIFY, Severity::Error),
+        HazardKind::AssertionFailed => (codes::SCHEDULE_ASSERT, Severity::Error),
+        HazardKind::StepLimit => (codes::STEP_LIMIT, Severity::Warning),
+    }
+}
+
+/// Diagnostics for one scenario's merged report.
+///
+/// Lock-order cycles and condvar-while-holding pairs are structural: they
+/// come from the merged graph over every explored schedule, so they are
+/// reported even when no single schedule produced a hazard. Hazards carry
+/// the replay coordinates (`seed`, `schedule`) of their counterexample as
+/// a related subject.
+pub fn diagnose(report: &RunReport) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    for cycle in report.lock_graph.cycles() {
+        out.push(
+            Diagnostic::new(
+                codes::LOCK_ORDER_CYCLE,
+                Severity::Error,
+                format!("{}: lock-order cycle: {}", report.scenario, cycle.join(" <-> ")),
+            )
+            .with_related(cycle),
+        );
+    }
+
+    for (cv, held) in &report.cv_wait_holding {
+        out.push(
+            Diagnostic::new(
+                codes::CV_WHILE_HOLDING,
+                Severity::Warning,
+                format!(
+                    "{}: condvar {cv} waited on while holding unrelated lock {held}",
+                    report.scenario
+                ),
+            )
+            .with_related([cv.clone(), held.clone()]),
+        );
+    }
+
+    for hazard in &report.hazards {
+        let (code, severity) = classify(hazard.kind);
+        let mut d =
+            Diagnostic::new(code, severity, format!("{}: {}", report.scenario, hazard.message))
+                .with_related(hazard.subjects.iter().cloned());
+        if let Some(cx) = &report.counterexample {
+            d = d.with_related([format!(
+                "replay: seed={} schedule={}",
+                cx.seed,
+                cx.schedule_string()
+            )]);
+        }
+        out.push(d);
+    }
+
+    out
+}
+
+/// One deterministic report over a whole check run.
+pub fn lint_report(reports: &[RunReport]) -> LintReport {
+    LintReport::new(reports.iter().flat_map(diagnose).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_sync::model::{Counterexample, Event, Hazard, LockOrderGraph, Op};
+
+    fn deadlocked_report() -> RunReport {
+        RunReport {
+            scenario: "test.scenario".into(),
+            schedules: 3,
+            steps: 40,
+            hazards: vec![Hazard::new(HazardKind::Deadlock, "all 2 live tasks blocked")
+                .with_subjects(["a".to_string(), "b".to_string()])],
+            lock_graph: LockOrderGraph::from_edges(vec![
+                ("a".to_string(), "b".to_string()),
+                ("b".to_string(), "a".to_string()),
+            ]),
+            timeout_escapes: 0,
+            cv_wait_holding: vec![("cv".to_string(), "outer".to_string())],
+            counterexample: Some(Counterexample {
+                seed: 9,
+                schedule: vec![1, 0, 1],
+                trace: vec![Event { step: 1, task: 0, op: Op::LockAcquire, subject: "a".into() }],
+            }),
+        }
+    }
+
+    #[test]
+    fn hazards_cycles_and_cv_holding_all_surface() {
+        let diags = diagnose(&deadlocked_report());
+        let codes_seen: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&codes::LOCK_ORDER_CYCLE), "{codes_seen:?}");
+        assert!(codes_seen.contains(&codes::CV_WHILE_HOLDING), "{codes_seen:?}");
+        assert!(codes_seen.contains(&codes::DEADLOCK), "{codes_seen:?}");
+        let deadlock = diags.iter().find(|d| d.code == codes::DEADLOCK).unwrap();
+        assert!(
+            deadlock.related.iter().any(|r| r == "replay: seed=9 schedule=1,0,1"),
+            "{:?}",
+            deadlock.related
+        );
+    }
+
+    #[test]
+    fn clean_report_yields_no_diagnostics() {
+        let clean = RunReport { scenario: "ok".into(), schedules: 8, ..RunReport::default() };
+        assert!(diagnose(&clean).is_empty());
+    }
+
+    #[test]
+    fn every_hazard_kind_maps_to_a_distinct_code() {
+        let kinds = [
+            HazardKind::Deadlock,
+            HazardKind::DoubleLock,
+            HazardKind::LockOrderCycle,
+            HazardKind::CondvarWhileHolding,
+            HazardKind::LostNotify,
+            HazardKind::AssertionFailed,
+            HazardKind::StepLimit,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            let (code, _) = classify(k);
+            assert!(seen.insert(code), "code {code} reused");
+            assert!(cn_analysis::explain(code).is_some(), "{code} lacks an explanation");
+        }
+    }
+
+    #[test]
+    fn lint_report_is_deterministic_across_report_order() {
+        let a = deadlocked_report();
+        let mut b = a.clone();
+        b.scenario = "other.scenario".into();
+        let fwd = lint_report(&[a.clone(), b.clone()]);
+        let rev = lint_report(&[b, a]);
+        assert_eq!(fwd.to_json(), rev.to_json());
+    }
+}

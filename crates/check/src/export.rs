@@ -1,0 +1,100 @@
+//! Counterexample artifacts, rendered through cn-observe's exporters.
+//!
+//! A counterexample's native form is the schedule-trace JSONL
+//! ([`cn_sync::model::Counterexample::trace_jsonl`]) plus the replay
+//! coordinates. For humans, the same failing schedule is also projected
+//! into a [`cn_observe::Recorder`] — one span per scheduler event, one
+//! logical-clock tick per step, tasks as jobs — so the existing journal,
+//! Chrome-trace, and summary exporters render it with no new machinery:
+//! drop `chrome.json` into Perfetto and the deadlock is a timeline.
+
+use cn_observe::{chrome_trace, journal_jsonl, summary_text, Recorder, Severity};
+use cn_sync::model::Counterexample;
+
+/// Every rendering of one counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceArtifacts {
+    /// Replay seed (mirrors `Counterexample::seed`).
+    pub seed: u64,
+    /// Replay schedule, comma-separated (`Strategy::Replay` input).
+    pub schedule: String,
+    /// The native schedule trace: one JSON event per line.
+    pub trace_jsonl: String,
+    /// cn-observe canonical journal of the failing schedule.
+    pub journal: String,
+    /// Chrome `trace_event` document (Perfetto / chrome://tracing).
+    pub chrome: String,
+    /// Human summary table.
+    pub summary: String,
+}
+
+/// Render one counterexample into every artifact format.
+///
+/// Deterministic: the recorder uses only logical clock ticks (one per
+/// recorded span edge), so the same counterexample always produces the
+/// same bytes.
+pub fn export_counterexample(scenario: &str, cx: &Counterexample) -> TraceArtifacts {
+    let recorder = Recorder::with_flight_capacity(cx.trace.len().max(16));
+    let root = recorder.span_start("check", scenario, None);
+    for event in &cx.trace {
+        let span = recorder.span_start_job(
+            "check",
+            &format!("{}:{}", event.op, event.subject),
+            root,
+            Some(event.task as u64),
+            Some(&format!("task-{}", event.task)),
+        );
+        recorder.span_end(span);
+        recorder.event_with(Severity::Info, "check", Some(event.task as u64), || {
+            format!("step {} task {} {} {}", event.step, event.task, event.op, event.subject)
+        });
+    }
+    recorder.span_end(root);
+
+    TraceArtifacts {
+        seed: cx.seed,
+        schedule: cx.schedule_string(),
+        trace_jsonl: cx.trace_jsonl(),
+        journal: journal_jsonl(&recorder),
+        chrome: chrome_trace(&recorder),
+        summary: summary_text(&recorder),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_sync::model::{Event, Op};
+
+    fn sample() -> Counterexample {
+        Counterexample {
+            seed: 7,
+            schedule: vec![0, 1, 1],
+            trace: vec![
+                Event { step: 1, task: 0, op: Op::LockAcquire, subject: "test.a".into() },
+                Event { step: 2, task: 1, op: Op::LockAcquire, subject: "test.b".into() },
+                Event { step: 3, task: 1, op: Op::CvWait, subject: "test.cv".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn artifacts_are_deterministic() {
+        let a = export_counterexample("demo", &sample());
+        let b = export_counterexample("demo", &sample());
+        assert_eq!(a, b);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.schedule, "0,1,1");
+    }
+
+    #[test]
+    fn trace_and_journal_carry_every_event() {
+        let art = export_counterexample("demo", &sample());
+        assert_eq!(art.trace_jsonl.lines().count(), 3);
+        assert!(art.trace_jsonl.contains("\"subject\":\"test.cv\""), "{}", art.trace_jsonl);
+        // Journal: the root span plus one per event.
+        assert_eq!(art.journal.lines().count(), 4, "{}", art.journal);
+        assert!(art.journal.contains("lock-acquire:test.a"), "{}", art.journal);
+        assert!(art.chrome.contains("cv-wait:test.cv"), "{}", art.chrome);
+    }
+}

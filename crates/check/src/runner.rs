@@ -1,0 +1,92 @@
+//! The seed-matrix runner behind `cnctl check`.
+//!
+//! One scenario is explored once per seed (PCT with a fixed per-seed
+//! schedule budget); the per-seed reports merge into a single
+//! [`RunReport`] whose lock-order graph is the union over the whole
+//! matrix — cycles that need two *different* schedules to witness both
+//! edge directions surface here even when no single run deadlocks.
+//! Exploration stops at the first counterexample so the artifact a CI
+//! failure uploads is the cheapest seed that reproduces.
+
+use cn_sync::check::{explore, ExploreOpts, Strategy};
+use cn_sync::model::{Counterexample, RunReport};
+
+use crate::scenarios::Scenario;
+
+/// The fixed seed matrix CI runs (`cnctl check` default). Changing it
+/// changes which interleavings are explored, so treat it like a golden
+/// file: additions are fine, removals need a reason.
+pub const DEFAULT_SEEDS: &[u64] = &[1, 7, 42, 1337];
+
+/// Knobs for a check run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Seeds to explore, in order.
+    pub seeds: Vec<u64>,
+    /// PCT schedules per seed.
+    pub schedules: u32,
+    /// Per-schedule step budget (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig { seeds: DEFAULT_SEEDS.to_vec(), schedules: 64, max_steps: 20_000 }
+    }
+}
+
+/// Explore one scenario across the seed matrix; reports merge, the first
+/// hazard's counterexample wins.
+pub fn run_scenario(scenario: &Scenario, cfg: &CheckConfig) -> RunReport {
+    let mut merged = RunReport { scenario: scenario.name.to_string(), ..RunReport::default() };
+    for &seed in &cfg.seeds {
+        let mut opts =
+            ExploreOpts::new(scenario.name, Strategy::Pct { seed, schedules: cfg.schedules });
+        opts.max_steps = cfg.max_steps;
+        opts.fail_on_timeout_escape = scenario.fail_on_timeout_escape;
+        let report = explore(opts, scenario.run);
+        let failed = report.failed();
+        merge_into(&mut merged, report);
+        if failed {
+            break;
+        }
+    }
+    merged
+}
+
+/// Run every registered scenario (or one, by name) across the matrix.
+pub fn run_all(only: Option<&str>, cfg: &CheckConfig) -> Vec<RunReport> {
+    crate::scenarios::all()
+        .iter()
+        .filter(|s| only.is_none_or(|name| s.name == name))
+        .map(|s| run_scenario(s, cfg))
+        .collect()
+}
+
+/// Replay a recorded counterexample schedule against a scenario. The
+/// returned report's trace is byte-identical to the original's
+/// (`Counterexample::trace_jsonl`) when the code under check is unchanged
+/// — which is exactly what makes a counterexample a regression test.
+pub fn replay(scenario: &Scenario, cx: &Counterexample) -> RunReport {
+    let mut opts =
+        ExploreOpts::new(scenario.name, Strategy::Replay { schedule: cx.schedule.clone() });
+    opts.fail_on_timeout_escape = scenario.fail_on_timeout_escape;
+    explore(opts, scenario.run)
+}
+
+fn merge_into(acc: &mut RunReport, r: RunReport) {
+    acc.schedules += r.schedules;
+    acc.steps += r.steps;
+    acc.timeout_escapes += r.timeout_escapes;
+    acc.lock_graph = acc.lock_graph.merge(&r.lock_graph);
+    for pair in r.cv_wait_holding {
+        if !acc.cv_wait_holding.contains(&pair) {
+            acc.cv_wait_holding.push(pair);
+        }
+    }
+    acc.cv_wait_holding.sort();
+    if acc.hazards.is_empty() {
+        acc.hazards = r.hazards;
+        acc.counterexample = r.counterexample;
+    }
+}

@@ -1,0 +1,199 @@
+//! The registry of runtime concurrency surfaces under check.
+//!
+//! Each scenario is a closed multi-threaded exercise of *real* runtime
+//! code — the same `PeerQueue`, `Network`, `MsgPump`, and `TupleSpace` the
+//! production paths use — built only from `cn-sync` primitives so the
+//! controlled scheduler owns every interleaving. Scenario bodies are
+//! deliberately identical between clean and `mutations` builds: the cargo
+//! feature swaps the *runtime* implementation underneath, and the same
+//! scenario either survives exploration or yields a counterexample.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cn_cluster::{Addr, Envelope, LatencyModel, Network, DISCOVERY_GROUP};
+use cn_core::pump::MsgPump;
+use cn_core::tuplespace::{exact, Field, TupleSpace};
+use cn_sync::thread;
+use cn_wire::peer::PeerQueue;
+use cn_wire::Frame;
+
+/// One registered concurrency surface.
+#[derive(Clone, Copy)]
+pub struct Scenario {
+    /// Registry name (`cnctl check --scenario <name>`).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub about: &'static str,
+    /// Whether a timed wait force-fired at quiescence is itself a hazard.
+    /// Set for scenarios whose wakeups must all be delivered by notifies.
+    pub fail_on_timeout_escape: bool,
+    /// The scenario body, run once per explored schedule as model task 0.
+    pub run: fn(),
+}
+
+/// Every registered scenario, in stable order.
+pub fn all() -> &'static [Scenario] {
+    &[
+        Scenario {
+            name: "wire.peer_queue",
+            about: "socket fabric per-peer send queue / writer-thread handoff",
+            fail_on_timeout_escape: true,
+            run: peer_queue,
+        },
+        Scenario {
+            name: "net.group_delivery",
+            about: "simulated network group join racing a multicast",
+            fail_on_timeout_escape: false,
+            run: group_delivery,
+        },
+        Scenario {
+            name: "core.server_drain",
+            about: "CnServer pending-queue drain: nested wait must stash, not drop",
+            fail_on_timeout_escape: true,
+            run: server_drain,
+        },
+        Scenario {
+            name: "core.tuplespace",
+            about: "tuple space blocking take woken by a racing out",
+            fail_on_timeout_escape: true,
+            run: tuplespace,
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all().iter().copied().find(|s| s.name == name)
+}
+
+/// Two producers push frames into one [`PeerQueue`] while the writer
+/// thread drains batches, exactly as `SocketFabric`'s writer loop does.
+/// Every producer wakeup must come from `push`'s notify: the poll interval
+/// exists only to re-check `stop`, so with `fail_on_timeout_escape` a
+/// schedule that parks the writer and never notifies it is a lost wakeup
+/// (the `mutations` build skips the notify precisely when the writer is
+/// parked on an empty queue).
+fn peer_queue() {
+    const PRODUCERS: u64 = 2;
+    const FRAMES_EACH: u64 = 2;
+    let q = Arc::new(PeerQueue::new());
+
+    let writer = {
+        let q = Arc::clone(&q);
+        thread::Builder::new()
+            .name("writer".into())
+            .spawn(move || {
+                let mut out = Vec::new();
+                let mut drained = 0u64;
+                while drained < PRODUCERS * FRAMES_EACH {
+                    let n =
+                        q.drain_batch(&mut out, 8, 1 << 20, Duration::from_millis(50), || false);
+                    assert!(n > 0, "queue died under the writer");
+                    drained += n as u64;
+                }
+                drained
+            })
+            .expect("spawn writer")
+    };
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            thread::Builder::new()
+                .name(format!("producer-{p}"))
+                .spawn(move || {
+                    for i in 0..FRAMES_EACH {
+                        let frame = Frame::encode(Addr(p), Addr(100 + i), &Addr(i));
+                        assert!(q.push(frame), "queue reported dead during push");
+                    }
+                })
+                .expect("spawn producer")
+        })
+        .collect();
+
+    for p in producers {
+        p.join().expect("producer");
+    }
+    assert_eq!(writer.join().expect("writer"), PRODUCERS * FRAMES_EACH);
+}
+
+/// A group join races a multicast to the same group on the simulated
+/// network. Clean code snapshots membership under the groups lock and
+/// delivers under the endpoints lock with nothing else held; the
+/// `mutations` build nests the two locks in opposite orders on the two
+/// paths, which is both a lock-order cycle and, under the right schedule,
+/// a real deadlock.
+fn group_delivery() {
+    let net: Arc<Network<u32>> = Arc::new(Network::new(LatencyModel::zero(), 7));
+    let (a, _rx_a) = net.register();
+    let (b, rx_b) = net.register();
+    let (c, _rx_c) = net.register();
+    net.join_group(a, DISCOVERY_GROUP);
+    net.join_group(b, DISCOVERY_GROUP);
+
+    let caster = {
+        let net = Arc::clone(&net);
+        thread::Builder::new()
+            .name("caster".into())
+            .spawn(move || net.multicast(a, DISCOVERY_GROUP, 42))
+            .expect("spawn caster")
+    };
+    // Races the multicast's membership snapshot / delivery.
+    net.join_group(c, DISCOVERY_GROUP);
+
+    let delivered = caster.join().expect("caster");
+    assert!(delivered >= 1, "multicast reached no member");
+    assert_eq!(rx_b.recv().expect("b alive").msg, 42);
+}
+
+/// The CnServer event-loop invariant ported onto [`MsgPump`]: a nested
+/// wait (`wait_for`) consumes only the envelope it awaited; everything
+/// that raced it must be stashed and handed to the main loop in order.
+/// The `mutations` build discards instead of stashing, so the lifecycle
+/// message that the sender put *before* the ack is lost whenever the
+/// nested wait is entered first — an assertion failure under exactly
+/// those schedules.
+fn server_drain() {
+    let (tx, rx) = cn_sync::channel::unbounded_named("check.server");
+    let mut pump: MsgPump<&'static str> = MsgPump::new(rx);
+
+    let sender = thread::Builder::new()
+        .name("peer".into())
+        .spawn(move || {
+            tx.send(Envelope { from: Addr(1), to: Addr(0), msg: "lifecycle" }).expect("send");
+            tx.send(Envelope { from: Addr(1), to: Addr(0), msg: "ack" }).expect("send");
+        })
+        .expect("spawn sender");
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let ack = pump.wait_for(deadline, |m| *m == "ack");
+    assert_eq!(ack.map(|e| e.msg), Some("ack"), "ack never arrived");
+    // The lifecycle message raced the nested wait; it must surface here.
+    let next = pump.next();
+    assert_eq!(next.map(|e| e.msg), Some("lifecycle"), "lifecycle event lost by nested wait");
+    sender.join().expect("sender");
+}
+
+/// A blocking `take` races the `out` that satisfies it. The per-arity
+/// condvar must be signalled by every deposit; with
+/// `fail_on_timeout_escape` a consumer that only proceeds because its
+/// timed wait was force-fired counts as a lost wakeup.
+fn tuplespace() {
+    let ts = Arc::new(TupleSpace::new());
+
+    let consumer = {
+        let ts = Arc::clone(&ts);
+        thread::Builder::new()
+            .name("consumer".into())
+            .spawn(move || {
+                ts.take(&exact(&[Field::S("result".into()), Field::I(7)]), Duration::from_secs(5))
+            })
+            .expect("spawn consumer")
+    };
+    ts.out(vec![Field::S("result".into()), Field::I(7)]);
+
+    let got = consumer.join().expect("consumer");
+    assert!(got.is_some(), "deposited tuple never matched");
+    assert!(ts.is_empty(), "take left the tuple behind");
+}

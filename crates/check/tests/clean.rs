@@ -1,0 +1,72 @@
+//! The clean suite: every registered scenario must survive the seed
+//! matrix when the runtime is built without injected mutations.
+//!
+//! Compiled out under `--features mutations` (the mutated runtime is
+//! *supposed* to fail these; `tests/mutations.rs` is its suite).
+
+#![cfg(not(feature = "mutations"))]
+
+use cn_check::{diagnose, lint_report, run_all, run_scenario, CheckConfig};
+
+/// A smaller matrix than CI's so the suite stays fast; determinism means
+/// shrinking the budget only shrinks coverage, never adds flakes.
+fn test_config() -> CheckConfig {
+    CheckConfig { seeds: vec![1, 7], schedules: 24, max_steps: 20_000 }
+}
+
+#[test]
+fn every_scenario_is_clean() {
+    for scenario in cn_check::all() {
+        let report = run_scenario(scenario, &test_config());
+        assert!(
+            !report.failed(),
+            "{}: {:?}\ncounterexample: {:?}",
+            scenario.name,
+            report.hazards,
+            report.counterexample.as_ref().map(|c| c.schedule_string()),
+        );
+        assert_eq!(report.timeout_escapes, 0, "{}: lost wakeups", scenario.name);
+        assert!(report.lock_graph.cycles().is_empty(), "{}: lock cycle", scenario.name);
+        assert!(report.cv_wait_holding.is_empty(), "{}: cv-while-holding", scenario.name);
+        assert!(report.schedules > 0 && report.steps > 0, "{}: nothing explored", scenario.name);
+    }
+}
+
+#[test]
+fn clean_run_yields_empty_lint_report() {
+    let reports = run_all(None, &test_config());
+    assert_eq!(reports.len(), cn_check::all().len());
+    let lint = lint_report(&reports);
+    assert!(lint.is_empty(), "{}", lint.to_text());
+}
+
+/// The lock-order graph records only *nested* acquisitions (`b` taken
+/// while `a` is held). The clean runtime paths these scenarios drive hold
+/// at most one lock at a time — membership snapshots are copied out
+/// before delivery, condvar registries release before the bucket lock —
+/// so their graphs are empty. This is the hygiene pin the mutated build
+/// breaks: the injected nesting puts `net.endpoints <-> net.groups` edges
+/// (and a cycle) into this same graph.
+#[test]
+fn clean_paths_never_nest_locks() {
+    for name in ["wire.peer_queue", "net.group_delivery", "core.tuplespace"] {
+        let scenario = cn_check::find(name).expect("registered");
+        let report = run_scenario(&scenario, &test_config());
+        assert!(
+            report.lock_graph.is_empty(),
+            "{name}: unexpected nested acquisition: {:?}",
+            report.lock_graph.edges_named()
+        );
+        assert!(diagnose(&report).is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn exploration_is_deterministic_across_runs() {
+    let scenario = cn_check::find("core.server_drain").expect("registered");
+    let a = run_scenario(&scenario, &test_config());
+    let b = run_scenario(&scenario, &test_config());
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.lock_graph, b.lock_graph);
+}

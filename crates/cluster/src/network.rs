@@ -18,8 +18,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cn_observe::{Recorder, Severity};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use cn_sync::channel::{unbounded_named, Receiver, Sender};
+use cn_sync::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -187,18 +187,18 @@ impl<M: Send + Clone + 'static> Network<M> {
     /// registry (`net.*`) and whose fault injection writes flight events.
     pub fn with_recorder(model: LatencyModel, seed: u64, recorder: Recorder) -> Self {
         let shared = Arc::new(Shared {
-            endpoints: Mutex::new(HashMap::new()),
-            groups: Mutex::new(HashMap::new()),
-            partitioned: Mutex::new(HashSet::new()),
-            drop_next: Mutex::new(HashMap::new()),
-            queue: Mutex::new(BinaryHeap::new()),
-            queue_cv: Condvar::new(),
+            endpoints: Mutex::named("net.endpoints", HashMap::new()),
+            groups: Mutex::named("net.groups", HashMap::new()),
+            partitioned: Mutex::named("net.partitioned", HashSet::new()),
+            drop_next: Mutex::named("net.drop_next", HashMap::new()),
+            queue: Mutex::named("net.delay_queue", BinaryHeap::new()),
+            queue_cv: Condvar::named("net.delay_cv"),
             stop: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             next_addr: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
             model,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: Mutex::named("net.rng", StdRng::seed_from_u64(seed)),
             metrics: NetworkMetrics::registered(recorder.metrics()),
             recorder,
         });
@@ -215,7 +215,7 @@ impl<M: Send + Clone + 'static> Network<M> {
     /// Register a new endpoint; returns its address and receive channel.
     pub fn register(&self) -> (Addr, Receiver<Envelope<M>>) {
         let addr = Addr(self.shared.next_addr.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded_named("net.endpoint");
         self.shared.endpoints.lock().insert(addr, tx);
         (addr, rx)
     }
@@ -229,8 +229,20 @@ impl<M: Send + Clone + 'static> Network<M> {
     }
 
     /// Join a multicast group.
+    #[cfg(not(feature = "mutations"))]
     pub fn join_group(&self, addr: Addr, group: GroupId) {
         self.shared.groups.lock().entry(group).or_default().insert(addr);
+    }
+
+    /// Injected ordering bug for cn-check: "validate" the address while
+    /// holding the groups lock, taking groups → endpoints — the opposite of
+    /// the mutated [`Network::multicast`], which nests endpoints → groups.
+    #[cfg(feature = "mutations")]
+    pub fn join_group(&self, addr: Addr, group: GroupId) {
+        let mut groups = self.shared.groups.lock();
+        if self.shared.endpoints.lock().contains_key(&addr) {
+            groups.entry(group).or_default().insert(addr);
+        }
     }
 
     /// Leave a multicast group.
@@ -262,8 +274,40 @@ impl<M: Send + Clone + 'static> Network<M> {
         self.deliver(Envelope { from, to, msg })
     }
 
+    /// Injected ordering bug for cn-check: deliver the whole group under
+    /// one endpoints lock "for efficiency", reading membership while that
+    /// lock is held — endpoints → groups, the opposite nesting of the
+    /// mutated [`Network::join_group`].
+    #[cfg(feature = "mutations")]
+    pub fn multicast(&self, from: Addr, group: GroupId, msg: M) -> usize {
+        let endpoints = self.shared.endpoints.lock();
+        let mut members: Vec<Addr> = self
+            .shared
+            .groups
+            .lock()
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        members.sort_unstable();
+        members.retain(|&to| to != from);
+        self.shared.metrics.record_multicast();
+        let count = members.len();
+        for to in members {
+            self.shared.metrics.record_send();
+            if let Some(tx) = endpoints.get(&to) {
+                if tx.send(Envelope { from, to, msg: msg.clone() }).is_ok() {
+                    self.shared.metrics.record_delivery();
+                } else {
+                    self.shared.metrics.record_drop();
+                }
+            }
+        }
+        count
+    }
+
     /// Multicast to every group member except the sender. Returns how many
     /// endpoints the message was addressed to.
+    #[cfg(not(feature = "mutations"))]
     pub fn multicast(&self, from: Addr, group: GroupId, msg: M) -> usize {
         let mut members = self.group_members(group);
         members.retain(|&to| to != from);

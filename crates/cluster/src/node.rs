@@ -7,7 +7,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use cn_sync::Mutex;
 
 /// Static description of a node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,11 +113,10 @@ impl NodeHandle {
     pub fn new(spec: NodeSpec) -> Self {
         NodeHandle {
             spec: Arc::new(spec),
-            state: Arc::new(Mutex::new(NodeState {
-                used_memory_mb: 0,
-                used_slots: 0,
-                alive: true,
-            })),
+            state: Arc::new(Mutex::named(
+                "node.state",
+                NodeState { used_memory_mb: 0, used_slots: 0, alive: true },
+            )),
         }
     }
 

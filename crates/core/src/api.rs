@@ -15,8 +15,8 @@ use std::time::{Duration, Instant};
 
 use cn_cluster::{Addr, Envelope};
 use cn_observe::{Counter, Histogram, Recorder, Severity, SpanId, LATENCY_BUCKETS_US};
+use cn_sync::channel::Receiver;
 use cn_wire::FabricHandle;
-use crossbeam::channel::Receiver;
 
 use crate::message::{
     Bid, CnMessage, JobId, JobRequirements, NetMsg, TaskSpec, UserData, CLIENT_TASK_NAME,

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use cn_sync::RwLock;
 
 use crate::task::Task;
 

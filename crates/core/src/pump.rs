@@ -1,0 +1,97 @@
+//! Message pump: the pending-queue / nested-wait machinery of the CNServer
+//! event loop, extracted so `cn-check` can drive it under the model
+//! checker without standing up a whole server.
+//!
+//! The invariant the pump maintains is that a nested wait ([`MsgPump::
+//! wait_for`]) consumes *only* the envelope it was waiting for: everything
+//! else that arrives meanwhile is stashed and replayed, in order, to the
+//! main loop ([`MsgPump::next`]). Losing a stashed envelope loses a
+//! protocol message — bids, acks, and task lifecycle events all ride the
+//! same queue.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use cn_cluster::Envelope;
+use cn_sync::channel::Receiver;
+
+/// Pending-queue wrapper around an endpoint's receive channel.
+pub struct MsgPump<M> {
+    rx: Receiver<Envelope<M>>,
+    /// Envelopes stashed during nested waits, replayed FIFO.
+    pending: VecDeque<Envelope<M>>,
+}
+
+impl<M> MsgPump<M> {
+    pub fn new(rx: Receiver<Envelope<M>>) -> MsgPump<M> {
+        MsgPump { rx, pending: VecDeque::new() }
+    }
+
+    /// Main-loop receive: pending envelopes first, then a blocking receive
+    /// that also drains whatever arrived in the same coalesced batch (one
+    /// wakeup services the whole flush). `None` means the channel
+    /// disconnected.
+    #[allow(clippy::should_implement_trait)] // blocking receive, not an Iterator
+    pub fn next(&mut self) -> Option<Envelope<M>> {
+        if let Some(env) = self.pending.pop_front() {
+            return Some(env);
+        }
+        let env = self.rx.recv().ok()?;
+        while let Ok(extra) = self.rx.try_recv() {
+            self.pending.push_back(extra);
+        }
+        Some(env)
+    }
+
+    /// Nested receive: wait for an envelope matching `want`, stashing
+    /// everything else for the main loop.
+    pub fn wait_for(
+        &mut self,
+        deadline: Instant,
+        mut want: impl FnMut(&M) -> bool,
+    ) -> Option<Envelope<M>> {
+        // The main loop drains coalesced batches into `pending`, so the
+        // envelope we want may already be there.
+        if let Some(pos) = self.pending.iter().position(|env| want(&env.msg)) {
+            return self.pending.remove(pos);
+        }
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) if want(&env.msg) => return Some(env),
+                #[cfg(not(feature = "mutations"))]
+                Ok(env) => self.pending.push_back(env),
+                // Injected ordering bug for cn-check: a nested wait that
+                // discards everything it wasn't waiting for. Any envelope
+                // racing the awaited one is silently lost.
+                #[cfg(feature = "mutations")]
+                Ok(_) => {}
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Timed receive that bypasses the pending queue (used for windows
+    /// that only care about *new* traffic, like bid collection); pair with
+    /// [`MsgPump::stash`] for whatever the window is not interested in.
+    pub fn recv_deadline(&mut self, deadline: Instant) -> Option<Envelope<M>> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return None;
+        }
+        self.rx.recv_timeout(remaining).ok()
+    }
+
+    /// Stash an envelope for the main loop.
+    pub fn stash(&mut self, env: Envelope<M>) {
+        self.pending.push_back(env);
+    }
+
+    /// Number of stashed envelopes (diagnostic).
+    pub fn stashed(&self) -> usize {
+        self.pending.len()
+    }
+}

@@ -12,18 +12,19 @@
 //! per-task message queues and runs each task in its own thread
 //! (`RUN_AS_THREAD_IN_TM`).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cn_cluster::{Addr, Envelope, NodeHandle};
 use cn_observe::{Counter, Recorder, Severity};
+use cn_sync::channel::Receiver;
+use cn_sync::thread::JoinHandle;
 use cn_wire::FabricHandle;
-use crossbeam::channel::Receiver;
 
 use crate::archive::ArchiveRegistry;
 use crate::message::{Bid, JobId, NetMsg, TaskSpec, UserData, CLIENT_TASK_NAME};
+use crate::pump::MsgPump;
 use crate::scheduler::{select, Policy, RoundRobin};
 use crate::spaces::SpaceRegistry;
 use crate::task::TaskContext;
@@ -78,12 +79,11 @@ impl CnServer {
         let state = ServerState {
             name: name.clone(),
             addr,
-            rx,
+            pump: MsgPump::new(rx),
             node,
             registry,
             spaces,
             config,
-            pending: VecDeque::new(),
             jm_jobs: HashMap::new(),
             tm_tasks: HashMap::new(),
             uploaded: HashSet::new(),
@@ -98,7 +98,7 @@ impl CnServer {
             rec,
             net: net.clone(),
         };
-        let thread = std::thread::Builder::new()
+        let thread = cn_sync::thread::Builder::new()
             .name(format!("cnserver-{name}"))
             .spawn(move || state.run())
             .expect("spawn server thread");
@@ -150,13 +150,11 @@ struct ServerState {
     name: String,
     addr: Addr,
     net: FabricHandle<NetMsg>,
-    rx: Receiver<Envelope<NetMsg>>,
+    pump: MsgPump<NetMsg>,
     node: NodeHandle,
     registry: Arc<ArchiveRegistry>,
     spaces: Arc<SpaceRegistry>,
     config: ServerConfig,
-    /// Envelopes stashed during nested waits.
-    pending: VecDeque<Envelope<NetMsg>>,
     jm_jobs: HashMap<JobId, JmJob>,
     tm_tasks: HashMap<(JobId, String), TmTask>,
     /// Jars this TaskManager has received.
@@ -174,22 +172,8 @@ struct ServerState {
 
 impl ServerState {
     fn run(mut self) {
-        loop {
-            let env = if let Some(env) = self.pending.pop_front() {
-                env
-            } else {
-                match self.rx.recv() {
-                    Ok(env) => {
-                        // Drain whatever arrived in the same coalesced batch
-                        // so one wakeup services the whole flush.
-                        while let Ok(extra) = self.rx.try_recv() {
-                            self.pending.push_back(extra);
-                        }
-                        env
-                    }
-                    Err(_) => break, // network gone
-                }
-            };
+        // `None` from the pump means the network is gone.
+        while let Some(env) = self.pump.next() {
             if matches!(env.msg, NetMsg::Shutdown) {
                 break;
             }
@@ -212,24 +196,9 @@ impl ServerState {
     fn wait_for(
         &mut self,
         deadline: Instant,
-        mut want: impl FnMut(&NetMsg) -> bool,
+        want: impl FnMut(&NetMsg) -> bool,
     ) -> Option<Envelope<NetMsg>> {
-        // The main loop drains coalesced batches into `pending`, so the
-        // envelope we want may already be there.
-        if let Some(pos) = self.pending.iter().position(|env| want(&env.msg)) {
-            return self.pending.remove(pos);
-        }
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return None;
-            }
-            match self.rx.recv_timeout(remaining) {
-                Ok(env) if want(&env.msg) => return Some(env),
-                Ok(env) => self.pending.push_back(env),
-                Err(_) => return None,
-            }
-        }
+        self.pump.wait_for(deadline, want)
     }
 
     fn handle(&mut self, env: Envelope<NetMsg>) {
@@ -435,21 +404,14 @@ impl ServerState {
             bids.push(self.own_bid());
         }
         let deadline = Instant::now() + self.config.bid_window;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                break;
-            }
-            match self.rx.recv_timeout(remaining) {
-                Ok(env) => match env.msg {
-                    NetMsg::TaskManagerBid { job: bjob, task, bid }
-                        if bjob == job && task == spec.name =>
-                    {
-                        bids.push(bid)
-                    }
-                    _ => self.pending.push_back(env),
-                },
-                Err(_) => break,
+        while let Some(env) = self.pump.recv_deadline(deadline) {
+            match env.msg {
+                NetMsg::TaskManagerBid { job: bjob, task, bid }
+                    if bjob == job && task == spec.name =>
+                {
+                    bids.push(bid)
+                }
+                _ => self.pump.stash(env),
             }
         }
         // Try bidders in policy order: a TaskManager may still reject (its
@@ -735,7 +697,7 @@ impl ServerState {
         let c_started = self.c_tasks_started.clone();
         let c_completed = self.c_tasks_completed.clone();
         let c_failed = self.c_tasks_failed.clone();
-        let handle = std::thread::Builder::new()
+        let handle = cn_sync::thread::Builder::new()
             .name(format!("task-{}-{}", job.0, spec.name))
             .spawn(move || {
                 let mut instance = match registry.instantiate(&spec.jar, &spec.class) {

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cn_observe::{Counter, Recorder};
-use parking_lot::Mutex;
+use cn_sync::Mutex;
 
 use crate::message::JobId;
 use crate::tuplespace::TupleSpace;
@@ -30,7 +30,7 @@ impl SpaceRegistry {
     pub fn with_recorder(rec: &Recorder) -> Self {
         let m = rec.metrics();
         Self {
-            spaces: Mutex::default(),
+            spaces: Mutex::named("spaces.registry", HashMap::new()),
             counters: Some((m.counter("space.out"), m.counter("space.rd"), m.counter("space.in"))),
         }
     }

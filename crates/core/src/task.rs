@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use cn_cluster::{Addr, Envelope};
 use cn_cnx::Param;
+use cn_sync::channel::Receiver;
 use cn_wire::FabricHandle;
-use crossbeam::channel::Receiver;
 
 use crate::message::{CnMessage, JobId, NetMsg, UserData, CLIENT_TASK_NAME};
 use crate::tuplespace::TupleSpace;
@@ -213,10 +213,8 @@ impl TaskContext {
                         self.stash.push(m);
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    return Err(RecvError::Timeout)
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(cn_sync::channel::RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                Err(cn_sync::channel::RecvTimeoutError::Disconnected) => {
                     return Err(RecvError::Disconnected)
                 }
             }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cn_observe::Counter;
-use parking_lot::{Condvar, Mutex};
+use cn_sync::{Condvar, Mutex};
 
 /// One field of a tuple.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,7 +92,13 @@ impl TupleSpace {
 
     /// A space whose operation counters are shared (e.g. registry-backed).
     pub fn with_counters(out_ops: Counter, rd_ops: Counter, in_ops: Counter) -> Self {
-        Self { buckets: Mutex::default(), arity_cvs: Mutex::default(), out_ops, rd_ops, in_ops }
+        Self {
+            buckets: Mutex::named("ts.buckets", HashMap::new()),
+            arity_cvs: Mutex::named("ts.arity_cvs", HashMap::new()),
+            out_ops,
+            rd_ops,
+            in_ops,
+        }
     }
 
     /// `(out, rd, in)` operation counts observed by this space's counters.
@@ -103,7 +109,12 @@ impl TupleSpace {
     /// The wakeup channel for one arity. Taken *before* the bucket lock —
     /// never while holding it — so lock order is always cvs → buckets.
     fn cv_for(&self, arity: usize) -> Arc<Condvar> {
-        Arc::clone(self.arity_cvs.lock().entry(arity).or_insert_with(|| Arc::new(Condvar::new())))
+        Arc::clone(
+            self.arity_cvs
+                .lock()
+                .entry(arity)
+                .or_insert_with(|| Arc::new(Condvar::named("ts.arity_cv"))),
+        )
     }
 
     /// Deposit a tuple (`out` in Linda terms).

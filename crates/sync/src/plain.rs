@@ -1,0 +1,250 @@
+//! The zero-cost facade: thin `#[inline]` wrappers over the vendored
+//! `parking_lot` shim, plus straight re-exports for channels and threads.
+//! Lock names are accepted (the checked build keys its lock-order graph on
+//! them) and discarded.
+
+use std::ops::{Deref, DerefMut};
+use std::time::{Duration, Instant};
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Mutual exclusion; delegates to `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    #[inline]
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { inner: parking_lot::Mutex::new(value) }
+    }
+
+    /// Like [`Mutex::new`] with a lock-order-graph name; the name is only
+    /// observed by checked builds.
+    #[inline]
+    pub const fn named(_name: &'static str, value: T) -> Mutex<T> {
+        Mutex::new(value)
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: self.inner.lock() }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: parking_lot::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Reader-writer lock; delegates to `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    #[inline]
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock { inner: parking_lot::RwLock::new(value) }
+    }
+
+    #[inline]
+    pub const fn named(_name: &'static str, value: T) -> RwLock<T> {
+        RwLock::new(value)
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: self.inner.read() }
+    }
+
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { inner: self.inner.write() }
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Condition variable compatible with this module's [`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: parking_lot::Condvar,
+}
+
+impl Condvar {
+    #[inline]
+    pub const fn new() -> Condvar {
+        Condvar { inner: parking_lot::Condvar::new() }
+    }
+
+    #[inline]
+    pub const fn named(_name: &'static str) -> Condvar {
+        Condvar::new()
+    }
+
+    #[inline]
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one()
+    }
+
+    #[inline]
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all()
+    }
+
+    #[inline]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.inner.wait(&mut guard.inner);
+    }
+
+    #[inline]
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult(self.inner.wait_for(&mut guard.inner, timeout).timed_out())
+    }
+
+    #[inline]
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult(self.inner.wait_until(&mut guard.inner, deadline).timed_out())
+    }
+}
+
+/// Unbounded MPMC channels; re-exported from the crossbeam shim unchanged.
+pub mod channel {
+    pub use crossbeam::channel::{
+        unbounded, Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Like [`unbounded`] with a trace name; the name is only observed by
+    /// checked builds.
+    #[inline]
+    pub fn unbounded_named<T>(_name: &'static str) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}
+
+/// Thread spawning; re-exported from `std::thread` unchanged.
+pub mod thread {
+    pub use std::thread::{spawn, Builder, JoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn facade_roundtrip() {
+        let m = Mutex::named("test.m", 1);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 2);
+        let l = RwLock::named("test.l", vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_and_channel_work() {
+        let pair = Arc::new((Mutex::new(false), Condvar::named("test.cv")));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        t.join().unwrap();
+
+        let (tx, rx) = channel::unbounded_named("test.chan");
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+    }
+}

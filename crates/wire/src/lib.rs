@@ -13,13 +13,14 @@
 //! across processes. Group addresses carry [`GROUP_ADDR_BIT`].
 
 pub mod codec;
+pub mod peer;
 pub mod socket;
 
 use std::sync::Arc;
 
 use cn_cluster::{Addr, Envelope, GroupId, Network, SendError};
 use cn_observe::Recorder;
-use crossbeam::channel::Receiver;
+use cn_sync::channel::Receiver;
 
 pub use codec::{
     Frame, FrameDecoder, Reader, WireEncode, WireError, WireErrorKind, Writer, WIRE_VERSION,

@@ -13,7 +13,7 @@
 //! retried with bounded exponential backoff, and every drop, timeout and
 //! reconnect lands in the flight recorder with a `wire.*` counter.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,13 +22,14 @@ use std::time::{Duration, Instant};
 
 use cn_cluster::{Addr, Envelope, GroupId, SendError};
 use cn_observe::{Counter, Recorder, Severity, SpanId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use cn_sync::channel::{unbounded_named, Receiver, Sender};
+use cn_sync::Mutex;
 
 use crate::codec::{
     decode_payload, encode_frame_into, encode_payload_into, with_scratch, Frame, FrameDecoder,
     WireEncode,
 };
+use crate::peer::PeerQueue;
 use crate::{addr_group, addr_port, group_addr, is_group_addr, Fabric, ADDR_PORT_SHIFT};
 
 /// How the discovery group reaches other processes.
@@ -146,44 +147,6 @@ struct Conn {
     span: Option<SpanId>,
 }
 
-/// Per-peer send queue feeding a dedicated writer thread. The single
-/// writer preserves per-peer order; batching emerges from backpressure —
-/// frames that arrive while a flush is in flight ride the next one.
-struct PeerQueue {
-    state: Mutex<QueueState>,
-    cv: Condvar,
-}
-
-#[derive(Default)]
-struct QueueState {
-    frames: VecDeque<Frame>,
-    /// Set by the writer thread when its stream died: later enqueues fail
-    /// so the sender reconnects and surfaces a typed error.
-    dead: bool,
-}
-
-impl PeerQueue {
-    fn new() -> PeerQueue {
-        PeerQueue { state: Mutex::new(QueueState::default()), cv: Condvar::new() }
-    }
-
-    /// Enqueue a frame; false if the writer already observed a dead stream.
-    fn push(&self, frame: Frame) -> bool {
-        let mut st = self.state.lock();
-        if st.dead {
-            return false;
-        }
-        st.frames.push_back(frame);
-        self.cv.notify_one();
-        true
-    }
-
-    fn kill(&self) {
-        self.state.lock().dead = true;
-        self.cv.notify_all();
-    }
-}
-
 struct Inner<M> {
     port: u16,
     cfg: WireConfig,
@@ -241,10 +204,10 @@ impl<M: WireEncode + Send + Clone + 'static> SocketFabric<M> {
             c: WireCounters::new(&rec),
             rec,
             cfg,
-            endpoints: Mutex::new(HashMap::new()),
-            groups: Mutex::new(HashMap::new()),
-            conns: Mutex::new(HashMap::new()),
-            connect_lock: Mutex::new(()),
+            endpoints: Mutex::named("wire.endpoints", HashMap::new()),
+            groups: Mutex::named("wire.groups", HashMap::new()),
+            conns: Mutex::named("wire.conns", HashMap::new()),
+            connect_lock: Mutex::named("wire.connect", ()),
             udp: udp_send,
             next_ep: AtomicU64::new(1),
             stop: AtomicBool::new(false),
@@ -291,7 +254,7 @@ impl<M: WireEncode + Send + Clone + 'static> Fabric<M> for SocketFabric<M> {
     fn register(&self) -> (Addr, Receiver<Envelope<M>>) {
         let ep = self.inner.next_ep.fetch_add(1, Ordering::Relaxed);
         let addr = Addr(((self.inner.port as u64) << ADDR_PORT_SHIFT) | ep);
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded_named("wire.endpoint");
         self.inner.endpoints.lock().insert(addr.0, tx);
         (addr, rx)
     }
@@ -590,7 +553,7 @@ impl<M: WireEncode + Send + Clone + 'static> Inner<M> {
                         spawn_writer_loop(inner, port, stream, Arc::clone(&q));
                         Link::Batched(q)
                     } else {
-                        Link::Direct(Arc::new(Mutex::new(stream)))
+                        Link::Direct(Arc::new(Mutex::named("wire.stream", stream)))
                     };
                     self.conns.lock().insert(port, Conn { link: link.clone(), span });
                     return Ok(link);
@@ -661,36 +624,20 @@ fn spawn_writer_loop<M: WireEncode + Send + Clone + 'static>(
     mut stream: TcpStream,
     q: Arc<PeerQueue>,
 ) {
-    std::thread::Builder::new()
+    cn_sync::thread::Builder::new()
         .name(format!("cn-wire-write-{port}"))
         .spawn(move || {
             let mut out: Vec<u8> = Vec::new();
             loop {
-                let drained;
-                {
-                    let mut st = q.state.lock();
-                    loop {
-                        if st.dead || inner.stop.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        if !st.frames.is_empty() {
-                            break;
-                        }
-                        q.cv.wait_for(&mut st, POLL_INTERVAL);
-                    }
-                    out.clear();
-                    let mut n = 0;
-                    while let Some(f) = st.frames.front() {
-                        if n >= inner.cfg.batch_max_frames
-                            || (n > 0 && out.len() + f.len() > inner.cfg.batch_max_bytes)
-                        {
-                            break;
-                        }
-                        out.extend_from_slice(f.bytes());
-                        st.frames.pop_front();
-                        n += 1;
-                    }
-                    drained = n;
+                let drained = q.drain_batch(
+                    &mut out,
+                    inner.cfg.batch_max_frames,
+                    inner.cfg.batch_max_bytes,
+                    POLL_INTERVAL,
+                    || inner.stop.load(Ordering::Relaxed),
+                );
+                if drained == 0 {
+                    return;
                 }
                 match stream.write_all(&out) {
                     Ok(()) => {

@@ -5,6 +5,10 @@
 //! cnctl lint      <file.cnx|file.xmi> [--format text|json] [--deny warnings]
 //!                 [--nodes N --node-memory MB [--node-slots S]]
 //!                 [--server-memory MB1,MB2,...] [--payload-warn-fraction F]
+//! cnctl lint      --explain CN0xx                  document one diagnostic code
+//! cnctl check     [--scenario NAME] [--seeds S1,S2,...] [--schedules N]
+//!                 [--max-steps N] [--format text|json] [--trace-dir DIR]
+//!                 [--list]
 //! cnctl transform <file.xmi> [--class C] [--port P] [--log L] [--no-keys]
 //! cnctl codegen   <file.cnx> [--lang rust|java]
 //! cnctl render    <file.cnx|file.xmi> [--format dot|ascii]
@@ -29,6 +33,7 @@
 use std::fmt::Write as _;
 
 use computational_neighborhood::analysis;
+use computational_neighborhood::check;
 use computational_neighborhood::cluster::ClusterCapacity;
 use computational_neighborhood::cnx;
 use computational_neighborhood::codegen;
@@ -63,12 +68,17 @@ fn run(args: &[String]) -> Result<(String, i32), String> {
             validate_cnx(&text)
         }
         "lint" => {
+            if let Some(code) = flag_value(&rest, "--explain") {
+                return explain_code(code);
+            }
             let path = positional(&rest, 0).ok_or(
-                "usage: cnctl lint <file.cnx|file.xmi> [--format text|json] [--deny warnings]",
+                "usage: cnctl lint <file.cnx|file.xmi> [--format text|json] [--deny warnings] \
+                 [--explain CN0xx]",
             )?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             lint_input(&text, &rest)
         }
+        "check" => check_cmd(&rest),
         "transform" => {
             let path = positional(&rest, 0).ok_or("usage: cnctl transform <file.xmi> [...]")?;
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -114,7 +124,8 @@ fn run(args: &[String]) -> Result<(String, i32), String> {
 }
 
 const USAGE: &str = "usage: cnctl \
-     <validate|lint|transform|codegen|render|demo|example-xmi|trace|stats|serve|submit|help> [args]\n";
+     <validate|lint|check|transform|codegen|render|demo|example-xmi|trace|stats|serve|submit|help> \
+     [args]\n";
 
 /// Wrap plain output with the success exit code.
 fn clean(output: String) -> (String, i32) {
@@ -261,6 +272,196 @@ fn server_memory_from_args(args: &[&str]) -> Result<Option<Vec<u64>>, String> {
         return Err("--server-memory needs at least one value".to_string());
     }
     Ok(Some(servers))
+}
+
+/// `lint --explain CN0xx`: print the documentation for one diagnostic
+/// code — what it means and why it is worth fixing.
+fn explain_code(code: &str) -> Result<(String, i32), String> {
+    match analysis::explain(code) {
+        Some(ex) => Ok(clean(ex.render())),
+        None => Err(format!(
+            "unknown diagnostic code {code:?} (codes run CN000..CN056; try `cnctl lint --explain CN001`)"
+        )),
+    }
+}
+
+/// `check`: explore the runtime's registered concurrency scenarios under
+/// the controlled scheduler. Each scenario runs across a seed matrix
+/// (default `1,7,42,1337`); hazards, lock-order cycles, and
+/// condvar-while-holding findings come back as `CN05x` diagnostics with
+/// the same text/JSON rendering and exit-code convention as `lint`
+/// (0 clean, 1 errors, 2 warnings only). `--trace-dir DIR` writes each
+/// counterexample's replay artifacts (schedule trace, cn-observe journal,
+/// Chrome trace, summary) for CI to upload on failure.
+fn check_cmd(args: &[&str]) -> Result<(String, i32), String> {
+    if has_flag(args, "--list") {
+        let mut out = String::new();
+        for s in check::all() {
+            let _ = writeln!(out, "{:<20} {}", s.name, s.about);
+        }
+        return Ok(clean(out));
+    }
+    let format = flag_value(args, "--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown format {format:?} (text|json)"));
+    }
+    let mut cfg = check::CheckConfig::default();
+    if let Some(raw) = flag_value(args, "--seeds") {
+        cfg.seeds = raw
+            .split(',')
+            .map(|s| s.trim().parse::<u64>().map_err(|_| format!("bad seed {s:?}")))
+            .collect::<Result<Vec<u64>, String>>()?;
+        if cfg.seeds.is_empty() {
+            return Err("--seeds needs at least one value".to_string());
+        }
+    }
+    if let Some(raw) = flag_value(args, "--schedules") {
+        cfg.schedules = raw.parse().map_err(|_| format!("bad schedule count {raw:?}"))?;
+    }
+    if let Some(raw) = flag_value(args, "--max-steps") {
+        cfg.max_steps = raw.parse().map_err(|_| format!("bad step budget {raw:?}"))?;
+    }
+    let only = flag_value(args, "--scenario");
+    if let Some(name) = only {
+        if check::find(name).is_none() {
+            return Err(format!("unknown scenario {name:?} (see `cnctl check --list`)"));
+        }
+    }
+
+    let reports = check::run_all(only, &cfg);
+    let lint = check::lint_report(&reports);
+
+    if let Some(dir) = flag_value(args, "--trace-dir") {
+        write_trace_artifacts(dir, &reports)?;
+    }
+
+    let rendered = match format {
+        "json" => check_json(&reports, &lint),
+        _ => check_text(&reports, &lint),
+    };
+    let code = if lint.has_errors() {
+        1
+    } else if lint.has_warnings() {
+        2
+    } else {
+        0
+    };
+    Ok((rendered, code))
+}
+
+/// Human rendering: one verdict line per scenario, replay coordinates for
+/// any counterexample, then the diagnostic report.
+fn check_text(reports: &[check::RunReport], lint: &analysis::LintReport) -> String {
+    let mut out = String::new();
+    for r in reports {
+        let verdict = if r.failed() { "FAIL" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "{:<20} {verdict:<4} {} schedule(s), {} step(s), {} nested-lock edge(s)",
+            r.scenario,
+            r.schedules,
+            r.steps,
+            r.lock_graph.edges_named().len()
+        );
+        if let Some(cx) = &r.counterexample {
+            let _ = writeln!(
+                out,
+                "  replay: cnctl check --scenario {} --seeds {}   # schedule {}",
+                r.scenario,
+                cx.seed,
+                cx.schedule_string()
+            );
+        }
+    }
+    if !lint.is_empty() {
+        out.push('\n');
+        out.push_str(&lint.to_text());
+    }
+    out
+}
+
+/// Machine rendering: per-scenario exploration stats plus the diagnostic
+/// report verbatim (same shape as `lint --format json`'s `diagnostics`).
+fn check_json(reports: &[check::RunReport], lint: &analysis::LintReport) -> String {
+    let mut out = String::from("{\"scenarios\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"failed\":{},\"schedules\":{},\"steps\":{},\"timeout_escapes\":{},\
+             \"nested_lock_edges\":{},\"hazards\":{}",
+            json_string(&r.scenario),
+            r.failed(),
+            r.schedules,
+            r.steps,
+            r.timeout_escapes,
+            r.lock_graph.edges_named().len(),
+            r.hazards.len()
+        );
+        if let Some(cx) = &r.counterexample {
+            let _ = write!(
+                out,
+                ",\"replay\":{{\"seed\":{},\"schedule\":{}}}",
+                cx.seed,
+                json_string(&cx.schedule_string())
+            );
+        }
+        out.push('}');
+    }
+    out.push_str("],\"report\":");
+    out.push_str(&lint.to_json());
+    out.push_str("}\n");
+    out
+}
+
+/// Write every counterexample's replay artifacts under `dir`, one file
+/// set per failing scenario (dots in scenario names become underscores).
+fn write_trace_artifacts(dir: &str, reports: &[check::RunReport]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for r in reports {
+        let Some(cx) = &r.counterexample else { continue };
+        let art = check::export_counterexample(&r.scenario, cx);
+        let base = std::path::Path::new(dir).join(r.scenario.replace('.', "_"));
+        let base = base.to_string_lossy();
+        let files = [
+            ("trace.jsonl", art.trace_jsonl.as_str()),
+            ("journal.jsonl", art.journal.as_str()),
+            ("chrome.json", art.chrome.as_str()),
+            ("summary.txt", art.summary.as_str()),
+        ];
+        for (ext, body) in files {
+            let path = format!("{base}.{ext}");
+            std::fs::write(&path, body).map_err(|e| format!("{path}: {e}"))?;
+        }
+        let replay = format!("seed={}\nschedule={}\n", art.seed, art.schedule);
+        let path = format!("{base}.replay.txt");
+        std::fs::write(&path, replay).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for the handful of identifiers `check
+/// --format json` embeds (scenario names, schedule strings).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Sniff the input: XMI documents have an `<XMI>` root; anything else is
@@ -902,5 +1103,67 @@ mod tests {
         let err = run(&["frobnicate".to_string()]).unwrap_err();
         assert!(err.contains("usage:"));
         assert!(run(&[]).unwrap().0.contains("usage:"));
+    }
+
+    #[test]
+    fn lint_explain_documents_codes() {
+        let (out, code) =
+            run(&["lint".to_string(), "--explain".to_string(), "CN050".to_string()]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.starts_with("CN050: "), "{out}");
+        assert!(out.lines().count() >= 3, "want headline + rationale: {out}");
+        // Case-insensitive, like the library lookup.
+        let (lower, _) =
+            run(&["lint".to_string(), "--explain".to_string(), "cn050".to_string()]).unwrap();
+        assert_eq!(out, lower);
+        let err =
+            run(&["lint".to_string(), "--explain".to_string(), "CN999".to_string()]).unwrap_err();
+        assert!(err.contains("unknown diagnostic code"), "{err}");
+    }
+
+    #[test]
+    fn check_list_names_every_scenario() {
+        let (out, code) = check_cmd(&["--list"]).unwrap();
+        assert_eq!(code, 0);
+        for s in check::all() {
+            assert!(out.contains(s.name), "missing {} in {out}", s.name);
+        }
+    }
+
+    #[test]
+    fn check_rejects_bad_arguments() {
+        assert!(check_cmd(&["--format", "yaml"]).is_err());
+        assert!(check_cmd(&["--seeds", "1,potato"]).is_err());
+        assert!(check_cmd(&["--schedules", "-3"]).is_err());
+        assert!(check_cmd(&["--scenario", "no.such.scenario"]).is_err());
+    }
+
+    #[test]
+    fn check_runs_one_scenario_clean() {
+        // A deliberately tiny budget: determinism means shrinking the
+        // matrix only shrinks coverage, and the golden CLI tests pin the
+        // full rendering.
+        let (out, code) = check_cmd(&[
+            "--scenario",
+            "core.tuplespace",
+            "--seeds",
+            "1",
+            "--schedules",
+            "4",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"name\":\"core.tuplespace\""), "{out}");
+        assert!(out.contains("\"failed\":false"), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 }

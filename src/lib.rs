@@ -24,6 +24,9 @@
 //! * [`graph`] — shared graph algorithms (deterministic cycle search).
 //! * [`analysis`] — the cross-layer lint engine behind `cnctl lint`: coded,
 //!   spanned diagnostics over CNX descriptors and activity models.
+//! * [`check`] — the deterministic concurrency checker behind `cnctl check`:
+//!   controlled-scheduler exploration of the runtime's real concurrency
+//!   surfaces, with lock-order analysis and replayable counterexamples.
 //! * [`observe`] — the observability subsystem: metrics registry, span
 //!   tracing with logical clocks, flight recorder, and the exporters behind
 //!   `cnctl trace` / `cnctl stats`.
@@ -34,6 +37,7 @@
 //! flow on a 5-worker transitive-closure job.
 
 pub use cn_analysis as analysis;
+pub use cn_check as check;
 pub use cn_cluster as cluster;
 pub use cn_cnx as cnx;
 pub use cn_codegen as codegen;
