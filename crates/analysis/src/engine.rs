@@ -29,6 +29,27 @@ pub struct LintOptions {
     /// uses [`passes::cnx::DEFAULT_PAYLOAD_WARN_FRACTION`]; `0` disables
     /// the check.
     pub payload_warn_fraction: Option<f64>,
+    /// Shape of the wire deployment the descriptor will run on (`cnctl
+    /// lint --peer-capacity/--reactor-shards`). When set, CN057 judges it
+    /// against the host's fd soft limit and core count.
+    pub deployment: Option<DeploymentShape>,
+}
+
+/// A wire deployment's shape for the CN057 host-capacity check: how many
+/// peer connections a serving process is expected to hold and how many
+/// reactor shards it was configured with, plus optional host-limit
+/// overrides so a plan can be judged against a *target* machine (and so
+/// goldens stay reproducible) instead of the machine running the lint.
+#[derive(Debug, Clone)]
+pub struct DeploymentShape {
+    /// Concurrent peer connections the process is expected to hold.
+    pub peer_capacity: u64,
+    /// Configured `--reactor-shards` value (0 = auto).
+    pub reactor_shards: u64,
+    /// Process fd soft limit; `None` probes the live rlimit.
+    pub fd_soft_limit: Option<u64>,
+    /// Core count; `None` probes the live machine.
+    pub available_cores: Option<u64>,
 }
 
 /// Everything a CNX pass can look at.
@@ -39,6 +60,8 @@ pub struct CnxContext<'a> {
     pub server_memory_mb: Option<&'a [u64]>,
     /// Resolved CN009 threshold as a fraction of the wire frame limit.
     pub payload_warn_fraction: f64,
+    /// Deployment shape for the CN057 host-capacity check.
+    pub deployment: Option<&'a DeploymentShape>,
 }
 
 /// Everything a model pass can look at.
@@ -114,6 +137,7 @@ impl Engine {
             payload_warn_fraction: opts
                 .payload_warn_fraction
                 .unwrap_or(passes::cnx::DEFAULT_PAYLOAD_WARN_FRACTION),
+            deployment: opts.deployment.as_ref(),
         };
         let mut out = Vec::new();
         for pass in &self.cnx_passes {
@@ -237,6 +261,12 @@ pub mod codes {
     pub const SCHEDULE_ASSERT: &str = "CN055";
     /// A schedule exceeded the step budget (livelock / unbounded retry).
     pub const STEP_LIMIT: &str = "CN056";
+
+    // Wire-deployment capacity (`cnctl lint --peer-capacity`; see
+    // DESIGN.md §12).
+    /// The deployment's peer capacity exceeds the process fd soft limit,
+    /// or its `--reactor-shards` exceeds the available cores.
+    pub const REACTOR_CAPACITY: &str = "CN057";
 }
 
 /// Every code constant, for exhaustiveness checks (tests, docs sync).
@@ -280,6 +310,7 @@ pub const ALL_CODES: &[&str] = &[
     codes::LOST_NOTIFY,
     codes::SCHEDULE_ASSERT,
     codes::STEP_LIMIT,
+    codes::REACTOR_CAPACITY,
 ];
 
 #[cfg(test)]

@@ -234,6 +234,16 @@ explanations! {
          (spin-retry loops, or two tasks repeatedly undoing each other). \
          If the scenario is legitimately long, raise the budget; otherwise \
          inspect the trace tail for the repeating cycle.";
+    codes::REACTOR_CAPACITY =>
+        "deployment shape exceeds the host's process limits",
+        "Every peer connection on the socket fabric holds one file \
+         descriptor, and each reactor shard holds an epoll instance plus \
+         its wakeup eventfd, so a peer capacity near the process fd soft \
+         limit fails in accept/connect exactly when the cluster is \
+         busiest. Shards beyond the available cores add cross-thread \
+         wakeups and cache migration without adding parallelism. Raise \
+         the fd limit (ulimit -n), shrink the deployment, or lower \
+         --reactor-shards.";
 }
 
 #[cfg(test)]

@@ -47,8 +47,8 @@ pub mod report;
 
 pub use diag::{Diagnostic, Severity};
 pub use engine::{
-    codes, lint_cnx_source, lint_xmi_source, CnxContext, CnxPass, Engine, LintOptions,
-    ModelContext, ModelPass,
+    codes, lint_cnx_source, lint_xmi_source, CnxContext, CnxPass, DeploymentShape, Engine,
+    LintOptions, ModelContext, ModelPass,
 };
 pub use explain::{explain, Explanation};
 pub use report::LintReport;

@@ -27,6 +27,7 @@ pub fn default_passes() -> Vec<Box<dyn CnxPass>> {
         Box::new(ParallelismPass),
         Box::new(RecorderCapacityPass),
         Box::new(ServerMemoryPass),
+        Box::new(ReactorCapacityPass),
         Box::new(PayloadSizePass),
         Box::new(RoundtripPass),
     ]
@@ -426,6 +427,73 @@ impl CnxPass for ServerMemoryPass {
     }
 }
 
+/// CN057: the deployment's shape exceeds what the host can provide.
+///
+/// Every peer connection on the socket fabric holds one file descriptor,
+/// and each reactor shard holds an epoll instance plus its wakeup eventfd,
+/// so a peer capacity near the process fd soft limit fails in
+/// accept/connect exactly when the cluster is busiest — and shards beyond
+/// the core count add cross-thread wakeups and cache migration without
+/// adding parallelism. Both are knowable before anything launches: `cnctl
+/// lint --peer-capacity N [--reactor-shards S]` judges the plan against
+/// the linting host's limits, or against explicit `--fd-soft-limit` /
+/// `--cores` overrides when the target machine differs.
+pub struct ReactorCapacityPass;
+
+/// Non-peer fds a serving process holds: stdio, the TCP listener, the UDP
+/// receive and send sockets, and per shard an epoll fd plus its eventfd.
+fn reactor_overhead_fds(shards: u64) -> u64 {
+    3 + 3 + 2 * shards
+}
+
+impl CnxPass for ReactorCapacityPass {
+    fn name(&self) -> &'static str {
+        "reactor-capacity"
+    }
+
+    fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(dep) = ctx.deployment else { return };
+        let cores = dep.available_cores.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+        });
+        // Auto shard count (0) resolves the way the fabric would, capped by
+        // the core count — it can only over-shard when configured to.
+        let shards = if dep.reactor_shards == 0 {
+            (cn_reactor::default_shards() as u64).min(cores)
+        } else {
+            dep.reactor_shards
+        };
+        let fd_limit = match dep.fd_soft_limit {
+            Some(limit) => Some(limit),
+            None => cn_reactor::sys::fd_limits().ok().map(|(soft, _hard)| soft),
+        };
+        if let Some(limit) = fd_limit {
+            let overhead = reactor_overhead_fds(shards);
+            let need = dep.peer_capacity + overhead;
+            if need > limit {
+                out.push(Diagnostic::new(
+                    codes::REACTOR_CAPACITY,
+                    Severity::Warning,
+                    format!(
+                        "deployment expects {} peer connection(s), which with {overhead} runtime fd(s) of overhead needs {need} fds against a process soft limit of {limit}: accepts and connects will fail mid-run (raise the limit or shrink the deployment)",
+                        dep.peer_capacity
+                    ),
+                ));
+            }
+        }
+        if dep.reactor_shards > cores {
+            out.push(Diagnostic::new(
+                codes::REACTOR_CAPACITY,
+                Severity::Warning,
+                format!(
+                    "--reactor-shards {} exceeds the {cores} available core(s): extra shards add cross-thread wakeups and cache migration without adding parallelism",
+                    dep.reactor_shards
+                ),
+            ));
+        }
+    }
+}
+
 /// CN018: more task instances than the flight recorder retains by default.
 ///
 /// Each task emits at least one severity-tagged event on an interesting
@@ -798,6 +866,64 @@ mod tests {
         // Exactly-fitting is fine; no --server-memory means no opinion.
         assert!(!codes_of(&lint_with_servers(&doc, vec![1000])).contains(&codes::SERVER_MEMORY));
         assert!(!codes_of(&lint(&doc)).contains(&codes::SERVER_MEMORY));
+    }
+
+    #[test]
+    fn reactor_capacity_judges_deployment_against_host_limits() {
+        use crate::engine::DeploymentShape;
+        let doc = figure2_descriptor(2);
+        let lint_shape = |shape: DeploymentShape| {
+            Engine::with_default_passes()
+                .lint_cnx(&doc, &LintOptions { deployment: Some(shape), ..LintOptions::default() })
+        };
+        // 10k peers against a 1024-fd soft limit, 4 shards on 2 cores:
+        // both findings fire, as warnings.
+        let report = lint_shape(DeploymentShape {
+            peer_capacity: 10_000,
+            reactor_shards: 4,
+            fd_soft_limit: Some(1024),
+            available_cores: Some(2),
+        });
+        let warned: Vec<_> =
+            report.diagnostics().iter().filter(|d| d.code == codes::REACTOR_CAPACITY).collect();
+        assert_eq!(warned.len(), 2, "{}", report.to_text());
+        assert!(warned.iter().all(|d| d.severity == Severity::Warning));
+        assert!(warned.iter().any(|d| d.message.contains("1024")), "{}", report.to_text());
+        assert!(
+            warned.iter().any(|d| d.message.contains("available core")),
+            "{}",
+            report.to_text()
+        );
+        // A shape that fits stays quiet, fd overhead included: 1010 peers
+        // plus 3+3+2*2 = 10 overhead fds exactly meets a 1020 limit...
+        let fits = DeploymentShape {
+            peer_capacity: 1010,
+            reactor_shards: 2,
+            fd_soft_limit: Some(1020),
+            available_cores: Some(2),
+        };
+        assert!(lint_shape(fits.clone()).is_empty());
+        // ...and one more peer tips it over.
+        let report = lint_shape(DeploymentShape { peer_capacity: 1011, ..fits });
+        assert!(codes_of(&report).contains(&codes::REACTOR_CAPACITY), "{}", report.to_text());
+        // Auto shards (0) resolve within the core count, so only the fd
+        // axis can warn; explicit over-sharding warns on its own.
+        let report = lint_shape(DeploymentShape {
+            peer_capacity: 1,
+            reactor_shards: 0,
+            fd_soft_limit: Some(1024),
+            available_cores: Some(1),
+        });
+        assert!(report.is_empty(), "{}", report.to_text());
+        let report = lint_shape(DeploymentShape {
+            peer_capacity: 1,
+            reactor_shards: 3,
+            fd_soft_limit: Some(1024),
+            available_cores: Some(2),
+        });
+        assert_eq!(codes_of(&report), vec![codes::REACTOR_CAPACITY]);
+        // No deployment shape means no opinion.
+        assert!(lint(&doc).is_empty());
     }
 
     #[test]

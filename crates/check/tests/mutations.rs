@@ -98,3 +98,28 @@ fn mutated_server_drain_drops_a_protocol_message() {
         again.hazards
     );
 }
+
+/// The mutated reactor mailbox elides the empty→non-empty wake — the only
+/// wake a parked shard gets, since the NoopWaker scenario has no eventfd.
+/// The shard survives only through its poll timeout, which the checker
+/// reports as a lost notification.
+#[test]
+fn mutated_reactor_mailbox_loses_the_shard_wakeup() {
+    let scenario = cn_check::find("reactor.shard_mailbox").expect("registered");
+    let report = run_scenario(&scenario, &test_config());
+    assert!(report.failed(), "mutation not caught: {report:?}");
+    assert!(
+        report.hazards.iter().any(|h| h.kind == HazardKind::LostNotify),
+        "{:?}",
+        report.hazards
+    );
+
+    let diags = diagnose(&report);
+    assert!(diags.iter().any(|d| d.code == codes::LOST_NOTIFY), "{diags:?}");
+
+    let cx = report.counterexample.as_ref().expect("counterexample");
+    let again = replay(&scenario, cx);
+    assert!(again.failed(), "replay did not reproduce");
+    let replayed = again.counterexample.expect("replay counterexample");
+    assert_eq!(replayed.trace_jsonl(), cx.trace_jsonl(), "replay diverged from recording");
+}

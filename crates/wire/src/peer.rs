@@ -35,6 +35,17 @@ impl Default for PeerQueue {
     }
 }
 
+/// What happened to a [`PeerQueue::push_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Frame enqueued. `was_empty` reports the empty→non-empty edge: the
+    /// consumer may be asleep and exactly this push must wake it (the
+    /// reactor sender rings the shard's eventfd on it).
+    Queued { was_empty: bool },
+    /// The consumer declared the stream dead; the frame was dropped.
+    Dead,
+}
+
 impl PeerQueue {
     pub fn new() -> PeerQueue {
         PeerQueue {
@@ -45,10 +56,17 @@ impl PeerQueue {
 
     /// Enqueue a frame; false if the writer already observed a dead stream.
     pub fn push(&self, frame: Frame) -> bool {
+        matches!(self.push_frame(frame), PushOutcome::Queued { .. })
+    }
+
+    /// Enqueue a frame, reporting the empty→non-empty edge so reactor
+    /// senders know when a cross-thread wakeup is required.
+    pub fn push_frame(&self, frame: Frame) -> PushOutcome {
         let mut st = self.state.lock();
         if st.dead {
-            return false;
+            return PushOutcome::Dead;
         }
+        let was_empty = st.frames.is_empty();
         st.frames.push_back(frame);
         #[cfg(not(feature = "mutations"))]
         self.cv.notify_one();
@@ -59,7 +77,31 @@ impl PeerQueue {
         if st.frames.len() > 1 {
             self.cv.notify_one();
         }
-        true
+        PushOutcome::Queued { was_empty }
+    }
+
+    /// Nonblocking drain for the reactor's flush path: move up to
+    /// `max_frames` / `max_bytes` of queued frames into `out` (the byte
+    /// cap is soft — a single frame may exceed it). Returns the number of
+    /// frames moved; 0 means the queue is currently empty (or dead).
+    pub fn try_take_batch(
+        &self,
+        out: &mut std::collections::VecDeque<Frame>,
+        max_frames: usize,
+        max_bytes: usize,
+    ) -> usize {
+        let mut st = self.state.lock();
+        let mut n = 0;
+        let mut bytes = 0;
+        while let Some(f) = st.frames.front() {
+            if n >= max_frames || (n > 0 && bytes + f.len() > max_bytes) {
+                break;
+            }
+            bytes += f.len();
+            out.push_back(st.frames.pop_front().expect("front checked"));
+            n += 1;
+        }
+        n
     }
 
     /// Mark the queue dead and wake the writer so it can exit.

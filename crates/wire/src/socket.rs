@@ -1,35 +1,46 @@
-//! The `std::net` fabric: TCP unicast + UDP discovery over localhost.
+//! The `std::net` fabric: TCP unicast + UDP discovery over localhost,
+//! driven by the `cn-reactor` sharded event loop.
 //!
 //! One [`SocketFabric`] per OS process. Every endpoint registered on it
 //! shares the process's TCP listener; the listener port is encoded in the
 //! high bits of each [`Addr`], which is what routes a message to the right
 //! process. Unicast frames travel over one length-prefixed TCP connection
-//! per peer (writes are serialized per connection, so per-peer delivery
-//! order matches send order). Multicast (the CN discovery group) travels
-//! as UDP datagrams — either to a real multicast group or, in loopback
-//! mode, unicast to each configured peer port.
+//! per peer. Multicast (the CN discovery group) travels as UDP datagrams —
+//! either to a real multicast group or, in loopback mode, unicast to each
+//! configured peer port.
 //!
-//! Faults are first-class: connects and reads have timeouts, connects are
-//! retried with bounded exponential backoff, and every drop, timeout and
-//! reconnect lands in the flight recorder with a `wire.*` counter.
+//! There are no per-connection threads. Each peer connection is an
+//! [`EventHandler`] state machine (connecting → backoff → established)
+//! pinned to one reactor shard: nonblocking reads feed the shared
+//! [`FrameDecoder`], sends enqueue [`Frame`]s on the connection's
+//! [`PeerQueue`] and ring the shard's eventfd only on the empty→non-empty
+//! edge, and the shard flushes whatever accumulated with one vectored
+//! `writev` — batching emerges from backpressure exactly as it did with
+//! writer threads, and the shard's single-threaded drain preserves
+//! per-peer order. Connect timeouts, bounded exponential backoff, and
+//! mid-frame read deadlines all ride the shard's timer wheel.
+//!
+//! Faults are first-class: every drop, timeout and reconnect lands in the
+//! flight recorder with a `wire.*` counter.
 
-use std::collections::{HashMap, HashSet};
-use std::io::{Read, Write};
-use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream, UdpSocket};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{IoSlice, Read, Write};
+use std::net::{Ipv4Addr, SocketAddrV4, TcpListener, TcpStream, UdpSocket};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cn_cluster::{Addr, Envelope, GroupId, SendError};
 use cn_observe::{Counter, Recorder, Severity, SpanId};
+use cn_reactor::{sys, Action, EventHandler, Reactor, ShardCtx, TimerId, Token};
 use cn_sync::channel::{unbounded_named, Receiver, Sender};
-use cn_sync::Mutex;
+use cn_sync::{Condvar, Mutex};
 
 use crate::codec::{
-    decode_payload, encode_frame_into, encode_payload_into, with_scratch, Frame, FrameDecoder,
-    WireEncode,
+    decode_payload, encode_payload_into, with_scratch, Frame, FrameDecoder, WireEncode,
 };
-use crate::peer::PeerQueue;
+use crate::peer::{PeerQueue, PushOutcome};
 use crate::{addr_group, addr_port, group_addr, is_group_addr, Fabric, ADDR_PORT_SHIFT};
 
 /// How the discovery group reaches other processes.
@@ -56,21 +67,24 @@ pub struct WireConfig {
     pub discovery: Discovery,
     /// TCP connect timeout per attempt.
     pub connect_timeout: Duration,
-    /// Deadline for reading the rest of a frame once its header arrived,
-    /// and for blocking writes.
+    /// Deadline for reading the rest of a frame once its header arrived.
     pub read_timeout: Duration,
     /// Extra connect attempts after the first fails.
     pub max_retries: u32,
     /// Backoff before retry N is `retry_base * 2^(N-1)`, capped at 1s.
     pub retry_base: Duration,
-    /// Coalesce writes per peer: sends enqueue on a per-connection writer
-    /// thread that packs whatever accumulated while the previous write was
-    /// in flight into one `write_all`. Off, every send is its own write.
+    /// Coalesce writes per peer: sends enqueue on the connection's queue
+    /// and the reactor packs whatever accumulated while the previous
+    /// flush was in flight into one `writev`. Off, every frame is its own
+    /// write syscall.
     pub batch: bool,
     /// Most frames a single coalesced flush may carry.
     pub batch_max_frames: usize,
     /// Soft byte cap per coalesced flush (a single frame may exceed it).
     pub batch_max_bytes: usize,
+    /// Reactor event-loop threads; peers hash to a shard. 0 means one per
+    /// available core (capped — see [`cn_reactor::default_shards`]).
+    pub reactor_shards: usize,
 }
 
 impl Default for WireConfig {
@@ -85,14 +99,24 @@ impl Default for WireConfig {
             batch: true,
             batch_max_frames: 128,
             batch_max_bytes: 256 * 1024,
+            reactor_shards: 0,
         }
     }
 }
 
-/// How often blocked reads/accepts wake up to check the stop flag.
+/// How often waiting senders re-check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Backoff cap between connect retries.
 const MAX_BACKOFF: Duration = Duration::from_secs(1);
+/// Reads a single `on_ready` may issue before yielding the shard, so one
+/// firehose connection cannot starve its shard-mates (level-triggered
+/// epoll re-reports unread data immediately).
+const MAX_READS_PER_WAKE: usize = 16;
+
+/// Timer tags for the peer connection state machine.
+const TAG_CONNECT: u64 = 1;
+const TAG_BACKOFF: u64 = 2;
+const TAG_READ_DEADLINE: u64 = 3;
 
 struct WireCounters {
     frames_sent: Counter,
@@ -132,19 +156,55 @@ impl WireCounters {
     }
 }
 
-/// The send side of one peer connection.
-#[derive(Clone)]
-enum Link {
-    /// Unbatched: callers write frames directly under the stream lock.
-    Direct(Arc<Mutex<TcpStream>>),
-    /// Batched: callers enqueue shared [`Frame`]s; the connection's writer
-    /// thread owns the stream and coalesces.
-    Batched(Arc<PeerQueue>),
+/// Why a connect cycle gave up — mapped to the typed [`SendError`] the
+/// waiting senders surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailKind {
+    Refused,
+    Timeout,
 }
 
-struct Conn {
-    link: Link,
+/// The sender-visible lifecycle of one outbound connection.
+enum LinkPhase {
+    /// The reactor is driving the connect/retry state machine; senders
+    /// block on the link condvar until it resolves.
+    Connecting,
+    /// Established: enqueue on the queue, notify the reactor token.
+    Up,
+    /// The connect cycle exhausted its retries. Terminal; the entry is
+    /// already out of the connection map.
+    Failed(FailKind),
+}
+
+struct LinkState {
+    phase: LinkPhase,
+    /// Reactor token of the connection's handler, set at registration.
+    token: Token,
     span: Option<SpanId>,
+}
+
+/// One outbound peer connection as the send paths see it: the shared
+/// frame queue plus the phase gate senders wait on. The reactor-side
+/// state machine lives in [`PeerHandler`].
+struct PeerLink {
+    port: u16,
+    q: PeerQueue,
+    state: Mutex<LinkState>,
+    cv: Condvar,
+}
+
+impl PeerLink {
+    fn new(port: u16) -> PeerLink {
+        PeerLink {
+            port,
+            q: PeerQueue::new(),
+            state: Mutex::named(
+                "wire.link",
+                LinkState { phase: LinkPhase::Connecting, token: 0, span: None },
+            ),
+            cv: Condvar::named("wire.link_cv"),
+        }
+    }
 }
 
 struct Inner<M> {
@@ -154,18 +214,23 @@ struct Inner<M> {
     c: WireCounters,
     endpoints: Mutex<HashMap<u64, Sender<Envelope<M>>>>,
     groups: Mutex<HashMap<u32, HashSet<Addr>>>,
-    /// Outbound connections, one per peer port. All writes to a peer go
-    /// through its single stream, serialized by the mutex — that is the
-    /// per-peer ordering guarantee.
-    conns: Mutex<HashMap<u16, Conn>>,
+    /// Outbound connections, one per peer port. Each peer's frames drain
+    /// on a single reactor shard in FIFO order — that is the per-peer
+    /// ordering guarantee.
+    conns: Mutex<HashMap<u16, Arc<PeerLink>>>,
     /// Serializes connection establishment so two senders racing to the
     /// same (new) peer cannot create two streams and reorder their frames.
     connect_lock: Mutex<()>,
-    udp: UdpSocket,
+    reactor: Reactor,
+    /// Blocking discovery send socket (the nonblocking receive socket
+    /// lives on the reactor).
+    udp_send: UdpSocket,
     next_ep: AtomicU64,
+    /// Round-robins inbound connections across reactor shards.
+    next_inbound: AtomicU64,
     stop: AtomicBool,
     /// Self-reference so `&self` methods can hand an owning handle to the
-    /// per-connection writer threads they spawn.
+    /// per-connection reactor handlers they register.
     weak: std::sync::Weak<Inner<M>>,
 }
 
@@ -175,30 +240,36 @@ pub struct SocketFabric<M: WireEncode + Send + Clone + 'static> {
 }
 
 impl<M: WireEncode + Send + Clone + 'static> SocketFabric<M> {
-    /// Bind the TCP listener and discovery socket, start the accept and
-    /// discovery threads.
+    /// Bind the TCP listener and discovery sockets and start the reactor
+    /// shards that drive them.
     pub fn new(cfg: WireConfig, rec: Recorder) -> std::io::Result<SocketFabric<M>> {
         let listener = TcpListener::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, cfg.port))?;
         let port = listener.local_addr()?.port();
         listener.set_nonblocking(true)?;
-        let udp = match &cfg.discovery {
+        let (udp_recv, udp_send) = match &cfg.discovery {
             Discovery::Multicast { group, port: mc_port } => {
-                let sock = bind_reuse(*mc_port).or_else(|_| {
+                let recv = bind_reuse(*mc_port).or_else(|_| {
                     UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, *mc_port))
                 })?;
-                sock.join_multicast_v4(group, &Ipv4Addr::UNSPECIFIED)?;
-                sock.set_multicast_loop_v4(true)?;
-                sock
+                recv.join_multicast_v4(group, &Ipv4Addr::UNSPECIFIED)?;
+                let send = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, 0))?;
+                // Loop our own datagrams back so other processes on this
+                // host (the whole localhost-cluster use case) hear us.
+                send.set_multicast_loop_v4(true)?;
+                (recv, send)
             }
             // Loopback mode: the discovery socket shares the TCP port
             // number (different protocol, so no clash) — peers only need
             // to know one port per process.
-            Discovery::Loopback { .. } => {
-                UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))?
-            }
+            Discovery::Loopback { .. } => (
+                UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))?,
+                UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0))?,
+            ),
         };
-        udp.set_read_timeout(Some(POLL_INTERVAL))?;
-        let udp_send = udp.try_clone()?;
+        udp_recv.set_nonblocking(true)?;
+        let shards =
+            if cfg.reactor_shards == 0 { cn_reactor::default_shards() } else { cfg.reactor_shards };
+        let reactor = Reactor::new(&format!("wire-{port}"), shards)?;
         let inner = Arc::new_cyclic(|weak| Inner {
             port,
             c: WireCounters::new(&rec),
@@ -208,13 +279,19 @@ impl<M: WireEncode + Send + Clone + 'static> SocketFabric<M> {
             groups: Mutex::named("wire.groups", HashMap::new()),
             conns: Mutex::named("wire.conns", HashMap::new()),
             connect_lock: Mutex::named("wire.connect", ()),
-            udp: udp_send,
+            reactor,
+            udp_send,
             next_ep: AtomicU64::new(1),
+            next_inbound: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             weak: weak.clone(),
         });
-        spawn_accept_loop(Arc::clone(&inner), listener);
-        spawn_udp_loop(Arc::clone(&inner), udp);
+        inner
+            .reactor
+            .register_on(0, Box::new(AcceptHandler { inner: Arc::clone(&inner), listener }));
+        inner
+            .reactor
+            .register_on(0, Box::new(UdpHandler { inner: Arc::clone(&inner), udp: udp_recv }));
         Ok(SocketFabric { inner })
     }
 
@@ -223,24 +300,32 @@ impl<M: WireEncode + Send + Clone + 'static> SocketFabric<M> {
         self.inner.port
     }
 
-    /// Stop the background threads and close all connections. Idempotent;
-    /// also invoked when the fabric is dropped.
+    /// Reactor shards driving this fabric's sockets.
+    pub fn reactor_shards(&self) -> usize {
+        self.inner.reactor.shards()
+    }
+
+    /// Stop the reactor and close all connections. Idempotent; also
+    /// invoked when the fabric is dropped.
     pub fn shutdown(&self) {
         if self.inner.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        let mut conns = self.inner.conns.lock();
-        for (_, conn) in conns.drain() {
-            self.inner.rec.span_end(conn.span);
-            match conn.link {
-                Link::Direct(stream) => {
-                    let _ = stream.lock().shutdown(std::net::Shutdown::Both);
-                }
-                // The writer thread owns the stream; waking it with the
-                // dead flag set makes it exit and drop (close) the stream.
-                Link::Batched(q) => q.kill(),
+        let links: Vec<Arc<PeerLink>> = self.inner.conns.lock().drain().map(|(_, l)| l).collect();
+        for link in links {
+            link.q.kill();
+            let mut st = link.state.lock();
+            self.inner.rec.span_end(st.span.take());
+            if matches!(st.phase, LinkPhase::Connecting) {
+                st.phase = LinkPhase::Failed(FailKind::Refused);
             }
+            drop(st);
+            link.cv.notify_all();
         }
+        // Joins the shard threads; every handler's `on_close` drops its
+        // socket, which is what stops the listener accepting and resets
+        // established connections.
+        self.inner.reactor.shutdown();
     }
 }
 
@@ -284,7 +369,7 @@ impl<M: WireEncode + Send + Clone + 'static> Fabric<M> for SocketFabric<M> {
         if addr_port(to) == self.inner.port {
             return self.inner.deliver_local(Envelope { from, to, msg });
         }
-        self.inner.send_remote(from, to, &msg)
+        self.inner.enqueue_frame(addr_port(to), Frame::encode(from, to, &msg), to)
     }
 
     fn send_many(&self, from: Addr, tos: &[Addr], msg: M) -> Result<usize, SendError> {
@@ -306,9 +391,9 @@ impl<M: WireEncode + Send + Clone + 'static> Fabric<M> for SocketFabric<M> {
         if let Some((&first, rest)) = remote.split_first() {
             let base = Frame::encode(from, first, &msg);
             for &to in rest {
-                inner.send_encoded(addr_port(to), base.for_to(to), to)?;
+                inner.enqueue_frame(addr_port(to), base.for_to(to), to)?;
             }
-            inner.send_encoded(addr_port(first), base, first)?;
+            inner.enqueue_frame(addr_port(first), base, first)?;
         }
         // Local members last so the final one takes the message by move.
         if let Some((&last, rest)) = local.split_last() {
@@ -399,7 +484,7 @@ impl<M: WireEncode + Send + Clone + 'static> Inner<M> {
             let mut sent = 0;
             match &self.cfg.discovery {
                 Discovery::Multicast { group: g, port } => {
-                    if self.udp.send_to(payload, SocketAddrV4::new(*g, *port)).is_ok() {
+                    if self.udp_send.send_to(payload, SocketAddrV4::new(*g, *port)).is_ok() {
                         self.c.discovery_dgrams.inc();
                         sent += 1;
                     }
@@ -410,7 +495,7 @@ impl<M: WireEncode + Send + Clone + 'static> Inner<M> {
                             continue;
                         }
                         if self
-                            .udp
+                            .udp_send
                             .send_to(payload, SocketAddrV4::new(Ipv4Addr::LOCALHOST, *p))
                             .is_ok()
                         {
@@ -432,235 +517,619 @@ impl<M: WireEncode + Send + Clone + 'static> Inner<M> {
         count
     }
 
-    /// Unicast one message to a remote peer, serializing straight from the
-    /// thread's scratch buffer (unbatched) or into a shared [`Frame`] for
-    /// the peer's writer queue (batched).
-    fn send_remote(&self, from: Addr, to: Addr, msg: &M) -> Result<(), SendError> {
-        let port = addr_port(to);
-        if self.cfg.batch {
-            self.enqueue_frame(port, Frame::encode(from, to, msg), to)
-        } else {
-            with_scratch(|w| {
-                encode_frame_into(from, to, msg, w);
-                self.send_frame(port, w.as_slice(), to)
-            })
-        }
-    }
-
-    /// Send an already-encoded frame (the shared fan-out path).
-    fn send_encoded(&self, port: u16, frame: Frame, to: Addr) -> Result<(), SendError> {
-        if self.cfg.batch {
-            self.enqueue_frame(port, frame, to)
-        } else {
-            self.send_frame(port, frame.bytes(), to)
-        }
-    }
-
-    /// Hand a frame to the peer's writer queue, reconnecting once if the
-    /// writer observed a dead stream since we last looked.
+    /// Hand a frame to the peer's connection queue (establishing the
+    /// connection first if needed), reconnecting once if the reactor
+    /// observed a dead stream since we last looked.
     fn enqueue_frame(&self, port: u16, frame: Frame, to: Addr) -> Result<(), SendError> {
         for attempt in 0..2 {
-            let q = match self.get_link(port, to)? {
-                Link::Batched(q) => q,
-                // get_link builds Direct links only when batching is off,
-                // and this path is only taken when it is on.
-                Link::Direct(_) => unreachable!("batched send on an unbatched link"),
-            };
-            if q.push(frame.clone()) {
-                return Ok(());
-            }
-            self.drop_conn_matching(port, &q, "writer dead at enqueue");
-            if attempt == 0 {
-                self.c.reconnects.inc();
-                self.rec.event_with(Severity::Warn, "wire", None, || {
-                    format!("reconnecting to peer :{port} after writer death")
-                });
+            let link = self.get_link(port, to)?;
+            match link.q.push_frame(frame.clone()) {
+                PushOutcome::Queued { was_empty } => {
+                    if was_empty {
+                        // The shard may be asleep with nothing to flush;
+                        // this is the one push that must ring its eventfd.
+                        let token = link.state.lock().token;
+                        self.reactor.notify(token);
+                    }
+                    return Ok(());
+                }
+                PushOutcome::Dead => {
+                    self.drop_conn_matching(port, &link, "connection dead at enqueue");
+                    if attempt == 0 {
+                        self.c.reconnects.inc();
+                        self.rec.event_with(Severity::Warn, "wire", None, || {
+                            format!("reconnecting to peer :{port} after connection death")
+                        });
+                    }
+                }
             }
         }
         Err(SendError::PeerClosed(to))
     }
 
-    /// Write one frame to a peer, reconnecting once if the connection
-    /// died underneath us. The unbatched path.
-    fn send_frame(&self, port: u16, frame: &[u8], to: Addr) -> Result<(), SendError> {
-        let mut reconnected = false;
-        loop {
-            let stream = match self.get_link(port, to)? {
-                Link::Direct(s) => s,
-                Link::Batched(_) => unreachable!("unbatched send on a batched link"),
-            };
-            let res = {
-                let mut s = stream.lock();
-                s.write_all(frame)
-            };
-            match res {
-                Ok(()) => {
-                    self.c.frames_sent.inc();
-                    self.c.bytes_sent.add(frame.len() as u64);
-                    return Ok(());
-                }
-                Err(err) => {
-                    self.drop_conn(port, &format!("write failed: {err}"));
-                    if reconnected {
-                        return Err(
-                            if err.kind() == std::io::ErrorKind::TimedOut
-                                || err.kind() == std::io::ErrorKind::WouldBlock
-                            {
-                                self.c.timeouts.inc();
-                                SendError::Timeout(to)
-                            } else {
-                                SendError::PeerClosed(to)
-                            },
-                        );
-                    }
-                    self.c.reconnects.inc();
-                    self.rec.event_with(Severity::Warn, "wire", None, || {
-                        format!("reconnecting to peer :{port} after write failure")
-                    });
-                    reconnected = true;
-                }
-            }
+    /// Upper bound on how long one whole connect cycle (all attempts plus
+    /// backoff) may take, used to bound the sender-side wait.
+    fn connect_budget(&self) -> Duration {
+        let mut total = self.cfg.connect_timeout * (self.cfg.max_retries + 1);
+        let mut delay = self.cfg.retry_base;
+        for _ in 0..self.cfg.max_retries {
+            total += delay;
+            delay = (delay * 2).min(MAX_BACKOFF);
         }
+        total + Duration::from_secs(2)
     }
 
-    fn get_link(&self, port: u16, to: Addr) -> Result<Link, SendError> {
-        if let Some(c) = self.conns.lock().get(&port) {
-            return Ok(c.link.clone());
+    /// Resolve the link for `port`: reuse the live connection, or install
+    /// a [`PeerHandler`] on the reactor and wait for its connect cycle to
+    /// resolve. Failures surface as the same typed errors (and counter
+    /// increments) the blocking connect produced.
+    fn get_link(&self, port: u16, to: Addr) -> Result<Arc<PeerLink>, SendError> {
+        if self.stop.load(Ordering::Relaxed) {
+            return Err(SendError::ConnectFailed(to));
         }
-        let _guard = self.connect_lock.lock();
-        // Double-check: another sender may have connected while we waited.
-        if let Some(c) = self.conns.lock().get(&port) {
-            return Ok(c.link.clone());
-        }
-        let target = SocketAddr::from(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
-        let mut delay = self.cfg.retry_base;
-        let mut last_timeout = false;
-        for attempt in 0..=self.cfg.max_retries {
-            if attempt > 0 {
-                self.c.retries.inc();
-                std::thread::sleep(delay);
-                delay = (delay * 2).min(MAX_BACKOFF);
-            }
-            match TcpStream::connect_timeout(&target, self.cfg.connect_timeout) {
-                Ok(stream) => {
-                    let _ = stream.set_nodelay(true);
-                    let _ = stream.set_write_timeout(Some(self.cfg.read_timeout));
-                    self.c.connects.inc();
-                    let span = self.rec.span_start("wire", &format!("conn:{port}"), None);
-                    let link = if self.cfg.batch {
-                        let q = Arc::new(PeerQueue::new());
+        // Bind the fast-path lookup before matching: a lock guard living
+        // in the match scrutinee would still be held inside the arms.
+        let cached = self.conns.lock().get(&port).cloned();
+        let link = match cached {
+            Some(l) => l,
+            None => {
+                let _guard = self.connect_lock.lock();
+                // Double-check: another sender may have connected while we
+                // waited for the lock.
+                let existing = self.conns.lock().get(&port).cloned();
+                match existing {
+                    Some(l) => l,
+                    None => {
+                        let link = Arc::new(PeerLink::new(port));
                         let inner = self.weak.upgrade().expect("fabric alive during send");
-                        spawn_writer_loop(inner, port, stream, Arc::clone(&q));
-                        Link::Batched(q)
-                    } else {
-                        Link::Direct(Arc::new(Mutex::named("wire.stream", stream)))
-                    };
-                    self.conns.lock().insert(port, Conn { link: link.clone(), span });
+                        let handler = PeerHandler {
+                            inner,
+                            link: Arc::clone(&link),
+                            attempt: 0,
+                            delay: self.cfg.retry_base,
+                            last_timeout: false,
+                            conn: PeerConn::Idle,
+                            connect_timer: None,
+                            read_timer: None,
+                        };
+                        let token = self.reactor.register_hashed(port as u64, Box::new(handler));
+                        link.state.lock().token = token;
+                        self.conns.lock().insert(port, Arc::clone(&link));
+                        link
+                    }
+                }
+            }
+        };
+        let deadline = Instant::now() + self.connect_budget();
+        let mut st = link.state.lock();
+        loop {
+            match st.phase {
+                LinkPhase::Up => {
+                    drop(st);
                     return Ok(link);
                 }
-                Err(err) => {
-                    last_timeout = err.kind() == std::io::ErrorKind::TimedOut;
-                    self.rec.event_with(Severity::Warn, "wire", None, || {
-                        format!(
-                            "connect to :{port} failed (attempt {}/{}): {err}",
-                            attempt + 1,
-                            self.cfg.max_retries + 1
-                        )
+                LinkPhase::Failed(kind) => {
+                    drop(st);
+                    return Err(match kind {
+                        FailKind::Timeout => SendError::Timeout(to),
+                        FailKind::Refused => SendError::ConnectFailed(to),
                     });
+                }
+                LinkPhase::Connecting => {
+                    if self.stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                        drop(st);
+                        return Err(SendError::ConnectFailed(to));
+                    }
+                    link.cv.wait_for(&mut st, POLL_INTERVAL);
                 }
             }
         }
-        self.c.drops.inc();
-        Err(if last_timeout {
-            self.c.timeouts.inc();
-            SendError::Timeout(to)
-        } else {
-            SendError::ConnectFailed(to)
-        })
     }
 
-    fn drop_conn(&self, port: u16, why: &str) {
-        if let Some(conn) = self.conns.lock().remove(&port) {
-            self.close_conn(port, conn, why);
-        }
-    }
-
-    /// Drop the connection to `port` only if it is still the one whose
-    /// queue is `q` — a failing writer must not tear down a replacement
-    /// connection another sender already established.
-    fn drop_conn_matching(&self, port: u16, q: &Arc<PeerQueue>, why: &str) {
+    /// Drop the connection to `port` only if it is still `link` — a dying
+    /// handler must not tear down a replacement connection another sender
+    /// already established.
+    fn drop_conn_matching(&self, port: u16, link: &Arc<PeerLink>, why: &str) {
         let mut conns = self.conns.lock();
-        let matches = matches!(
-            conns.get(&port),
-            Some(Conn { link: Link::Batched(q2), .. }) if Arc::ptr_eq(q2, q)
-        );
+        let matches = matches!(conns.get(&port), Some(l) if Arc::ptr_eq(l, link));
         if matches {
-            let conn = conns.remove(&port).expect("checked above");
-            drop(conns);
-            self.close_conn(port, conn, why);
+            conns.remove(&port);
         }
-    }
-
-    fn close_conn(&self, port: u16, conn: Conn, why: &str) {
-        self.rec.span_end(conn.span);
-        match conn.link {
-            Link::Direct(stream) => {
-                let _ = stream.lock().shutdown(std::net::Shutdown::Both);
-            }
-            Link::Batched(q) => q.kill(),
+        drop(conns);
+        if matches {
+            link.q.kill();
+            self.rec.span_end(link.state.lock().span.take());
+            self.rec.event_with(Severity::Warn, "wire", None, || {
+                format!("dropped conn :{port}: {why}")
+            });
         }
-        self.rec
-            .event_with(Severity::Warn, "wire", None, || format!("dropped conn :{port}: {why}"));
     }
 }
 
-/// Per-peer coalescing writer: drains whatever accumulated on the queue
-/// while the previous `write_all` was in flight and flushes it as one
-/// write. Idle queues flush immediately (the drain finds one frame);
-/// saturated queues amortize the syscall across up to `batch_max_frames`.
-fn spawn_writer_loop<M: WireEncode + Send + Clone + 'static>(
+/// The per-connection send state while established.
+enum PeerConn {
+    /// Before the first attempt or between backoff retries (no fd).
+    Idle,
+    /// Nonblocking connect in flight; waiting for writability.
+    Connecting(TcpStream),
+    /// Established. `inflight` holds frames taken from the queue but not
+    /// yet fully written; `skip` is how much of the front frame already
+    /// went out in a previous partial `writev`.
+    Up { stream: TcpStream, inflight: VecDeque<Frame>, skip: usize },
+}
+
+/// Reactor-side state machine for one outbound peer connection:
+/// `Idle → Connecting → Up`, with wheel-timed connect deadlines and
+/// bounded exponential backoff looping back through `Idle`, and vectored
+/// flushes of the link's [`PeerQueue`] while `Up`.
+struct PeerHandler<M: WireEncode + Send + Clone + 'static> {
     inner: Arc<Inner<M>>,
-    port: u16,
-    mut stream: TcpStream,
-    q: Arc<PeerQueue>,
-) {
-    cn_sync::thread::Builder::new()
-        .name(format!("cn-wire-write-{port}"))
-        .spawn(move || {
-            let mut out: Vec<u8> = Vec::new();
-            loop {
-                let drained = q.drain_batch(
-                    &mut out,
-                    inner.cfg.batch_max_frames,
-                    inner.cfg.batch_max_bytes,
-                    POLL_INTERVAL,
-                    || inner.stop.load(Ordering::Relaxed),
-                );
-                if drained == 0 {
-                    return;
+    link: Arc<PeerLink>,
+    attempt: u32,
+    delay: Duration,
+    last_timeout: bool,
+    conn: PeerConn,
+    connect_timer: Option<TimerId>,
+    read_timer: Option<TimerId>,
+}
+
+impl<M: WireEncode + Send + Clone + 'static> PeerHandler<M> {
+    fn port(&self) -> u16 {
+        self.link.port
+    }
+
+    fn start_attempt(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        let target = SocketAddrV4::new(Ipv4Addr::LOCALHOST, self.port());
+        match sys::connect_nonblocking(target) {
+            Ok((stream, true)) => self.establish(ctx, stream),
+            Ok((stream, false)) => {
+                if ctx.register_fd(stream.as_raw_fd(), false, true).is_err() {
+                    return self.retry_or_fail(ctx, false, "epoll register failed");
                 }
-                match stream.write_all(&out) {
-                    Ok(()) => {
-                        inner.c.frames_sent.add(drained as u64);
-                        inner.c.bytes_sent.add(out.len() as u64);
-                        inner.c.batch_flushes.inc();
-                        inner.c.batch_frames.add(drained as u64);
-                        inner.c.batch_bytes.add(out.len() as u64);
+                self.connect_timer =
+                    Some(ctx.arm_timer(self.inner.cfg.connect_timeout, TAG_CONNECT));
+                self.conn = PeerConn::Connecting(stream);
+                Action::Continue
+            }
+            Err(err) => self.retry_or_fail(ctx, false, &err.to_string()),
+        }
+    }
+
+    /// One attempt failed: back off and retry, or fail the whole cycle
+    /// with the same counters and typed error the blocking path had.
+    fn retry_or_fail(&mut self, ctx: &mut ShardCtx<'_>, timed_out: bool, err: &str) -> Action {
+        ctx.deregister_fd();
+        if let Some(t) = self.connect_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.conn = PeerConn::Idle;
+        self.last_timeout = timed_out;
+        let (port, attempt, max) = (self.port(), self.attempt, self.inner.cfg.max_retries);
+        self.inner.rec.event_with(Severity::Warn, "wire", None, || {
+            format!("connect to :{port} failed (attempt {}/{}): {err}", attempt + 1, max + 1)
+        });
+        if self.attempt < max {
+            self.attempt += 1;
+            ctx.arm_timer(self.delay, TAG_BACKOFF);
+            self.delay = (self.delay * 2).min(MAX_BACKOFF);
+            return Action::Continue;
+        }
+        self.inner.c.drops.inc();
+        let kind = if self.last_timeout {
+            self.inner.c.timeouts.inc();
+            FailKind::Timeout
+        } else {
+            FailKind::Refused
+        };
+        {
+            let mut conns = self.inner.conns.lock();
+            if matches!(conns.get(&port), Some(l) if Arc::ptr_eq(l, &self.link)) {
+                conns.remove(&port);
+            }
+        }
+        self.link.state.lock().phase = LinkPhase::Failed(kind);
+        self.link.cv.notify_all();
+        Action::Close
+    }
+
+    fn establish(&mut self, ctx: &mut ShardCtx<'_>, stream: TcpStream) -> Action {
+        ctx.deregister_fd();
+        if let Some(t) = self.connect_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let _ = stream.set_nodelay(true);
+        if ctx.register_fd(stream.as_raw_fd(), true, false).is_err() {
+            return self.retry_or_fail(ctx, false, "epoll register failed");
+        }
+        self.inner.c.connects.inc();
+        let span = self.inner.rec.span_start("wire", &format!("conn:{}", self.port()), None);
+        self.conn = PeerConn::Up { stream, inflight: VecDeque::new(), skip: 0 };
+        {
+            let mut st = self.link.state.lock();
+            st.span = span;
+            st.phase = LinkPhase::Up;
+        }
+        self.link.cv.notify_all();
+        // Senders may already be pushing; flush whatever raced in.
+        self.flush(ctx)
+    }
+
+    /// Tear down an established connection: poison the queue so senders
+    /// reconnect, drop the map entry (if still ours), close.
+    fn die(&mut self, why: &str) -> Action {
+        self.link.q.kill();
+        self.inner.drop_conn_matching(self.port(), &self.link, why);
+        Action::Close
+    }
+
+    /// Drain the link queue through vectored writes until it runs dry or
+    /// the socket backpressures. Write interest is armed exactly while a
+    /// partial flush is pending.
+    fn flush(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        let cfg = &self.inner.cfg;
+        let (max_frames, max_bytes) =
+            if cfg.batch { (cfg.batch_max_frames, cfg.batch_max_bytes) } else { (1, usize::MAX) };
+        let PeerConn::Up { stream, inflight, skip } = &mut self.conn else {
+            return Action::Continue;
+        };
+        loop {
+            if inflight.is_empty() {
+                *skip = 0;
+                if self.link.q.try_take_batch(inflight, max_frames, max_bytes) == 0 {
+                    // Dry: sleep on readiness alone until the next enqueue
+                    // rings the shard.
+                    if ctx.set_interest(true, false).is_err() {
+                        return self.die("epoll rearm failed");
                     }
-                    Err(err) => {
-                        if err.kind() == std::io::ErrorKind::TimedOut
-                            || err.kind() == std::io::ErrorKind::WouldBlock
-                        {
-                            inner.c.timeouts.inc();
+                    return Action::Continue;
+                }
+            }
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(inflight.len());
+            for (i, f) in inflight.iter().enumerate() {
+                let bytes = f.bytes();
+                slices.push(IoSlice::new(if i == 0 { &bytes[*skip..] } else { bytes }));
+            }
+            match (*stream).write_vectored(&slices) {
+                Ok(0) => return self.die("connection closed during write"),
+                Ok(mut n) => {
+                    self.inner.c.bytes_sent.add(n as u64);
+                    if cfg.batch {
+                        self.inner.c.batch_flushes.inc();
+                        self.inner.c.batch_bytes.add(n as u64);
+                    }
+                    let mut done = 0u64;
+                    while let Some(front) = inflight.front() {
+                        let remaining = front.len() - *skip;
+                        if n >= remaining {
+                            n -= remaining;
+                            *skip = 0;
+                            inflight.pop_front();
+                            done += 1;
+                        } else {
+                            *skip += n;
+                            break;
                         }
-                        q.kill();
-                        inner.drop_conn_matching(port, &q, &format!("batched write failed: {err}"));
-                        return;
+                    }
+                    self.inner.c.frames_sent.add(done);
+                    if cfg.batch {
+                        self.inner.c.batch_frames.add(done);
+                    }
+                }
+                Err(e) if sys::is_would_block(&e) => {
+                    // Kernel buffer full: pick the flush back up on
+                    // writability, batching whatever accumulates meanwhile.
+                    if ctx.set_interest(true, true).is_err() {
+                        return self.die("epoll rearm failed");
+                    }
+                    return Action::Continue;
+                }
+                Err(e) => {
+                    if e.kind() == std::io::ErrorKind::TimedOut {
+                        self.inner.c.timeouts.inc();
+                    }
+                    return self.die(&format!("batched write failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Drain whatever the peer sent back. The protocol sends nothing on
+    /// outbound connections, so this is EOF/reset detection (plus
+    /// tolerant consumption of any future backchannel traffic).
+    fn drain_reads(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        let mut buf = ctx.take_scratch();
+        let action = loop {
+            let PeerConn::Up { stream, .. } = &mut self.conn else { break Action::Continue };
+            match stream.read(&mut buf) {
+                Ok(0) => break self.die("peer closed connection"),
+                Ok(_) => continue,
+                Err(e) if sys::is_would_block(&e) => break Action::Continue,
+                Err(e) => break self.die(&format!("connection error: {e}")),
+            }
+        };
+        ctx.put_scratch(buf);
+        action
+    }
+}
+
+impl<M: WireEncode + Send + Clone + 'static> EventHandler for PeerHandler<M> {
+    fn on_register(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        self.start_attempt(ctx)
+    }
+
+    fn on_ready(&mut self, ctx: &mut ShardCtx<'_>, readable: bool, writable: bool) -> Action {
+        match &mut self.conn {
+            PeerConn::Connecting(stream) => {
+                // Writable (or error) on a connecting socket is the
+                // verdict; SO_ERROR says which.
+                match sys::take_socket_error(stream) {
+                    Ok(()) => {
+                        let PeerConn::Connecting(stream) =
+                            std::mem::replace(&mut self.conn, PeerConn::Idle)
+                        else {
+                            unreachable!("matched above")
+                        };
+                        self.establish(ctx, stream)
+                    }
+                    Err(e) => {
+                        let timed_out = e.kind() == std::io::ErrorKind::TimedOut;
+                        self.retry_or_fail(ctx, timed_out, &e.to_string())
                     }
                 }
             }
-        })
-        .expect("spawn wire writer thread");
+            PeerConn::Up { .. } => {
+                if readable {
+                    if let Action::Close = self.drain_reads(ctx) {
+                        return Action::Close;
+                    }
+                }
+                if writable {
+                    return self.flush(ctx);
+                }
+                Action::Continue
+            }
+            PeerConn::Idle => Action::Continue,
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ShardCtx<'_>, tag: u64) -> Action {
+        match tag {
+            TAG_CONNECT => {
+                self.connect_timer = None;
+                if matches!(self.conn, PeerConn::Connecting(_)) {
+                    self.retry_or_fail(ctx, true, "timed out")
+                } else {
+                    Action::Continue
+                }
+            }
+            TAG_BACKOFF => {
+                if matches!(self.conn, PeerConn::Idle) {
+                    self.inner.c.retries.inc();
+                    self.start_attempt(ctx)
+                } else {
+                    Action::Continue
+                }
+            }
+            _ => Action::Continue,
+        }
+    }
+
+    fn on_notify(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        self.flush(ctx)
+    }
+
+    fn on_close(&mut self) {
+        // Dropping the stream closes the fd; poison the queue so senders
+        // observe the death instead of queueing into the void.
+        self.link.q.kill();
+        let _ = self.read_timer.take();
+        self.conn = PeerConn::Idle;
+    }
+}
+
+/// Accepts inbound connections and spreads them across reactor shards.
+struct AcceptHandler<M: WireEncode + Send + Clone + 'static> {
+    inner: Arc<Inner<M>>,
+    listener: TcpListener,
+}
+
+impl<M: WireEncode + Send + Clone + 'static> EventHandler for AcceptHandler<M> {
+    fn on_register(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        match ctx.register_fd(self.listener.as_raw_fd(), true, false) {
+            Ok(()) => Action::Continue,
+            Err(_) => Action::Close,
+        }
+    }
+
+    fn on_ready(&mut self, _ctx: &mut ShardCtx<'_>, _readable: bool, _writable: bool) -> Action {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let shard = self.inner.next_inbound.fetch_add(1, Ordering::Relaxed);
+                    self.inner.reactor.register_hashed(
+                        shard,
+                        Box::new(InboundHandler {
+                            inner: Arc::clone(&self.inner),
+                            stream,
+                            dec: FrameDecoder::new(),
+                            read_timer: None,
+                        }),
+                    );
+                }
+                Err(e) if sys::is_would_block(&e) => return Action::Continue,
+                Err(_) => return Action::Continue,
+            }
+        }
+    }
+}
+
+/// Per-inbound-connection frame reader: each `read` takes whatever the
+/// socket has — one frame or a coalesced batch — and [`FrameDecoder`]
+/// splits it, so a flush of N frames costs one syscall, not 2N. A frame
+/// left part-way in past `read_timeout` drops the connection (the
+/// deadline rides the shard's timer wheel; idle waiting between frames
+/// stays unbounded).
+struct InboundHandler<M: WireEncode + Send + Clone + 'static> {
+    inner: Arc<Inner<M>>,
+    stream: TcpStream,
+    dec: FrameDecoder,
+    read_timer: Option<TimerId>,
+}
+
+enum ReadOutcome {
+    KeepOpen,
+    Close,
+}
+
+impl<M: WireEncode + Send + Clone + 'static> InboundHandler<M> {
+    fn drain(&mut self, buf: &mut [u8]) -> ReadOutcome {
+        for _ in 0..MAX_READS_PER_WAKE {
+            match self.stream.read(buf) {
+                Ok(0) => {
+                    if self.dec.has_partial() {
+                        self.inner.c.timeouts.inc();
+                        let pending = self.dec.pending_bytes();
+                        self.inner.rec.event_with(Severity::Warn, "wire", None, || {
+                            format!("connection closed mid-frame ({pending} bytes pending)")
+                        });
+                    }
+                    return ReadOutcome::Close;
+                }
+                Ok(n) => {
+                    self.dec.feed(&buf[..n]);
+                    loop {
+                        match self.dec.next_payload() {
+                            Ok(Some(payload)) => {
+                                self.inner.c.bytes_recv.add(4 + payload.len() as u64);
+                                match decode_payload::<M>(&payload) {
+                                    Ok(env) => self.inner.dispatch(env),
+                                    Err(e) => {
+                                        // Framing is length-delimited, so a
+                                        // bad payload does not desynchronize
+                                        // the stream; log and keep reading.
+                                        self.inner.c.decode_errors.inc();
+                                        self.inner.rec.event_with(
+                                            Severity::Error,
+                                            "wire",
+                                            None,
+                                            || format!("{e}"),
+                                        );
+                                    }
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                // An oversized length prefix: the stream
+                                // offset is no longer trustworthy, drop the
+                                // connection.
+                                self.inner.c.decode_errors.inc();
+                                self.inner.rec.event_with(Severity::Error, "wire", None, || {
+                                    format!("{e}; dropping connection")
+                                });
+                                return ReadOutcome::Close;
+                            }
+                        }
+                    }
+                }
+                Err(e) if sys::is_would_block(&e) => return ReadOutcome::KeepOpen,
+                Err(e) => {
+                    self.inner.rec.event_with(Severity::Warn, "wire", None, || {
+                        format!("inbound connection error: {e}")
+                    });
+                    return ReadOutcome::Close;
+                }
+            }
+        }
+        // Read budget spent; level-triggered epoll re-reports the rest so
+        // shard-mates get a turn.
+        ReadOutcome::KeepOpen
+    }
+}
+
+impl<M: WireEncode + Send + Clone + 'static> EventHandler for InboundHandler<M> {
+    fn on_register(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        match ctx.register_fd(self.stream.as_raw_fd(), true, false) {
+            Ok(()) => Action::Continue,
+            Err(_) => Action::Close,
+        }
+    }
+
+    fn on_ready(&mut self, ctx: &mut ShardCtx<'_>, _readable: bool, _writable: bool) -> Action {
+        let mut buf = ctx.take_scratch();
+        let outcome = self.drain(&mut buf);
+        ctx.put_scratch(buf);
+        // Rearm the mid-frame deadline to track the newest partial; a
+        // completed frame disarms it.
+        if let Some(t) = self.read_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        match outcome {
+            ReadOutcome::KeepOpen => {
+                if self.dec.has_partial() {
+                    self.read_timer =
+                        Some(ctx.arm_timer(self.inner.cfg.read_timeout, TAG_READ_DEADLINE));
+                }
+                Action::Continue
+            }
+            ReadOutcome::Close => Action::Close,
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut ShardCtx<'_>, tag: u64) -> Action {
+        if tag != TAG_READ_DEADLINE {
+            return Action::Continue;
+        }
+        self.read_timer = None;
+        if self.dec.has_partial() {
+            self.inner.c.timeouts.inc();
+            let pending = self.dec.pending_bytes();
+            self.inner.rec.event_with(Severity::Warn, "wire", None, || {
+                format!("inbound frame timed out mid-read ({pending} bytes pending); dropping connection")
+            });
+            return Action::Close;
+        }
+        Action::Continue
+    }
+}
+
+/// Discovery datagram reader.
+struct UdpHandler<M: WireEncode + Send + Clone + 'static> {
+    inner: Arc<Inner<M>>,
+    udp: UdpSocket,
+}
+
+impl<M: WireEncode + Send + Clone + 'static> EventHandler for UdpHandler<M> {
+    fn on_register(&mut self, ctx: &mut ShardCtx<'_>) -> Action {
+        match ctx.register_fd(self.udp.as_raw_fd(), true, false) {
+            Ok(()) => Action::Continue,
+            Err(_) => Action::Close,
+        }
+    }
+
+    fn on_ready(&mut self, ctx: &mut ShardCtx<'_>, _readable: bool, _writable: bool) -> Action {
+        let mut buf = ctx.take_scratch();
+        for _ in 0..MAX_READS_PER_WAKE {
+            match self.udp.recv_from(&mut buf) {
+                Ok((n, _peer)) => match decode_payload::<M>(&buf[..n]) {
+                    Ok(env) => self.inner.dispatch(env),
+                    Err(e) => {
+                        self.inner.c.decode_errors.inc();
+                        self.inner
+                            .rec
+                            .event_with(Severity::Warn, "wire", None, || format!("udp: {e}"));
+                    }
+                },
+                Err(e) if sys::is_would_block(&e) => break,
+                Err(_) => break,
+            }
+        }
+        ctx.put_scratch(buf);
+        Action::Continue
+    }
 }
 
 /// Create a UDP socket bound to `0.0.0.0:port` with `SO_REUSEADDR`, so
@@ -722,162 +1191,11 @@ fn bind_reuse(port: u16) -> std::io::Result<UdpSocket> {
     UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::UNSPECIFIED, port))
 }
 
-fn spawn_accept_loop<M: WireEncode + Send + Clone + 'static>(
-    inner: Arc<Inner<M>>,
-    listener: TcpListener,
-) {
-    std::thread::Builder::new()
-        .name(format!("cn-wire-accept-{}", inner.port))
-        .spawn(move || loop {
-            if inner.stop.load(Ordering::Relaxed) {
-                return;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = stream.set_nodelay(true);
-                    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-                    let inner2 = Arc::clone(&inner);
-                    let _ = std::thread::Builder::new()
-                        .name(format!("cn-wire-read-{}", inner.port))
-                        .spawn(move || read_loop(inner2, stream));
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(5)));
-                }
-                Err(_) => std::thread::sleep(POLL_INTERVAL),
-            }
-        })
-        .expect("spawn wire accept thread");
-}
-
-/// Per-inbound-connection frame reader: each `read` takes whatever the
-/// socket has — one frame or a coalesced batch — and [`FrameDecoder`]
-/// splits it, so a flush of N frames costs one syscall, not 2N.
-fn read_loop<M: WireEncode + Send + Clone + 'static>(inner: Arc<Inner<M>>, mut stream: TcpStream) {
-    let mut dec = FrameDecoder::new();
-    let mut buf = vec![0u8; 64 * 1024];
-    // Armed while a frame is part-way in: silence past the deadline drops
-    // the connection. Idle waiting between frames stays unbounded.
-    let mut partial_deadline: Option<Instant> = None;
-    loop {
-        if inner.stop.load(Ordering::Relaxed) {
-            return;
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => {
-                if dec.has_partial() {
-                    inner.c.timeouts.inc();
-                    inner.rec.event_with(Severity::Warn, "wire", None, || {
-                        format!(
-                            "connection closed mid-frame ({} bytes pending)",
-                            dec.pending_bytes()
-                        )
-                    });
-                }
-                return;
-            }
-            Ok(n) => {
-                dec.feed(&buf[..n]);
-                loop {
-                    match dec.next_payload() {
-                        Ok(Some(payload)) => {
-                            inner.c.bytes_recv.add(4 + payload.len() as u64);
-                            match decode_payload::<M>(&payload) {
-                                Ok(env) => inner.dispatch(env),
-                                Err(e) => {
-                                    // Framing is length-delimited, so a bad
-                                    // payload does not desynchronize the
-                                    // stream; log and keep reading.
-                                    inner.c.decode_errors.inc();
-                                    inner.rec.event_with(Severity::Error, "wire", None, || {
-                                        format!("{e}")
-                                    });
-                                }
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(e) => {
-                            // An oversized length prefix: the stream offset
-                            // is no longer trustworthy, drop the connection.
-                            inner.c.decode_errors.inc();
-                            inner.rec.event_with(Severity::Error, "wire", None, || {
-                                format!("{e}; dropping connection")
-                            });
-                            return;
-                        }
-                    }
-                }
-                partial_deadline = if dec.has_partial() {
-                    Some(Instant::now() + inner.cfg.read_timeout)
-                } else {
-                    None
-                };
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if let Some(d) = partial_deadline {
-                    if Instant::now() > d {
-                        inner.c.timeouts.inc();
-                        inner.rec.event_with(Severity::Warn, "wire", None, || {
-                            format!(
-                                "inbound frame timed out mid-read ({} bytes pending); dropping connection",
-                                dec.pending_bytes()
-                            )
-                        });
-                        return;
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => {
-                inner.rec.event_with(Severity::Warn, "wire", None, || {
-                    format!("inbound connection error: {e}")
-                });
-                return;
-            }
-        }
-    }
-}
-
-/// Discovery datagram reader.
-fn spawn_udp_loop<M: WireEncode + Send + Clone + 'static>(inner: Arc<Inner<M>>, udp: UdpSocket) {
-    std::thread::Builder::new()
-        .name(format!("cn-wire-udp-{}", inner.port))
-        .spawn(move || {
-            let mut buf = vec![0u8; 64 * 1024];
-            loop {
-                if inner.stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                match udp.recv_from(&mut buf) {
-                    Ok((n, _peer)) => match decode_payload::<M>(&buf[..n]) {
-                        Ok(env) => inner.dispatch(env),
-                        Err(e) => {
-                            inner.c.decode_errors.inc();
-                            inner
-                                .rec
-                                .event_with(Severity::Warn, "wire", None, || format!("udp: {e}"));
-                        }
-                    },
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                    Err(_) => std::thread::sleep(POLL_INTERVAL),
-                }
-            }
-        })
-        .expect("spawn wire udp thread");
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::FabricHandle;
+    use std::net::TcpListener;
 
     // u64 is a fine stand-in message for transport tests.
     impl WireEncode for u64 {
@@ -987,8 +1305,8 @@ mod tests {
         let (addr_b, _rx_b) = b.register();
         b.send(addr_b, addr_a, 1).unwrap();
         assert_eq!(recv_within(&rx_a, 2000).msg, 1);
-        // Kill fabric A: its listener thread stops accepting and the
-        // established connection is reset when dropped.
+        // Kill fabric A: its listener stops accepting and the established
+        // connection is reset when its handler closes.
         let a_port = a.port();
         drop(a);
         std::thread::sleep(Duration::from_millis(100));
@@ -1104,7 +1422,7 @@ mod tests {
             assert_eq!(recv_within(&rx_b, 2000).msg, i);
         }
         assert_eq!(rec.counter("wire.frames_sent").get(), 50);
-        assert_eq!(rec.counter("wire.batch.flushes").get(), 0, "no writer thread when off");
+        assert_eq!(rec.counter("wire.batch.flushes").get(), 0, "no coalescing when off");
     }
 
     #[test]
@@ -1143,5 +1461,22 @@ mod tests {
         let (y, rx_y) = h.register();
         h.send(x, y, 5).unwrap();
         assert_eq!(rx_y.recv_timeout(Duration::from_millis(500)).unwrap().msg, 5);
+    }
+
+    #[test]
+    fn explicit_shard_count_is_respected() {
+        let cfg = WireConfig { reactor_shards: 3, ..WireConfig::default() };
+        let a: SocketFabric<u64> = SocketFabric::new(cfg, Recorder::disabled()).unwrap();
+        assert_eq!(a.reactor_shards(), 3);
+        let b: SocketFabric<u64> =
+            SocketFabric::new(WireConfig::default(), Recorder::disabled()).unwrap();
+        let (addr_a, _rx_a) = a.register();
+        let (addr_b, rx_b) = b.register();
+        for i in 0..20u64 {
+            a.send(addr_a, addr_b, i).unwrap();
+        }
+        for i in 0..20u64 {
+            assert_eq!(recv_within(&rx_b, 2000).msg, i);
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! cnctl lint      <file.cnx|file.xmi> [--format text|json] [--deny warnings]
 //!                 [--nodes N --node-memory MB [--node-slots S]]
 //!                 [--server-memory MB1,MB2,...] [--payload-warn-fraction F]
+//!                 [--peer-capacity N [--reactor-shards S] [--fd-soft-limit N] [--cores N]]
 //! cnctl lint      --explain CN0xx                  document one diagnostic code
 //! cnctl check     [--scenario NAME] [--seeds S1,S2,...] [--schedules N]
 //!                 [--max-steps N] [--format text|json] [--trace-dir DIR]
@@ -18,10 +19,10 @@
 //! cnctl stats     <file.xmi|examples> [--workers N]
 //! cnctl serve     [--port P] [--peers P1,P2] [--multicast] [--name NAME]
 //!                 [--memory MB] [--slots N] [--run-for SECS] [--trace out.json]
-//!                 [--no-batch]
+//!                 [--no-batch] [--reactor-shards N]
 //! cnctl submit    <file.cnx|examples> [--peers P1,P2,P3] [--multicast] [--workers N]
 //!                 [--timeout SECS] [--journal j.jsonl] [--trace out.json]
-//!                 [--no-batch]
+//!                 [--no-batch] [--reactor-shards N]
 //! ```
 //!
 //! Everything reads/writes plain files or stdout, so the tool composes with
@@ -186,6 +187,10 @@ fn validate_cnx(text: &str) -> Result<(String, i32), String> {
 /// --memory` values a wire deployment was launched with (CN019).
 /// `--payload-warn-fraction 0.25` tunes how close to the wire frame limit
 /// a task's estimated parameter payload may get before CN009 warns.
+/// `--peer-capacity N [--reactor-shards S]` describes the wire
+/// deployment's shape so CN057 can judge it against the host's fd soft
+/// limit and core count (`--fd-soft-limit` / `--cores` override the live
+/// probes to lint against a different target machine).
 fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
     let format = flag_value(args, "--format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
@@ -207,6 +212,7 @@ fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
         capacity: capacity_from_args(args)?,
         server_memory_mb: server_memory_from_args(args)?,
         payload_warn_fraction,
+        deployment: deployment_from_args(args)?,
     };
     let mut report = if looks_like_xmi(text) {
         analysis::lint_xmi_source(text, &opts)
@@ -274,13 +280,39 @@ fn server_memory_from_args(args: &[&str]) -> Result<Option<Vec<u64>>, String> {
     Ok(Some(servers))
 }
 
+/// Parse the wire-deployment shape flags for the CN057 host-capacity
+/// check. `--peer-capacity` is the gate (no expected peer count, no
+/// opinion); `--fd-soft-limit` and `--cores` replace the live host probes
+/// so a plan can be judged against the machine it will actually run on.
+fn deployment_from_args(args: &[&str]) -> Result<Option<analysis::DeploymentShape>, String> {
+    let Some(raw) = flag_value(args, "--peer-capacity") else {
+        for flag in ["--fd-soft-limit", "--cores"] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!("{flag} requires --peer-capacity"));
+            }
+        }
+        return Ok(None);
+    };
+    let parse_limit = |flag: &str| {
+        flag_value(args, flag)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad value {v:?} for {flag}")))
+            .transpose()
+    };
+    Ok(Some(analysis::DeploymentShape {
+        peer_capacity: raw.parse().map_err(|_| format!("bad peer capacity {raw:?}"))?,
+        reactor_shards: parsed_flag(args, "--reactor-shards", 0)?,
+        fd_soft_limit: parse_limit("--fd-soft-limit")?,
+        available_cores: parse_limit("--cores")?,
+    }))
+}
+
 /// `lint --explain CN0xx`: print the documentation for one diagnostic
 /// code — what it means and why it is worth fixing.
 fn explain_code(code: &str) -> Result<(String, i32), String> {
     match analysis::explain(code) {
         Some(ex) => Ok(clean(ex.render())),
         None => Err(format!(
-            "unknown diagnostic code {code:?} (codes run CN000..CN056; try `cnctl lint --explain CN001`)"
+            "unknown diagnostic code {code:?} (codes run CN000..CN057; try `cnctl lint --explain CN001`)"
         )),
     }
 }
@@ -743,6 +775,7 @@ fn serve_cmd(args: &[&str]) -> Result<String, String> {
         port,
         discovery: discovery_from_args(args)?,
         batch: !has_flag(args, "--no-batch"),
+        reactor_shards: parsed_flag(args, "--reactor-shards", 0)?,
         ..WireConfig::default()
     };
 
@@ -819,6 +852,7 @@ fn submit_cmd(args: &[&str]) -> Result<String, String> {
     let cfg = WireConfig {
         discovery: discovery_from_args(args)?,
         batch: !has_flag(args, "--no-batch"),
+        reactor_shards: parsed_flag(args, "--reactor-shards", 0)?,
         ..WireConfig::default()
     };
     let rec = Recorder::new();

@@ -182,6 +182,66 @@ fn lint_json_golden_payload_size() {
     assert!(!out.status.success());
 }
 
+/// CN057: a 10k-peer deployment plan with 4 reactor shards against an
+/// explicit 1024-fd / 2-core host — both axes warn, pinned by a golden.
+/// The `--fd-soft-limit`/`--cores` overrides keep the output independent
+/// of the machine running the test.
+#[test]
+fn lint_json_golden_reactor_capacity() {
+    let path = fixture("figure2.cnx");
+    let (stdout, code) = run_cnctl(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--peer-capacity",
+        "10000",
+        "--reactor-shards",
+        "4",
+        "--fd-soft-limit",
+        "1024",
+        "--cores",
+        "2",
+    ]);
+    assert_eq!(code, 2, "CN057 is a warning, so exit 2:\n{stdout}");
+    assert!(stdout.contains("\"code\":\"CN057\""), "{stdout}");
+    check_golden(&golden("reactor_capacity_lint.json"), &stdout);
+
+    // A shape the host can hold keeps the descriptor clean.
+    let (stdout, code) = run_cnctl(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--peer-capacity",
+        "100",
+        "--reactor-shards",
+        "2",
+        "--fd-soft-limit",
+        "1024",
+        "--cores",
+        "2",
+    ]);
+    assert_eq!(code, 0, "fitting deployment must stay quiet:\n{stdout}");
+
+    // The code is documented: `--explain CN057` renders its rationale.
+    let (stdout, code) = run_cnctl(&["lint", "--explain", "CN057"]);
+    assert_eq!(code, 0);
+    assert!(stdout.starts_with("CN057:"), "{stdout}");
+
+    // Host overrides without a peer capacity are a usage error, and so
+    // are malformed counts — not silent no-ops.
+    for bad in [&["--fd-soft-limit", "64"][..], &["--peer-capacity", "many"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cnctl"))
+            .arg("lint")
+            .arg(path.to_str().unwrap())
+            .args(bad)
+            .output()
+            .expect("run cnctl");
+        assert!(!out.status.success(), "expected failure for {bad:?}");
+    }
+}
+
 /// The CLI's JSON is the library report verbatim plus a trailing newline;
 /// anything else would let the two drift apart.
 #[test]
