@@ -33,6 +33,10 @@ pub struct LintOptions {
     /// lint --peer-capacity/--reactor-shards`). When set, CN057 judges it
     /// against the host's fd soft limit and core count.
     pub deployment: Option<DeploymentShape>,
+    /// Shape of the portal deployment in front of the cluster (`cnctl
+    /// lint --portal-max-inflight/...`). When set, CN058 judges it against
+    /// the host's fd soft limit, core count, and memory.
+    pub portal: Option<PortalShape>,
 }
 
 /// A wire deployment's shape for the CN057 host-capacity check: how many
@@ -52,6 +56,26 @@ pub struct DeploymentShape {
     pub available_cores: Option<u64>,
 }
 
+/// A portal deployment's shape for the CN058 capacity check: the
+/// admission and HTTP limits `cnctl portal` was (or will be) launched
+/// with, plus optional host-limit overrides so a plan can be judged
+/// against a *target* machine (and so goldens stay reproducible).
+#[derive(Debug, Clone)]
+pub struct PortalShape {
+    /// Configured `--max-inflight` admission cap.
+    pub max_inflight: u64,
+    /// Configured `--reactor-shards` value (0 = auto).
+    pub reactor_shards: u64,
+    /// Configured `--body-limit` request body cap, in bytes.
+    pub max_body_bytes: u64,
+    /// Process fd soft limit; `None` probes the live rlimit.
+    pub fd_soft_limit: Option<u64>,
+    /// Core count; `None` probes the live machine.
+    pub available_cores: Option<u64>,
+    /// Host memory budget for buffered bodies; `None` skips that check.
+    pub host_memory_mb: Option<u64>,
+}
+
 /// Everything a CNX pass can look at.
 pub struct CnxContext<'a> {
     pub doc: &'a CnxDocument,
@@ -62,6 +86,8 @@ pub struct CnxContext<'a> {
     pub payload_warn_fraction: f64,
     /// Deployment shape for the CN057 host-capacity check.
     pub deployment: Option<&'a DeploymentShape>,
+    /// Portal shape for the CN058 capacity check.
+    pub portal: Option<&'a PortalShape>,
 }
 
 /// Everything a model pass can look at.
@@ -138,6 +164,7 @@ impl Engine {
                 .payload_warn_fraction
                 .unwrap_or(passes::cnx::DEFAULT_PAYLOAD_WARN_FRACTION),
             deployment: opts.deployment.as_ref(),
+            portal: opts.portal.as_ref(),
         };
         let mut out = Vec::new();
         for pass in &self.cnx_passes {
@@ -267,6 +294,10 @@ pub mod codes {
     /// The deployment's peer capacity exceeds the process fd soft limit,
     /// or its `--reactor-shards` exceeds the available cores.
     pub const REACTOR_CAPACITY: &str = "CN057";
+    /// The portal's admission/HTTP limits exceed what the host can hold:
+    /// fds for in-flight submissions, shards versus cores, or buffered
+    /// request bodies versus memory.
+    pub const PORTAL_CAPACITY: &str = "CN058";
 }
 
 /// Every code constant, for exhaustiveness checks (tests, docs sync).
@@ -311,6 +342,7 @@ pub const ALL_CODES: &[&str] = &[
     codes::SCHEDULE_ASSERT,
     codes::STEP_LIMIT,
     codes::REACTOR_CAPACITY,
+    codes::PORTAL_CAPACITY,
 ];
 
 #[cfg(test)]

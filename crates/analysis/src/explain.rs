@@ -244,6 +244,19 @@ explanations! {
          wakeups and cache migration without adding parallelism. Raise \
          the fd limit (ulimit -n), shrink the deployment, or lower \
          --reactor-shards.";
+    codes::PORTAL_CAPACITY =>
+        "portal deployment shape exceeds the host's capacity",
+        "Every submission the portal admits pins file descriptors — the \
+         HTTP connection that posted it plus the job's own wire client \
+         fabric (listener, discovery sockets, worker peers) — so \
+         --max-inflight near the process fd soft limit makes accepts and \
+         submits fail exactly when the portal is busiest. Reactor shards \
+         beyond the available cores add wakeups without parallelism, and \
+         max-inflight times the request body limit bounds the memory a \
+         submission flood can pin in buffered bodies before admission \
+         pushes back. All three are knowable before launch: lower \
+         --max-inflight or --body-limit, raise the fd limit (ulimit -n), \
+         or match --reactor-shards to the cores.";
 }
 
 #[cfg(test)]

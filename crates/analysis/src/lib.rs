@@ -48,7 +48,7 @@ pub mod report;
 pub use diag::{Diagnostic, Severity};
 pub use engine::{
     codes, lint_cnx_source, lint_xmi_source, CnxContext, CnxPass, DeploymentShape, Engine,
-    LintOptions, ModelContext, ModelPass,
+    LintOptions, ModelContext, ModelPass, PortalShape,
 };
 pub use explain::{explain, Explanation};
 pub use report::LintReport;
@@ -70,6 +70,8 @@ mod tests {
             "multiplicity-bounds",
             "memory-capacity",
             "parallelism",
+            "reactor-capacity",
+            "portal-capacity",
             "recorder-capacity",
             "cnx-roundtrip",
             "model-validity",

@@ -28,6 +28,7 @@ pub fn default_passes() -> Vec<Box<dyn CnxPass>> {
         Box::new(RecorderCapacityPass),
         Box::new(ServerMemoryPass),
         Box::new(ReactorCapacityPass),
+        Box::new(PortalCapacityPass),
         Box::new(PayloadSizePass),
         Box::new(RoundtripPass),
     ]
@@ -490,6 +491,91 @@ impl CnxPass for ReactorCapacityPass {
                     dep.reactor_shards
                 ),
             ));
+        }
+    }
+}
+
+/// CN058: the portal's deployment shape exceeds what its host can hold.
+///
+/// Every in-flight submission the portal admits holds an HTTP connection
+/// fd, and each executing job opens a wire client fabric of its own (a
+/// TCP listener, UDP discovery sockets, and per-worker peer connections),
+/// so `--max-inflight` near the fd soft limit makes accepts and connects
+/// fail exactly when the portal is busiest. `--reactor-shards` beyond the
+/// core count adds wakeups without parallelism (same physics as CN057),
+/// and `max_inflight × body-limit` bounds the memory queued request
+/// bodies can pin — a cap worth checking against the host's budget before
+/// a flood finds it. `cnctl lint --portal-max-inflight N` judges the plan
+/// against the linting host, or against explicit `--fd-soft-limit` /
+/// `--cores` / `--host-memory` overrides for a different target machine.
+pub struct PortalCapacityPass;
+
+/// Non-submission fds a portal process holds: stdio, the HTTP listener,
+/// and per shard an epoll fd plus its wakeup eventfd.
+fn portal_overhead_fds(shards: u64) -> u64 {
+    3 + 1 + 2 * shards
+}
+
+/// Fds one in-flight submission can pin: the HTTP connection that posted
+/// it plus the job's own wire client fabric (TCP listener, UDP recv/send,
+/// and at least three worker peer connections on a minimal cluster).
+const FDS_PER_INFLIGHT_JOB: u64 = 1 + 3 + 3;
+
+impl CnxPass for PortalCapacityPass {
+    fn name(&self) -> &'static str {
+        "portal-capacity"
+    }
+
+    fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(portal) = ctx.portal else { return };
+        let cores = portal.available_cores.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+        });
+        let shards = if portal.reactor_shards == 0 {
+            (cn_reactor::default_shards() as u64).min(cores)
+        } else {
+            portal.reactor_shards
+        };
+        let fd_limit = match portal.fd_soft_limit {
+            Some(limit) => Some(limit),
+            None => cn_reactor::sys::fd_limits().ok().map(|(soft, _hard)| soft),
+        };
+        if let Some(limit) = fd_limit {
+            let overhead = portal_overhead_fds(shards);
+            let need = portal.max_inflight * FDS_PER_INFLIGHT_JOB + overhead;
+            if need > limit {
+                out.push(Diagnostic::new(
+                    codes::PORTAL_CAPACITY,
+                    Severity::Warning,
+                    format!(
+                        "portal admits {} in-flight submission(s), each pinning ~{FDS_PER_INFLIGHT_JOB} fd(s) (HTTP connection + the job's wire client fabric), which with {overhead} runtime fd(s) of overhead needs {need} fds against a process soft limit of {limit}: accepts and submits will fail under load (lower --max-inflight or raise the limit)",
+                        portal.max_inflight
+                    ),
+                ));
+            }
+        }
+        if portal.reactor_shards > cores {
+            out.push(Diagnostic::new(
+                codes::PORTAL_CAPACITY,
+                Severity::Warning,
+                format!(
+                    "--reactor-shards {} exceeds the {cores} available core(s): extra shards add cross-thread wakeups and cache migration without adding parallelism",
+                    portal.reactor_shards
+                ),
+            ));
+        }
+        if let Some(memory_mb) = portal.host_memory_mb {
+            let worst_mb = portal.max_inflight * portal.max_body_bytes / (1024 * 1024);
+            if worst_mb > memory_mb {
+                out.push(Diagnostic::new(
+                    codes::PORTAL_CAPACITY,
+                    Severity::Warning,
+                    format!(
+                        "portal can buffer {} in-flight bodies of up to {} byte(s) each — {worst_mb} MB in the worst case against a {memory_mb} MB host budget: a submission flood can exhaust memory before admission rejects (lower --max-inflight or --body-limit)",
+                        portal.max_inflight, portal.max_body_bytes
+                    ),
+                ));
+            }
         }
     }
 }

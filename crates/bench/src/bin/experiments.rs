@@ -200,6 +200,174 @@ fn bench_json(smoke: bool) {
     let pr7 = wire_pr7_metrics_json(smoke);
     write_atomic("BENCH_PR7.json", &pr7).expect("write BENCH_PR7.json");
     println!("wrote BENCH_PR7.json");
+
+    let pr8 = portal_pr8_metrics_json(smoke);
+    write_atomic("BENCH_PR8.json", &pr8).expect("write BENCH_PR8.json");
+    println!("wrote BENCH_PR8.json");
+}
+
+/// PR8: the HTTP portal. `conns` keep-alive connections each POST the
+/// Figure-2 XMI `per_conn` times and wait for the 202 before sending the
+/// next — so every sample is a full submit round trip: accept → parse →
+/// compile queue admission → response. Backpressured submits (429/503)
+/// are retried after a short sleep and counted, not timed. The headline
+/// number is accepted submissions/s across all connections; the CI
+/// perf-smoke gate holds it at 80% of the committed baseline.
+fn portal_pr8_metrics_json(smoke: bool) -> String {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::sync::{Arc, Barrier};
+
+    use cn_observe::Recorder;
+    use cn_portal::{PortalConfig, PortalServer, StubRunner};
+
+    // One response off a keep-alive connection: status line + headers,
+    // then exactly content-length body bytes. The bench never pipelines,
+    // so a clean read ends precisely at the body boundary.
+    fn read_portal_response(s: &mut TcpStream) -> u16 {
+        let mut buf: Vec<u8> = Vec::with_capacity(256);
+        let mut tmp = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = s.read(&mut tmp).expect("portal read");
+            assert!(n > 0, "portal closed mid-response");
+            buf.extend_from_slice(&tmp[..n]);
+        };
+        let head = std::str::from_utf8(&buf[..head_end]).expect("response head utf8");
+        let status: u16 =
+            head.split_whitespace().nth(1).and_then(|v| v.parse().ok()).expect("status code");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.trim().eq_ignore_ascii_case("content-length").then(|| v.trim().parse().ok())?
+            })
+            .unwrap_or(0);
+        let mut have = buf.len() - head_end;
+        while have < content_length {
+            let n = s.read(&mut tmp).expect("portal body read");
+            assert!(n > 0, "portal closed mid-body");
+            have += n;
+        }
+        assert_eq!(have, content_length, "read past the response body");
+        status
+    }
+
+    let conns: usize = if smoke { 4 } else { 16 };
+    let per_conn: u64 = if smoke { 10 } else { 50 };
+    let total = conns as u64 * per_conn;
+
+    let rec = Recorder::new();
+    // Every bench connection arrives from 127.0.0.1, so the per-address
+    // fairness cap must not be the bottleneck under test.
+    let cfg = PortalConfig {
+        max_inflight: 256,
+        per_addr_inflight: 256,
+        workers: 4,
+        ..PortalConfig::default()
+    };
+    let runner = Arc::new(StubRunner { journal: String::new(), delay: Duration::ZERO });
+    let mut server = PortalServer::start(cfg, runner, rec.clone()).expect("portal start");
+    let port = server.port();
+
+    let xmi = cn_xml::write_document(
+        &cn_model::export_xmi(&figure2_model(4)),
+        &cn_xml::WriteOptions::xmi(),
+    );
+    let body_bytes = xmi.len();
+
+    // One trial: all connections submit concurrently; returns the sorted
+    // latency samples, the retry count, and the wall-clock seconds.
+    let trial = || -> (Vec<f64>, u64, f64) {
+        let barrier = Arc::new(Barrier::new(conns + 1));
+        let mut handles = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let xmi = xmi.clone();
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut s = TcpStream::connect(("127.0.0.1", port)).expect("portal connect");
+                s.set_nodelay(true).expect("nodelay");
+                let head = format!(
+                    "POST /jobs HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n",
+                    xmi.len()
+                );
+                let mut lat_us: Vec<f64> = Vec::with_capacity(per_conn as usize);
+                let mut retries = 0u64;
+                barrier.wait();
+                for _ in 0..per_conn {
+                    loop {
+                        let t = Instant::now();
+                        s.write_all(head.as_bytes()).expect("portal write");
+                        s.write_all(xmi.as_bytes()).expect("portal write body");
+                        let status = read_portal_response(&mut s);
+                        if status == 202 {
+                            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+                            break;
+                        }
+                        assert!(
+                            status == 429 || status == 503,
+                            "unexpected portal status {status}"
+                        );
+                        retries += 1;
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                (lat_us, retries)
+            }));
+        }
+        barrier.wait();
+        let t = Instant::now();
+        let mut lat_us: Vec<f64> = Vec::with_capacity(total as usize);
+        let mut retries = 0u64;
+        for h in handles {
+            let (l, r) = h.join().expect("portal bench conn");
+            lat_us.extend(l);
+            retries += r;
+        }
+        (lat_us, retries, t.elapsed().as_secs_f64())
+    };
+
+    // Best-of-3 for the same reason as the PR7 burst: one trial on a small
+    // shared box can lose big to scheduling noise, and the CI gate
+    // compares against peak throughput.
+    let trials = 3u64;
+    let (mut lat_us, retries, elapsed_s) =
+        (0..trials).map(|_| trial()).min_by(|x, y| (x.2).partial_cmp(&y.2).unwrap()).unwrap();
+    let submissions_per_s = total as f64 / elapsed_s.max(1e-9);
+
+    // Let the worker pool drain the tail of accepted jobs so the reported
+    // completion count covers every trial's submissions.
+    let expected = trials * total;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let done =
+            rec.counter("portal.jobs.completed").get() + rec.counter("portal.jobs.failed").get();
+        if done >= expected || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let completed = rec.counter("portal.jobs.completed").get();
+    let failed = rec.counter("portal.jobs.failed").get();
+    let requests = rec.counter("portal.http.requests").get();
+    server.shutdown();
+    assert_eq!(failed, 0, "portal bench jobs failed");
+
+    lat_us.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let quantile = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q).round() as usize];
+    let (p50, p99) = (quantile(0.5), quantile(0.99));
+    println!(
+        "portal pr8: {conns} conns x {per_conn} submits ({body_bytes} B XMI each, best of \
+         {trials}): {submissions_per_s:.0} submissions/s, submit p50 {p50:.1} us, p99 {p99:.1} \
+         us, {retries} backpressure retries, {completed}/{expected} jobs completed"
+    );
+
+    format!(
+        "{{\n  \"bench\": \"http portal (PR8)\",\n  \"mode\": \"{mode}\",\n  \"portal\": {{\n    \"connections\": {conns},\n    \"submissions_per_conn\": {per_conn},\n    \"total_submissions\": {total},\n    \"trials\": {trials},\n    \"body_bytes\": {body_bytes},\n    \"submissions_per_s\": {submissions_per_s:.0},\n    \"submit_us\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}}},\n    \"backpressure_retries\": {retries},\n    \"http_requests\": {requests},\n    \"jobs_completed\": {completed}\n  }}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+    )
 }
 
 /// PR7: the sharded epoll reactor. Re-measures the PR5 batched/unbatched

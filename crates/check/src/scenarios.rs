@@ -66,6 +66,12 @@ pub fn all() -> &'static [Scenario] {
             fail_on_timeout_escape: true,
             run: shard_mailbox,
         },
+        Scenario {
+            name: "portal.http_parser",
+            about: "portal accept→parse→admit→respond handoff across segmented reads",
+            fail_on_timeout_escape: true,
+            run: portal_http_parser,
+        },
     ]
 }
 
@@ -276,4 +282,82 @@ fn shard_mailbox() {
 
     let fired = shard.join().expect("shard");
     assert_eq!(fired, vec![3, 1], "cancelled timer fired or deadline order broke");
+}
+
+/// The portal's front-door pipeline with the sockets removed: an "accept"
+/// thread hands TCP segments of a pipelined two-POST byte stream to a
+/// reader thread, which drives the incremental [`RequestParser`] and
+/// admits each parsed request into the bounded [`Admission`] queue; a
+/// responder thread drains the queue and records completion order. The
+/// parser must reassemble both requests whatever the segmentation, and
+/// every responder wakeup must come from `submit`'s notify — the
+/// `mutations` build elides exactly the empty→non-empty wake (the one
+/// that matters when the responder is parked), a lost wakeup surfaced by
+/// `fail_on_timeout_escape`. FIFO admission is the ordering contract
+/// pipelined HTTP responses lean on, so the recorded order is asserted
+/// too.
+fn portal_http_parser() {
+    use cn_portal::{Admission, RequestParser};
+
+    const REQUESTS: u64 = 2;
+    let admission: Arc<Admission<u64>> = Arc::new(Admission::new(8, 8));
+
+    // The wire bytes: two pipelined POSTs, pre-split mid-head and
+    // mid-body the way a socket read may deliver them.
+    let segments: Vec<&'static [u8]> = vec![
+        b"POST /jobs HTT",
+        b"P/1.1\r\ncontent-length: 5\r\n\r\nhel",
+        b"lo",
+        b"POST /jobs HTTP/1.1\r\ncontent-length: 2\r\n\r\n",
+        b"ok",
+    ];
+    let (seg_tx, seg_rx) = cn_sync::channel::unbounded_named("check.portal.segments");
+
+    let reader = {
+        let admission = Arc::clone(&admission);
+        thread::Builder::new()
+            .name("reader".into())
+            .spawn(move || {
+                let mut parser = RequestParser::new(1 << 16);
+                let mut seq = 0u64;
+                while let Ok(segment) = seg_rx.recv() {
+                    parser.feed(segment);
+                    while let Some(req) = parser.next_request().expect("well-formed stream") {
+                        assert_eq!(req.target, "/jobs");
+                        admission.submit(1, seq).expect("admission has room");
+                        seq += 1;
+                    }
+                }
+                assert!(!parser.has_partial(), "bytes left mid-request at EOF");
+                seq
+            })
+            .expect("spawn reader")
+    };
+
+    let responder = {
+        let admission = Arc::clone(&admission);
+        thread::Builder::new()
+            .name("responder".into())
+            .spawn(move || {
+                let mut order = Vec::new();
+                while order.len() < REQUESTS as usize {
+                    if let Some((key, seq)) = admission.next(Duration::from_millis(50)) {
+                        order.push(seq);
+                        admission.finish(key);
+                    }
+                }
+                order
+            })
+            .expect("spawn responder")
+    };
+
+    // The accept side: deliver each segment as its own "read".
+    for segment in segments {
+        seg_tx.send(segment).expect("reader alive");
+    }
+    drop(seg_tx);
+
+    assert_eq!(reader.join().expect("reader"), REQUESTS, "parser lost a pipelined request");
+    let order = responder.join().expect("responder");
+    assert_eq!(order, vec![0, 1], "admission broke FIFO response order");
 }

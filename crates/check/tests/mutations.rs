@@ -123,3 +123,28 @@ fn mutated_reactor_mailbox_loses_the_shard_wakeup() {
     let replayed = again.counterexample.expect("replay counterexample");
     assert_eq!(replayed.trace_jsonl(), cx.trace_jsonl(), "replay diverged from recording");
 }
+
+/// The mutated admission queue elides the empty→non-empty notify — the
+/// only wake a parked portal worker gets. The responder in the scenario
+/// survives only through its poll timeout, which the checker reports as
+/// a lost notification, proving the portal handoff scenario has teeth.
+#[test]
+fn mutated_portal_admission_loses_the_worker_wakeup() {
+    let scenario = cn_check::find("portal.http_parser").expect("registered");
+    let report = run_scenario(&scenario, &test_config());
+    assert!(report.failed(), "mutation not caught: {report:?}");
+    assert!(
+        report.hazards.iter().any(|h| h.kind == HazardKind::LostNotify),
+        "{:?}",
+        report.hazards
+    );
+
+    let diags = diagnose(&report);
+    assert!(diags.iter().any(|d| d.code == codes::LOST_NOTIFY), "{diags:?}");
+
+    let cx = report.counterexample.as_ref().expect("counterexample");
+    let again = replay(&scenario, cx);
+    assert!(again.failed(), "replay did not reproduce");
+    let replayed = again.counterexample.expect("replay counterexample");
+    assert_eq!(replayed.trace_jsonl(), cx.trace_jsonl(), "replay diverged from recording");
+}

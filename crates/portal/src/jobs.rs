@@ -1,0 +1,544 @@
+//! Jobs behind the portal: the board (id → status → journal), the
+//! compile step (XMI or CNX body → validated descriptor), the runner
+//! abstraction (wire cluster, simulated cluster, or a stub), and the
+//! submission worker pool that drains the admission queue.
+//!
+//! Every job executes against its **own** [`Recorder`], so the canonical
+//! journal streamed from `GET /jobs/<id>/journal` is exactly
+//! [`journal_jsonl_filtered`]`(rec, ["wire"])` of that run — byte-
+//! comparable with a simulated run of the same descriptor, the same
+//! differential `cnctl submit --journal` pins.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cn_cluster::NodeSpec;
+use cn_cnx::ast::CnxDocument;
+use cn_core::spaces::SpaceRegistry;
+use cn_core::{
+    execute_descriptor_seeded, execute_with_api_seeded, ClientConfig, CnApi, DynamicArgs,
+    JobHandle, Neighborhood, NeighborhoodConfig,
+};
+use cn_observe::{journal_jsonl_filtered, Recorder, LATENCY_BUCKETS_US};
+use cn_sync::Mutex;
+use cn_transform::xmi2cnx::{xmi_to_cnx_xslt, ClientSettings};
+use cn_transform::BatchTransformer;
+use cn_wire::{Discovery, FabricHandle, SocketFabric, WireConfig};
+
+use crate::admission::Admission;
+
+pub type JobId = u64;
+
+/// Submission lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+struct Entry {
+    state: JobState,
+    /// Canonical journal, available once `Done` (or the error rendering
+    /// once `Failed`).
+    journal: Option<Arc<String>>,
+    error: Option<String>,
+    tasks: usize,
+}
+
+/// The job registry: connection handlers and workers share it.
+pub struct JobBoard {
+    entries: Mutex<HashMap<JobId, Entry>>,
+    next_id: AtomicU64,
+}
+
+impl Default for JobBoard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobBoard {
+    pub fn new() -> JobBoard {
+        JobBoard {
+            entries: Mutex::named("portal.board", HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Register a fresh submission in `Queued` state.
+    pub fn create(&self) -> JobId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .insert(id, Entry { state: JobState::Queued, journal: None, error: None, tasks: 0 });
+        id
+    }
+
+    /// Drop an entry that was rejected at admission.
+    pub fn discard(&self, id: JobId) {
+        self.entries.lock().remove(&id);
+    }
+
+    pub fn mark_running(&self, id: JobId) {
+        if let Some(e) = self.entries.lock().get_mut(&id) {
+            e.state = JobState::Running;
+        }
+    }
+
+    pub fn complete(&self, id: JobId, journal: String, tasks: usize) {
+        if let Some(e) = self.entries.lock().get_mut(&id) {
+            e.state = JobState::Done;
+            e.journal = Some(Arc::new(journal));
+            e.tasks = tasks;
+        }
+    }
+
+    pub fn fail(&self, id: JobId, error: String) {
+        if let Some(e) = self.entries.lock().get_mut(&id) {
+            e.state = JobState::Failed;
+            e.journal = Some(Arc::new(format!("{{\"error\":{}}}\n", json_string(&error))));
+            e.error = Some(error);
+        }
+    }
+
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        self.entries.lock().get(&id).map(|e| e.state)
+    }
+
+    /// The streamable journal: `None` until the job reaches a terminal
+    /// state, then the full canonical journal (or the error rendering).
+    pub fn journal(&self, id: JobId) -> Option<Option<Arc<String>>> {
+        self.entries.lock().get(&id).map(|e| e.journal.clone())
+    }
+
+    /// The `GET /jobs/<id>` body.
+    pub fn status_json(&self, id: JobId) -> Option<String> {
+        let entries = self.entries.lock();
+        let e = entries.get(&id)?;
+        let mut out = format!("{{\"id\":\"j-{id}\",\"state\":\"{}\"", e.state.as_str());
+        if e.state == JobState::Done {
+            out.push_str(&format!(",\"tasks\":{}", e.tasks));
+        }
+        if let Some(err) = &e.error {
+            out.push_str(&format!(",\"error\":{}", json_string(err)));
+        }
+        out.push_str("}\n");
+        Some(out)
+    }
+}
+
+/// Minimal JSON string escaping (mirrors `cnctl`'s).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse the wire-format job id (`j-<n>`) out of a request path segment.
+pub fn parse_job_id(segment: &str) -> Option<JobId> {
+    segment.strip_prefix("j-")?.parse().ok()
+}
+
+/// A compiled submission, ready to execute.
+pub struct CompiledJob {
+    pub descriptor: CnxDocument,
+    pub cnx_text: String,
+}
+
+/// What a runner reports back for a completed job.
+pub struct RunOutcome {
+    /// Canonical journal (`journal_jsonl_filtered(rec, ["wire"])`).
+    pub journal: String,
+    /// Total task results across the descriptor's jobs.
+    pub tasks: usize,
+}
+
+/// Executes a compiled job against some cluster. The portal is generic
+/// over this so the same HTTP front end serves a live wire cluster
+/// (production), an in-process simulated neighborhood (self-contained
+/// demos), or a stub (benchmarks, tests).
+pub trait JobRunner: Send + Sync + 'static {
+    fn run(&self, job: &CompiledJob) -> Result<RunOutcome, String>;
+}
+
+/// The Figure-3 seeding every front end uses for the transitive-closure
+/// example: when the descriptor has the `tctask0`/`tctask999` shape,
+/// deposit the deterministic input matrix (same digraph as `cnctl
+/// submit`/`trace`, so journals are cross-comparable).
+pub fn seed_transitive_closure(job: &mut JobHandle, digraph_seed: u64) {
+    let names = job.task_names();
+    if names.iter().any(|n| n == "tctask0") && names.iter().any(|n| n == "tctask999") {
+        let input = cn_tasks::random_digraph(16, 0.25, 1..9, digraph_seed);
+        let worker_names: Vec<String> =
+            names.iter().filter(|n| *n != "tctask0" && *n != "tctask999").cloned().collect();
+        cn_tasks::seed_input(job, "matrix.txt", &input, &worker_names, "tctask999")
+            .expect("seed input");
+    }
+}
+
+/// Runs jobs over the real socket fabric against `cnctl serve` workers —
+/// the production path. Each job gets its own client fabric and recorder,
+/// exactly like one `cnctl submit` invocation.
+pub struct WireRunner {
+    pub discovery: Discovery,
+    pub batch: bool,
+    pub reactor_shards: usize,
+    pub timeout: Duration,
+    pub digraph_seed: u64,
+}
+
+impl JobRunner for WireRunner {
+    fn run(&self, job: &CompiledJob) -> Result<RunOutcome, String> {
+        let rec = Recorder::new();
+        let cfg = WireConfig {
+            discovery: self.discovery.clone(),
+            batch: self.batch,
+            reactor_shards: self.reactor_shards,
+            ..WireConfig::default()
+        };
+        let fabric =
+            SocketFabric::new(cfg, rec.clone()).map_err(|e| format!("client bind: {e}"))?;
+        let api = CnApi::over(
+            FabricHandle::new(fabric),
+            Arc::new(SpaceRegistry::with_recorder(&rec)),
+            ClientConfig::default(),
+        );
+        let seed = self.digraph_seed;
+        let reports = execute_with_api_seeded(
+            &api,
+            &job.descriptor,
+            &DynamicArgs::new(),
+            self.timeout,
+            |job| seed_transitive_closure(job, seed),
+        )
+        .map_err(|e| format!("execution: {e}"))?;
+        Ok(RunOutcome {
+            journal: journal_jsonl_filtered(&rec, &["wire"]),
+            tasks: reports.iter().map(|r| r.results.len()).sum(),
+        })
+    }
+}
+
+/// Runs jobs on an in-process simulated neighborhood — the self-contained
+/// mode (`cnctl portal --sim N`). One deployment per job keeps journals
+/// deterministic and byte-identical to a standalone simulated run.
+pub struct SimRunner {
+    pub nodes: usize,
+    pub timeout: Duration,
+    pub digraph_seed: u64,
+}
+
+impl JobRunner for SimRunner {
+    fn run(&self, job: &CompiledJob) -> Result<RunOutcome, String> {
+        let rec = Recorder::new();
+        let nb = Neighborhood::deploy_with(
+            NodeSpec::fleet(self.nodes, 8192, 16),
+            NeighborhoodConfig { recorder: rec.clone(), ..NeighborhoodConfig::default() },
+        );
+        cn_tasks::publish_all_archives(nb.registry());
+        let seed = self.digraph_seed;
+        let result = execute_descriptor_seeded(
+            &nb,
+            &job.descriptor,
+            &DynamicArgs::new(),
+            self.timeout,
+            |job| seed_transitive_closure(job, seed),
+        );
+        nb.shutdown();
+        let reports = result.map_err(|e| format!("execution: {e}"))?;
+        Ok(RunOutcome {
+            journal: journal_jsonl_filtered(&rec, &["wire"]),
+            tasks: reports.iter().map(|r| r.results.len()).sum(),
+        })
+    }
+}
+
+/// Validates the descriptor and returns a canned journal without touching
+/// any cluster — load tests and HTTP-layer tests use this to keep the
+/// front end honest (parse, compile, admission) while execution is free.
+pub struct StubRunner {
+    pub journal: String,
+    pub delay: Duration,
+}
+
+impl JobRunner for StubRunner {
+    fn run(&self, job: &CompiledJob) -> Result<RunOutcome, String> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        Ok(RunOutcome { journal: self.journal.clone(), tasks: job.descriptor.task_count() })
+    }
+}
+
+/// Sniff + compile one submission body: XMI goes through the cached
+/// XMI2CNX stylesheet, anything else must already be CNX. Both end in
+/// parse + validate.
+pub fn compile_submission(body: &[u8]) -> Result<CompiledJob, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "submission body is not UTF-8".to_string())?;
+    let cnx_text = if looks_like_xmi(text) {
+        xmi_to_cnx_xslt(text, &ClientSettings::default()).map_err(|e| format!("XMI2CNX: {e}"))?
+    } else {
+        text.to_string()
+    };
+    compile_cnx(cnx_text)
+}
+
+fn compile_cnx(cnx_text: String) -> Result<CompiledJob, String> {
+    let descriptor = cn_cnx::parse_cnx(&cnx_text).map_err(|e| format!("CNX parse: {e}"))?;
+    cn_cnx::validate(&descriptor).map_err(|e| format!("CNX validation: {e}"))?;
+    Ok(CompiledJob { descriptor, cnx_text })
+}
+
+/// Does the body parse as XML with an `XMI` root?
+pub fn looks_like_xmi(text: &str) -> bool {
+    cn_xml::parse(text)
+        .ok()
+        .and_then(|doc| {
+            let root = doc.root_element()?;
+            Some(doc.name(root)?.local() == "XMI")
+        })
+        .unwrap_or(false)
+}
+
+/// One queued unit of work: the job id plus the raw uploaded body.
+pub struct JobWork {
+    pub id: JobId,
+    pub body: Vec<u8>,
+}
+
+/// Max submissions one worker wakeup drains (XMI bodies in the same
+/// drain share one `BatchTransformer` pass).
+const TRANSLATE_BATCH: usize = 8;
+
+/// Spawn the submission workers that drain the admission queue: compile
+/// (batched for XMI), execute via the runner, publish the journal on the
+/// board, release the admission slots.
+pub fn spawn_workers(
+    n: usize,
+    admission: Arc<Admission<JobWork>>,
+    board: Arc<JobBoard>,
+    runner: Arc<dyn JobRunner>,
+    rec: Recorder,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n.max(1))
+        .map(|i| {
+            let admission = Arc::clone(&admission);
+            let board = Arc::clone(&board);
+            let runner = Arc::clone(&runner);
+            let rec = rec.clone();
+            std::thread::Builder::new()
+                .name(format!("cn-portal-worker-{i}"))
+                .spawn(move || worker_loop(&admission, &board, &*runner, &rec))
+                .expect("spawn portal worker")
+        })
+        .collect()
+}
+
+fn worker_loop(
+    admission: &Admission<JobWork>,
+    board: &JobBoard,
+    runner: &dyn JobRunner,
+    rec: &Recorder,
+) {
+    loop {
+        let batch = admission.next_batch(TRANSLATE_BATCH, Duration::from_millis(100));
+        if batch.is_empty() {
+            if admission.is_closed() {
+                return;
+            }
+            continue;
+        }
+        rec.counter("portal.worker.batches").inc();
+        let compiled = compile_batch(&batch);
+        for ((key, work), compiled) in batch.into_iter().zip(compiled) {
+            board.mark_running(work.id);
+            let started = Instant::now();
+            let span = rec.span_start("portal", "job-run", None);
+            let outcome = compiled.and_then(|job| runner.run(&job));
+            rec.span_end(span);
+            rec.histogram("portal.job_us", LATENCY_BUCKETS_US)
+                .record(started.elapsed().as_micros() as u64);
+            match outcome {
+                Ok(out) => {
+                    board.complete(work.id, out.journal, out.tasks);
+                    rec.counter("portal.jobs.completed").inc();
+                }
+                Err(e) => {
+                    rec.event_with(cn_observe::Severity::Warn, "portal", None, || {
+                        format!("job j-{} failed: {e}", work.id)
+                    });
+                    board.fail(work.id, e);
+                    rec.counter("portal.jobs.failed").inc();
+                }
+            }
+            admission.finish(key);
+        }
+    }
+}
+
+/// Compile a drained batch: XMI bodies share one batched XSLT pass, CNX
+/// bodies go straight to parse + validate. Result slots line up with the
+/// input batch.
+fn compile_batch(batch: &[(u64, JobWork)]) -> Vec<Result<CompiledJob, String>> {
+    let texts: Vec<Option<&str>> =
+        batch.iter().map(|(_, w)| std::str::from_utf8(&w.body).ok()).collect();
+    let xmi_idx: Vec<usize> = texts
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.map(looks_like_xmi).unwrap_or(false))
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut xmi_results: HashMap<usize, Result<String, String>> = HashMap::new();
+    if xmi_idx.len() > 1 {
+        let inputs: Vec<String> =
+            xmi_idx.iter().map(|&i| texts[i].unwrap_or_default().to_string()).collect();
+        match BatchTransformer::xmi2cnx(xmi_idx.len()) {
+            Ok(batcher) => {
+                for (&i, cnx) in xmi_idx
+                    .iter()
+                    .zip(batcher.run_with_settings(&inputs, &ClientSettings::default()))
+                {
+                    xmi_results.insert(i, cnx.map_err(|e| format!("XMI2CNX: {e}")));
+                }
+            }
+            Err(e) => {
+                for &i in &xmi_idx {
+                    xmi_results.insert(i, Err(format!("XMI2CNX: {e}")));
+                }
+            }
+        }
+    }
+
+    batch
+        .iter()
+        .enumerate()
+        .map(|(i, (_, work))| match xmi_results.remove(&i) {
+            Some(cnx) => cnx.and_then(compile_cnx),
+            None => compile_submission(&work.body),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2_cnx() -> String {
+        cn_cnx::write_cnx(&cn_cnx::ast::figure2_descriptor(2))
+    }
+
+    #[test]
+    fn board_lifecycle_and_status_json() {
+        let board = JobBoard::new();
+        let id = board.create();
+        assert_eq!(board.state(id), Some(JobState::Queued));
+        assert_eq!(board.journal(id), Some(None));
+        board.mark_running(id);
+        assert!(board.status_json(id).unwrap().contains("\"running\""));
+        board.complete(id, "{\"x\":1}\n".to_string(), 4);
+        let status = board.status_json(id).unwrap();
+        assert!(status.contains("\"done\""), "{status}");
+        assert!(status.contains("\"tasks\":4"), "{status}");
+        assert_eq!(board.journal(id).unwrap().unwrap().as_str(), "{\"x\":1}\n");
+        assert_eq!(board.status_json(999), None);
+    }
+
+    #[test]
+    fn failed_jobs_surface_the_error_in_both_views() {
+        let board = JobBoard::new();
+        let id = board.create();
+        board.fail(id, "boom \"quoted\"".to_string());
+        let status = board.status_json(id).unwrap();
+        assert!(status.contains("\"failed\""), "{status}");
+        assert!(status.contains("boom \\\"quoted\\\""), "{status}");
+        let journal = board.journal(id).unwrap().unwrap();
+        assert!(journal.starts_with("{\"error\":"), "{journal}");
+    }
+
+    #[test]
+    fn job_id_round_trips() {
+        assert_eq!(parse_job_id("j-42"), Some(42));
+        assert_eq!(parse_job_id("42"), None);
+        assert_eq!(parse_job_id("j-x"), None);
+    }
+
+    #[test]
+    fn compile_accepts_cnx_and_rejects_garbage() {
+        let ok = compile_submission(figure2_cnx().as_bytes()).unwrap();
+        assert!(ok.descriptor.task_count() >= 4);
+        let err = match compile_submission(b"definitely not a descriptor") {
+            Ok(_) => panic!("garbage compiled"),
+            Err(e) => e,
+        };
+        assert!(err.contains("CNX parse"), "{err}");
+    }
+
+    #[test]
+    fn compile_accepts_xmi() {
+        let xmi = cn_xml::write_document(
+            &cn_model::export_xmi(&cn_transform::figure2_model(2)),
+            &cn_xml::WriteOptions::xmi(),
+        );
+        let job = compile_submission(xmi.as_bytes()).unwrap();
+        assert!(job.cnx_text.contains("tctask999"), "{}", job.cnx_text);
+    }
+
+    #[test]
+    fn workers_drain_compile_and_publish() {
+        let admission: Arc<Admission<JobWork>> = Arc::new(Admission::new(8, 8));
+        let board = Arc::new(JobBoard::new());
+        let rec = Recorder::new();
+        let runner = Arc::new(StubRunner { journal: "{}\n".to_string(), delay: Duration::ZERO });
+        let workers =
+            spawn_workers(2, Arc::clone(&admission), Arc::clone(&board), runner, rec.clone());
+
+        let good = board.create();
+        admission.submit(1, JobWork { id: good, body: figure2_cnx().into_bytes() }).unwrap();
+        let bad = board.create();
+        admission.submit(2, JobWork { id: bad, body: b"junk".to_vec() }).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while board.state(good) != Some(JobState::Done)
+            || board.state(bad) != Some(JobState::Failed)
+        {
+            assert!(Instant::now() < deadline, "workers never finished the jobs");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(board.journal(good).unwrap().unwrap().as_str(), "{}\n");
+        assert_eq!(rec.counter("portal.jobs.completed").get(), 1);
+        assert_eq!(rec.counter("portal.jobs.failed").get(), 1);
+
+        admission.close();
+        for w in workers {
+            w.join().expect("worker");
+        }
+    }
+}

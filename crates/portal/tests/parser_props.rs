@@ -1,0 +1,148 @@
+//! Property tests for the portal's HTTP front door, mirroring the wire
+//! decoder's segmentation property: TCP may hand a connection handler
+//! any split of the byte stream, and the incremental [`RequestParser`]
+//! must produce the same requests, in order, as a one-shot parse — and
+//! malformed input must fail with a clean `400`-family error, never a
+//! panic or a desynchronized success.
+
+use cn_portal::http::{begin_chunked, finish_chunked, write_chunk, RequestParser};
+use proptest::prelude::*;
+
+/// Build one well-formed pipelined stream from (path, body) pairs and
+/// return the expected (path, body) sequence alongside it.
+fn build_stream(reqs: &[(u8, Vec<u8>)]) -> (Vec<u8>, Vec<(String, Vec<u8>)>) {
+    let mut stream = Vec::new();
+    let mut expect = Vec::new();
+    for (i, (path_tag, body)) in reqs.iter().enumerate() {
+        let path = format!("/p{}", path_tag % 8);
+        if body.is_empty() && i % 2 == 0 {
+            stream.extend_from_slice(format!("GET {path} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes());
+        } else {
+            stream.extend_from_slice(
+                format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len())
+                    .as_bytes(),
+            );
+            stream.extend_from_slice(body);
+        }
+        expect.push((path, body.clone()));
+    }
+    (stream, expect)
+}
+
+fn parse_with_cuts(
+    stream: &[u8],
+    cuts: &[usize],
+) -> Result<Vec<(String, Vec<u8>)>, cn_portal::HttpError> {
+    let mut splits: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+    splits.push(0);
+    splits.push(stream.len());
+    splits.sort_unstable();
+    let mut parser = RequestParser::new(1 << 20);
+    let mut got = Vec::new();
+    for pair in splits.windows(2) {
+        parser.feed(&stream[pair[0]..pair[1]]);
+        while let Some(req) = parser.next_request()? {
+            got.push((req.target, req.body));
+        }
+    }
+    Ok(got)
+}
+
+proptest! {
+    /// Any segmentation of a well-formed pipelined stream parses to the
+    /// same requests, in order, as feeding it all at once.
+    #[test]
+    fn arbitrary_segmentation_equals_one_shot(
+        reqs in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200)), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let (stream, expect) = build_stream(&reqs);
+        let split = parse_with_cuts(&stream, &cuts).expect("well-formed stream");
+        let oneshot = parse_with_cuts(&stream, &[]).expect("well-formed stream");
+        prop_assert_eq!(&split, &oneshot);
+        prop_assert_eq!(split.len(), expect.len());
+        for ((got_path, got_body), (want_path, want_body)) in split.iter().zip(&expect) {
+            prop_assert_eq!(got_path, want_path);
+            prop_assert_eq!(got_body, want_body);
+        }
+    }
+
+    /// A body encoded with the portal's chunked writer and re-parsed as a
+    /// chunked request round-trips byte-identically, under any chunk size
+    /// pattern and any read segmentation.
+    #[test]
+    fn chunked_round_trips(
+        body in proptest::collection::vec(any::<u8>(), 0..2000),
+        chunk_sizes in proptest::collection::vec(1usize..97, 1..12),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+    ) {
+        // Encode with the response-side chunked writer, then graft the
+        // chunk stream onto a request that declares chunked TE.
+        let mut encoded = Vec::new();
+        begin_chunked(&mut encoded, 200, "text/plain", true);
+        let head_len = encoded.len();
+        let mut off = 0;
+        let mut i = 0;
+        while off < body.len() {
+            let n = chunk_sizes[i % chunk_sizes.len()].min(body.len() - off);
+            write_chunk(&mut encoded, &body[off..off + n]);
+            off += n;
+            i += 1;
+        }
+        finish_chunked(&mut encoded);
+
+        let mut stream =
+            b"POST /jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".to_vec();
+        stream.extend_from_slice(&encoded[head_len..]);
+
+        let got = parse_with_cuts(&stream, &cuts).expect("well-formed chunked stream");
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(&got[0].1, &body);
+    }
+
+    /// Arbitrary garbage before the first CRLFCRLF either parses (it
+    /// happened to be a valid head) or fails with a 4xx/5xx error — the
+    /// parser never panics and an error is sticky.
+    #[test]
+    fn malformed_heads_error_cleanly(
+        junk in proptest::collection::vec(any::<u8>(), 0..300),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut stream = junk.clone();
+        stream.extend_from_slice(b"\r\n\r\n");
+        match parse_with_cuts(&stream, &cuts) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!((400..=599).contains(&e.status), "status {}", e.status);
+                // Sticky: a dead parser keeps reporting the same failure.
+                let mut parser = RequestParser::new(1 << 20);
+                parser.feed(&stream);
+                let first = parser.next_request();
+                prop_assert!(first.is_err());
+                parser.feed(b"GET / HTTP/1.1\r\n\r\n");
+                prop_assert!(parser.next_request().is_err());
+            }
+        }
+    }
+
+    /// Truncating a valid stream anywhere never yields a phantom request
+    /// beyond the bytes actually delivered.
+    #[test]
+    fn truncation_never_fabricates_requests(
+        body in proptest::collection::vec(any::<u8>(), 1..300),
+        frac in 0usize..100,
+    ) {
+        let (stream, _) = build_stream(&[(0, body)]);
+        let cut = stream.len() * frac / 100;
+        let mut parser = RequestParser::new(1 << 20);
+        parser.feed(&stream[..cut]);
+        let got = parser.next_request().expect("prefix of a valid stream");
+        prop_assert!(got.is_none());
+        prop_assert!(parser.has_partial() || cut == 0);
+        // Delivering the rest completes exactly one request.
+        parser.feed(&stream[cut..]);
+        prop_assert!(parser.next_request().expect("completed stream").is_some());
+        prop_assert!(parser.next_request().expect("drained").is_none());
+    }
+}

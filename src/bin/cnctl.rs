@@ -6,6 +6,7 @@
 //!                 [--nodes N --node-memory MB [--node-slots S]]
 //!                 [--server-memory MB1,MB2,...] [--payload-warn-fraction F]
 //!                 [--peer-capacity N [--reactor-shards S] [--fd-soft-limit N] [--cores N]]
+//!                 [--portal-max-inflight N [--portal-body-limit BYTES] [--host-memory MB]]
 //! cnctl lint      --explain CN0xx                  document one diagnostic code
 //! cnctl check     [--scenario NAME] [--seeds S1,S2,...] [--schedules N]
 //!                 [--max-steps N] [--format text|json] [--trace-dir DIR]
@@ -23,6 +24,10 @@
 //! cnctl submit    <file.cnx|examples> [--peers P1,P2,P3] [--multicast] [--workers N]
 //!                 [--timeout SECS] [--journal j.jsonl] [--trace out.json]
 //!                 [--no-batch] [--reactor-shards N]
+//! cnctl portal    [--http-port P] [--peers P1,P2 | --multicast | --sim NODES]
+//!                 [--reactor-shards N] [--max-inflight N] [--per-addr N]
+//!                 [--workers N] [--body-limit BYTES] [--timeout SECS]
+//!                 [--seed N] [--name NAME] [--run-for SECS] [--no-batch]
 //! ```
 //!
 //! Everything reads/writes plain files or stdout, so the tool composes with
@@ -119,13 +124,14 @@ fn run(args: &[String]) -> Result<(String, i32), String> {
         "stats" => stats_cmd(&rest).map(clean),
         "serve" => serve_cmd(&rest).map(clean),
         "submit" => submit_cmd(&rest).map(clean),
+        "portal" => portal_cmd(&rest).map(clean),
         "help" | "--help" | "-h" => Ok(clean(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
 
 const USAGE: &str = "usage: cnctl \
-     <validate|lint|check|transform|codegen|render|demo|example-xmi|trace|stats|serve|submit|help> \
+     <validate|lint|check|transform|codegen|render|demo|example-xmi|trace|stats|serve|submit|portal|help> \
      [args]\n";
 
 /// Wrap plain output with the success exit code.
@@ -213,6 +219,7 @@ fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
         server_memory_mb: server_memory_from_args(args)?,
         payload_warn_fraction,
         deployment: deployment_from_args(args)?,
+        portal: portal_shape_from_args(args)?,
     };
     let mut report = if looks_like_xmi(text) {
         analysis::lint_xmi_source(text, &opts)
@@ -286,9 +293,13 @@ fn server_memory_from_args(args: &[&str]) -> Result<Option<Vec<u64>>, String> {
 /// so a plan can be judged against the machine it will actually run on.
 fn deployment_from_args(args: &[&str]) -> Result<Option<analysis::DeploymentShape>, String> {
     let Some(raw) = flag_value(args, "--peer-capacity") else {
-        for flag in ["--fd-soft-limit", "--cores"] {
-            if flag_value(args, flag).is_some() {
-                return Err(format!("{flag} requires --peer-capacity"));
+        // `--fd-soft-limit`/`--cores` are shared with the CN058 portal
+        // shape, so they only need *some* gate flag to hang off.
+        if flag_value(args, "--portal-max-inflight").is_none() {
+            for flag in ["--fd-soft-limit", "--cores"] {
+                if flag_value(args, flag).is_some() {
+                    return Err(format!("{flag} requires --peer-capacity"));
+                }
             }
         }
         return Ok(None);
@@ -306,13 +317,46 @@ fn deployment_from_args(args: &[&str]) -> Result<Option<analysis::DeploymentShap
     }))
 }
 
+/// Parse the portal-deployment shape flags for the CN058 capacity check.
+/// `--portal-max-inflight` is the gate; `--portal-body-limit` defaults to
+/// the portal's built-in body cap, and `--fd-soft-limit` / `--cores` /
+/// `--host-memory` replace the live host probes so a plan can be judged
+/// against the machine it will actually run on.
+fn portal_shape_from_args(args: &[&str]) -> Result<Option<analysis::PortalShape>, String> {
+    let Some(raw) = flag_value(args, "--portal-max-inflight") else {
+        for flag in ["--portal-body-limit", "--host-memory"] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!("{flag} requires --portal-max-inflight"));
+            }
+        }
+        return Ok(None);
+    };
+    let parse_limit = |flag: &str| {
+        flag_value(args, flag)
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad value {v:?} for {flag}")))
+            .transpose()
+    };
+    Ok(Some(analysis::PortalShape {
+        max_inflight: raw.parse().map_err(|_| format!("bad portal max-inflight {raw:?}"))?,
+        reactor_shards: parsed_flag(args, "--reactor-shards", 0)?,
+        max_body_bytes: parsed_flag(
+            args,
+            "--portal-body-limit",
+            computational_neighborhood::portal::http::DEFAULT_MAX_BODY_BYTES as u64,
+        )?,
+        fd_soft_limit: parse_limit("--fd-soft-limit")?,
+        available_cores: parse_limit("--cores")?,
+        host_memory_mb: parse_limit("--host-memory")?,
+    }))
+}
+
 /// `lint --explain CN0xx`: print the documentation for one diagnostic
 /// code — what it means and why it is worth fixing.
 fn explain_code(code: &str) -> Result<(String, i32), String> {
     match analysis::explain(code) {
         Some(ex) => Ok(clean(ex.render())),
         None => Err(format!(
-            "unknown diagnostic code {code:?} (codes run CN000..CN057; try `cnctl lint --explain CN001`)"
+            "unknown diagnostic code {code:?} (codes run CN000..CN058; try `cnctl lint --explain CN001`)"
         )),
     }
 }
@@ -908,6 +952,79 @@ fn submit_cmd(args: &[&str]) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// `portal`: host the paper's web portal — an HTTP/1.1 front end on the
+/// sharded reactor. `POST /jobs` takes an XMI activity model (or a CNX
+/// descriptor), compiles it, and runs it against `cnctl serve` workers
+/// (`--peers`/`--multicast`) or an in-process simulated neighborhood
+/// (`--sim NODES`). `GET /jobs/<id>/journal` streams the run's canonical
+/// journal with chunked transfer encoding — byte-comparable with `cnctl
+/// submit --journal` for the same descriptor. Prints a readiness line
+/// (`portal <name> on 127.0.0.1:<port>`) once listening.
+fn portal_cmd(args: &[&str]) -> Result<String, String> {
+    use computational_neighborhood::observe::Recorder;
+    use computational_neighborhood::portal::{
+        http::DEFAULT_MAX_BODY_BYTES, JobRunner, PortalConfig, PortalServer, SimRunner, WireRunner,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let http_port: u16 = parsed_flag(args, "--http-port", 0)?;
+    let cfg = PortalConfig {
+        port: http_port,
+        reactor_shards: parsed_flag(args, "--reactor-shards", 0)?,
+        max_inflight: parsed_flag(args, "--max-inflight", 64)?,
+        per_addr_inflight: parsed_flag(args, "--per-addr", 4)?,
+        workers: parsed_flag(args, "--workers", 2)?,
+        max_body_bytes: parsed_flag(args, "--body-limit", DEFAULT_MAX_BODY_BYTES)?,
+        request_deadline: Duration::from_secs(parsed_flag(args, "--request-deadline", 10)?),
+        journal_wait: Duration::from_secs(parsed_flag(args, "--journal-wait", 120)?),
+    };
+    let timeout = Duration::from_secs(parsed_flag(args, "--timeout", 60)?);
+    let digraph_seed: u64 = parsed_flag(args, "--seed", 1)?;
+    let run_for: Option<u64> = flag_value(args, "--run-for")
+        .map(|v| v.parse().map_err(|_| format!("bad value {v:?} for --run-for")))
+        .transpose()?;
+
+    let runner: Arc<dyn JobRunner> = match flag_value(args, "--sim") {
+        Some(n) => {
+            let nodes: usize = n.parse().map_err(|_| format!("bad node count {n:?} for --sim"))?;
+            if nodes == 0 {
+                return Err("need at least one simulated node".to_string());
+            }
+            Arc::new(SimRunner { nodes, timeout, digraph_seed })
+        }
+        None => Arc::new(WireRunner {
+            discovery: discovery_from_args(args)?,
+            batch: !has_flag(args, "--no-batch"),
+            reactor_shards: parsed_flag(args, "--reactor-shards", 0)?,
+            timeout,
+            digraph_seed,
+        }),
+    };
+
+    let rec = Recorder::new();
+    let mut server = PortalServer::start(cfg, runner, rec)
+        .map_err(|e| format!("bind http port {http_port}: {e}"))?;
+    let port = server.port();
+    let name =
+        flag_value(args, "--name").map(str::to_string).unwrap_or_else(|| format!("portal-{port}"));
+
+    // Readiness marker: scripts (the CI portal job, the e2e test) wait for
+    // this line before POSTing.
+    println!("portal {name} on 127.0.0.1:{port}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    match run_for {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    server.shutdown();
+    Ok(format!("{name} served for {}s\n", run_for.unwrap_or(0)))
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub use cn_core as core;
 pub use cn_graph as graph;
 pub use cn_model as model;
 pub use cn_observe as observe;
+pub use cn_portal as portal;
 pub use cn_tasks as tasks;
 pub use cn_transform as transform;
 pub use cn_wire as wire;

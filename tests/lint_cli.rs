@@ -242,6 +242,74 @@ fn lint_json_golden_reactor_capacity() {
     }
 }
 
+/// CN058: a portal planned for 200 in-flight submissions with 4 reactor
+/// shards and 4 MiB bodies against an explicit 1024-fd / 2-core / 256 MB
+/// host — all three axes warn, pinned by a golden. The explicit overrides
+/// keep the output independent of the machine running the test.
+#[test]
+fn lint_json_golden_portal_capacity() {
+    let path = fixture("figure2.cnx");
+    let (stdout, code) = run_cnctl(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--portal-max-inflight",
+        "200",
+        "--reactor-shards",
+        "4",
+        "--portal-body-limit",
+        "4194304",
+        "--fd-soft-limit",
+        "1024",
+        "--cores",
+        "2",
+        "--host-memory",
+        "256",
+    ]);
+    assert_eq!(code, 2, "CN058 is a warning, so exit 2:\n{stdout}");
+    assert!(stdout.contains("\"code\":\"CN058\""), "{stdout}");
+    check_golden(&golden("portal_capacity_lint.json"), &stdout);
+
+    // A shape the host can hold keeps the descriptor clean.
+    let (stdout, code) = run_cnctl(&[
+        "lint",
+        path.to_str().unwrap(),
+        "--format",
+        "json",
+        "--portal-max-inflight",
+        "16",
+        "--reactor-shards",
+        "2",
+        "--portal-body-limit",
+        "1048576",
+        "--fd-soft-limit",
+        "1024",
+        "--cores",
+        "2",
+        "--host-memory",
+        "256",
+    ]);
+    assert_eq!(code, 0, "fitting portal must stay quiet:\n{stdout}");
+
+    // The code is documented: `--explain CN058` renders its rationale.
+    let (stdout, code) = run_cnctl(&["lint", "--explain", "CN058"]);
+    assert_eq!(code, 0);
+    assert!(stdout.starts_with("CN058:"), "{stdout}");
+
+    // Portal overrides without the gate flag are a usage error, and so
+    // are malformed counts — not silent no-ops.
+    for bad in [&["--portal-body-limit", "64"][..], &["--portal-max-inflight", "lots"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cnctl"))
+            .arg("lint")
+            .arg(path.to_str().unwrap())
+            .args(bad)
+            .output()
+            .expect("run cnctl");
+        assert!(!out.status.success(), "expected failure for {bad:?}");
+    }
+}
+
 /// The CLI's JSON is the library report verbatim plus a trailing newline;
 /// anything else would let the two drift apart.
 #[test]
