@@ -37,6 +37,10 @@ pub struct LintOptions {
     /// lint --portal-max-inflight/...`). When set, CN058 judges it against
     /// the host's fd soft limit, core count, and memory.
     pub portal: Option<PortalShape>,
+    /// Shape of the cluster's scheduler (`cnctl lint --steal-threshold/...`).
+    /// When set, CN059 judges the steal and fair-admission knobs against
+    /// the descriptor's job shapes.
+    pub scheduler: Option<SchedulerShape>,
 }
 
 /// A wire deployment's shape for the CN057 host-capacity check: how many
@@ -76,6 +80,24 @@ pub struct PortalShape {
     pub host_memory_mb: Option<u64>,
 }
 
+/// The scheduler's shape for the CN059 check: the work-stealing and
+/// fair-admission knobs a cluster was (or will be) launched with, judged
+/// against the descriptor's job shapes. Mis-sized knobs don't fail — they
+/// quietly disable the optimization (unreachable steal threshold) or turn
+/// it pathological (zero threshold, heartbeat storms), which is exactly
+/// the kind of thing worth catching before anything launches.
+#[derive(Debug, Clone)]
+pub struct SchedulerShape {
+    /// Configured steal threshold: a TaskManager is a raid victim only
+    /// when its run queue is at least this deep.
+    pub steal_threshold: u64,
+    /// Configured load-report heartbeat, in milliseconds.
+    pub steal_heartbeat_ms: u64,
+    /// Configured deficit-round-robin quantum for fair admission, in task
+    /// `memory_mb` cost units. `None` leaves the quantum checks out.
+    pub fair_quantum_mb: Option<u64>,
+}
+
 /// Everything a CNX pass can look at.
 pub struct CnxContext<'a> {
     pub doc: &'a CnxDocument,
@@ -88,6 +110,8 @@ pub struct CnxContext<'a> {
     pub deployment: Option<&'a DeploymentShape>,
     /// Portal shape for the CN058 capacity check.
     pub portal: Option<&'a PortalShape>,
+    /// Scheduler shape for the CN059 steal/fairness check.
+    pub scheduler: Option<&'a SchedulerShape>,
 }
 
 /// Everything a model pass can look at.
@@ -165,6 +189,7 @@ impl Engine {
                 .unwrap_or(passes::cnx::DEFAULT_PAYLOAD_WARN_FRACTION),
             deployment: opts.deployment.as_ref(),
             portal: opts.portal.as_ref(),
+            scheduler: opts.scheduler.as_ref(),
         };
         let mut out = Vec::new();
         for pass in &self.cnx_passes {
@@ -298,6 +323,12 @@ pub mod codes {
     /// fds for in-flight submissions, shards versus cores, or buffered
     /// request bodies versus memory.
     pub const PORTAL_CAPACITY: &str = "CN058";
+    /// The scheduler's steal/fairness knobs are mis-sized for the
+    /// descriptor or the cluster: a steal threshold the run queues can
+    /// never reach (stealing silently off), a zero threshold or heartbeat
+    /// (raid/report storms), a stale heartbeat, or a fairness quantum
+    /// below the largest task cost (multi-round admission latency).
+    pub const SCHEDULER_SHAPE: &str = "CN059";
 }
 
 /// Every code constant, for exhaustiveness checks (tests, docs sync).
@@ -343,6 +374,7 @@ pub const ALL_CODES: &[&str] = &[
     codes::STEP_LIMIT,
     codes::REACTOR_CAPACITY,
     codes::PORTAL_CAPACITY,
+    codes::SCHEDULER_SHAPE,
 ];
 
 #[cfg(test)]

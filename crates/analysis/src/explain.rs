@@ -257,6 +257,21 @@ explanations! {
          pushes back. All three are knowable before launch: lower \
          --max-inflight or --body-limit, raise the fd limit (ulimit -n), \
          or match --reactor-shards to the cores.";
+    codes::SCHEDULER_SHAPE =>
+        "scheduler steal/fairness knobs are mis-sized for the workload",
+        "Work stealing and fair admission only help when their knobs match \
+         the workload's shape. A steal threshold deeper than any run queue \
+         the descriptor can produce never fires, so the optimization is \
+         silently off; a threshold of zero raids idle victims on every \
+         load report and tasks thrash between nodes. A zero heartbeat \
+         floods the discovery group with LoadReport frames, while one \
+         beyond ten seconds feeds thieves signals staler than most jobs' \
+         runtime. And a deficit-round-robin quantum below the largest \
+         task's memory cost makes that client wait multiple full \
+         rotations per admission. Size the threshold below the largest \
+         job's task count, keep the heartbeat in the \
+         milliseconds-to-seconds range, and set the quantum at or above \
+         the largest task cost.";
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@ pub mod report;
 pub use diag::{Diagnostic, Severity};
 pub use engine::{
     codes, lint_cnx_source, lint_xmi_source, CnxContext, CnxPass, DeploymentShape, Engine,
-    LintOptions, ModelContext, ModelPass, PortalShape,
+    LintOptions, ModelContext, ModelPass, PortalShape, SchedulerShape,
 };
 pub use explain::{explain, Explanation};
 pub use report::LintReport;

@@ -29,6 +29,7 @@ pub fn default_passes() -> Vec<Box<dyn CnxPass>> {
         Box::new(ServerMemoryPass),
         Box::new(ReactorCapacityPass),
         Box::new(PortalCapacityPass),
+        Box::new(SchedulerShapePass),
         Box::new(PayloadSizePass),
         Box::new(RoundtripPass),
     ]
@@ -573,6 +574,112 @@ impl CnxPass for PortalCapacityPass {
                     format!(
                         "portal can buffer {} in-flight bodies of up to {} byte(s) each — {worst_mb} MB in the worst case against a {memory_mb} MB host budget: a submission flood can exhaust memory before admission rejects (lower --max-inflight or --body-limit)",
                         portal.max_inflight, portal.max_body_bytes
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// CN059: the scheduler's steal/fairness knobs are mis-sized for this
+/// descriptor.
+///
+/// Work stealing and fair admission are shape-sensitive: a steal threshold
+/// deeper than any run queue this descriptor can produce never fires (the
+/// optimization is silently off), a zero threshold raids even idle victims
+/// on every load report, a zero heartbeat floods the discovery group with
+/// `LoadReport` frames, and a heartbeat beyond ~10s feeds the thief load
+/// signals staler than most jobs' entire runtime. On the admission side, a
+/// deficit-round-robin quantum below the largest task cost means the
+/// busiest client's next task waits multiple full rotations before its
+/// deficit covers it. None of these fail loudly at runtime — `cnctl lint
+/// --steal-threshold N --steal-heartbeat-ms MS [--fair-quantum MB]` calls
+/// them out before launch.
+pub struct SchedulerShapePass;
+
+/// Heartbeats beyond this feed thieves load signals too stale to act on.
+const STALE_HEARTBEAT_MS: u64 = 10_000;
+
+impl CnxPass for SchedulerShapePass {
+    fn name(&self) -> &'static str {
+        "scheduler-shape"
+    }
+
+    fn run(&self, ctx: &CnxContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(sched) = ctx.scheduler else { return };
+        // The deepest run queue this descriptor can create on one node:
+        // every expanded task instance landing on the same TaskManager.
+        let max_instances: u64 = ctx
+            .doc
+            .client
+            .jobs
+            .iter()
+            .map(|job| {
+                job.tasks
+                    .iter()
+                    .map(|t| match t.multiplicity.as_deref() {
+                        Some("*") => 1,
+                        Some(m) => m.parse::<u64>().unwrap_or(1),
+                        None => 1,
+                    })
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        if sched.steal_threshold == 0 {
+            out.push(Diagnostic::new(
+                codes::SCHEDULER_SHAPE,
+                Severity::Warning,
+                "--steal-threshold 0 makes every TaskManager a raid victim on every load \
+                 report, even with an empty run queue: tasks thrash between nodes instead \
+                 of running (use a threshold of at least 1)"
+                    .to_string(),
+            ));
+        } else if max_instances > 0 && sched.steal_threshold >= max_instances {
+            out.push(Diagnostic::new(
+                codes::SCHEDULER_SHAPE,
+                Severity::Warning,
+                format!(
+                    "--steal-threshold {} can never fire: the largest job expands to {max_instances} task instance(s), so no run queue reaches that depth even if every task lands on one node — stealing is silently disabled (lower the threshold or grow the job)",
+                    sched.steal_threshold
+                ),
+            ));
+        }
+        if sched.steal_heartbeat_ms == 0 {
+            out.push(Diagnostic::new(
+                codes::SCHEDULER_SHAPE,
+                Severity::Warning,
+                "--steal-heartbeat-ms 0 multicasts a LoadReport on every queue change with \
+                 no throttle: the discovery group drowns in load traffic exactly when the \
+                 cluster is busiest (use at least a few milliseconds)"
+                    .to_string(),
+            ));
+        } else if sched.steal_heartbeat_ms > STALE_HEARTBEAT_MS {
+            out.push(Diagnostic::new(
+                codes::SCHEDULER_SHAPE,
+                Severity::Warning,
+                format!(
+                    "--steal-heartbeat-ms {} exceeds {STALE_HEARTBEAT_MS} ms: thieves pick victims from load signals staler than most jobs' entire runtime, so raids target queues that already drained (shorten the heartbeat)",
+                    sched.steal_heartbeat_ms
+                ),
+            ));
+        }
+        if let Some(quantum) = sched.fair_quantum_mb {
+            let max_cost = ctx
+                .doc
+                .client
+                .jobs
+                .iter()
+                .flat_map(|job| job.tasks.iter())
+                .map(|t| t.req.memory_mb)
+                .max()
+                .unwrap_or(0);
+            if quantum < max_cost {
+                out.push(Diagnostic::new(
+                    codes::SCHEDULER_SHAPE,
+                    Severity::Warning,
+                    format!(
+                        "--fair-quantum {quantum} is below the largest task cost ({max_cost} MB): that task's client must wait multiple full deficit-round-robin rotations before its deficit covers one admission (raise the quantum to at least the largest task's memory)"
                     ),
                 ));
             }

@@ -31,6 +31,32 @@ pub fn bench_client_config() -> cn_core::ClientConfig {
     cn_core::ClientConfig { bid_window: Duration::from_micros(500), ..Default::default() }
 }
 
+/// A neighborhood for the PR10 contention bench: one node per entry of
+/// `speeds` (`speed_pct` values; 100 = nominal, 25 = a 4x straggler),
+/// every TaskManager capped at `exec_slots` concurrent task threads so
+/// run queues actually form, with the given placement `policy` and
+/// optional work stealing.
+pub fn contention_neighborhood(
+    speeds: &[u32],
+    exec_slots: usize,
+    policy: cn_core::Policy,
+    steal: Option<cn_core::StealConfig>,
+    recorder: cn_observe::Recorder,
+) -> Neighborhood {
+    let config = NeighborhoodConfig {
+        server: ServerConfig {
+            bid_window: Duration::from_micros(500),
+            policy,
+            exec_slots: Some(exec_slots),
+            steal,
+            ..Default::default()
+        },
+        recorder,
+        ..Default::default()
+    };
+    Neighborhood::deploy_with(NodeSpec::fleet_skewed(64 * 1024, 64, speeds), config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,16 +15,41 @@ pub struct NodeSpec {
     pub name: String,
     pub memory_mb: u64,
     pub task_slots: usize,
+    /// Relative CPU speed in percent of nominal (100 = a normal node).
+    /// Simulated workloads scale their compute cost by [`NodeHandle::
+    /// work_scale`], so a `speed_pct: 25` node takes 4x as long per task —
+    /// the straggler the load-aware scheduler and work stealing exist for.
+    /// Stored as an integer permille-style percentage so `NodeSpec` stays
+    /// `Eq`/hashable.
+    pub speed_pct: u32,
 }
 
 impl NodeSpec {
     pub fn new(name: impl Into<String>, memory_mb: u64, task_slots: usize) -> Self {
-        NodeSpec { name: name.into(), memory_mb, task_slots }
+        NodeSpec { name: name.into(), memory_mb, task_slots, speed_pct: 100 }
+    }
+
+    /// Set the relative speed (percent of nominal; clamped to ≥ 1).
+    pub fn with_speed_pct(mut self, speed_pct: u32) -> Self {
+        self.speed_pct = speed_pct.max(1);
+        self
     }
 
     /// A uniform fleet of `n` nodes (`node0`, `node1`, ...).
     pub fn fleet(n: usize, memory_mb: u64, task_slots: usize) -> Vec<NodeSpec> {
         (0..n).map(|i| NodeSpec::new(format!("node{i}"), memory_mb, task_slots)).collect()
+    }
+
+    /// A fleet with per-node speeds (`speeds[i]` in percent of nominal) —
+    /// the skewed-node scenario of the contention benchmark.
+    pub fn fleet_skewed(memory_mb: u64, task_slots: usize, speeds: &[u32]) -> Vec<NodeSpec> {
+        speeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                NodeSpec::new(format!("node{i}"), memory_mb, task_slots).with_speed_pct(s)
+            })
+            .collect()
     }
 }
 
@@ -185,6 +210,12 @@ impl NodeHandle {
         Ok(Reservation { node: self.clone(), memory_mb, released: false })
     }
 
+    /// Multiplier a simulated workload applies to its compute cost on this
+    /// node: 1.0 at nominal speed, 4.0 on a `speed_pct: 25` straggler.
+    pub fn work_scale(&self) -> f64 {
+        100.0 / f64::from(self.spec.speed_pct.max(1))
+    }
+
     /// Load factor in [0, 1]: the fraction of slots in use. JobManager
     /// selection prefers lower load.
     pub fn load(&self) -> f64 {
@@ -286,6 +317,22 @@ mod tests {
         assert_eq!(fleet.len(), 3);
         assert_eq!(fleet[2].name, "node2");
         assert_eq!(fleet[0].memory_mb, 1024);
+        assert_eq!(fleet[0].speed_pct, 100);
+    }
+
+    #[test]
+    fn skewed_fleet_scales_work() {
+        let fleet = NodeSpec::fleet_skewed(1024, 2, &[100, 100, 25]);
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet[2].speed_pct, 25);
+        let fast = NodeHandle::new(fleet[0].clone());
+        let slow = NodeHandle::new(fleet[2].clone());
+        assert_eq!(fast.work_scale(), 1.0);
+        assert_eq!(slow.work_scale(), 4.0);
+        // Zero speed clamps instead of dividing by zero.
+        let n = NodeHandle::new(NodeSpec::new("z", 1, 1).with_speed_pct(0));
+        assert_eq!(n.spec().speed_pct, 1);
+        assert_eq!(n.work_scale(), 100.0);
     }
 
     #[test]

@@ -217,6 +217,7 @@ impl CnApi {
             rx,
             directory: HashMap::new(),
             task_names: Vec::new(),
+            placements: Vec::new(),
             started: false,
             space: self.spaces.get_or_create(job),
             spaces: Arc::clone(&self.spaces),
@@ -258,6 +259,10 @@ pub struct JobHandle {
     /// task name → task endpoint (learned from TaskAcks).
     directory: HashMap<String, Addr>,
     task_names: Vec<String>,
+    /// task name → server that hosts it, in creation order (from
+    /// TaskAcks). The scheduler differential tests compare these across
+    /// placement policies.
+    placements: Vec<(String, String)>,
     started: bool,
     space: Arc<TupleSpace>,
     spaces: Arc<SpaceRegistry>,
@@ -323,6 +328,12 @@ impl JobHandle {
     /// Names of the tasks created so far.
     pub fn task_names(&self) -> &[String] {
         &self.task_names
+    }
+
+    /// `(task, server)` placements in creation order, as acked by the
+    /// JobManager.
+    pub fn placements(&self) -> &[(String, String)] {
+        &self.placements
     }
 
     /// Which server's JobManager manages this job.
@@ -422,9 +433,10 @@ impl JobHandle {
         // solicit/bid/upload/assign round the JobManager ran on our behalf.
         self.dispatch.record(dispatch_start.elapsed().as_micros() as u64);
         match ack {
-            NetMsg::TaskAck { accepted: true, task_addr: Some(addr), .. } => {
+            NetMsg::TaskAck { accepted: true, task_addr: Some(addr), server, .. } => {
                 self.c_tasks.inc();
                 self.directory.insert(name.clone(), addr);
+                self.placements.push((name.clone(), server));
                 self.task_names.push(name);
                 Ok(())
             }

@@ -125,6 +125,9 @@ pub struct Bid {
     pub load: f64,
     pub free_memory_mb: u64,
     pub free_slots: usize,
+    /// Live load vector sampled when the bid was made — what
+    /// `Policy::LoadAware` ranks on.
+    pub signal: crate::scheduler::LoadSignal,
 }
 
 /// The well-defined CN protocol messages.
@@ -276,6 +279,59 @@ pub enum NetMsg {
 
     // -- Control ----------------------------------------------------------
     Shutdown,
+
+    // -- Load-aware scheduling + work stealing (DESIGN.md §14) ----------
+    /// TM → discovery group (or unicast as a steal decline): event-driven
+    /// load heartbeat. Sent when the TaskManager's load signal changes,
+    /// throttled to one multicast per `StealConfig::heartbeat` interval —
+    /// a quiescent cluster sends none, so deterministic single-job runs
+    /// stay byte-identical.
+    LoadReport {
+        server: String,
+        addr: Addr,
+        signal: crate::scheduler::LoadSignal,
+    },
+    /// Idle TM → a loaded peer: ask for one queued task. `endpoint` is a
+    /// pre-registered task endpoint on the thief, so a grant needs no
+    /// extra round-trip before messages can be forwarded.
+    StealRequest {
+        thief: String,
+        reply_to: Addr,
+        endpoint: Addr,
+    },
+    /// Victim TM → thief: at-most-once handoff of one queued, never-started
+    /// task. The victim has already dequeued it and released its
+    /// reservation; exactly one of {thief commits via `TaskMigrated`,
+    /// thief bounces via `StealReturn`} follows.
+    StealGrant {
+        job: JobId,
+        spec: TaskSpec,
+        /// The JobManager the task reports lifecycle events to.
+        jm: Addr,
+        client: Addr,
+        directory: HashMap<String, Addr>,
+        victim: String,
+        /// The task's original endpoint on the victim; peers with stale
+        /// directories keep sending here, and the victim forwards.
+        old_endpoint: Addr,
+    },
+    /// Thief → victim: could not host the granted task after all (archive
+    /// missing or reservation failed); the victim re-queues it.
+    StealReturn {
+        job: JobId,
+        task: String,
+    },
+    /// Thief → JobManager *and* thief → victim after a successful steal:
+    /// the task now lives on `server` at `task_addr`. The JM updates its
+    /// placement table (cancel paths, later directories); the victim
+    /// starts forwarding the old endpoint's queue to `task_addr`.
+    TaskMigrated {
+        job: JobId,
+        task: String,
+        server: String,
+        tm: Addr,
+        task_addr: Addr,
+    },
 }
 
 impl NetMsg {
@@ -306,6 +362,11 @@ impl NetMsg {
             NetMsg::User { .. } => "User",
             NetMsg::SeedTuple { .. } => "SeedTuple",
             NetMsg::Shutdown => "Shutdown",
+            NetMsg::LoadReport { .. } => "LoadReport",
+            NetMsg::StealRequest { .. } => "StealRequest",
+            NetMsg::StealGrant { .. } => "StealGrant",
+            NetMsg::StealReturn { .. } => "StealReturn",
+            NetMsg::TaskMigrated { .. } => "TaskMigrated",
         }
     }
 }

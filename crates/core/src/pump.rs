@@ -90,6 +90,28 @@ impl<M> MsgPump<M> {
         self.pending.push_back(env);
     }
 
+    /// Pull every already-delivered envelope matching `pred` out of the
+    /// pump (pending queue plus whatever sits unread in the channel),
+    /// preserving arrival order among both the taken and the kept. Used by
+    /// the server's fair-admission drain so deficit round-robin sees the
+    /// whole burst of contending `CreateTask`s, not just the first arrival.
+    pub fn take_matching(&mut self, mut pred: impl FnMut(&M) -> bool) -> Vec<Envelope<M>> {
+        while let Ok(env) = self.rx.try_recv() {
+            self.pending.push_back(env);
+        }
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        for env in self.pending.drain(..) {
+            if pred(&env.msg) {
+                taken.push(env);
+            } else {
+                kept.push_back(env);
+            }
+        }
+        self.pending = kept;
+        taken
+    }
+
     /// Number of stashed envelopes (diagnostic).
     pub fn stashed(&self) -> usize {
         self.pending.len()

@@ -1,10 +1,22 @@
-//! Bid-selection policies.
+//! Bid-selection policies, load signals, and fair queuing.
 //!
 //! Two selections happen in CN: the client picks a **JobManager** "based on
 //! User specified Job requirements from the list of willing JobManagers",
 //! and a JobManager picks a **TaskManager** for each task from the willing
 //! bidders. Both run the same policy machinery; the policy choice is one of
 //! the ablation axes in DESIGN.md.
+//!
+//! PR10 grows this module into the load-aware dynamic scheduler (DESIGN.md
+//! §14): [`LoadSignal`] is the live per-TaskManager load vector piggybacked
+//! on every bid, [`Policy::LoadAware`] weights placement by it (falling back
+//! to round-robin rotation when every bidder reports the same quantized
+//! score, so uniform-load runs stay journal-identical to `RoundRobin`),
+//! [`FairQueue`] is the deficit-round-robin admission queue that keeps N
+//! concurrent clients from starving each other, and [`StealConfig`] shapes
+//! the work-stealing protocol between TaskManagers.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
 
 use crate::message::Bid;
 
@@ -19,10 +31,108 @@ pub enum Policy {
     LeastLoaded,
     /// Rotate through bidders (stateful; see [`RoundRobin`]).
     RoundRobin,
+    /// Weight bids by the live [`LoadSignal`] each bidder reports (queue
+    /// depth, in-flight count, EWMA dispatch latency). When every bidder's
+    /// quantized score ties, selection degrades to the round-robin rotation
+    /// — which is what makes uniform-load runs byte-identical to
+    /// [`Policy::RoundRobin`] in the journal.
+    LoadAware,
+}
+
+impl Policy {
+    /// Parse the `--sched` CLI spelling.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "first-responder" => Some(Policy::FirstResponder),
+            "least-loaded" => Some(Policy::LeastLoaded),
+            "round-robin" => Some(Policy::RoundRobin),
+            "load-aware" => Some(Policy::LoadAware),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Policy::FirstResponder => "first-responder",
+            Policy::LeastLoaded => "least-loaded",
+            Policy::RoundRobin => "round-robin",
+            Policy::LoadAware => "load-aware",
+        }
+    }
+}
+
+/// Live load vector a TaskManager reports: sampled into every bid it makes
+/// and multicast in `LoadReport` heartbeats while the steal protocol runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadSignal {
+    /// Assigned-and-started tasks waiting in the TM run queue for an
+    /// execution slot.
+    pub queue_depth: u32,
+    /// Task threads currently executing.
+    pub in_flight: u32,
+    /// EWMA of enqueue→launch latency in microseconds (see [`Ewma`]).
+    pub ewma_dispatch_us: u64,
+}
+
+impl LoadSignal {
+    /// Quantized scalar used to rank bidders: queued work dominates,
+    /// running work next, dispatch latency (whole milliseconds) last.
+    /// Quantizing the latency term keeps sub-millisecond jitter from
+    /// breaking score ties on otherwise-idle uniform clusters.
+    pub fn score(&self) -> u64 {
+        u64::from(self.queue_depth) * 1_000_000
+            + u64::from(self.in_flight) * 10_000
+            + self.ewma_dispatch_us / 1_000
+    }
+}
+
+/// Integer exponential weighted moving average (α = 1/8), the classic
+/// TCP-RTT smoother. Tracks dispatch latency without floats so scores stay
+/// exactly reproducible across runs and architectures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ewma {
+    value: u64,
+    seeded: bool,
+}
+
+impl Ewma {
+    pub fn observe(&mut self, sample: u64) {
+        if self.seeded {
+            self.value = self.value - self.value / 8 + sample / 8;
+        } else {
+            self.value = sample;
+            self.seeded = true;
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Work-stealing shape: when a TaskManager goes idle it raids queued tasks
+/// from loaded peers (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealConfig {
+    /// A victim grants a steal only while its run-queue depth is at least
+    /// this. 0 means every idle peer raids on every task exit (thrashing —
+    /// CN059 warns).
+    pub threshold: u32,
+    /// Minimum interval between `LoadReport` heartbeat multicasts from one
+    /// TaskManager. Reports are event-driven (sent when the load signal
+    /// changes), so an idle quiescent cluster sends none.
+    pub heartbeat: Duration,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig { threshold: 2, heartbeat: Duration::from_millis(50) }
+    }
 }
 
 /// Select a bid per `policy`. `rr_counter` carries round-robin state (pass
-/// 0 for stateless policies).
+/// 0 for stateless policies). `LoadAware` here is the stateless reference
+/// (no rotation fallback); servers use [`select_load_aware`].
 pub fn select(policy: Policy, bids: &[Bid], rr_counter: usize) -> Option<&Bid> {
     if bids.is_empty() {
         return None;
@@ -43,6 +153,31 @@ pub fn select(policy: Policy, bids: &[Bid], rr_counter: usize) -> Option<&Bid> {
             ordered.sort_by(|a, b| a.server.cmp(&b.server));
             Some(ordered[rr_counter % ordered.len()])
         }
+        Policy::LoadAware => min_by_signal(bids),
+    }
+}
+
+fn min_by_signal(bids: &[Bid]) -> Option<&Bid> {
+    bids.iter().min_by(|a, b| {
+        a.signal
+            .score()
+            .cmp(&b.signal.score())
+            .then(b.free_memory_mb.cmp(&a.free_memory_mb))
+            .then(a.server.cmp(&b.server))
+    })
+}
+
+/// The stateful load-aware selection servers run: rank by quantized
+/// [`LoadSignal::score`], but when every bidder ties (an idle or uniformly
+/// loaded neighborhood) hand the pick to the round-robin rotation so the
+/// placement sequence — and therefore the journal — is identical to
+/// [`Policy::RoundRobin`].
+pub fn select_load_aware<'a>(rr: &mut RoundRobin, bids: &'a [Bid]) -> Option<&'a Bid> {
+    let first = bids.first()?.signal.score();
+    if bids.iter().all(|b| b.signal.score() == first) {
+        rr.select(bids)
+    } else {
+        min_by_signal(bids)
     }
 }
 
@@ -86,19 +221,120 @@ impl RoundRobin {
     }
 }
 
+/// Deficit-round-robin fair queue over per-client sub-queues (Shreedhar &
+/// Varghese). Each visit to a client's queue grants it `quantum` cost
+/// units of deficit; an item is served only when the accumulated deficit
+/// covers its cost, so a client submitting heavyweight tasks cannot crowd
+/// out one submitting light tasks — over any window each active client
+/// drains ~the same total cost. A single-client queue degenerates to FIFO
+/// (the property the uniform-load differential tests pin).
+#[derive(Debug)]
+pub struct FairQueue<T> {
+    quantum: u64,
+    queues: HashMap<u64, ClientQueue<T>>,
+    /// Visit order: clients in first-arrival order, rotated as visits end.
+    active: VecDeque<u64>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct ClientQueue<T> {
+    deficit: u64,
+    items: VecDeque<(u64, T)>,
+}
+
+impl<T> FairQueue<T> {
+    /// `quantum` is the cost credit per visit. Costs are caller-defined
+    /// (the server uses task `memory_mb`); a quantum below the largest
+    /// single cost still makes progress (deficit accumulates across
+    /// rounds) but serves that client in bursts — CN059 warns.
+    pub fn new(quantum: u64) -> Self {
+        FairQueue {
+            quantum: quantum.max(1),
+            queues: HashMap::new(),
+            active: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    pub fn push(&mut self, client: u64, cost: u64, item: T) {
+        if let std::collections::hash_map::Entry::Vacant(v) = self.queues.entry(client) {
+            v.insert(ClientQueue { deficit: 0, items: VecDeque::new() });
+            self.active.push_back(client);
+        }
+        let q = self.queues.get_mut(&client).expect("just inserted");
+        q.items.push_back((cost.max(1), item));
+        self.len += 1;
+    }
+
+    /// Next item in DRR order. A client whose queue drains is forgotten
+    /// (its deficit resets to zero — idle clients earn no credit).
+    pub fn pop(&mut self) -> Option<T> {
+        loop {
+            let client = *self.active.front()?;
+            let q = self.queues.get_mut(&client).expect("active implies queued");
+            match q.items.front() {
+                None => {
+                    self.queues.remove(&client);
+                    self.active.pop_front();
+                }
+                Some(&(cost, _)) if q.deficit >= cost => {
+                    let (cost, item) = q.items.pop_front().expect("front exists");
+                    q.deficit -= cost;
+                    self.len -= 1;
+                    if q.items.is_empty() {
+                        self.queues.remove(&client);
+                        self.active.pop_front();
+                    }
+                    return Some(item);
+                }
+                Some(_) => {
+                    // Visit ends unserved: grant a quantum, move to the
+                    // back, and let the deficit accumulate across rounds.
+                    q.deficit += self.quantum;
+                    self.active.rotate_left(1);
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cn_cluster::Addr;
 
     fn bid(server: &str, load: f64, mem: u64) -> Bid {
-        Bid { server: server.to_string(), addr: Addr(0), load, free_memory_mb: mem, free_slots: 4 }
+        Bid {
+            server: server.to_string(),
+            addr: Addr(0),
+            load,
+            free_memory_mb: mem,
+            free_slots: 4,
+            signal: LoadSignal::default(),
+        }
+    }
+
+    fn bid_sig(server: &str, queue: u32, inflight: u32, ewma: u64) -> Bid {
+        Bid {
+            signal: LoadSignal { queue_depth: queue, in_flight: inflight, ewma_dispatch_us: ewma },
+            ..bid(server, 0.0, 100)
+        }
     }
 
     #[test]
     fn empty_bids_select_nothing() {
         assert!(select(Policy::LeastLoaded, &[], 0).is_none());
         assert!(RoundRobin::new().select(&[]).is_none());
+        assert!(select_load_aware(&mut RoundRobin::new(), &[]).is_none());
     }
 
     #[test]
@@ -150,5 +386,133 @@ mod tests {
         // One leaves: rebuild again, arrival order irrelevant.
         let bids = vec![bid("b", 0.0, 0), bid("a", 0.0, 0)];
         assert_eq!(rr.select(&bids).unwrap().server, "a", "counter=2 → wraps to first");
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in
+            [Policy::FirstResponder, Policy::LeastLoaded, Policy::RoundRobin, Policy::LoadAware]
+        {
+            assert_eq!(Policy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Policy::parse("fastest"), None);
+    }
+
+    #[test]
+    fn load_signal_score_orders_queue_over_inflight_over_latency() {
+        let queued = LoadSignal { queue_depth: 1, in_flight: 0, ewma_dispatch_us: 0 };
+        let busy = LoadSignal { queue_depth: 0, in_flight: 3, ewma_dispatch_us: 0 };
+        let slow = LoadSignal { queue_depth: 0, in_flight: 0, ewma_dispatch_us: 900_000 };
+        assert!(queued.score() > busy.score());
+        assert!(busy.score() > slow.score());
+        // Sub-millisecond latency jitter does not perturb the score.
+        let a = LoadSignal { ewma_dispatch_us: 400, ..LoadSignal::default() };
+        let b = LoadSignal { ewma_dispatch_us: 900, ..LoadSignal::default() };
+        assert_eq!(a.score(), b.score());
+    }
+
+    #[test]
+    fn load_aware_prefers_least_loaded_signal() {
+        let bids =
+            vec![bid_sig("a", 3, 2, 5_000), bid_sig("b", 0, 1, 2_000), bid_sig("c", 1, 0, 1_000)];
+        let mut rr = RoundRobin::new();
+        assert_eq!(select_load_aware(&mut rr, &bids).unwrap().server, "b");
+        assert_eq!(select(Policy::LoadAware, &bids, 0).unwrap().server, "b");
+    }
+
+    #[test]
+    fn load_aware_ties_fall_back_to_round_robin_rotation() {
+        let bids = vec![bid_sig("b", 0, 0, 0), bid_sig("a", 0, 0, 0), bid_sig("c", 0, 0, 0)];
+        let mut la = RoundRobin::new();
+        let mut rr = RoundRobin::new();
+        for _ in 0..6 {
+            assert_eq!(
+                select_load_aware(&mut la, &bids).unwrap().server,
+                rr.select(&bids).unwrap().server,
+                "uniform signals must reproduce the round-robin sequence"
+            );
+        }
+    }
+
+    #[test]
+    fn ewma_smooths_toward_samples() {
+        let mut e = Ewma::default();
+        assert_eq!(e.get(), 0);
+        e.observe(800);
+        assert_eq!(e.get(), 800, "first sample seeds the average");
+        for _ in 0..64 {
+            e.observe(0);
+        }
+        assert!(e.get() < 800 / 8, "decays toward zero: {}", e.get());
+        for _ in 0..64 {
+            e.observe(1_000);
+        }
+        assert!(e.get() > 800, "climbs toward the new plateau: {}", e.get());
+    }
+
+    #[test]
+    fn fair_queue_single_client_is_fifo() {
+        let mut q = FairQueue::new(10);
+        for i in 0..5 {
+            q.push(7, 25, i); // cost > quantum: deficit must span rounds
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, [0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fair_queue_interleaves_equal_cost_clients() {
+        let mut q = FairQueue::new(1);
+        for i in 0..3 {
+            q.push(1, 1, format!("a{i}"));
+        }
+        for i in 0..3 {
+            q.push(2, 1, format!("b{i}"));
+        }
+        let drained: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, ["a0", "b0", "a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn fair_queue_balances_cost_not_item_count() {
+        // Client 1 submits heavy items (cost 4), client 2 light ones
+        // (cost 1). DRR serves ~equal total cost per round: each heavy
+        // item lets four light items through.
+        let mut q = FairQueue::new(4);
+        for i in 0..2 {
+            q.push(1, 4, format!("heavy{i}"));
+        }
+        for i in 0..8 {
+            q.push(2, 1, format!("light{i}"));
+        }
+        let drained: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        let first_heavy = drained.iter().position(|s| s == "heavy0").unwrap();
+        let second_heavy = drained.iter().position(|s| s == "heavy1").unwrap();
+        let lights_between =
+            drained[first_heavy..second_heavy].iter().filter(|s| s.starts_with("light")).count();
+        assert_eq!(drained.len(), 10);
+        assert_eq!(lights_between, 4, "equal cost share per round: {drained:?}");
+    }
+
+    #[test]
+    fn fair_queue_zero_cost_items_still_progress() {
+        let mut q = FairQueue::new(0); // quantum clamps to 1
+        q.push(1, 0, "x"); // cost clamps to 1
+        assert_eq!(q.pop(), Some("x"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fair_queue_forgets_drained_clients() {
+        let mut q = FairQueue::new(100);
+        q.push(1, 1, "a");
+        assert_eq!(q.pop(), Some("a"));
+        // Client 1 drained; its banked deficit must not survive.
+        q.push(1, 1, "b");
+        q.push(2, 1, "c");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("c"));
     }
 }

@@ -12,12 +12,12 @@
 //! per-task message queues and runs each task in its own thread
 //! (`RUN_AS_THREAD_IN_TM`).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cn_cluster::{Addr, Envelope, NodeHandle};
-use cn_observe::{Counter, Recorder, Severity};
+use cn_observe::{Counter, Gauge, Recorder, Severity};
 use cn_sync::channel::Receiver;
 use cn_sync::thread::JoinHandle;
 use cn_wire::FabricHandle;
@@ -25,7 +25,9 @@ use cn_wire::FabricHandle;
 use crate::archive::ArchiveRegistry;
 use crate::message::{Bid, JobId, NetMsg, TaskSpec, UserData, CLIENT_TASK_NAME};
 use crate::pump::MsgPump;
-use crate::scheduler::{select, Policy, RoundRobin};
+use crate::scheduler::{
+    select, select_load_aware, Ewma, FairQueue, LoadSignal, Policy, RoundRobin, StealConfig,
+};
 use crate::spaces::SpaceRegistry;
 use crate::task::TaskContext;
 use crate::tuplespace::Tuple;
@@ -39,6 +41,18 @@ pub struct ServerConfig {
     pub assign_timeout: Duration,
     /// Bid selection policy for task placement.
     pub policy: Policy,
+    /// Maximum task threads running concurrently on this TaskManager.
+    /// `None` keeps the historical behavior (every started task launches
+    /// immediately); with a cap, started tasks beyond it wait in the run
+    /// queue — the queue that feeds [`LoadSignal`] and the steal protocol.
+    pub exec_slots: Option<usize>,
+    /// Work-stealing shape; `None` disables stealing entirely (no
+    /// `LoadReport` heartbeats, no raids), which also keeps the sim
+    /// journal free of steal events.
+    pub steal: Option<StealConfig>,
+    /// Deficit-round-robin quantum (in task `memory_mb` cost units) for
+    /// per-client fair admission of `CreateTask` bursts.
+    pub fair_quantum_mb: u64,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +61,9 @@ impl Default for ServerConfig {
             bid_window: Duration::from_millis(5),
             assign_timeout: Duration::from_secs(2),
             policy: Policy::LeastLoaded,
+            exec_slots: None,
+            steal: None,
+            fair_quantum_mb: 1024,
         }
     }
 }
@@ -76,6 +93,7 @@ impl CnServer {
         let (addr, rx) = net.register();
         net.join_group(addr, cn_cluster::DISCOVERY_GROUP);
         let rec = net.recorder().clone();
+        let fair_quantum = config.fair_quantum_mb;
         let state = ServerState {
             name: name.clone(),
             addr,
@@ -89,12 +107,27 @@ impl CnServer {
             uploaded: HashSet::new(),
             rr: RoundRobin::new(),
             task_threads: Vec::new(),
+            fairq: FairQueue::new(fair_quantum),
+            draining: false,
+            run_queue: VecDeque::new(),
+            running: 0,
+            dispatch_ewma: Ewma::default(),
+            peer_loads: HashMap::new(),
+            steal_pending: None,
+            steal_endpoint: None,
+            last_reported: None,
+            last_report_at: None,
             c_jm_bids: rec.counter("server.jm_bids_sent"),
             c_tm_bids: rec.counter("server.tm_bids_sent"),
             c_task_solicits: rec.counter("server.task_solicitations"),
             c_tasks_started: rec.counter("server.tasks_started"),
             c_tasks_completed: rec.counter("server.tasks_completed"),
             c_tasks_failed: rec.counter("server.tasks_failed"),
+            c_steals: rec.counter("server.steals"),
+            c_steal_requests: rec.counter("server.steal_requests"),
+            c_steal_returns: rec.counter("server.steal_returns"),
+            g_queue_depth: rec.gauge("server.run_queue_depth"),
+            g_inflight: rec.gauge("server.tasks_inflight"),
             rec,
             net: net.clone(),
         };
@@ -143,7 +176,22 @@ struct TmTask {
     endpoint: Addr,
     rx: Option<Receiver<Envelope<NetMsg>>>,
     reservation: Option<cn_cluster::node::Reservation>,
+    /// `StartTask` received (dedup guard).
     started: bool,
+    /// Task thread spawned. `started && !launched` means the task sits in
+    /// the run queue waiting for an execution slot.
+    launched: bool,
+    /// Directory + client held while the task waits in the run queue.
+    start_info: Option<(HashMap<String, Addr>, Addr)>,
+    /// When the task entered the run queue (feeds the dispatch EWMA).
+    enqueued_at: Option<Instant>,
+    /// A `StealGrant` is outstanding: the reservation is released and the
+    /// task is off the run queue until `TaskMigrated` commits the handoff
+    /// or `StealReturn` bounces it back.
+    migrated: bool,
+    /// Thief side: the task's old endpoint at the victim, told to shut its
+    /// forwarder down when the stolen task exits.
+    stolen_from: Option<Addr>,
 }
 
 struct ServerState {
@@ -161,6 +209,28 @@ struct ServerState {
     uploaded: HashSet<String>,
     rr: RoundRobin,
     task_threads: Vec<JoinHandle<()>>,
+    /// Per-client deficit-round-robin admission queue for `CreateTask`.
+    fairq: FairQueue<(JobId, TaskSpec, Addr)>,
+    /// Whether the fair-admission drain loop is already on the stack
+    /// (placement recurses into `handle` via nested waits).
+    draining: bool,
+    /// Started-but-not-launched tasks waiting for an execution slot.
+    run_queue: VecDeque<(JobId, String)>,
+    /// Task threads currently executing (launched, not yet exited).
+    running: usize,
+    /// Enqueue→launch latency smoother; third component of [`LoadSignal`].
+    dispatch_ewma: Ewma,
+    /// Last load signal heard from each peer server (steal mode only).
+    peer_loads: HashMap<Addr, (String, LoadSignal)>,
+    /// Outstanding steal request: victim addr + when it was sent. Cleared
+    /// by any `LoadReport` from the victim (the decline path) or by the
+    /// grant; the timestamp is a staleness escape hatch.
+    steal_pending: Option<(Addr, Instant)>,
+    /// Pre-registered endpoint reused across steal requests.
+    steal_endpoint: Option<(Addr, Receiver<Envelope<NetMsg>>)>,
+    /// Throttle state for `LoadReport` multicasts.
+    last_reported: Option<LoadSignal>,
+    last_report_at: Option<Instant>,
     rec: Recorder,
     c_jm_bids: Counter,
     c_tm_bids: Counter,
@@ -168,6 +238,11 @@ struct ServerState {
     c_tasks_started: Counter,
     c_tasks_completed: Counter,
     c_tasks_failed: Counter,
+    c_steals: Counter,
+    c_steal_requests: Counter,
+    c_steal_returns: Counter,
+    g_queue_depth: Gauge,
+    g_inflight: Gauge,
 }
 
 impl ServerState {
@@ -241,40 +316,14 @@ impl ServerState {
                 );
             }
             NetMsg::CreateTask { job, spec, reply_to } => {
-                let result = self.place_task(job, spec.clone());
-                match result {
-                    Ok((tm_addr, task_addr, server)) => {
-                        if let Some(j) = self.jm_jobs.get_mut(&job) {
-                            j.specs.push(spec.clone());
-                            j.assigned
-                                .insert(spec.name.clone(), (tm_addr, task_addr, server.clone()));
-                        }
-                        self.send(
-                            reply_to,
-                            NetMsg::TaskAck {
-                                job,
-                                task: spec.name,
-                                accepted: true,
-                                reason: String::new(),
-                                server,
-                                task_addr: Some(task_addr),
-                            },
-                        );
-                    }
-                    Err(reason) => {
-                        self.send(
-                            reply_to,
-                            NetMsg::TaskAck {
-                                job,
-                                task: spec.name,
-                                accepted: false,
-                                reason,
-                                server: String::new(),
-                                task_addr: None,
-                            },
-                        );
-                    }
-                }
+                // Admission is deficit-round-robin over per-client queues:
+                // a client flooding heavyweight tasks cannot starve one
+                // submitting light ones. A lone client degenerates to FIFO,
+                // so single-client placement order (and the journal) is
+                // unchanged.
+                let cost = spec.memory_mb;
+                self.fairq.push(reply_to.0, cost, (job, spec, reply_to));
+                self.drain_fair_queue();
             }
             NetMsg::StartJob { job } => self.jm_start_ready(job),
             NetMsg::CancelJob { job } => self.jm_cancel_job(job),
@@ -310,16 +359,28 @@ impl ServerState {
                 self.tm_start(job, &task, directory, client)
             }
             NetMsg::CancelTask { job, task } => self.tm_cancel(job, &task),
-            NetMsg::TaskExited { job, task } => {
-                self.tm_tasks.remove(&(job, task));
-                // Wire mode: this process owns a private replica of the
-                // job's tuple space; drop it once the last local task of
-                // the job is gone. (On a shared-memory fabric the client's
-                // JobHandle owns that cleanup — removing here would hand
-                // later tasks of the same job a fresh empty space.)
-                if !self.net.shared_memory() && !self.tm_tasks.keys().any(|(j, _)| *j == job) {
-                    self.spaces.remove(job);
+            NetMsg::TaskExited { job, task } => self.tm_task_exited(job, task),
+
+            // ---- Load-aware scheduling & work stealing -----------------
+            NetMsg::LoadReport { server, addr, signal } if addr != self.addr => {
+                // A report from the pending victim doubles as the decline
+                // signal: clear the outstanding request so the thief may
+                // retry (possibly at a different victim).
+                if self.steal_pending.is_some_and(|(v, _)| v == addr) {
+                    self.steal_pending = None;
                 }
+                self.peer_loads.insert(addr, (server, signal));
+                self.maybe_steal();
+            }
+            NetMsg::LoadReport { .. } => {}
+            NetMsg::StealRequest { thief, reply_to, endpoint } => {
+                self.tm_steal_request(thief, reply_to, endpoint)
+            }
+            NetMsg::StealGrant { job, spec, jm, client, directory, victim, old_endpoint } => self
+                .tm_steal_grant(env.from, job, spec, jm, client, directory, victim, old_endpoint),
+            NetMsg::StealReturn { job, task } => self.tm_steal_return(job, task),
+            NetMsg::TaskMigrated { job, task, server, tm, task_addr } => {
+                self.task_migrated(job, task, server, tm, task_addr)
             }
 
             // ---- Tuple seeding (wire mode) ----------------------------
@@ -362,6 +423,17 @@ impl ServerState {
         }
     }
 
+    /// The live load vector this TaskManager advertises: run-queue depth,
+    /// in-flight task threads, smoothed dispatch latency. Piggybacked on
+    /// every bid and multicast in `LoadReport` heartbeats.
+    fn load_signal(&self) -> LoadSignal {
+        LoadSignal {
+            queue_depth: self.run_queue.len() as u32,
+            in_flight: self.running as u32,
+            ewma_dispatch_us: self.dispatch_ewma.get(),
+        }
+    }
+
     fn own_bid(&self) -> Bid {
         Bid {
             server: self.name.clone(),
@@ -369,6 +441,7 @@ impl ServerState {
             load: self.node.load(),
             free_memory_mb: self.node.free_memory_mb(),
             free_slots: self.node.free_slots(),
+            signal: self.load_signal(),
         }
     }
 
@@ -425,6 +498,10 @@ impl ServerState {
         while !remaining.is_empty() {
             let chosen = match self.config.policy {
                 Policy::RoundRobin => self.rr.select(&remaining).cloned(),
+                // Load-aware shares the round-robin rotation state so a
+                // uniformly loaded neighborhood places identically to
+                // `RoundRobin` (the journal-differential property).
+                Policy::LoadAware => select_load_aware(&mut self.rr, &remaining).cloned(),
                 p => select(p, &remaining, 0).cloned(),
             }
             .expect("remaining is non-empty");
@@ -665,30 +742,76 @@ impl ServerState {
                 rx: Some(rx),
                 reservation: Some(reservation),
                 started: false,
+                launched: false,
+                start_info: None,
+                enqueued_at: None,
+                migrated: false,
+                stolen_from: None,
             },
         );
         Ok(endpoint)
     }
 
-    /// Run an assigned task on its own thread.
-    fn tm_start(
-        &mut self,
-        job: JobId,
-        task: &str,
-        directory: HashMap<String, Addr>,
-        _client: Addr,
-    ) {
-        let Some(t) = self.tm_tasks.get_mut(&(job, task.to_string())) else { return };
+    /// Admit a started task: launch immediately while an execution slot is
+    /// free, otherwise park it in the run queue (where it becomes steal
+    /// bait). With `exec_slots: None` every task launches immediately —
+    /// the historical behavior.
+    fn tm_start(&mut self, job: JobId, task: &str, directory: HashMap<String, Addr>, client: Addr) {
+        let key = (job, task.to_string());
+        let Some(t) = self.tm_tasks.get_mut(&key) else { return };
         if t.started {
             return;
         }
         t.started = true;
+        let cap = self.config.exec_slots.unwrap_or(usize::MAX);
+        if self.running < cap {
+            self.launch_task(job, task, directory, Instant::now());
+        } else {
+            t.start_info = Some((directory, client));
+            t.enqueued_at = Some(Instant::now());
+            self.run_queue.push_back(key);
+            self.g_queue_depth.add(1);
+            self.load_changed();
+        }
+    }
+
+    /// Launch the next queued task(s) while execution slots are free.
+    fn launch_next_queued(&mut self) {
+        let cap = self.config.exec_slots.unwrap_or(usize::MAX);
+        while self.running < cap {
+            let Some((job, task)) = self.run_queue.pop_front() else { break };
+            self.g_queue_depth.add(-1);
+            let Some(t) = self.tm_tasks.get_mut(&(job, task.clone())) else { continue };
+            let Some((directory, _client)) = t.start_info.take() else { continue };
+            let since = t.enqueued_at.take().unwrap_or_else(Instant::now);
+            self.launch_task(job, &task, directory, since);
+        }
+    }
+
+    /// Run an assigned task on its own thread.
+    fn launch_task(
+        &mut self,
+        job: JobId,
+        task: &str,
+        directory: HashMap<String, Addr>,
+        queued_since: Instant,
+    ) {
+        let Some(t) = self.tm_tasks.get_mut(&(job, task.to_string())) else { return };
+        if t.launched {
+            return;
+        }
+        t.launched = true;
         let Some(rx) = t.rx.take() else { return };
+        self.dispatch_ewma.observe(queued_since.elapsed().as_micros() as u64);
+        self.running += 1;
+        self.g_inflight.add(1);
+        let t = self.tm_tasks.get_mut(&(job, task.to_string())).expect("present above");
         let reservation = t.reservation.take();
         let spec = t.spec.clone();
         let endpoint = t.endpoint;
         let net = self.net.clone();
         let jm = t.jm;
+        let work_scale = self.node.work_scale();
         let local_tm = self.addr;
         let registry = Arc::clone(&self.registry);
         let space = self.spaces.get_or_create(job);
@@ -748,6 +871,7 @@ impl ServerState {
                     directory,
                     space,
                     stash: Vec::new(),
+                    work_scale,
                 };
                 let outcome = instance.run(&mut ctx);
                 // The task span must close before TaskCompleted/TaskFailed is
@@ -786,16 +910,399 @@ impl ServerState {
     fn tm_cancel(&mut self, job: JobId, task: &str) {
         let key = (job, task.to_string());
         let Some(t) = self.tm_tasks.get(&key) else { return };
-        if t.started {
+        if t.launched {
             // Poke the task's queue; it sees Shutdown at its next recv. The
             // bookkeeping entry is dropped when the thread reports
             // TaskExited.
             let _ = self.net.send(self.addr, t.endpoint, NetMsg::Shutdown);
         } else {
-            // Never started: release the reservation and the queue.
+            // Never launched: release the reservation and the queue (and
+            // the run-queue slot, if it was parked waiting to execute).
             let t = self.tm_tasks.remove(&key).expect("checked above");
+            if self.run_queue.contains(&key) {
+                self.run_queue.retain(|k| *k != key);
+                self.g_queue_depth.add(-1);
+            }
             self.net.unregister(t.endpoint);
             drop(t); // reservation released here
+            self.load_changed();
         }
+    }
+
+    /// A task thread finished (completed, failed, or was cancelled): free
+    /// its slot, launch queued work, and — now that we may be idle — go
+    /// raiding.
+    fn tm_task_exited(&mut self, job: JobId, task: String) {
+        if let Some(t) = self.tm_tasks.remove(&(job, task)) {
+            if t.launched {
+                self.running = self.running.saturating_sub(1);
+                self.g_inflight.add(-1);
+            }
+            // Thief side of a migration: the victim keeps a forwarder
+            // thread alive on the task's old endpoint; shut it down now
+            // that nothing will ever answer there.
+            if let Some(old_endpoint) = t.stolen_from {
+                self.send(old_endpoint, NetMsg::Shutdown);
+            }
+        }
+        // Wire mode: this process owns a private replica of the job's
+        // tuple space; drop it once the last local task of the job is
+        // gone. (On a shared-memory fabric the client's JobHandle owns
+        // that cleanup — removing here would hand later tasks of the same
+        // job a fresh empty space.)
+        if !self.net.shared_memory() && !self.tm_tasks.keys().any(|(j, _)| *j == job) {
+            self.spaces.remove(job);
+        }
+        self.launch_next_queued();
+        self.load_changed();
+        self.maybe_steal();
+    }
+
+    // ---- Fair admission -------------------------------------------------
+
+    /// Serve queued `CreateTask`s in deficit-round-robin order. Before
+    /// each pick, envelopes that already arrived (coalesced bursts from
+    /// other clients, or stashed during the previous placement's bid
+    /// window) are absorbed into the fair queue so every contender is
+    /// visible to DRR — not just the first arrival.
+    fn drain_fair_queue(&mut self) {
+        if self.draining {
+            // Placement nests into the pump, which can re-enter handle();
+            // the outer drain loop will pick up whatever gets queued.
+            return;
+        }
+        self.draining = true;
+        loop {
+            for env in self.pump.take_matching(|m| matches!(m, NetMsg::CreateTask { .. })) {
+                if let NetMsg::CreateTask { job, spec, reply_to } = env.msg {
+                    let cost = spec.memory_mb;
+                    self.fairq.push(reply_to.0, cost, (job, spec, reply_to));
+                }
+            }
+            let Some((job, spec, reply_to)) = self.fairq.pop() else { break };
+            self.jm_create_task(job, spec, reply_to);
+        }
+        self.draining = false;
+    }
+
+    /// Place one admitted task and ack the client.
+    fn jm_create_task(&mut self, job: JobId, spec: TaskSpec, reply_to: Addr) {
+        match self.place_task(job, spec.clone()) {
+            Ok((tm_addr, task_addr, server)) => {
+                if let Some(j) = self.jm_jobs.get_mut(&job) {
+                    j.specs.push(spec.clone());
+                    j.assigned.insert(spec.name.clone(), (tm_addr, task_addr, server.clone()));
+                }
+                self.send(
+                    reply_to,
+                    NetMsg::TaskAck {
+                        job,
+                        task: spec.name,
+                        accepted: true,
+                        reason: String::new(),
+                        server,
+                        task_addr: Some(task_addr),
+                    },
+                );
+            }
+            Err(reason) => {
+                self.send(
+                    reply_to,
+                    NetMsg::TaskAck {
+                        job,
+                        task: spec.name,
+                        accepted: false,
+                        reason,
+                        server: String::new(),
+                        task_addr: None,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- Work stealing --------------------------------------------------
+
+    /// Multicast a `LoadReport` when the load signal changed, throttled to
+    /// the configured heartbeat — except that the edge *into* stealable
+    /// territory is always reported immediately so idle peers learn about
+    /// new prey promptly. No-op unless stealing is enabled, which keeps
+    /// non-stealing runs free of extra traffic.
+    fn load_changed(&mut self) {
+        let Some(steal) = self.config.steal else { return };
+        let sig = self.load_signal();
+        if self.last_reported == Some(sig) {
+            return;
+        }
+        let now = Instant::now();
+        let due = self.last_report_at.is_none_or(|at| now.duration_since(at) >= steal.heartbeat);
+        let threshold = steal.threshold.max(1);
+        let crossing = sig.queue_depth >= threshold
+            && self.last_reported.is_none_or(|s| s.queue_depth < threshold);
+        if !due && !crossing {
+            return;
+        }
+        self.last_reported = Some(sig);
+        self.last_report_at = Some(now);
+        self.net.multicast(
+            self.addr,
+            cn_cluster::DISCOVERY_GROUP,
+            NetMsg::LoadReport { server: self.name.clone(), addr: self.addr, signal: sig },
+        );
+    }
+
+    /// Thief side: if we have a free execution slot and an empty run
+    /// queue, raid the most-loaded peer whose last report meets the steal
+    /// threshold. At most one request is in flight at a time; a
+    /// `LoadReport` from the victim (decline) or a grant clears it, and a
+    /// staleness timeout lets us re-arm if the victim vanished.
+    fn maybe_steal(&mut self) {
+        let Some(steal) = self.config.steal else { return };
+        if !self.run_queue.is_empty() {
+            return;
+        }
+        let cap = self.config.exec_slots.unwrap_or(usize::MAX);
+        if self.running >= cap {
+            return;
+        }
+        if let Some((_, since)) = self.steal_pending {
+            if since.elapsed() < Duration::from_secs(1) {
+                return;
+            }
+        }
+        let threshold = steal.threshold.max(1);
+        let victim = self
+            .peer_loads
+            .iter()
+            .filter(|(addr, (_, sig))| **addr != self.addr && sig.queue_depth >= threshold)
+            .max_by_key(|(addr, (_, sig))| (sig.queue_depth, std::cmp::Reverse(addr.0)))
+            .map(|(addr, _)| *addr);
+        let Some(victim) = victim else { return };
+        let endpoint = match &self.steal_endpoint {
+            Some((addr, _)) => *addr,
+            None => {
+                let (addr, rx) = self.net.register();
+                self.steal_endpoint = Some((addr, rx));
+                addr
+            }
+        };
+        self.c_steal_requests.inc();
+        self.steal_pending = Some((victim, Instant::now()));
+        self.send(
+            victim,
+            NetMsg::StealRequest { thief: self.name.clone(), reply_to: self.addr, endpoint },
+        );
+    }
+
+    /// Victim side: grant the newest queued never-launched task to the
+    /// thief, or decline with a fresh `LoadReport`. Granting releases our
+    /// reservation and marks the entry migrated; the entry stays until the
+    /// thief commits (`TaskMigrated`) or bounces (`StealReturn`) — exactly
+    /// one of which arrives, making the handoff at-most-once.
+    fn tm_steal_request(&mut self, thief: String, reply_to: Addr, _thief_endpoint: Addr) {
+        let threshold = self.config.steal.map_or(u32::MAX, |s| s.threshold.max(1));
+        let grantable = (self.run_queue.len() as u32) >= threshold;
+        let Some((job, task)) = (if grantable { self.run_queue.pop_back() } else { None }) else {
+            // Decline: a unicast report refreshes the thief's view of us
+            // and clears its pending-request latch.
+            let report = NetMsg::LoadReport {
+                server: self.name.clone(),
+                addr: self.addr,
+                signal: self.load_signal(),
+            };
+            self.send(reply_to, report);
+            return;
+        };
+        self.g_queue_depth.add(-1);
+        let key = (job, task.clone());
+        let Some(t) = self.tm_tasks.get_mut(&key) else { return };
+        let Some((directory, client)) = t.start_info.clone() else { return };
+        t.migrated = true;
+        t.enqueued_at = None;
+        t.reservation = None; // free memory + slot for local work
+        let grant = NetMsg::StealGrant {
+            job,
+            spec: t.spec.clone(),
+            jm: t.jm,
+            client,
+            directory,
+            victim: self.name.clone(),
+            old_endpoint: t.endpoint,
+        };
+        self.rec.event_with(Severity::Info, "sched", Some(job.0), || {
+            format!("[{}] granting steal of task {task:?} to {thief}", self.name)
+        });
+        self.send(reply_to, grant);
+        self.load_changed();
+    }
+
+    /// Thief side: try to take ownership of a granted task. Success means
+    /// reserving locally and announcing `TaskMigrated` to both the
+    /// JobManager (placement table) and the victim (forwarding); any
+    /// failure bounces the task back with `StealReturn`.
+    #[allow(clippy::too_many_arguments)]
+    fn tm_steal_grant(
+        &mut self,
+        victim_addr: Addr,
+        job: JobId,
+        spec: TaskSpec,
+        jm: Addr,
+        client: Addr,
+        mut directory: HashMap<String, Addr>,
+        victim: String,
+        old_endpoint: Addr,
+    ) {
+        self.steal_pending = None;
+        let task = spec.name.clone();
+        if !self.registry.contains(&spec.jar) {
+            self.c_steal_returns.inc();
+            self.send(victim_addr, NetMsg::StealReturn { job, task });
+            return;
+        }
+        let Ok(reservation) = self.node.reserve(spec.memory_mb) else {
+            self.c_steal_returns.inc();
+            self.send(victim_addr, NetMsg::StealReturn { job, task });
+            return;
+        };
+        // Reuse the pre-registered steal endpoint as the task's new home;
+        // the next raid will register a fresh one.
+        let (endpoint, rx) = match self.steal_endpoint.take() {
+            Some(pair) => pair,
+            None => self.net.register(),
+        };
+        self.uploaded.insert(spec.jar.clone());
+        // The task's own directory entry must point at its new home so
+        // self-addressed sends do not loop through the forwarder.
+        directory.insert(task.clone(), endpoint);
+        self.tm_tasks.insert(
+            (job, task.clone()),
+            TmTask {
+                spec,
+                jm,
+                endpoint,
+                rx: Some(rx),
+                reservation: Some(reservation),
+                started: true,
+                launched: false,
+                start_info: Some((directory, client)),
+                enqueued_at: Some(Instant::now()),
+                migrated: false,
+                stolen_from: Some(old_endpoint),
+            },
+        );
+        let commit = NetMsg::TaskMigrated {
+            job,
+            task: task.clone(),
+            server: self.name.clone(),
+            tm: self.addr,
+            task_addr: endpoint,
+        };
+        self.send(jm, commit.clone());
+        if victim_addr != jm {
+            self.send(victim_addr, commit);
+        }
+        self.c_steals.inc();
+        self.rec.event_with(Severity::Info, "sched", Some(job.0), || {
+            format!("[{}] stole task {task:?} from {victim}", self.name)
+        });
+        self.run_queue.push_back((job, task));
+        self.g_queue_depth.add(1);
+        self.launch_next_queued();
+        self.load_changed();
+    }
+
+    /// Victim side: the thief could not take the task after all. Re-reserve
+    /// and re-queue it; if even that fails now, the task fails loudly
+    /// rather than vanishing.
+    fn tm_steal_return(&mut self, job: JobId, task: String) {
+        self.c_steal_returns.inc();
+        let key = (job, task.clone());
+        let Some(t) = self.tm_tasks.get_mut(&key) else { return };
+        if !t.migrated {
+            return;
+        }
+        match self.node.reserve(t.spec.memory_mb) {
+            Ok(reservation) => {
+                t.reservation = Some(reservation);
+                t.migrated = false;
+                t.enqueued_at = Some(Instant::now());
+                self.run_queue.push_back(key);
+                self.g_queue_depth.add(1);
+                self.launch_next_queued();
+                self.load_changed();
+            }
+            Err(e) => {
+                let jm = t.jm;
+                let endpoint = t.endpoint;
+                self.tm_tasks.remove(&key);
+                self.net.unregister(endpoint);
+                self.c_tasks_failed.inc();
+                self.send(
+                    jm,
+                    NetMsg::TaskFailed {
+                        job,
+                        task,
+                        error: format!("steal return could not re-reserve: {e}"),
+                    },
+                );
+            }
+        }
+    }
+
+    /// `TaskMigrated` lands on two parties. As the task's JobManager we
+    /// repoint the placement table so later `StartTask`/`CancelTask`/
+    /// directory builds go to the thief. As the victim we hand the task's
+    /// old endpoint to a forwarder thread so in-flight peer messages —
+    /// sent against the stale directory — still reach the task at its new
+    /// home (the Figure-3 journals stay canonical because every message
+    /// arrives exactly once, just via one extra hop).
+    fn task_migrated(
+        &mut self,
+        job: JobId,
+        task: String,
+        server: String,
+        tm: Addr,
+        task_addr: Addr,
+    ) {
+        if let Some(j) = self.jm_jobs.get_mut(&job) {
+            if let Some(entry) = j.assigned.get_mut(&task) {
+                *entry = (tm, task_addr, server);
+            }
+        }
+        let key = (job, task);
+        if self.tm_tasks.get(&key).is_some_and(|t| t.migrated) {
+            let mut t = self.tm_tasks.remove(&key).expect("checked above");
+            if let Some(rx) = t.rx.take() {
+                self.spawn_forwarder(t.endpoint, rx, task_addr);
+            } else {
+                self.net.unregister(t.endpoint);
+            }
+        }
+    }
+
+    /// Drain a migrated-out task's old endpoint into its new home until
+    /// the thief signals the task exited (`Shutdown`) or the fabric goes
+    /// away.
+    fn spawn_forwarder(&mut self, old: Addr, rx: Receiver<Envelope<NetMsg>>, target: Addr) {
+        let net = self.net.clone();
+        let handle = cn_sync::thread::Builder::new()
+            .name(format!("steal-fwd-{}", old.0))
+            .spawn(move || {
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(200)) {
+                        Ok(env) => {
+                            if matches!(env.msg, NetMsg::Shutdown) {
+                                break;
+                            }
+                            let _ = net.send(old, target, env.msg);
+                        }
+                        Err(cn_sync::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(_) => break,
+                    }
+                }
+                net.unregister(old);
+            })
+            .expect("spawn forwarder thread");
+        self.task_threads.push(handle);
     }
 }

@@ -93,6 +93,10 @@ pub struct TaskContext {
     /// Job-wide tuple space (the alternative coordination medium the paper
     /// mentions: "CN also supports communication via tuple spaces").
     pub(crate) space: Arc<TupleSpace>,
+    /// Compute-cost multiplier of the hosting node (1.0 at nominal speed;
+    /// see `NodeSpec::speed_pct`). [`TaskContext::simulate_work`] applies
+    /// it so simulated workloads run slower on straggler nodes.
+    pub(crate) work_scale: f64,
     /// Messages that arrived while a selective receive was looking for
     /// something else.
     pub(crate) stash: Vec<CnMessage>,
@@ -124,6 +128,18 @@ impl TaskContext {
     /// The job-wide tuple space.
     pub fn tuplespace(&self) -> &TupleSpace {
         &self.space
+    }
+
+    /// The hosting node's compute-cost multiplier (1.0 = nominal speed).
+    pub fn work_scale(&self) -> f64 {
+        self.work_scale
+    }
+
+    /// Simulate `nominal` worth of compute: sleeps for the duration scaled
+    /// by the hosting node's speed, so a `speed_pct: 25` straggler takes
+    /// 4x as long. The contention benchmark's tasks are built on this.
+    pub fn simulate_work(&self, nominal: Duration) {
+        std::thread::sleep(nominal.mul_f64(self.work_scale));
     }
 
     /// Send a user-defined message to another task by name.
@@ -303,6 +319,7 @@ mod tests {
             rx: a_rx,
             directory: directory.clone(),
             space: space.clone(),
+            work_scale: 1.0,
             stash: Vec::new(),
         };
         let b = TaskContext {
@@ -314,6 +331,7 @@ mod tests {
             rx: b_rx,
             directory,
             space,
+            work_scale: 1.0,
             stash: Vec::new(),
         };
         (a, b)

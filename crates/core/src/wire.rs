@@ -13,6 +13,7 @@ use cn_cnx::{Param, ParamType, RunModel};
 use cn_wire::{Reader, WireEncode, WireError, WireErrorKind, Writer};
 
 use crate::message::{Bid, JobId, JobRequirements, NetMsg, TaskSpec, UserData};
+use crate::scheduler::LoadSignal;
 use crate::tuplespace::Field;
 
 impl WireEncode for JobId {
@@ -127,6 +128,22 @@ impl WireEncode for JobRequirements {
     }
 }
 
+impl WireEncode for LoadSignal {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.queue_depth);
+        w.put_u32(self.in_flight);
+        w.put_u64(self.ewma_dispatch_us);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LoadSignal {
+            queue_depth: r.get_u32()?,
+            in_flight: r.get_u32()?,
+            ewma_dispatch_us: r.get_u64()?,
+        })
+    }
+}
+
 impl WireEncode for Bid {
     fn encode(&self, w: &mut Writer) {
         w.put_str(&self.server);
@@ -134,6 +151,7 @@ impl WireEncode for Bid {
         w.put_f64(self.load);
         w.put_u64(self.free_memory_mb);
         w.put_usize(self.free_slots);
+        self.signal.encode(w);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -143,6 +161,7 @@ impl WireEncode for Bid {
             load: r.get_f64()?,
             free_memory_mb: r.get_u64()?,
             free_slots: r.get_u32()? as usize,
+            signal: LoadSignal::decode(r)?,
         })
     }
 }
@@ -413,6 +432,41 @@ impl WireEncode for NetMsg {
                 }
             }
             NetMsg::Shutdown => w.put_u8(23),
+            NetMsg::LoadReport { server, addr, signal } => {
+                w.put_u8(24);
+                w.put_str(server);
+                addr.encode(w);
+                signal.encode(w);
+            }
+            NetMsg::StealRequest { thief, reply_to, endpoint } => {
+                w.put_u8(25);
+                w.put_str(thief);
+                reply_to.encode(w);
+                endpoint.encode(w);
+            }
+            NetMsg::StealGrant { job, spec, jm, client, directory, victim, old_endpoint } => {
+                w.put_u8(26);
+                job.encode(w);
+                spec.encode(w);
+                jm.encode(w);
+                client.encode(w);
+                put_directory(w, directory);
+                w.put_str(victim);
+                old_endpoint.encode(w);
+            }
+            NetMsg::StealReturn { job, task } => {
+                w.put_u8(27);
+                job.encode(w);
+                w.put_str(task);
+            }
+            NetMsg::TaskMigrated { job, task, server, tm, task_addr } => {
+                w.put_u8(28);
+                job.encode(w);
+                w.put_str(task);
+                w.put_str(server);
+                tm.encode(w);
+                task_addr.encode(w);
+            }
         }
     }
 
@@ -511,6 +565,33 @@ impl WireEncode for NetMsg {
                 NetMsg::SeedTuple { job, tuple }
             }
             23 => NetMsg::Shutdown,
+            24 => NetMsg::LoadReport {
+                server: r.get_str()?,
+                addr: Addr::decode(r)?,
+                signal: LoadSignal::decode(r)?,
+            },
+            25 => NetMsg::StealRequest {
+                thief: r.get_str()?,
+                reply_to: Addr::decode(r)?,
+                endpoint: Addr::decode(r)?,
+            },
+            26 => NetMsg::StealGrant {
+                job: JobId::decode(r)?,
+                spec: TaskSpec::decode(r)?,
+                jm: Addr::decode(r)?,
+                client: Addr::decode(r)?,
+                directory: get_directory(r)?,
+                victim: r.get_str()?,
+                old_endpoint: Addr::decode(r)?,
+            },
+            27 => NetMsg::StealReturn { job: JobId::decode(r)?, task: r.get_str()? },
+            28 => NetMsg::TaskMigrated {
+                job: JobId::decode(r)?,
+                task: r.get_str()?,
+                server: r.get_str()?,
+                tm: Addr::decode(r)?,
+                task_addr: Addr::decode(r)?,
+            },
             t => return Err(WireError::new(WireErrorKind::BadTag, format!("NetMsg tag {t}"))),
         })
     }
@@ -545,10 +626,12 @@ mod tests {
             load: 0.25,
             free_memory_mb: 4000,
             free_slots: 4,
+            signal: LoadSignal { queue_depth: 3, in_flight: 2, ewma_dispatch_us: 750 },
         };
         let mut directory = HashMap::new();
         directory.insert("t0".to_string(), Addr(5));
         directory.insert("t1".to_string(), Addr(6));
+        let steal_directory = directory.clone();
         let msgs = vec![
             NetMsg::SolicitJobManager {
                 job: JobId(1),
@@ -624,6 +707,29 @@ mod tests {
                 ],
             },
             NetMsg::Shutdown,
+            NetMsg::LoadReport {
+                server: "node1".into(),
+                addr: Addr(7),
+                signal: LoadSignal { queue_depth: 9, in_flight: 1, ewma_dispatch_us: 12_345 },
+            },
+            NetMsg::StealRequest { thief: "node2".into(), reply_to: Addr(3), endpoint: Addr(88) },
+            NetMsg::StealGrant {
+                job: JobId(1),
+                spec: sample_spec(),
+                jm: Addr(2),
+                client: Addr(9),
+                directory: steal_directory,
+                victim: "node0".into(),
+                old_endpoint: Addr(77),
+            },
+            NetMsg::StealReturn { job: JobId(1), task: "t0".into() },
+            NetMsg::TaskMigrated {
+                job: JobId(1),
+                task: "t0".into(),
+                server: "node2".into(),
+                tm: Addr(3),
+                task_addr: Addr(88),
+            },
         ];
         for msg in msgs {
             round_trip(msg);

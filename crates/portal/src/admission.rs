@@ -28,6 +28,11 @@ pub enum SubmitError {
     Full,
     /// This remote address reached `per_addr_inflight` → `429`.
     AddrSaturated,
+    /// The portal's backlog crossed half of `max_inflight`, so the
+    /// per-address allowance halved and this address is over the reduced
+    /// cap → `429`. Heavy senders shed first while light clients keep
+    /// their slots.
+    Shed,
     /// The portal is shutting down → `503`.
     Closed,
 }
@@ -37,7 +42,7 @@ impl SubmitError {
     pub fn status(self) -> u16 {
         match self {
             SubmitError::Full | SubmitError::Closed => 503,
-            SubmitError::AddrSaturated => 429,
+            SubmitError::AddrSaturated | SubmitError::Shed => 429,
         }
     }
 
@@ -45,6 +50,7 @@ impl SubmitError {
         match self {
             SubmitError::Full => "admission queue full",
             SubmitError::AddrSaturated => "too many in-flight submissions from this address",
+            SubmitError::Shed => "portal under load: per-address allowance reduced",
             SubmitError::Closed => "portal is shutting down",
         }
     }
@@ -99,8 +105,17 @@ impl<T> Admission<T> {
         if st.queue.len() + st.executing_total >= self.max_inflight {
             return Err(SubmitError::Full);
         }
-        if st.held.get(&key).copied().unwrap_or(0) >= self.per_addr_inflight {
+        let held = st.held.get(&key).copied().unwrap_or(0);
+        if held >= self.per_addr_inflight {
             return Err(SubmitError::AddrSaturated);
+        }
+        // Load-aware shedding: once the backlog (queued + executing)
+        // crosses half the total cap, the per-address allowance halves, so
+        // the addresses holding the most slots are turned away first and
+        // the remaining headroom stays spread across light clients.
+        let backlog = st.queue.len() + st.executing_total;
+        if backlog * 2 >= self.max_inflight && held >= (self.per_addr_inflight / 2).max(1) {
+            return Err(SubmitError::Shed);
         }
         *st.held.entry(key).or_insert(0) += 1;
         st.queue.push_back((key, work));
@@ -219,6 +234,31 @@ mod tests {
     }
 
     #[test]
+    fn backlog_halves_the_per_addr_allowance() {
+        // Cap 8 total / 4 per address; effective per-addr drops to 2 once
+        // the backlog reaches 4.
+        let q: Admission<u32> = Admission::new(8, 4);
+        q.submit(1, 10).unwrap();
+        q.submit(1, 11).unwrap();
+        q.submit(2, 20).unwrap();
+        q.submit(2, 21).unwrap();
+        // Backlog is now 4: address 1 is at the reduced cap and sheds,
+        // while a fresh address still gets in under the reduced cap.
+        assert_eq!(q.submit(1, 12), Err(SubmitError::Shed));
+        q.submit(3, 30).unwrap();
+        q.submit(3, 31).unwrap();
+        assert_eq!(q.submit(3, 32), Err(SubmitError::Shed));
+        assert_eq!(SubmitError::Shed.status(), 429);
+        // Draining the backlog restores the full allowance.
+        while let Some((key, _)) = q.next(Duration::from_millis(1)) {
+            q.finish(key);
+        }
+        q.submit(1, 12).unwrap();
+        q.submit(1, 13).unwrap();
+        q.submit(1, 14).unwrap();
+    }
+
+    #[test]
     fn close_wakes_and_rejects() {
         let q: Admission<u32> = Admission::new(2, 2);
         q.close();
@@ -228,7 +268,7 @@ mod tests {
 
     #[test]
     fn batch_drain_preserves_fifo() {
-        let q: Admission<u32> = Admission::new(8, 8);
+        let q: Admission<u32> = Admission::new(16, 8);
         for i in 0..5 {
             q.submit(1, i).unwrap();
         }

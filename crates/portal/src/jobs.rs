@@ -58,6 +58,9 @@ struct Entry {
     journal: Option<Arc<String>>,
     error: Option<String>,
     tasks: usize,
+    /// When the job reached a terminal state — the eviction clock for
+    /// [`JobBoard::evict_expired`].
+    finished_at: Option<Instant>,
 }
 
 /// The job registry: connection handlers and workers share it.
@@ -83,9 +86,16 @@ impl JobBoard {
     /// Register a fresh submission in `Queued` state.
     pub fn create(&self) -> JobId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.entries
-            .lock()
-            .insert(id, Entry { state: JobState::Queued, journal: None, error: None, tasks: 0 });
+        self.entries.lock().insert(
+            id,
+            Entry {
+                state: JobState::Queued,
+                journal: None,
+                error: None,
+                tasks: 0,
+                finished_at: None,
+            },
+        );
         id
     }
 
@@ -105,6 +115,7 @@ impl JobBoard {
             e.state = JobState::Done;
             e.journal = Some(Arc::new(journal));
             e.tasks = tasks;
+            e.finished_at = Some(Instant::now());
         }
     }
 
@@ -113,7 +124,21 @@ impl JobBoard {
             e.state = JobState::Failed;
             e.journal = Some(Arc::new(format!("{{\"error\":{}}}\n", json_string(&error))));
             e.error = Some(error);
+            e.finished_at = Some(Instant::now());
         }
+    }
+
+    /// Evict terminal entries older than `ttl`, returning how many were
+    /// dropped. Queued and running jobs never expire — only finished ones
+    /// whose journal has had `ttl` to be collected; after eviction the id
+    /// answers `404` like any unknown job. Keeps the board bounded under
+    /// a steady submission stream without a background sweeper thread
+    /// (the workers call this between jobs).
+    pub fn evict_expired(&self, ttl: Duration) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|_, e| e.finished_at.is_none_or(|t| t.elapsed() < ttl));
+        before - entries.len()
     }
 
     pub fn state(&self, id: JobId) -> Option<JobState> {
@@ -346,6 +371,7 @@ pub fn spawn_workers(
     board: Arc<JobBoard>,
     runner: Arc<dyn JobRunner>,
     rec: Recorder,
+    board_ttl: Duration,
 ) -> Vec<std::thread::JoinHandle<()>> {
     (0..n.max(1))
         .map(|i| {
@@ -355,7 +381,7 @@ pub fn spawn_workers(
             let rec = rec.clone();
             std::thread::Builder::new()
                 .name(format!("cn-portal-worker-{i}"))
-                .spawn(move || worker_loop(&admission, &board, &*runner, &rec))
+                .spawn(move || worker_loop(&admission, &board, &*runner, &rec, board_ttl))
                 .expect("spawn portal worker")
         })
         .collect()
@@ -366,8 +392,16 @@ fn worker_loop(
     board: &JobBoard,
     runner: &dyn JobRunner,
     rec: &Recorder,
+    board_ttl: Duration,
 ) {
     loop {
+        // Board upkeep rides the worker loop: finished entries past their
+        // TTL are dropped before taking on new work, so an idle-but-alive
+        // portal keeps its board bounded too.
+        let evicted = board.evict_expired(board_ttl);
+        if evicted > 0 {
+            rec.counter("portal.board_evictions").add(evicted as u64);
+        }
         let batch = admission.next_batch(TRANSLATE_BATCH, Duration::from_millis(100));
         if batch.is_empty() {
             if admission.is_closed() {
@@ -484,6 +518,30 @@ mod tests {
     }
 
     #[test]
+    fn eviction_drops_only_expired_terminal_entries() {
+        let board = JobBoard::new();
+        let queued = board.create();
+        let running = board.create();
+        board.mark_running(running);
+        let done = board.create();
+        board.complete(done, "{}\n".to_string(), 1);
+        let failed = board.create();
+        board.fail(failed, "boom".to_string());
+
+        // A generous TTL keeps everything.
+        assert_eq!(board.evict_expired(Duration::from_secs(3600)), 0);
+        assert!(board.state(done).is_some());
+
+        // TTL zero expires exactly the terminal entries; live jobs stay.
+        assert_eq!(board.evict_expired(Duration::ZERO), 2);
+        assert_eq!(board.state(done), None);
+        assert_eq!(board.state(failed), None);
+        assert_eq!(board.status_json(done), None);
+        assert_eq!(board.state(queued), Some(JobState::Queued));
+        assert_eq!(board.state(running), Some(JobState::Running));
+    }
+
+    #[test]
     fn job_id_round_trips() {
         assert_eq!(parse_job_id("j-42"), Some(42));
         assert_eq!(parse_job_id("42"), None);
@@ -517,8 +575,14 @@ mod tests {
         let board = Arc::new(JobBoard::new());
         let rec = Recorder::new();
         let runner = Arc::new(StubRunner { journal: "{}\n".to_string(), delay: Duration::ZERO });
-        let workers =
-            spawn_workers(2, Arc::clone(&admission), Arc::clone(&board), runner, rec.clone());
+        let workers = spawn_workers(
+            2,
+            Arc::clone(&admission),
+            Arc::clone(&board),
+            runner,
+            rec.clone(),
+            Duration::from_secs(300),
+        );
 
         let good = board.create();
         admission.submit(1, JobWork { id: good, body: figure2_cnx().into_bytes() }).unwrap();

@@ -60,6 +60,11 @@ pub struct PortalConfig {
     /// How long `GET /jobs/<id>/journal` waits for the job to finish
     /// before giving up mid-stream.
     pub journal_wait: Duration,
+    /// How long a finished job's board entry (status + journal) stays
+    /// retrievable before the workers evict it (`portal.board_evictions`
+    /// counts the drops). Keeps the board bounded under a steady
+    /// submission stream.
+    pub board_ttl: Duration,
 }
 
 impl Default for PortalConfig {
@@ -73,6 +78,7 @@ impl Default for PortalConfig {
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             request_deadline: Duration::from_secs(10),
             journal_wait: Duration::from_secs(120),
+            board_ttl: Duration::from_secs(300),
         }
     }
 }
@@ -116,6 +122,7 @@ impl PortalServer {
             Arc::clone(&board),
             runner,
             rec.clone(),
+            cfg.board_ttl,
         );
         let inner = Arc::new(Inner {
             reactor,
@@ -363,6 +370,9 @@ impl ConnHandler {
             Err(e) => {
                 self.inner.board.discard(id);
                 self.inner.rec.counter("portal.jobs.rejected").inc();
+                if e == crate::admission::SubmitError::Shed {
+                    self.inner.rec.counter("portal.load_shed").inc();
+                }
                 Response::json(e.status(), format!("{{\"error\":{}}}\n", json_string(e.as_str())))
             }
         }

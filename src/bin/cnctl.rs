@@ -7,6 +7,7 @@
 //!                 [--server-memory MB1,MB2,...] [--payload-warn-fraction F]
 //!                 [--peer-capacity N [--reactor-shards S] [--fd-soft-limit N] [--cores N]]
 //!                 [--portal-max-inflight N [--portal-body-limit BYTES] [--host-memory MB]]
+//!                 [--steal-threshold N [--steal-heartbeat-ms MS] [--fair-quantum MB]]
 //! cnctl lint      --explain CN0xx                  document one diagnostic code
 //! cnctl check     [--scenario NAME] [--seeds S1,S2,...] [--schedules N]
 //!                 [--max-steps N] [--format text|json] [--trace-dir DIR]
@@ -20,7 +21,7 @@
 //! cnctl stats     <file.xmi|examples> [--workers N]
 //! cnctl serve     [--port P] [--peers P1,P2] [--multicast] [--name NAME]
 //!                 [--memory MB] [--slots N] [--run-for SECS] [--trace out.json]
-//!                 [--no-batch] [--reactor-shards N]
+//!                 [--no-batch] [--reactor-shards N] [--sched POLICY]
 //! cnctl submit    <file.cnx|examples> [--peers P1,P2,P3] [--multicast] [--workers N]
 //!                 [--timeout SECS] [--journal j.jsonl] [--trace out.json]
 //!                 [--no-batch] [--reactor-shards N]
@@ -28,6 +29,7 @@
 //!                 [--reactor-shards N] [--max-inflight N] [--per-addr N]
 //!                 [--workers N] [--body-limit BYTES] [--timeout SECS]
 //!                 [--seed N] [--name NAME] [--run-for SECS] [--no-batch]
+//!                 [--board-ttl SECS]
 //! ```
 //!
 //! Everything reads/writes plain files or stdout, so the tool composes with
@@ -197,6 +199,9 @@ fn validate_cnx(text: &str) -> Result<(String, i32), String> {
 /// deployment's shape so CN057 can judge it against the host's fd soft
 /// limit and core count (`--fd-soft-limit` / `--cores` override the live
 /// probes to lint against a different target machine).
+/// `--steal-threshold N [--steal-heartbeat-ms MS] [--fair-quantum MB]`
+/// describes the scheduler's work-stealing and fair-admission knobs so
+/// CN059 can judge them against the descriptor's job shapes.
 fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
     let format = flag_value(args, "--format").unwrap_or("text");
     if !matches!(format, "text" | "json") {
@@ -220,6 +225,7 @@ fn lint_input(text: &str, args: &[&str]) -> Result<(String, i32), String> {
         payload_warn_fraction,
         deployment: deployment_from_args(args)?,
         portal: portal_shape_from_args(args)?,
+        scheduler: scheduler_shape_from_args(args)?,
     };
     let mut report = if looks_like_xmi(text) {
         analysis::lint_xmi_source(text, &opts)
@@ -350,13 +356,35 @@ fn portal_shape_from_args(args: &[&str]) -> Result<Option<analysis::PortalShape>
     }))
 }
 
+/// Parse the scheduler-shape flags for the CN059 steal/fairness check.
+/// `--steal-threshold` is the gate; `--steal-heartbeat-ms` defaults to the
+/// runtime's default heartbeat, and `--fair-quantum` opts into the
+/// deficit-round-robin quantum check.
+fn scheduler_shape_from_args(args: &[&str]) -> Result<Option<analysis::SchedulerShape>, String> {
+    let Some(raw) = flag_value(args, "--steal-threshold") else {
+        for flag in ["--steal-heartbeat-ms", "--fair-quantum"] {
+            if flag_value(args, flag).is_some() {
+                return Err(format!("{flag} requires --steal-threshold"));
+            }
+        }
+        return Ok(None);
+    };
+    Ok(Some(analysis::SchedulerShape {
+        steal_threshold: raw.parse().map_err(|_| format!("bad steal threshold {raw:?}"))?,
+        steal_heartbeat_ms: parsed_flag(args, "--steal-heartbeat-ms", 50)?,
+        fair_quantum_mb: flag_value(args, "--fair-quantum")
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad value {v:?} for --fair-quantum")))
+            .transpose()?,
+    }))
+}
+
 /// `lint --explain CN0xx`: print the documentation for one diagnostic
 /// code — what it means and why it is worth fixing.
 fn explain_code(code: &str) -> Result<(String, i32), String> {
     match analysis::explain(code) {
         Some(ex) => Ok(clean(ex.render())),
         None => Err(format!(
-            "unknown diagnostic code {code:?} (codes run CN000..CN058; try `cnctl lint --explain CN001`)"
+            "unknown diagnostic code {code:?} (codes run CN000..CN059; try `cnctl lint --explain CN001`)"
         )),
     }
 }
@@ -812,6 +840,14 @@ fn serve_cmd(args: &[&str]) -> Result<String, String> {
     let port: u16 = parsed_flag(args, "--port", 0)?;
     let memory: u64 = parsed_flag(args, "--memory", 8192)?;
     let slots: usize = parsed_flag(args, "--slots", 16)?;
+    let policy = match flag_value(args, "--sched") {
+        None => computational_neighborhood::core::Policy::default(),
+        Some(name) => computational_neighborhood::core::Policy::parse(name).ok_or_else(|| {
+            format!(
+                "unknown scheduling policy {name:?} (first-responder|least-loaded|round-robin|load-aware)"
+            )
+        })?,
+    };
     let run_for: Option<u64> = flag_value(args, "--run-for")
         .map(|v| v.parse().map_err(|_| format!("bad value {v:?} for --run-for")))
         .transpose()?;
@@ -840,7 +876,7 @@ fn serve_cmd(args: &[&str]) -> Result<String, String> {
         FabricHandle::new(fabric),
         registry,
         spaces,
-        ServerConfig::default(),
+        ServerConfig { policy, ..ServerConfig::default() },
     );
 
     // Readiness marker: scripts (the CI wire job, the differential test)
@@ -980,6 +1016,7 @@ fn portal_cmd(args: &[&str]) -> Result<String, String> {
         max_body_bytes: parsed_flag(args, "--body-limit", DEFAULT_MAX_BODY_BYTES)?,
         request_deadline: Duration::from_secs(parsed_flag(args, "--request-deadline", 10)?),
         journal_wait: Duration::from_secs(parsed_flag(args, "--journal-wait", 120)?),
+        board_ttl: Duration::from_secs(parsed_flag(args, "--board-ttl", 300)?),
     };
     let timeout = Duration::from_secs(parsed_flag(args, "--timeout", 60)?);
     let digraph_seed: u64 = parsed_flag(args, "--seed", 1)?;

@@ -179,6 +179,7 @@ fn spawn_fake_taskmanager(
                         load: 0.0,
                         free_memory_mb: 1 << 40,
                         free_slots: 1 << 20,
+                        signal: Default::default(),
                     };
                     let _ =
                         net.send(addr, reply_to, core::NetMsg::TaskManagerBid { job, task, bid });

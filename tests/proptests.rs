@@ -461,6 +461,7 @@ proptest! {
 
 use computational_neighborhood::cluster::{Addr, Envelope};
 use computational_neighborhood::core::message::Bid;
+use computational_neighborhood::core::scheduler::LoadSignal;
 use computational_neighborhood::core::{Field, JobId, JobRequirements, NetMsg, TaskSpec, UserData};
 use computational_neighborhood::wire::codec::{decode_payload, encode_payload};
 
@@ -513,14 +514,25 @@ prop_compose! {
 }
 
 prop_compose! {
+    fn arb_signal()(
+        queue_depth in 0u32..1_000,
+        in_flight in 0u32..64,
+        ewma_dispatch_us in 0u64..10_000_000,
+    ) -> LoadSignal {
+        LoadSignal { queue_depth, in_flight, ewma_dispatch_us }
+    }
+}
+
+prop_compose! {
     fn arb_bid()(
         server in name_str(),
         addr in arb_addr(),
         load in 0.0f64..64.0,
         free_memory_mb in 0u64..1_000_000,
         free_slots in 0usize..64,
+        signal in arb_signal(),
     ) -> Bid {
-        Bid { server, addr, load, free_memory_mb, free_slots }
+        Bid { server, addr, load, free_memory_mb, free_slots, signal }
     }
 }
 
@@ -576,6 +588,43 @@ fn arb_netmsg() -> impl Strategy<Value = NetMsg> {
         ),
         (0u64..1000, proptest::collection::vec(arb_field(), 0..6))
             .prop_map(|(job, tuple)| { NetMsg::SeedTuple { job: JobId(job), tuple } }),
+        // Load-aware scheduling + work stealing (PR10).
+        (name_str(), arb_addr(), arb_signal())
+            .prop_map(|(server, addr, signal)| NetMsg::LoadReport { server, addr, signal }),
+        (name_str(), arb_addr(), arb_addr()).prop_map(|(thief, reply_to, endpoint)| {
+            NetMsg::StealRequest { thief, reply_to, endpoint }
+        }),
+        (
+            0u64..1000,
+            arb_spec(),
+            arb_addr(),
+            arb_addr(),
+            proptest::collection::vec((name_str(), arb_addr()), 0..5),
+            name_str(),
+            arb_addr()
+        )
+            .prop_map(|(job, spec, jm, client, dir, victim, old_endpoint)| {
+                NetMsg::StealGrant {
+                    job: JobId(job),
+                    spec,
+                    jm,
+                    client,
+                    directory: dir.into_iter().collect(),
+                    victim,
+                    old_endpoint,
+                }
+            }),
+        (0u64..1000, name_str())
+            .prop_map(|(job, task)| NetMsg::StealReturn { job: JobId(job), task }),
+        (0u64..1000, name_str(), name_str(), arb_addr(), arb_addr()).prop_map(
+            |(job, task, server, tm, task_addr)| NetMsg::TaskMigrated {
+                job: JobId(job),
+                task,
+                server,
+                tm,
+                task_addr,
+            }
+        ),
         Just(NetMsg::Shutdown),
     ]
 }
